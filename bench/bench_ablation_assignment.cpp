@@ -1,0 +1,71 @@
+// Ablation A2: optimal vs greedy bipartite assignment, and the effect of
+// masking above-threshold pairs before solving.
+//
+// The paper uses scipy's optimal linear sum assignment (Jonker-Volgenant)
+// and filters matches above θ afterwards. This ablation quantifies (a) the
+// quality gap to a greedy matcher and (b) the gain from masking doomed
+// pairs before the solve (DESIGN.md §4.2).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "embedding/model_zoo.h"
+#include "metrics/report.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  AutoJoinOptions gen = PaperAutoJoinOptions();
+  gen.entities_per_set = static_cast<size_t>(flags.GetInt("entities", 120));
+
+  std::printf(
+      "=== Ablation A2: assignment algorithm (Auto-Join, Mistral, θ=0.7) "
+      "===\n\n");
+  auto sets = GenerateAutoJoinBenchmark(gen);
+  auto model = MakeModel(ModelKind::kMistral);
+
+  struct Config {
+    const char* name;
+    AssignmentAlgorithm algorithm;
+    bool mask;
+  };
+  const Config configs[] = {
+      {"optimal JV, filter-after (paper/scipy; default)",
+       AssignmentAlgorithm::kOptimal, false},
+      {"optimal JV + mask-before-solve", AssignmentAlgorithm::kOptimal, true},
+      {"greedy + mask", AssignmentAlgorithm::kGreedy, true},
+      {"greedy, filter-after", AssignmentAlgorithm::kGreedy, false},
+  };
+
+  ReportTable table({"configuration", "Precision", "Recall", "F1",
+                     "time (s)"});
+  for (const Config& cfg : configs) {
+    ValueMatcherOptions opts;
+    opts.model = model;
+    opts.algorithm = cfg.algorithm;
+    opts.mask_before_solve = cfg.mask;
+    // Disable the exact pre-pass so the assignment algorithm sees the whole
+    // problem — this ablation isolates the solver.
+    opts.exact_match_prepass = false;
+    Stopwatch watch;
+    std::vector<Prf> parts;
+    for (const auto& set : sets) {
+      parts.push_back(EvaluateAutoJoinSet(set, opts));
+    }
+    MacroPrf macro = MacroAverage(parts);
+    table.AddRow({cfg.name, FormatDouble(macro.precision, 3),
+                  FormatDouble(macro.recall, 3), FormatDouble(macro.f1, 3),
+                  FormatDouble(watch.ElapsedSeconds(), 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: optimal ≥ greedy on F1 (they tie when cost margins "
+      "are wide);\nmask-before-solve LOSES to filter-after — under masking "
+      "the solver maximizes the\nnumber of sub-θ matches and pairs leftover "
+      "values with barely-admissible wrong\npartners. The paper's "
+      "solve-then-filter is the right call.\n");
+  return 0;
+}

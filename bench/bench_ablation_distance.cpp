@@ -1,0 +1,78 @@
+// Ablation A3: embedding cosine distance vs classic string distances
+// inside the Match Values component.
+//
+// Table 1 compares embedding families; this ablation adds the baselines an
+// engineer would reach for first — edit distance, Jaro-Winkler, n-gram
+// Jaccard — showing what the embedding (and its alias knowledge)
+// contributes beyond surface similarity.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "embedding/model_zoo.h"
+#include "metrics/report.h"
+#include "text/distance.h"
+#include "util/flags.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  AutoJoinOptions gen = PaperAutoJoinOptions();
+  gen.entities_per_set = static_cast<size_t>(flags.GetInt("entities", 120));
+
+  std::printf(
+      "=== Ablation A3: distance function in Match Values (Auto-Join, "
+      "θ=0.7) ===\n\n");
+  auto sets = GenerateAutoJoinBenchmark(gen);
+
+  ReportTable table({"distance", "Precision", "Recall", "F1"});
+
+  // Classic string distances. Note: θ=0.7 is calibrated for cosine space;
+  // each classic distance gets a reasonable threshold of its own.
+  struct Classic {
+    StringDistanceKind kind;
+    double threshold;
+  };
+  for (const auto& [kind, threshold] :
+       std::initializer_list<Classic>{
+           {StringDistanceKind::kNormalizedLevenshtein, 0.45},
+           {StringDistanceKind::kJaroWinkler, 0.25},
+           {StringDistanceKind::kNgramJaccard, 0.75},
+           {StringDistanceKind::kTokenJaccard, 0.6}}) {
+    ValueMatcherOptions opts;
+    opts.string_distance = MakeStringDistance(kind);
+    opts.threshold = threshold;
+    std::vector<Prf> parts;
+    for (const auto& set : sets) {
+      parts.push_back(EvaluateAutoJoinSet(set, opts));
+    }
+    MacroPrf macro = MacroAverage(parts);
+    table.AddRow({std::string(StringDistanceKindToString(kind)) +
+                      StrFormat(" (θ=%.2f)", threshold),
+                  FormatDouble(macro.precision, 3),
+                  FormatDouble(macro.recall, 3), FormatDouble(macro.f1, 3)});
+  }
+
+  // The paper's choice: embedding cosine (Mistral profile), θ=0.7.
+  {
+    ValueMatcherOptions opts;
+    opts.model = MakeModel(ModelKind::kMistral);
+    opts.threshold = 0.7;
+    std::vector<Prf> parts;
+    for (const auto& set : sets) {
+      parts.push_back(EvaluateAutoJoinSet(set, opts));
+    }
+    MacroPrf macro = MacroAverage(parts);
+    table.AddRow({"embedding cosine, Mistral (θ=0.70)",
+                  FormatDouble(macro.precision, 3),
+                  FormatDouble(macro.recall, 3), FormatDouble(macro.f1, 3)});
+  }
+
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: classic distances handle typo/case topics but miss "
+      "alias/code\ntopics entirely (no world knowledge), so the embedding "
+      "row wins on recall and F1.\n");
+  return 0;
+}

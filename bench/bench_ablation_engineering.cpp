@@ -1,0 +1,134 @@
+// Ablation A4: the engineering choices behind the "no overhead" claim.
+//
+//   (a) exact-match pre-pass on/off — matching time on the equi-join IMDB
+//       workload (this is what makes Fuzzy FD free when nothing is fuzzy);
+//   (b) sequential vs component-parallel FD executor;
+//   (c) dense vs blocking+sparse assignment on a large fuzzy instance.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/fuzzy_fd.h"
+#include "datagen/imdb.h"
+#include "embedding/knowledge_base.h"
+#include "embedding/model_zoo.h"
+#include "fd/aligned_schema.h"
+#include "metrics/report.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  size_t imdb_tuples = static_cast<size_t>(flags.GetInt("tuples", 10000));
+  auto model = MakeModel(ModelKind::kMistral);
+
+  // ---------------------------------------------------------- (a) pre-pass
+  std::printf(
+      "=== Ablation A4a: exact-match pre-pass on the IMDB equi-join "
+      "workload (S=%zu) ===\n\n",
+      imdb_tuples);
+  {
+    ImdbOptions gen;
+    gen.target_tuples = imdb_tuples;
+    ImdbBenchmark bench = GenerateImdb(gen);
+    auto aligned = AlignByName(bench.tables);
+    if (!aligned.ok()) return 1;
+
+    ReportTable table({"configuration", "match (s)", "FD (s)", "total (s)",
+                       "assignment matches"});
+    for (bool prepass : {true, false}) {
+      FuzzyFdOptions opts;
+      opts.matcher.model = model;
+      opts.matcher.exact_match_prepass = prepass;
+      // Without the pre-pass the join columns form one large assignment
+      // problem; route it through blocking+sparse so it stays feasible.
+      opts.matcher.max_dense_cells = size_t{1} << 20;
+      opts.matcher.blocking.knowledge_base =
+          std::make_shared<KnowledgeBase>(KnowledgeBase::BuiltIn());
+      FuzzyFdReport report;
+      auto result = FuzzyFullDisjunction(opts).RunToTuples(bench.tables,
+                                                           *aligned, &report);
+      if (!result.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({prepass ? "pre-pass ON (default)" : "pre-pass OFF",
+                    FormatDouble(report.match_seconds, 3),
+                    FormatDouble(report.fd_seconds, 3),
+                    FormatDouble(report.total_seconds(), 3),
+                    std::to_string(report.match_stats.assignment_matches)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // ------------------------------------------------------- (b) parallel FD
+  std::printf("=== Ablation A4b: sequential vs parallel FD executor ===\n\n");
+  {
+    ImdbOptions gen;
+    gen.target_tuples = imdb_tuples * 2;
+    ImdbBenchmark bench = GenerateImdb(gen);
+    auto aligned = AlignByName(bench.tables);
+    if (!aligned.ok()) return 1;
+
+    ReportTable table({"executor", "FD (s)", "output tuples"});
+    for (bool parallel : {false, true}) {
+      FuzzyFdReport report;
+      auto result = RegularFdBaseline(bench.tables, *aligned, FdOptions(),
+                                      parallel, 0, &report);
+      if (!result.ok()) return 1;
+      table.AddRow({parallel ? "parallel (hardware threads)" : "sequential",
+                    FormatDouble(report.fd_seconds, 3),
+                    WithThousandsSep(
+                        static_cast<int64_t>(result->tuples.size()))});
+    }
+    std::printf(
+        "%s\nParallel gains are bounded by the largest join-graph component "
+        "(skewed on\nentity-linked lakes) and by the machine's core count.\n\n",
+        table.Render().c_str());
+  }
+
+  // --------------------------------------------- (c) dense vs sparse match
+  std::printf(
+      "=== Ablation A4c: dense vs blocking+sparse assignment on a large "
+      "fuzzy instance ===\n\n");
+  {
+    AutoJoinOptions gen = PaperAutoJoinOptions();
+    gen.entities_per_set = 1500;  // ~1300-value columns → ~2M-cell matrices
+    // Combinatorial topics only (officials/companies/cities/songs): the
+    // alias vocabularies cap out near 60 entities and never get large.
+    std::vector<AutoJoinSet> sets;
+    for (size_t topic : {13u, 14u, 15u, 16u}) {
+      sets.push_back(GenerateAutoJoinSet(topic, gen, 9000 + topic));
+    }
+
+    ReportTable table({"solver", "Precision", "Recall", "F1", "time (s)"});
+    for (bool sparse : {false, true}) {
+      ValueMatcherOptions opts;
+      opts.model = model;
+      if (sparse) {
+        opts.max_dense_cells = 0;  // force the blocking path
+        opts.blocking.knowledge_base =
+            std::make_shared<KnowledgeBase>(KnowledgeBase::BuiltIn());
+      }
+      Stopwatch watch;
+      std::vector<Prf> parts;
+      for (const auto& set : sets) {
+        parts.push_back(EvaluateAutoJoinSet(set, opts));
+      }
+      MacroPrf macro = MacroAverage(parts);
+      table.AddRow({sparse ? "blocking + sparse components" : "dense JV",
+                    FormatDouble(macro.precision, 3),
+                    FormatDouble(macro.recall, 3), FormatDouble(macro.f1, 3),
+                    FormatDouble(watch.ElapsedSeconds(), 2)});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf(
+        "\nExpected shape: the sparse solver trades a little recall "
+        "(blocking prunes\ncandidates sharing no key) for a large speedup "
+        "on big columns.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A1: sensitivity to the matching threshold θ.
+//
+// The paper reports results at θ = 0.7, "which gives the best results"
+// (Sec 3.1, following the thresholds used in the joinability-search
+// literature). This sweep regenerates that choice: macro P/R/F1 on the
+// Auto-Join benchmark as θ varies from 0.3 to 0.9.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "embedding/model_zoo.h"
+#include "metrics/report.h"
+#include "util/flags.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  AutoJoinOptions gen = PaperAutoJoinOptions();
+  gen.entities_per_set = static_cast<size_t>(flags.GetInt("entities", 120));
+
+  std::printf(
+      "=== Ablation A1: matching threshold θ (Auto-Join, Mistral profile) "
+      "===\n\n");
+  auto sets = GenerateAutoJoinBenchmark(gen);
+  auto model = MakeModel(ModelKind::kMistral);
+
+  ReportTable table({"θ", "Precision", "Recall", "F1"});
+  double best_f1 = -1.0;
+  double best_theta = 0.0;
+  for (double theta : {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    ValueMatcherOptions opts;
+    opts.model = model;
+    opts.threshold = theta;
+    std::vector<Prf> parts;
+    for (const auto& set : sets) {
+      parts.push_back(EvaluateAutoJoinSet(set, opts));
+    }
+    MacroPrf macro = MacroAverage(parts);
+    if (macro.f1 > best_f1) {
+      best_f1 = macro.f1;
+      best_theta = theta;
+    }
+    table.AddRow({FormatDouble(theta, 1), FormatDouble(macro.precision, 3),
+                  FormatDouble(macro.recall, 3), FormatDouble(macro.f1, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nBest F1 at θ=%.1f. Expected shape: recall rises and precision "
+      "falls with θ;\nF1 plateaus around θ≈0.7-0.8 and drops at both ends — "
+      "consistent with the\npaper picking θ=0.7 as its best setting.\n",
+      best_theta);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#ifndef LAKEFUZZ_BENCH_BENCH_COMMON_H_
+#define LAKEFUZZ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "core/value_matcher.h"
+#include "datagen/autojoin.h"
+#include "metrics/pair_eval.h"
+#include "metrics/prf.h"
+
+namespace lakefuzz {
+
+/// Runs the Match Values component over one Auto-Join set and scores the
+/// predicted cross-column value pairs against ground truth — the unit of
+/// the paper's Table 1 evaluation.
+inline Prf EvaluateAutoJoinSet(const AutoJoinSet& set,
+                               const ValueMatcherOptions& opts) {
+  ValueMatcher matcher(opts);
+  auto result = matcher.MatchColumns(set.columns);
+  if (!result.ok()) {
+    std::fprintf(stderr, "matcher failed on %s: %s\n", set.name.c_str(),
+                 result.status().ToString().c_str());
+    return Prf{};
+  }
+  std::set<ItemPair> predicted;
+  for (const auto& [a, b] : CrossColumnPairs(*result)) {
+    predicted.insert(MakePair(ValueItemId(a.first, a.second),
+                              ValueItemId(b.first, b.second)));
+  }
+  return EvaluatePairs(predicted, set.GroundTruthPairs());
+}
+
+/// The benchmark configuration used by all Table-1-family binaries:
+/// 31 sets over 17 topics, ~150 entities per set (paper Sec 3.1).
+inline AutoJoinOptions PaperAutoJoinOptions() {
+  AutoJoinOptions opts;
+  opts.num_sets = 31;
+  opts.entities_per_set = 150;
+  opts.seed = 42;
+  return opts;
+}
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_BENCH_BENCH_COMMON_H_

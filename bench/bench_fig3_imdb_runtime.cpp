@@ -1,0 +1,90 @@
+// Figure 3 reproduction: runtime of regular Full Disjunction (ALITE) vs
+// Fuzzy FD on the IMDB benchmark, as the number of input tuples grows from
+// 5K to 30K.
+//
+// Paper (Fig. 3): both curves almost overlap across the whole range (the
+// fuzzy matching step adds no visible overhead on an equi-join workload),
+// growing superlinearly to ~4000 s at 30K tuples on their Python/ALITE
+// stack. Our absolute numbers are far smaller (compiled C++ vs Python);
+// the claims under reproduction are the overlap and the growth shape.
+#include <cstdio>
+
+#include "core/fuzzy_fd.h"
+#include "datagen/imdb.h"
+#include "embedding/model_zoo.h"
+#include "fd/aligned_schema.h"
+#include "metrics/report.h"
+#include "util/flags.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  size_t max_tuples = static_cast<size_t>(flags.GetInt("max-tuples", 30000));
+  size_t step = static_cast<size_t>(flags.GetInt("step", 5000));
+  int repetitions = static_cast<int>(flags.GetInt("reps", 3));
+
+  std::printf(
+      "=== Fig. 3: Runtime comparison of Regular FD (ALITE) with Fuzzy FD "
+      "in IMDB Benchmark ===\nS = number of input tuples across the 6 IMDB "
+      "tables; times are best of %d runs.\n\n",
+      repetitions);
+
+  auto model = MakeModel(ModelKind::kMistral);
+  ReportTable table({"S (input tuples)", "ALITE / regular FD (s)",
+                     "Fuzzy FD (s)", "fuzzy overhead (s)", "output tuples"});
+
+  for (size_t s = step; s <= max_tuples; s += step) {
+    ImdbOptions gen;
+    gen.target_tuples = s;
+    ImdbBenchmark bench = GenerateImdb(gen);
+    auto aligned = AlignByName(bench.tables);
+    if (!aligned.ok()) {
+      std::fprintf(stderr, "%s\n", aligned.status().ToString().c_str());
+      return 1;
+    }
+
+    double best_regular = 1e100;
+    double best_fuzzy = 1e100;
+    double best_overhead = 1e100;
+    size_t results = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      FuzzyFdReport regular_report;
+      auto regular = RegularFdBaseline(bench.tables, *aligned, FdOptions(),
+                                       /*parallel=*/false, 0, &regular_report);
+      if (!regular.ok()) {
+        std::fprintf(stderr, "regular FD failed at S=%zu: %s\n", s,
+                     regular.status().ToString().c_str());
+        return 1;
+      }
+      FuzzyFdOptions opts;
+      opts.matcher.model = model;
+      FuzzyFdReport fuzzy_report;
+      auto fuzzy = FuzzyFullDisjunction(opts).RunToTuples(
+          bench.tables, *aligned, &fuzzy_report);
+      if (!fuzzy.ok()) {
+        std::fprintf(stderr, "fuzzy FD failed at S=%zu: %s\n", s,
+                     fuzzy.status().ToString().c_str());
+        return 1;
+      }
+      best_regular = std::min(best_regular, regular_report.fd_seconds);
+      best_fuzzy = std::min(best_fuzzy, fuzzy_report.total_seconds());
+      best_overhead =
+          std::min(best_overhead, fuzzy_report.match_seconds +
+                                      fuzzy_report.rewrite_seconds);
+      results = fuzzy->tuples.size();
+    }
+    table.AddRow({WithThousandsSep(static_cast<int64_t>(bench.total_tuples)),
+                  FormatDouble(best_regular, 3), FormatDouble(best_fuzzy, 3),
+                  FormatDouble(best_overhead, 3),
+                  WithThousandsSep(static_cast<int64_t>(results))});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: the two runtime columns nearly coincide at every "
+      "S — the fuzzy\nmatching step (exact-match pre-pass on consistent "
+      "keys) contributes only the\n'fuzzy overhead' column, a small "
+      "fraction of total runtime (paper Fig. 3).\n");
+  return 0;
+}

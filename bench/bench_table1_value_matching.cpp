@@ -1,0 +1,75 @@
+// Table 1 reproduction: value-matching effectiveness of the five embedding
+// models on the Auto-Join benchmark.
+//
+// Paper (Table 1):             P     R     F1
+//   FastText                  0.70  0.67  0.66
+//   BERT                      0.72  0.76  0.73
+//   RoBERTa                   0.73  0.77  0.74
+//   Llama3                    0.81  0.85  0.81
+//   Mistral                   0.81  0.86  0.82
+//
+// We report macro-averaged P/R/F1 over the 31 generated integration sets
+// (θ = 0.7, the paper's setting). Absolute values need not match — the
+// models and the benchmark are simulated (DESIGN.md §1) — but the ordering
+// and the LLM-vs-pretrained gap are the claims under reproduction.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "embedding/model_zoo.h"
+#include "metrics/report.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  AutoJoinOptions gen = PaperAutoJoinOptions();
+  gen.entities_per_set =
+      static_cast<size_t>(flags.GetInt("entities", 150));
+  double theta = flags.GetDouble("theta", 0.7);
+
+  std::printf(
+      "=== Table 1: Value Matching effectiveness in Auto-Join Benchmark "
+      "===\n%zu integration sets, %zu topics, ~%zu entities/set, θ=%.2f\n\n",
+      gen.num_sets, AutoJoinNumTopics(), gen.entities_per_set, theta);
+
+  auto sets = GenerateAutoJoinBenchmark(gen);
+
+  struct PaperRow {
+    double p, r, f1;
+  };
+  const std::map<std::string, PaperRow> paper = {
+      {"FastText", {0.70, 0.67, 0.66}}, {"BERT", {0.72, 0.76, 0.73}},
+      {"RoBERTa", {0.73, 0.77, 0.74}},  {"Llama3", {0.81, 0.85, 0.81}},
+      {"Mistral", {0.81, 0.86, 0.82}},
+  };
+
+  ReportTable table({"Model", "Precision", "Recall", "F1-Score",
+                     "paper P/R/F1", "time (s)"});
+  for (ModelKind kind : AllModelKinds()) {
+    ValueMatcherOptions opts;
+    opts.model = MakeModel(kind);
+    opts.threshold = theta;
+    Stopwatch watch;
+    std::vector<Prf> parts;
+    parts.reserve(sets.size());
+    for (const auto& set : sets) {
+      parts.push_back(EvaluateAutoJoinSet(set, opts));
+    }
+    MacroPrf macro = MacroAverage(parts);
+    const PaperRow& ref = paper.at(std::string(ModelKindToString(kind)));
+    table.AddRow({std::string(ModelKindToString(kind)),
+                  FormatDouble(macro.precision, 2),
+                  FormatDouble(macro.recall, 2), FormatDouble(macro.f1, 2),
+                  StrFormat("%.2f/%.2f/%.2f", ref.p, ref.r, ref.f1),
+                  FormatDouble(watch.ElapsedSeconds(), 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nExpected shape: Mistral ≥ Llama3 > RoBERTa ≥ BERT > FastText, "
+      "LLM-grade models\nahead of the pre-trained LMs by a clear margin on "
+      "every metric (paper Sec 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Plugging a custom embedding model into the fuzzy matcher.
+//
+// The ValueMatcher accepts any EmbeddingModel. This example implements a
+// tiny domain-specific model for ISO-date-like strings ("2021-03-05",
+// "05/03/2021", "March 5, 2021") that embeds the *parsed* date rather than
+// its surface form — a kind of semantic normalization no generic text
+// embedding provides — and contrasts it with the generic Mistral profile.
+//
+//   ./custom_model
+#include <cstdio>
+#include <optional>
+
+#include "core/value_matcher.h"
+#include "embedding/model_zoo.h"
+#include "text/tokenize.h"
+#include "util/hash.h"
+#include "util/str.h"
+
+using namespace lakefuzz;
+
+namespace {
+
+struct Ymd {
+  int year;
+  int month;
+  int day;
+};
+
+/// Very small date parser: handles YYYY-MM-DD, DD/MM/YYYY and
+/// "MonthName D, YYYY". Returns nullopt for non-dates.
+std::optional<Ymd> ParseDate(std::string_view s) {
+  static const char* kMonths[] = {"january", "february", "march",  "april",
+                                  "may",     "june",     "july",   "august",
+                                  "september", "october", "november",
+                                  "december"};
+  auto tokens = WordTokens(s);
+  if (tokens.size() != 3) return std::nullopt;
+  auto is_num = [](const std::string& t) {
+    for (char c : t) {
+      if (c < '0' || c > '9') return false;
+    }
+    return !t.empty();
+  };
+  if (is_num(tokens[0]) && is_num(tokens[1]) && is_num(tokens[2])) {
+    int a = std::stoi(tokens[0]);
+    int b = std::stoi(tokens[1]);
+    int c = std::stoi(tokens[2]);
+    if (tokens[0].size() == 4) return Ymd{a, b, c};   // YYYY-MM-DD
+    if (tokens[2].size() == 4) return Ymd{c, b, a};   // DD/MM/YYYY
+    return std::nullopt;
+  }
+  // "March 5, 2021"
+  std::string m = ToLower(tokens[0]);
+  for (int i = 0; i < 12; ++i) {
+    if (m == kMonths[i] && is_num(tokens[1]) && is_num(tokens[2])) {
+      return Ymd{std::stoi(tokens[2]), i + 1, std::stoi(tokens[1])};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Embeds parseable dates by their (year, month, day) identity; everything
+/// else by a hash of its raw text (so unrelated values stay far apart).
+class DateAwareModel : public EmbeddingModel {
+ public:
+  explicit DateAwareModel(size_t dim = 64) : dim_(dim) {}
+
+  Vec Embed(std::string_view value) const override {
+    uint64_t id;
+    if (auto d = ParseDate(value)) {
+      id = Mix64((uint64_t(d->year) << 16) ^ (uint64_t(d->month) << 8) ^
+                 uint64_t(d->day));
+    } else {
+      id = Fnv1a64(value);
+    }
+    Vec v(dim_);
+    for (size_t i = 0; i < dim_; ++i) {
+      uint64_t h = Mix64(id ^ Mix64(i));
+      v[i] = static_cast<float>(
+          2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0);
+    }
+    NormalizeInPlace(&v);
+    return v;
+  }
+  size_t dim() const override { return dim_; }
+  std::string name() const override { return "date-aware"; }
+
+ private:
+  size_t dim_;
+};
+
+void RunWith(std::shared_ptr<const EmbeddingModel> model) {
+  ValueMatcherOptions opts;
+  opts.model = std::move(model);
+  ValueMatcher matcher(opts);
+  auto result = matcher.MatchColumns({
+      {"2021-03-05", "2020-12-24", "1999-07-01"},
+      {"05/03/2021", "24/12/2020", "14/02/2005"},
+  });
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("model=%s → %zu groups:\n", opts.model->name().c_str(),
+              result->groups.size());
+  for (const auto& g : result->groups) {
+    std::printf("  {");
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      std::printf("%s\"%s\"", i ? ", " : "", g.members[i].second.c_str());
+    }
+    std::printf("}  rep=\"%s\"\n", g.representative.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Matching two date columns written in different conventions.\n"
+      "A generic text embedding sees different surfaces; the custom\n"
+      "date-aware model sees the same dates.\n\n");
+  RunWith(MakeModel(ModelKind::kMistral));
+  std::printf("\n");
+  RunWith(std::make_shared<DateAwareModel>());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Full data-lake pipeline on generated open-data-style tables:
+//
+//   CSV files on disk → parse → holistic schema matching (headers are
+//   deliberately unreliable) → fuzzy Full Disjunction → entity matching
+//   over the integrated table → P/R/F1 against ground truth.
+//
+// This is the scenario the paper's introduction motivates: discovered
+// tables about the same entities, scattered attributes, inconsistent
+// values.
+//
+//   ./lake_integration [--entities=150] [--seed=11] [--dir=/tmp/lakefuzz_demo]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/fuzzy_fd.h"
+#include "datagen/embench.h"
+#include "em/entity_matcher.h"
+#include "embedding/model_zoo.h"
+#include "match/schema_matcher.h"
+#include "metrics/pair_eval.h"
+#include "table/csv.h"
+#include "table/print.h"
+#include "util/flags.h"
+
+using namespace lakefuzz;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  std::string dir = flags.GetString("dir", "/tmp/lakefuzz_demo");
+
+  // 1. Simulate a discovered integration set and drop it as CSV files —
+  //    the shape in which a data lake actually hands you tables.
+  EmBenchOptions gen;
+  gen.num_entities = static_cast<size_t>(flags.GetInt("entities", 150));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  EmBenchmark bench = GenerateEmBenchmark(gen);
+
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  for (const auto& t : bench.tables) {
+    std::string path = dir + "/" + t.name() + ".csv";
+    Status s = WriteCsvFile(t, path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    paths.push_back(path);
+  }
+  std::printf("Wrote %zu tables to %s\n", paths.size(), dir.c_str());
+
+  // 2. Ingest.
+  std::vector<Table> tables;
+  for (const auto& path : paths) {
+    auto t = ReadCsvFile(path);
+    if (!t.ok()) {
+      std::fprintf(stderr, "read failed: %s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  parsed %-8s %4zu rows x %zu cols\n", t->name().c_str(),
+                t->NumRows(), t->NumColumns());
+    tables.push_back(std::move(t).value());
+  }
+
+  // 3. Align columns holistically (by content, not headers).
+  auto model = MakeModel(ModelKind::kMistral);
+  HolisticSchemaMatcher schema_matcher(model);
+  auto aligned = schema_matcher.Align(tables);
+  if (!aligned.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 aligned.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nAligned into %zu universal columns:", aligned->NumUniversal());
+  for (const auto& name : aligned->universal_names) {
+    std::printf(" [%s]", name.c_str());
+  }
+  std::printf("\n");
+
+  // 4. Integrate, both ways.
+  FuzzyFdOptions opts;
+  opts.matcher.model = model;
+  FuzzyFdReport report;
+  auto fuzzy = FuzzyFullDisjunction(opts).RunToTuples(tables, *aligned,
+                                                      &report);
+  auto regular = RegularFdBaseline(tables, *aligned, FdOptions(), false, 0,
+                                   nullptr);
+  if (!fuzzy.ok() || !regular.ok()) {
+    std::fprintf(stderr, "integration failed\n");
+    return 1;
+  }
+  std::printf(
+      "\nIntegration: regular FD → %zu rows; fuzzy FD → %zu rows "
+      "(%zu values rewritten, %.1f ms matching + %.1f ms FD)\n",
+      regular->tuples.size(), fuzzy->tuples.size(), report.values_rewritten,
+      report.match_seconds * 1e3, report.fd_seconds * 1e3);
+
+  // 5. Downstream entity matching, evaluated on input-tuple pairs.
+  EntityMatcherOptions em_opts;
+  em_opts.similarity_threshold = 0.8;
+  em_opts.model = model;  // embedding-based cell similarity
+  EntityMatcher em(em_opts);
+  auto evaluate = [&](const FdResult& fd, const char* label) {
+    Table integrated =
+        FdResultsToTable(fd.tuples, aligned->universal_names, label);
+    auto clusters = em.Cluster(integrated);
+    Prf prf = EvaluateClustering(ExpandClustersToTids(fd.tuples, clusters),
+                                 bench.tid_entity);
+    std::printf("  EM over %-28s %s\n", label, prf.ToString().c_str());
+  };
+  std::printf("\nDownstream entity matching quality:\n");
+  evaluate(*regular, "regular FD (ALITE baseline):");
+  evaluate(*fuzzy, "fuzzy FD (this paper):");
+  return 0;
+}

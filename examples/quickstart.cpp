@@ -1,0 +1,107 @@
+// Quickstart: the paper's Figure 1, end to end.
+//
+// Builds the three COVID tables, runs regular (equi-join) Full Disjunction
+// and Fuzzy Full Disjunction, and prints all five tables — reproducing
+// FD(T1,T2,T3) (9 fragmented tuples) vs Fuzzy FD(T1,T2,T3) (5 integrated
+// tuples) from the paper.
+//
+//   ./quickstart [--theta=0.7]
+#include <cstdio>
+
+#include "core/fuzzy_fd.h"
+#include "embedding/model_zoo.h"
+#include "fd/aligned_schema.h"
+#include "table/print.h"
+#include "util/flags.h"
+
+using namespace lakefuzz;
+
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+std::vector<Table> BuildFig1Tables() {
+  auto t1 = Table::FromRows(
+      "T1", {"City", "Country"},
+      {{S("Berlinn"), S("Germany")},
+       {S("Toronto"), S("Canada")},
+       {S("Barcelona"), S("Spain")},
+       {S("New Delhi"), S("India")}});
+  auto t2 = Table::FromRows(
+      "T2", {"Country", "City", "Vac. Rate (1+ dose)"},
+      {{S("CA"), S("Toronto"), S("83%")},
+       {S("US"), S("Boston"), S("62%")},
+       {S("DE"), S("Berlin"), S("63%")},
+       {S("ES"), S("Barcelona"), S("82%")}});
+  auto t3 = Table::FromRows(
+      "T3", {"City", "Total Cases", "Death Rate (per 100k)"},
+      {{S("Berlin"), S("1.4M"), S("147")},
+       {S("barcelona"), S("2.68M"), S("275")},
+       {S("Boston"), S("263K"), S("335")}});
+  if (!t1.ok() || !t2.ok() || !t3.ok()) {
+    std::fprintf(stderr, "failed to build example tables\n");
+    std::exit(1);
+  }
+  return {std::move(t1).value(), std::move(t2).value(),
+          std::move(t3).value()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  double theta = flags.GetDouble("theta", 0.7);
+
+  std::vector<Table> tables = BuildFig1Tables();
+  std::printf("Input tables (Fig. 1 of the paper):\n\n");
+  for (const auto& t : tables) std::printf("%s\n", RenderTable(t).c_str());
+
+  auto aligned = AlignByName(tables);
+  if (!aligned.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 aligned.status().ToString().c_str());
+    return 1;
+  }
+
+  // Regular (equi-join) Full Disjunction — the ALITE baseline. Tuples with
+  // inconsistent join values (Berlinn/Berlin, CA/Canada, barcelona/
+  // Barcelona) stay fragmented.
+  FuzzyFdReport regular_report;
+  auto regular = RegularFdBaseline(tables, *aligned, FdOptions(),
+                                   /*parallel=*/false, 0, &regular_report);
+  if (!regular.ok()) {
+    std::fprintf(stderr, "FD failed: %s\n",
+                 regular.status().ToString().c_str());
+    return 1;
+  }
+  Table regular_table =
+      FdResultsToTable(regular->tuples, aligned->universal_names,
+                       "FD(T1,T2,T3)  [equi-join]", /*include_provenance=*/true);
+  std::printf("%s\n", RenderTable(regular_table).c_str());
+
+  // Fuzzy Full Disjunction: embed values with the Mistral profile, match
+  // them across aligning columns with optimal bipartite assignment under
+  // threshold θ, rewrite to representatives, then run the same FD.
+  FuzzyFdOptions opts;
+  opts.matcher.model = MakeModel(ModelKind::kMistral);
+  opts.matcher.threshold = theta;
+  opts.include_provenance = true;
+  FuzzyFdReport fuzzy_report;
+  auto fuzzy =
+      FuzzyFullDisjunction(opts).Run(tables, *aligned, &fuzzy_report);
+  if (!fuzzy.ok()) {
+    std::fprintf(stderr, "fuzzy FD failed: %s\n",
+                 fuzzy.status().ToString().c_str());
+    return 1;
+  }
+  Table fuzzy_table = *fuzzy;
+  fuzzy_table.set_name("Fuzzy FD(T1,T2,T3)  [this paper]");
+  std::printf("%s\n", RenderTable(fuzzy_table).c_str());
+
+  std::printf(
+      "Summary: equi-join FD produced %zu tuples; fuzzy FD produced %zu "
+      "(θ=%.2f,\n%zu cell values rewritten in %.1f ms of matching).\n",
+      regular_table.NumRows(), fuzzy_table.NumRows(), theta,
+      fuzzy_report.values_rewritten, fuzzy_report.match_seconds * 1e3);
+  return 0;
+}

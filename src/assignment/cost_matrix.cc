@@ -1,0 +1,16 @@
+#include "assignment/cost_matrix.h"
+
+namespace lakefuzz {
+
+double CostMatrix::MaxFinite() const {
+  double m = 0.0;
+  bool any = false;
+  for (double v : data_) {
+    if (v == kForbidden) continue;
+    if (!any || v > m) m = v;
+    any = true;
+  }
+  return any ? m : 0.0;
+}
+
+}  // namespace lakefuzz

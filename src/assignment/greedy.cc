@@ -1,0 +1,39 @@
+#include "assignment/greedy.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace lakefuzz {
+
+Assignment SolveGreedy(const CostMatrix& cost) {
+  struct Edge {
+    double c;
+    size_t r;
+    size_t col;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(cost.rows() * cost.cols());
+  for (size_t r = 0; r < cost.rows(); ++r) {
+    for (size_t c = 0; c < cost.cols(); ++c) {
+      if (!cost.forbidden(r, c)) edges.push_back({cost.at(r, c), r, c});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.c, a.r, a.col) < std::tie(b.c, b.r, b.col);
+  });
+
+  std::vector<char> row_used(cost.rows(), 0);
+  std::vector<char> col_used(cost.cols(), 0);
+  Assignment out;
+  for (const Edge& e : edges) {
+    if (row_used[e.r] || col_used[e.col]) continue;
+    row_used[e.r] = col_used[e.col] = 1;
+    out.pairs.emplace_back(e.r, e.col);
+    out.total_cost += e.c;
+  }
+  std::sort(out.pairs.begin(), out.pairs.end());
+  return out;
+}
+
+}  // namespace lakefuzz

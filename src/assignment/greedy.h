@@ -1,0 +1,17 @@
+// Greedy bipartite matching baseline (ablation A2 in DESIGN.md).
+#ifndef LAKEFUZZ_ASSIGNMENT_GREEDY_H_
+#define LAKEFUZZ_ASSIGNMENT_GREEDY_H_
+
+#include "assignment/cost_matrix.h"
+
+namespace lakefuzz {
+
+/// Picks pairs in ascending cost order, skipping rows/columns already
+/// matched and forbidden pairs. Not optimal: a cheap pair can block two
+/// pairs whose sum is lower — that gap is what the A2 ablation measures.
+/// Ties are broken by (row, col) for determinism.
+Assignment SolveGreedy(const CostMatrix& cost);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_ASSIGNMENT_GREEDY_H_

@@ -1,0 +1,138 @@
+#include "assignment/jonker_volgenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace lakefuzz {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+/// Core solver; requires nr <= nc and all costs finite.
+/// Returns col4row: for each row, its assigned column.
+std::vector<size_t> SolveCore(size_t nr, size_t nc,
+                              const std::vector<double>& cost) {
+  std::vector<double> u(nr, 0.0);
+  std::vector<double> v(nc, 0.0);
+  std::vector<size_t> col4row(nr, kNone);
+  std::vector<size_t> row4col(nc, kNone);
+
+  std::vector<double> shortest(nc);
+  std::vector<size_t> path(nc);
+  std::vector<char> sr(nr);
+  std::vector<char> sc(nc);
+  std::vector<size_t> remaining(nc);
+
+  for (size_t cur_row = 0; cur_row < nr; ++cur_row) {
+    std::fill(shortest.begin(), shortest.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(path.begin(), path.end(), kNone);
+    std::fill(sr.begin(), sr.end(), 0);
+    std::fill(sc.begin(), sc.end(), 0);
+    size_t num_remaining = nc;
+    // Stored reversed so removal is O(1) swap-with-last.
+    for (size_t j = 0; j < nc; ++j) remaining[j] = nc - 1 - j;
+
+    double min_val = 0.0;
+    size_t sink = kNone;
+    size_t i = cur_row;
+    while (sink == kNone) {
+      sr[i] = 1;
+      size_t index = kNone;
+      double lowest = std::numeric_limits<double>::infinity();
+      for (size_t it = 0; it < num_remaining; ++it) {
+        size_t j = remaining[it];
+        double r = min_val + cost[i * nc + j] - u[i] - v[j];
+        if (r < shortest[j]) {
+          path[j] = i;
+          shortest[j] = r;
+        }
+        // Tie-break toward unassigned columns: lets augmentation terminate
+        // as early as possible (scipy does the same).
+        if (shortest[j] < lowest ||
+            (shortest[j] == lowest && row4col[j] == kNone)) {
+          lowest = shortest[j];
+          index = it;
+        }
+      }
+      min_val = lowest;
+      size_t j = remaining[index];
+      if (row4col[j] == kNone) {
+        sink = j;
+      } else {
+        i = row4col[j];
+      }
+      sc[j] = 1;
+      remaining[index] = remaining[--num_remaining];
+    }
+
+    u[cur_row] += min_val;
+    for (size_t r = 0; r < nr; ++r) {
+      if (sr[r] && r != cur_row) u[r] += min_val - shortest[col4row[r]];
+    }
+    for (size_t j = 0; j < nc; ++j) {
+      if (sc[j]) v[j] -= min_val - shortest[j];
+    }
+
+    // Augment along the found path.
+    size_t j = sink;
+    while (true) {
+      size_t r = path[j];
+      row4col[j] = r;
+      std::swap(col4row[r], j);
+      if (r == cur_row) break;
+    }
+  }
+  return col4row;
+}
+
+}  // namespace
+
+Result<Assignment> SolveAssignment(const CostMatrix& cost) {
+  const size_t rows = cost.rows();
+  const size_t cols = cost.cols();
+  Assignment out;
+  if (rows == 0 || cols == 0) return out;
+
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (std::isnan(cost.at(r, c))) {
+        return Status::InvalidArgument("cost matrix contains NaN");
+      }
+    }
+  }
+
+  // Forbidden → large finite surrogate so the solver always completes; such
+  // assignments are stripped from the result below. The surrogate dominates
+  // any sum of real costs, so it is only used when unavoidable.
+  const size_t n_small = std::min(rows, cols);
+  const double big =
+      (cost.MaxFinite() + 1.0) * (static_cast<double>(n_small) + 1.0);
+
+  const bool transpose = rows > cols;
+  const size_t nr = transpose ? cols : rows;
+  const size_t nc = transpose ? rows : cols;
+  std::vector<double> data(nr * nc);
+  for (size_t r = 0; r < nr; ++r) {
+    for (size_t c = 0; c < nc; ++c) {
+      double v = transpose ? cost.at(c, r) : cost.at(r, c);
+      data[r * nc + c] = (v == CostMatrix::kForbidden) ? big : v;
+    }
+  }
+
+  std::vector<size_t> col4row = SolveCore(nr, nc, data);
+  for (size_t r = 0; r < nr; ++r) {
+    size_t c = col4row[r];
+    if (c == kNone) continue;
+    size_t orow = transpose ? c : r;
+    size_t ocol = transpose ? r : c;
+    if (cost.forbidden(orow, ocol)) continue;  // matched through a surrogate
+    out.pairs.emplace_back(orow, ocol);
+    out.total_cost += cost.at(orow, ocol);
+  }
+  std::sort(out.pairs.begin(), out.pairs.end());
+  return out;
+}
+
+}  // namespace lakefuzz

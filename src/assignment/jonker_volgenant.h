@@ -1,0 +1,23 @@
+// Optimal rectangular linear sum assignment (Jonker-Volgenant).
+//
+// This is the algorithm behind scipy.optimize.linear_sum_assignment (Crouse,
+// IEEE TAES 2016), which the paper calls for its bipartite value matching:
+// shortest augmenting paths with dual variables, O(n²m) worst case, fast in
+// practice. Forbidden pairs (CostMatrix::kForbidden) are internally replaced
+// by a large finite cost and excluded from the returned assignment.
+#ifndef LAKEFUZZ_ASSIGNMENT_JONKER_VOLGENANT_H_
+#define LAKEFUZZ_ASSIGNMENT_JONKER_VOLGENANT_H_
+
+#include "assignment/cost_matrix.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+/// Solves min-cost assignment over a dense cost matrix. Every row (when
+/// rows <= cols; otherwise every column) is matched unless all its pairs are
+/// forbidden. Costs must be finite or kForbidden; NaN is rejected.
+Result<Assignment> SolveAssignment(const CostMatrix& cost);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_ASSIGNMENT_JONKER_VOLGENANT_H_

@@ -1,0 +1,138 @@
+#include "assignment/thresholded.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "assignment/greedy.h"
+#include "assignment/jonker_volgenant.h"
+
+namespace lakefuzz {
+namespace {
+
+Result<Assignment> SolveWith(const CostMatrix& cost,
+                             AssignmentAlgorithm algorithm) {
+  switch (algorithm) {
+    case AssignmentAlgorithm::kOptimal:
+      return SolveAssignment(cost);
+    case AssignmentAlgorithm::kGreedy:
+      return SolveGreedy(cost);
+  }
+  return Status::InvalidArgument("unknown assignment algorithm");
+}
+
+/// Union-find over row/col node ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+}  // namespace
+
+Result<Assignment> SolveThresholded(const CostMatrix& cost,
+                                    const ThresholdedOptions& options) {
+  Result<Assignment> solved = Status::Internal("unreachable");
+  if (options.mask_before_solve) {
+    CostMatrix masked(cost.rows(), cost.cols());
+    for (size_t r = 0; r < cost.rows(); ++r) {
+      for (size_t c = 0; c < cost.cols(); ++c) {
+        double v = cost.at(r, c);
+        masked.set(r, c,
+                   v >= options.threshold ? CostMatrix::kForbidden : v);
+      }
+    }
+    solved = SolveWith(masked, options.algorithm);
+  } else {
+    solved = SolveWith(cost, options.algorithm);
+  }
+  if (!solved.ok()) return solved.status();
+
+  Assignment out;
+  for (auto [r, c] : solved->pairs) {
+    double v = cost.at(r, c);
+    if (v < options.threshold) {
+      out.pairs.emplace_back(r, c);
+      out.total_cost += v;
+    }
+  }
+  return out;
+}
+
+Result<Assignment> SolveSparseThresholded(size_t num_rows, size_t num_cols,
+                                          const std::vector<SparseEdge>& edges,
+                                          const ThresholdedOptions& options) {
+  // Node ids: rows are [0, num_rows), cols are [num_rows, num_rows+num_cols).
+  DisjointSets dsu(num_rows + num_cols);
+  std::vector<SparseEdge> kept;
+  kept.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.row >= num_rows || e.col >= num_cols) {
+      return Status::InvalidArgument("sparse edge out of range");
+    }
+    if (e.cost >= options.threshold) continue;  // can never become a match
+    kept.push_back(e);
+    dsu.Union(e.row, num_rows + e.col);
+  }
+
+  // Bucket edges by component root.
+  std::unordered_map<size_t, std::vector<const SparseEdge*>> comps;
+  for (const auto& e : kept) comps[dsu.Find(e.row)].push_back(&e);
+
+  Assignment out;
+  for (auto& [root, comp_edges] : comps) {
+    (void)root;
+    // Local dense problem over the component's distinct rows/cols.
+    std::unordered_map<size_t, size_t> row_ids;
+    std::unordered_map<size_t, size_t> col_ids;
+    std::vector<size_t> row_back;
+    std::vector<size_t> col_back;
+    for (const auto* e : comp_edges) {
+      if (row_ids.emplace(e->row, row_ids.size()).second) {
+        row_back.push_back(e->row);
+      }
+      if (col_ids.emplace(e->col, col_ids.size()).second) {
+        col_back.push_back(e->col);
+      }
+    }
+    CostMatrix local(row_back.size(), col_back.size(),
+                     CostMatrix::kForbidden);
+    for (const auto* e : comp_edges) {
+      size_t lr = row_ids[e->row];
+      size_t lc = col_ids[e->col];
+      // Parallel edges: keep the cheapest.
+      if (local.forbidden(lr, lc) || e->cost < local.at(lr, lc)) {
+        local.set(lr, lc, e->cost);
+      }
+    }
+    LAKEFUZZ_ASSIGN_OR_RETURN(Assignment local_solved,
+                              SolveThresholded(local, options));
+    for (auto [lr, lc] : local_solved.pairs) {
+      out.pairs.emplace_back(row_back[lr], col_back[lc]);
+    }
+    out.total_cost += local_solved.total_cost;
+  }
+  std::sort(out.pairs.begin(), out.pairs.end());
+  return out;
+}
+
+}  // namespace lakefuzz

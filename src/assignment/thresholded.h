@@ -1,0 +1,57 @@
+// Threshold-aware assignment: the form the value matcher actually calls.
+//
+// Definition 2 of the paper admits a match (u, v) only when dist(u, v) < θ.
+// This wrapper solves the assignment and drops pairs at or above θ; it can
+// also mask such pairs *before* solving so the optimizer never trades a
+// below-threshold pair away in favor of a doomed one.
+#ifndef LAKEFUZZ_ASSIGNMENT_THRESHOLDED_H_
+#define LAKEFUZZ_ASSIGNMENT_THRESHOLDED_H_
+
+#include <vector>
+
+#include "assignment/cost_matrix.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+enum class AssignmentAlgorithm {
+  kOptimal,  ///< Jonker-Volgenant (scipy-equivalent; the paper's choice)
+  kGreedy,   ///< ablation baseline
+};
+
+struct ThresholdedOptions {
+  double threshold = 0.7;  ///< the paper's θ (best-performing setting)
+  AssignmentAlgorithm algorithm = AssignmentAlgorithm::kOptimal;
+  /// Mask pairs with cost >= θ as forbidden before solving. The paper runs
+  /// scipy on the raw matrix and filters afterwards (mask_before_solve =
+  /// false), which is the default. Masking first makes the solver maximize
+  /// the *number* of sub-θ matches, pairing leftover values with
+  /// barely-below-threshold wrong partners — ablation A2 shows it loses
+  /// both precision and recall on crowded instances.
+  bool mask_before_solve = false;
+};
+
+/// Solves and returns only pairs with cost < options.threshold.
+Result<Assignment> SolveThresholded(const CostMatrix& cost,
+                                    const ThresholdedOptions& options);
+
+/// One sparse candidate edge for SolveSparseThresholded.
+struct SparseEdge {
+  size_t row;
+  size_t col;
+  double cost;
+};
+
+/// Threshold-aware assignment over an explicit (typically pruned) edge list.
+///
+/// Splits the bipartite graph into connected components and solves each as a
+/// small dense problem — the path the engineering pre-passes feed (DESIGN.md
+/// §4.2): after exact-match unification, residual fuzzy candidates form many
+/// tiny components instead of one huge matrix.
+Result<Assignment> SolveSparseThresholded(size_t num_rows, size_t num_cols,
+                                          const std::vector<SparseEdge>& edges,
+                                          const ThresholdedOptions& options);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_ASSIGNMENT_THRESHOLDED_H_

@@ -1,0 +1,33 @@
+#include "core/auto_threshold.h"
+
+#include <algorithm>
+
+namespace lakefuzz {
+
+double SelectThresholdByGap(std::vector<double> distances,
+                            const AutoThresholdOptions& options) {
+  if (distances.size() < 3) return options.fallback;
+  std::sort(distances.begin(), distances.end());
+
+  // Widest gap between consecutive distances whose midpoint lies in the
+  // search window. Ties (rare with float data) keep the lower midpoint,
+  // favoring precision.
+  double best_gap = 0.0;
+  double best_theta = options.fallback;
+  for (size_t i = 1; i < distances.size(); ++i) {
+    double gap = distances[i] - distances[i - 1];
+    double mid = 0.5 * (distances[i] + distances[i - 1]);
+    if (mid < options.min_threshold || mid > options.max_threshold) continue;
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_theta = mid;
+    }
+  }
+  // A gap must be decisive to overrule the default: distances spread
+  // uniformly (no bimodality) carry no threshold signal.
+  double span = distances.back() - distances.front();
+  if (span <= 0.0 || best_gap < 0.05 * (1.0 + span)) return options.fallback;
+  return best_theta;
+}
+
+}  // namespace lakefuzz

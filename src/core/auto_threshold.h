@@ -1,0 +1,40 @@
+// Unsupervised per-instance threshold selection — the extension direction
+// the paper points to (it fixes θ = 0.7 globally; its related work,
+// Auto-FuzzyJoin [Li et al., SIGMOD 2021], argues thresholds should be
+// chosen per input without labels).
+//
+// Heuristic implemented here: in the clean-clean setting, true matches form
+// a low-distance mode well separated from the non-match mode near 1.0 (for
+// cosine distances of unrelated values). Given the distances of the optimal
+// assignment's candidate pairs, we place θ at the widest gap between
+// consecutive sorted distances inside a plausibility window — a 1-D
+// two-cluster split (the largest-gap variant of Otsu/kernel splits, robust
+// to the unknown match fraction).
+#ifndef LAKEFUZZ_CORE_AUTO_THRESHOLD_H_
+#define LAKEFUZZ_CORE_AUTO_THRESHOLD_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct AutoThresholdOptions {
+  /// θ is only searched inside [min_threshold, max_threshold]: below the
+  /// window every instance looks all-non-match, above it all-match.
+  double min_threshold = 0.3;
+  double max_threshold = 0.9;
+  /// Fallback when the distance list is empty or shows no usable gap.
+  double fallback = 0.7;
+};
+
+/// Selects a matching threshold from candidate-pair distances (typically
+/// the pair costs of an optimal assignment between two aligning columns).
+/// Returns `fallback` when fewer than 3 distances are available.
+double SelectThresholdByGap(std::vector<double> distances,
+                            const AutoThresholdOptions& options =
+                                AutoThresholdOptions());
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CORE_AUTO_THRESHOLD_H_

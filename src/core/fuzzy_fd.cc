@@ -1,0 +1,169 @@
+#include "core/fuzzy_fd.h"
+
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Original typed Value for each distinct string of one source column
+/// (first occurrence wins; ToString is injective enough in practice, and
+/// collisions only affect which typed twin survives the rewrite).
+using StringToValue = std::unordered_map<std::string, Value>;
+
+}  // namespace
+
+Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
+    const std::vector<Table>& tables, const AlignedSchema& aligned,
+    FuzzyFdReport* report) const {
+  LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
+  Stopwatch match_watch;
+  ValueMatcher matcher(options_.matcher);
+
+  // Per (table, column): value-string → replacement Value.
+  std::vector<std::vector<std::unordered_map<std::string, Value>>> rewrites(
+      tables.size());
+  for (size_t l = 0; l < tables.size(); ++l) {
+    rewrites[l].resize(tables[l].NumColumns());
+  }
+
+  double match_seconds = 0.0;
+  size_t sets_matched = 0;
+  ValueMatchStats agg_stats;
+
+  for (size_t u = 0; u < aligned.NumUniversal(); ++u) {
+    auto sources = aligned.SourcesOf(u);
+    if (sources.size() < 2) continue;  // nothing to make consistent
+
+    // Distinct value strings per aligning column, plus their typed originals.
+    std::vector<std::vector<std::string>> columns(sources.size());
+    std::vector<StringToValue> originals(sources.size());
+    for (size_t s = 0; s < sources.size(); ++s) {
+      auto [l, c] = sources[s];
+      for (const Value& v : tables[l].DistinctNonNull(c)) {
+        std::string str = v.ToString();
+        if (originals[s].emplace(str, v).second) {
+          columns[s].push_back(std::move(str));
+        }
+      }
+    }
+
+    LAKEFUZZ_ASSIGN_OR_RETURN(ValueMatchResult matched,
+                              matcher.MatchColumns(columns));
+    ++sets_matched;
+    agg_stats.exact_matches += matched.stats.exact_matches;
+    agg_stats.assignment_matches += matched.stats.assignment_matches;
+    agg_stats.dense_solves += matched.stats.dense_solves;
+    agg_stats.sparse_solves += matched.stats.sparse_solves;
+    agg_stats.cost_evaluations += matched.stats.cost_evaluations;
+    agg_stats.thresholds_used.insert(agg_stats.thresholds_used.end(),
+                                     matched.stats.thresholds_used.begin(),
+                                     matched.stats.thresholds_used.end());
+
+    for (const auto& g : matched.groups) {
+      if (g.members.size() < 2) continue;
+      // Typed representative: the original Value of the elected member.
+      const auto& [rep_src, rep_str] = g.members[g.representative_member];
+      const Value& rep_value = originals[rep_src].at(rep_str);
+      for (const auto& [src, str] : g.members) {
+        if (str == rep_str) continue;
+        auto [l, c] = sources[src];
+        rewrites[l][c].emplace(str, rep_value);
+      }
+    }
+  }
+  match_seconds = match_watch.ElapsedSeconds();
+
+  Stopwatch rewrite_watch;
+  std::vector<Table> out;
+  out.reserve(tables.size());
+  size_t values_rewritten = 0;
+  for (size_t l = 0; l < tables.size(); ++l) {
+    Table t = tables[l];
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      const auto& map = rewrites[l][c];
+      if (map.empty()) continue;
+      for (size_t r = 0; r < t.NumRows(); ++r) {
+        const Value& v = t.At(r, c);
+        if (v.is_null()) continue;
+        auto it = map.find(v.ToString());
+        if (it != map.end()) {
+          t.Set(r, c, it->second);
+          ++values_rewritten;
+        }
+      }
+    }
+    out.push_back(std::move(t));
+  }
+
+  if (report != nullptr) {
+    report->match_seconds = match_seconds;
+    report->rewrite_seconds = rewrite_watch.ElapsedSeconds();
+    report->aligned_sets_matched = sets_matched;
+    report->values_rewritten = values_rewritten;
+    report->match_stats = agg_stats;
+  }
+  return out;
+}
+
+Result<FdResult> FuzzyFullDisjunction::RunToTuples(
+    const std::vector<Table>& tables, const AlignedSchema& aligned,
+    FuzzyFdReport* report) const {
+  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<Table> rewritten,
+                            RewriteTables(tables, aligned, report));
+  Stopwatch fd_watch;
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
+                            FdProblem::Build(rewritten, aligned));
+  Result<FdResult> fd_result = Status::Internal("unreachable");
+  if (options_.parallel) {
+    ParallelFdOptions popts;
+    popts.fd = options_.fd;
+    popts.num_threads = options_.num_threads;
+    fd_result = ParallelFullDisjunction(popts).Run(&problem);
+  } else {
+    fd_result = FullDisjunction(options_.fd).Run(&problem);
+  }
+  if (!fd_result.ok()) return fd_result.status();
+  if (report != nullptr) {
+    report->fd_seconds = fd_watch.ElapsedSeconds();
+    report->fd_stats = fd_result->stats;
+  }
+  return fd_result;
+}
+
+Result<Table> FuzzyFullDisjunction::Run(const std::vector<Table>& tables,
+                                        const AlignedSchema& aligned,
+                                        FuzzyFdReport* report) const {
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdResult result,
+                            RunToTuples(tables, aligned, report));
+  return FdResultsToTable(result.tuples, aligned.universal_names,
+                          "fuzzy_full_disjunction",
+                          options_.include_provenance);
+}
+
+Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
+                                   const AlignedSchema& aligned,
+                                   const FdOptions& fd_options, bool parallel,
+                                   size_t num_threads, FuzzyFdReport* report) {
+  Stopwatch fd_watch;
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
+                            FdProblem::Build(tables, aligned));
+  Result<FdResult> fd_result = Status::Internal("unreachable");
+  if (parallel) {
+    ParallelFdOptions popts;
+    popts.fd = fd_options;
+    popts.num_threads = num_threads;
+    fd_result = ParallelFullDisjunction(popts).Run(&problem);
+  } else {
+    fd_result = FullDisjunction(fd_options).Run(&problem);
+  }
+  if (!fd_result.ok()) return fd_result.status();
+  if (report != nullptr) {
+    report->fd_seconds = fd_watch.ElapsedSeconds();
+    report->fd_stats = fd_result->stats;
+  }
+  return fd_result;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,80 @@
+// FuzzyFullDisjunction: the paper's end-to-end operator.
+//
+// Pipeline (paper Sec 2): for every universal column fed by two or more
+// tables, run the ValueMatcher over its aligning columns, rewrite every
+// matched value to its group representative, then compute the ordinary
+// equi-join Full Disjunction over the rewritten tables. With matching
+// disabled this degenerates to regular FD (the ALITE baseline), so both
+// sides of the paper's comparisons share one code path.
+#ifndef LAKEFUZZ_CORE_FUZZY_FD_H_
+#define LAKEFUZZ_CORE_FUZZY_FD_H_
+
+#include "core/value_matcher.h"
+#include "fd/full_disjunction.h"
+#include "fd/parallel.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct FuzzyFdOptions {
+  ValueMatcherOptions matcher;
+  FdOptions fd;
+  /// Use the component-parallel FD executor.
+  bool parallel = false;
+  size_t num_threads = 0;
+  /// Add the "TIDs" provenance column to the output table (Fig. 1 style).
+  bool include_provenance = false;
+};
+
+/// Stage timings and counters for the efficiency experiments (Fig. 3).
+struct FuzzyFdReport {
+  double match_seconds = 0.0;
+  double rewrite_seconds = 0.0;
+  double fd_seconds = 0.0;
+  size_t aligned_sets_matched = 0;
+  size_t values_rewritten = 0;
+  ValueMatchStats match_stats;
+  FdStats fd_stats;
+
+  double total_seconds() const {
+    return match_seconds + rewrite_seconds + fd_seconds;
+  }
+};
+
+class FuzzyFullDisjunction {
+ public:
+  explicit FuzzyFullDisjunction(FuzzyFdOptions options)
+      : options_(std::move(options)) {}
+
+  /// Value matching + value rewriting only (no FD); exposed for tests and
+  /// for inspecting the consistent tables (Fig. 2 bottom-left).
+  Result<std::vector<Table>> RewriteTables(const std::vector<Table>& tables,
+                                           const AlignedSchema& aligned,
+                                           FuzzyFdReport* report) const;
+
+  /// Full pipeline; returns the integrated table.
+  Result<Table> Run(const std::vector<Table>& tables,
+                    const AlignedSchema& aligned,
+                    FuzzyFdReport* report = nullptr) const;
+
+  /// Full pipeline, returning raw FD tuples (provenance TIDs are global
+  /// outer-union ids: table order, then row order).
+  Result<FdResult> RunToTuples(const std::vector<Table>& tables,
+                               const AlignedSchema& aligned,
+                               FuzzyFdReport* report = nullptr) const;
+
+ private:
+  FuzzyFdOptions options_;
+};
+
+/// Regular (equi-join) Full Disjunction with the same reporting interface —
+/// the ALITE baseline in the paper's experiments.
+Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
+                                   const AlignedSchema& aligned,
+                                   const FdOptions& fd_options,
+                                   bool parallel, size_t num_threads,
+                                   FuzzyFdReport* report);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CORE_FUZZY_FD_H_

@@ -1,0 +1,62 @@
+#include "core/pipeline.h"
+
+#include "match/schema_matcher.h"
+#include "table/csv.h"
+#include "util/stopwatch.h"
+
+namespace lakefuzz {
+
+Result<PipelineResult> IntegrateTables(const std::vector<Table>& tables,
+                                       const PipelineOptions& options) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("integration set is empty");
+  }
+  auto model = MakeModel(options.model);
+
+  Stopwatch align_watch;
+  Result<AlignedSchema> aligned = Status::Internal("unreachable");
+  if (options.holistic_alignment) {
+    aligned = HolisticSchemaMatcher(model).Align(tables);
+  } else {
+    aligned = AlignByName(tables);
+  }
+  if (!aligned.ok()) return aligned.status();
+  double align_seconds = align_watch.ElapsedSeconds();
+
+  FuzzyFdOptions fd_opts = options.fuzzy_fd;
+  fd_opts.matcher.model = model;
+  fd_opts.include_provenance = options.include_provenance;
+  FuzzyFdReport report;
+
+  Result<Table> integrated = Status::Internal("unreachable");
+  if (options.fuzzy) {
+    integrated =
+        FuzzyFullDisjunction(fd_opts).Run(tables, *aligned, &report);
+  } else {
+    LAKEFUZZ_ASSIGN_OR_RETURN(
+        FdResult fd, RegularFdBaseline(tables, *aligned, fd_opts.fd,
+                                       fd_opts.parallel, fd_opts.num_threads,
+                                       &report));
+    integrated =
+        FdResultsToTable(fd.tuples, aligned->universal_names,
+                         "full_disjunction", options.include_provenance);
+  }
+  if (!integrated.ok()) return integrated.status();
+
+  PipelineResult out{std::move(integrated).value(),
+                     std::move(aligned).value(), report, align_seconds};
+  return out;
+}
+
+Result<PipelineResult> IntegrateCsvFiles(const std::vector<std::string>& paths,
+                                         const PipelineOptions& options) {
+  std::vector<Table> tables;
+  tables.reserve(paths.size());
+  for (const auto& path : paths) {
+    LAKEFUZZ_ASSIGN_OR_RETURN(Table t, ReadCsvFile(path));
+    tables.push_back(std::move(t));
+  }
+  return IntegrateTables(tables, options);
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,51 @@
+// IntegrationPipeline: the one-call facade for the full ALITE + Fuzzy FD
+// flow — the API a downstream user actually adopts.
+//
+//   load CSVs → align columns (holistic or by-name) → fuzzy value matching
+//   → Full Disjunction → integrated table + stage report.
+#ifndef LAKEFUZZ_CORE_PIPELINE_H_
+#define LAKEFUZZ_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_fd.h"
+#include "embedding/model_zoo.h"
+#include "fd/aligned_schema.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct PipelineOptions {
+  /// Embedding model used for alignment, value matching, and (optionally)
+  /// downstream EM.
+  ModelKind model = ModelKind::kMistral;
+  /// Align columns by content (holistic schema matching); when false,
+  /// columns align by equal header names.
+  bool holistic_alignment = true;
+  /// Fuzzy matching on/off — off degrades to the regular-FD baseline.
+  bool fuzzy = true;
+  FuzzyFdOptions fuzzy_fd;  ///< matcher/FD knobs (model is filled in)
+  bool include_provenance = false;
+};
+
+struct PipelineResult {
+  Table integrated;
+  AlignedSchema aligned;
+  FuzzyFdReport report;
+  double align_seconds = 0.0;
+};
+
+/// End-to-end integration of a set of in-memory tables.
+Result<PipelineResult> IntegrateTables(const std::vector<Table>& tables,
+                                       const PipelineOptions& options =
+                                           PipelineOptions());
+
+/// Convenience: reads every path as CSV, then IntegrateTables.
+Result<PipelineResult> IntegrateCsvFiles(const std::vector<std::string>& paths,
+                                         const PipelineOptions& options =
+                                             PipelineOptions());
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CORE_PIPELINE_H_

@@ -1,0 +1,258 @@
+#include "core/value_matcher.h"
+
+#include "assignment/jonker_volgenant.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "embedding/vector_ops.h"
+#include "text/normalize.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Working state of one group during the sequential merge.
+struct GroupState {
+  ValueGroup group;
+  Vec rep_embedding;  // valid only in embedding mode
+};
+
+}  // namespace
+
+ValueMatcher::ValueMatcher(ValueMatcherOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<std::pair<std::pair<size_t, std::string>,
+                      std::pair<size_t, std::string>>>
+CrossColumnPairs(const ValueMatchResult& result) {
+  std::vector<std::pair<std::pair<size_t, std::string>,
+                        std::pair<size_t, std::string>>>
+      pairs;
+  for (const auto& g : result.groups) {
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      for (size_t j = i + 1; j < g.members.size(); ++j) {
+        const auto& a = g.members[i];
+        const auto& b = g.members[j];
+        if (a.first == b.first) continue;  // cannot happen (clean-clean)
+        if (a.first < b.first) {
+          pairs.emplace_back(a, b);
+        } else {
+          pairs.emplace_back(b, a);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+Result<ValueMatchResult> ValueMatcher::MatchColumns(
+    const std::vector<std::vector<std::string>>& columns) const {
+  if (options_.model == nullptr && options_.string_distance == nullptr) {
+    return Status::InvalidArgument(
+        "ValueMatcherOptions: either model or string_distance must be set");
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::unordered_set<std::string> distinct(columns[c].begin(),
+                                             columns[c].end());
+    if (distinct.size() != columns[c].size()) {
+      return Status::InvalidArgument(StrFormat(
+          "column %zu contains duplicate values (clean-clean violated)", c));
+    }
+  }
+
+  ValueMatchResult result;
+  if (columns.empty()) return result;
+
+  // Global frequency of each value across all aligning columns — the
+  // electorate for representative selection (paper Sec 2.2, Ex. 4).
+  std::unordered_map<std::string, size_t> freq;
+  for (const auto& col : columns) {
+    for (const auto& v : col) ++freq[v];
+  }
+
+  const bool use_embeddings = options_.model != nullptr;
+  auto embed = [&](const std::string& s) { return options_.model->Embed(s); };
+  auto pair_cost = [&](const GroupState& g,
+                       const std::string& value, const Vec* value_emb) {
+    if (use_embeddings) return CosineDistance(g.rep_embedding, *value_emb);
+    return options_.string_distance(g.group.representative, value);
+  };
+
+  auto elect_representative = [&](GroupState* g) {
+    size_t best = 0;
+    size_t best_freq = 0;
+    for (size_t m = 0; m < g->group.members.size(); ++m) {
+      const auto& [col, value] = g->group.members[m];
+      size_t f = freq[value];
+      // Tie → the member from the earliest column; members are appended in
+      // column order, so strict '>' keeps the earliest.
+      if (f > best_freq) {
+        best_freq = f;
+        best = m;
+      }
+    }
+    const std::string& rep = g->group.members[best].second;
+    if (rep != g->group.representative || g->group.members.size() == 1) {
+      g->group.representative = rep;
+      g->group.representative_member = best;
+      if (use_embeddings) g->rep_embedding = embed(rep);
+    }
+  };
+
+  std::vector<GroupState> combined;
+  combined.reserve(columns[0].size());
+  for (const auto& v : columns[0]) {
+    GroupState g;
+    g.group.members.emplace_back(0, v);
+    elect_representative(&g);
+    combined.push_back(std::move(g));
+  }
+
+  for (size_t c = 1; c < columns.size(); ++c) {
+    const auto& values = columns[c];
+    std::vector<char> value_matched(values.size(), 0);
+
+    // Exact pre-pass: identity-equal values never need the assignment.
+    if (options_.exact_match_prepass) {
+      std::unordered_map<std::string, size_t> rep_index;
+      for (size_t gi = 0; gi < combined.size(); ++gi) {
+        std::string key = options_.normalize_identity
+                              ? NormalizeForIdentity(combined[gi].group.representative)
+                              : combined[gi].group.representative;
+        rep_index.emplace(std::move(key), gi);  // first group wins
+      }
+      std::vector<char> group_claimed(combined.size(), 0);
+      for (size_t vi = 0; vi < values.size(); ++vi) {
+        std::string key = options_.normalize_identity
+                              ? NormalizeForIdentity(values[vi])
+                              : values[vi];
+        auto it = rep_index.find(key);
+        if (it == rep_index.end() || group_claimed[it->second]) continue;
+        group_claimed[it->second] = 1;
+        value_matched[vi] = 1;
+        combined[it->second].group.members.emplace_back(c, values[vi]);
+        elect_representative(&combined[it->second]);
+        ++result.stats.exact_matches;
+      }
+    }
+
+    // Residual assignment problem over unmatched groups × unmatched values.
+    std::vector<size_t> open_groups;
+    for (size_t gi = 0; gi < combined.size(); ++gi) {
+      // A group may absorb at most one value per column (bipartite 1:1);
+      // skip groups that already took a value from column c.
+      if (!combined[gi].group.members.empty() &&
+          combined[gi].group.members.back().first == c) {
+        continue;
+      }
+      open_groups.push_back(gi);
+    }
+    std::vector<size_t> open_values;
+    for (size_t vi = 0; vi < values.size(); ++vi) {
+      if (!value_matched[vi]) open_values.push_back(vi);
+    }
+
+    if (!open_groups.empty() && !open_values.empty()) {
+      std::vector<Vec> value_embs;
+      if (use_embeddings) {
+        value_embs.reserve(open_values.size());
+        for (size_t vi : open_values) value_embs.push_back(embed(values[vi]));
+      }
+      ThresholdedOptions topts;
+      topts.threshold = options_.threshold;
+      topts.algorithm = options_.algorithm;
+      topts.mask_before_solve = options_.mask_before_solve;
+
+      Assignment assignment;
+      const size_t cells = open_groups.size() * open_values.size();
+      if (cells <= options_.max_dense_cells) {
+        CostMatrix cost(open_groups.size(), open_values.size());
+        for (size_t r = 0; r < open_groups.size(); ++r) {
+          for (size_t k = 0; k < open_values.size(); ++k) {
+            cost.set(r, k,
+                     pair_cost(combined[open_groups[r]], values[open_values[k]],
+                               use_embeddings ? &value_embs[k] : nullptr));
+            ++result.stats.cost_evaluations;
+          }
+        }
+        if (options_.auto_threshold) {
+          // Probe solve without a threshold: the optimal pairing's distance
+          // distribution is bimodal (matches vs forced non-matches); the
+          // widest gap locates this instance's θ.
+          LAKEFUZZ_ASSIGN_OR_RETURN(Assignment probe, SolveAssignment(cost));
+          std::vector<double> dists;
+          dists.reserve(probe.pairs.size());
+          for (auto [r, k] : probe.pairs) dists.push_back(cost.at(r, k));
+          AutoThresholdOptions ato = options_.auto_threshold_options;
+          ato.fallback = options_.threshold;
+          topts.threshold = SelectThresholdByGap(std::move(dists), ato);
+        }
+        result.stats.thresholds_used.push_back(topts.threshold);
+        LAKEFUZZ_ASSIGN_OR_RETURN(assignment, SolveThresholded(cost, topts));
+        ++result.stats.dense_solves;
+      } else {
+        std::vector<std::string> reps;
+        reps.reserve(open_groups.size());
+        for (size_t gi : open_groups) {
+          reps.push_back(combined[gi].group.representative);
+        }
+        std::vector<std::string> vals;
+        vals.reserve(open_values.size());
+        for (size_t vi : open_values) vals.push_back(values[vi]);
+        auto candidates = GenerateCandidates(reps, vals, options_.blocking);
+        std::vector<SparseEdge> edges;
+        edges.reserve(candidates.size());
+        for (auto [r, k] : candidates) {
+          double d =
+              pair_cost(combined[open_groups[r]], values[open_values[k]],
+                        use_embeddings ? &value_embs[k] : nullptr);
+          ++result.stats.cost_evaluations;
+          edges.push_back(SparseEdge{r, k, d});
+        }
+        if (options_.auto_threshold && !edges.empty()) {
+          // No cheap unconstrained probe in sparse mode; the candidate-edge
+          // distances themselves carry the bimodal signal.
+          std::vector<double> dists;
+          dists.reserve(edges.size());
+          for (const auto& e : edges) dists.push_back(e.cost);
+          AutoThresholdOptions ato = options_.auto_threshold_options;
+          ato.fallback = options_.threshold;
+          topts.threshold = SelectThresholdByGap(std::move(dists), ato);
+        }
+        result.stats.thresholds_used.push_back(topts.threshold);
+        LAKEFUZZ_ASSIGN_OR_RETURN(
+            assignment, SolveSparseThresholded(open_groups.size(),
+                                               open_values.size(), edges,
+                                               topts));
+        ++result.stats.sparse_solves;
+      }
+
+      for (auto [r, k] : assignment.pairs) {
+        size_t gi = open_groups[r];
+        size_t vi = open_values[k];
+        combined[gi].group.members.emplace_back(c, values[vi]);
+        elect_representative(&combined[gi]);
+        value_matched[vi] = 1;
+        ++result.stats.assignment_matches;
+      }
+    }
+
+    // Values with no partner join the combined column as singletons.
+    for (size_t vi = 0; vi < values.size(); ++vi) {
+      if (value_matched[vi]) continue;
+      GroupState g;
+      g.group.members.emplace_back(c, values[vi]);
+      elect_representative(&g);
+      combined.push_back(std::move(g));
+    }
+  }
+
+  result.groups.reserve(combined.size());
+  for (auto& g : combined) result.groups.push_back(std::move(g.group));
+  return result;
+}
+
+}  // namespace lakefuzz

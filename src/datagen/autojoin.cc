@@ -1,0 +1,290 @@
+#include "datagen/autojoin.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/corruption.h"
+#include "embedding/vocab.h"
+#include "util/hash.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// A benchmark entity: one canonical surface plus known alternate forms.
+struct GenEntity {
+  std::string canonical;
+  std::vector<std::string> aliases;
+};
+
+/// The 17 topics: 13 alias vocabularies + 4 combinatorial generators.
+const std::vector<std::string>& TopicNamesImpl() {
+  static const auto* names = new std::vector<std::string>{
+      "countries",     "us_states",   "months",
+      "weekdays",      "elements",    "currencies",
+      "airports",      "languages",   "universities",
+      "units",         "car_brands",  "sports_teams",
+      "programming_languages",        "officials",
+      "companies",     "cities",      "songs",
+  };
+  return *names;
+}
+
+std::vector<GenEntity> VocabEntities(const std::string& topic) {
+  std::vector<GenEntity> out;
+  for (const auto& g : TopicByName(topic).groups) {
+    out.push_back(GenEntity{g.canonical, g.aliases});
+  }
+  return out;
+}
+
+std::vector<GenEntity> OfficialEntities(size_t want, Rng* rng) {
+  // First×Last pairs; aliases: "Last, First", "Nick Last", "F. Last".
+  std::unordered_map<std::string, std::string> nick;
+  for (const auto& [formal, n] : Nicknames()) {
+    nick.emplace(formal, n);  // first nickname wins
+  }
+  std::unordered_set<std::string> used;
+  std::vector<GenEntity> out;
+  while (out.size() < want) {
+    const std::string& first = FirstNames()[rng->Uniform(FirstNames().size())];
+    const std::string& last = LastNames()[rng->Uniform(LastNames().size())];
+    std::string canonical = first + " " + last;
+    if (!used.insert(canonical).second) continue;
+    GenEntity e;
+    e.canonical = canonical;
+    e.aliases.push_back(last + ", " + first);
+    auto it = nick.find(first);
+    if (it != nick.end()) e.aliases.push_back(it->second + " " + last);
+    e.aliases.push_back(first.substr(0, 1) + ". " + last);
+    out.push_back(std::move(e));
+    if (used.size() >= FirstNames().size() * LastNames().size()) break;
+  }
+  return out;
+}
+
+std::vector<GenEntity> CompanyEntities(size_t want, Rng* rng) {
+  std::unordered_set<std::string> used;
+  std::vector<GenEntity> out;
+  const auto& heads = CompanyHeadWords();
+  const auto& tails = CompanyTailWords();
+  const auto& suffixes = CompanyLegalSuffixes();
+  while (out.size() < want) {
+    std::string base = heads[rng->Uniform(heads.size())] + " " +
+                       tails[rng->Uniform(tails.size())];
+    if (!used.insert(base).second) continue;
+    const std::string& suffix = suffixes[rng->Uniform(suffixes.size())];
+    GenEntity e;
+    e.canonical = base + " " + suffix;
+    e.aliases.push_back(base);  // legal suffix dropped
+    e.aliases.push_back(ToUpper(base));
+    out.push_back(std::move(e));
+    if (used.size() >= heads.size() * tails.size()) break;
+  }
+  return out;
+}
+
+std::vector<GenEntity> CityEntities(size_t want, Rng* rng) {
+  std::vector<size_t> idx = rng->Sample(CityNames().size(), want);
+  std::vector<GenEntity> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) {
+    // No aliases: city columns differ only syntactically (typos, case).
+    out.push_back(GenEntity{CityNames()[i], {}});
+  }
+  return out;
+}
+
+std::vector<GenEntity> SongEntities(size_t want, Rng* rng) {
+  std::unordered_set<std::string> used;
+  std::vector<GenEntity> out;
+  const auto& adjs = TitleAdjectives();
+  const auto& nouns = TitleNouns();
+  while (out.size() < want) {
+    std::string title = adjs[rng->Uniform(adjs.size())] + " " +
+                        nouns[rng->Uniform(nouns.size())];
+    if (!used.insert(title).second) continue;
+    int year = 1960 + static_cast<int>(rng->Uniform(60));
+    GenEntity e;
+    e.canonical = title;
+    e.aliases.push_back(StrFormat("%s (%d)", title.c_str(), year));
+    e.aliases.push_back(ToLower(title));
+    out.push_back(std::move(e));
+    if (used.size() >= adjs.size() * nouns.size()) break;
+  }
+  return out;
+}
+
+std::vector<GenEntity> TopicEntities(const std::string& topic, size_t want,
+                                     Rng* rng) {
+  std::vector<GenEntity> all;
+  if (topic == "officials") {
+    all = OfficialEntities(want, rng);
+  } else if (topic == "companies") {
+    all = CompanyEntities(want, rng);
+  } else if (topic == "cities") {
+    all = CityEntities(want, rng);
+  } else if (topic == "songs") {
+    all = SongEntities(want, rng);
+  } else {
+    all = VocabEntities(topic);
+  }
+  if (all.size() > want) {
+    rng->Shuffle(&all);
+    all.resize(want);
+  }
+  return all;
+}
+
+/// Per-column surface style: which transformation family a column applies —
+/// mirrors Auto-Join, where e.g. one web table lists country codes and the
+/// other full names.
+enum class ColumnStyle {
+  kCanonical,
+  kAlias,     ///< a known alternate form (code, reordering, nickname)
+  kTypo,      ///< character edit
+  kCaseNoise, ///< casing / punctuation noise
+  kMixed,     ///< per-value random pick among the above
+};
+
+std::string RenderSurface(const GenEntity& e, ColumnStyle style, Rng* rng) {
+  auto alias_or_canonical = [&]() -> const std::string& {
+    if (e.aliases.empty()) return e.canonical;
+    return e.aliases[rng->Uniform(e.aliases.size())];
+  };
+  switch (style) {
+    case ColumnStyle::kCanonical:
+      return e.canonical;
+    case ColumnStyle::kAlias:
+      if (e.aliases.empty()) {
+        // Alias-free topic (cities): fall back to light corruption.
+        return rng->Bernoulli(0.5) ? ApplyTypo(rng, e.canonical)
+                                   : ApplyCaseNoise(rng, e.canonical);
+      }
+      // Compound corruption: real web tables misspell codes too, and a
+      // typo'd short code easily collides with a *different* entity's code
+      // — the main precision hazard of the real benchmark.
+      if (rng->Bernoulli(0.15)) {
+        return ApplyTypo(rng, alias_or_canonical());
+      }
+      return alias_or_canonical();
+    case ColumnStyle::kTypo:
+      return rng->Bernoulli(0.7) ? ApplyTypo(rng, e.canonical) : e.canonical;
+    case ColumnStyle::kCaseNoise:
+      return rng->Bernoulli(0.8) ? ApplyCaseNoise(rng, e.canonical)
+                                 : e.canonical;
+    case ColumnStyle::kMixed: {
+      switch (rng->Uniform(4)) {
+        case 0:
+          return e.canonical;
+        case 1:
+          return style == ColumnStyle::kMixed && !e.aliases.empty()
+                     ? alias_or_canonical()
+                     : ApplyCaseNoise(rng, e.canonical);
+        case 2:
+          return ApplyTypo(rng, e.canonical);
+        default:
+          return ApplyCaseNoise(rng, e.canonical);
+      }
+    }
+  }
+  return e.canonical;
+}
+
+}  // namespace
+
+size_t AutoJoinNumTopics() { return TopicNamesImpl().size(); }
+
+const std::vector<std::string>& AutoJoinTopicNames() {
+  return TopicNamesImpl();
+}
+
+uint64_t ValueItemId(size_t column, const std::string& value) {
+  return HashCombine(Mix64(column ^ 0xa07030), Fnv1a64(value));
+}
+
+std::set<ItemPair> AutoJoinSet::GroundTruthPairs() const {
+  // entity id → (column, value) items.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_entity;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    for (size_t i = 0; i < columns[c].size(); ++i) {
+      by_entity[entity_of[c][i]].push_back(ValueItemId(c, columns[c][i]));
+    }
+  }
+  std::set<ItemPair> pairs;
+  for (const auto& [e, items] : by_entity) {
+    (void)e;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i] == items[j]) continue;
+        pairs.insert(MakePair(items[i], items[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+AutoJoinSet GenerateAutoJoinSet(size_t topic_index,
+                                const AutoJoinOptions& options,
+                                uint64_t seed) {
+  const auto& topics = TopicNamesImpl();
+  topic_index %= topics.size();
+  Rng rng(seed);
+
+  AutoJoinSet set;
+  set.topic = topics[topic_index];
+  std::vector<GenEntity> entities =
+      TopicEntities(set.topic, options.entities_per_set, &rng);
+
+  size_t span = options.max_columns - options.min_columns + 1;
+  size_t num_cols = options.min_columns + rng.Uniform(span);
+  set.columns.resize(num_cols);
+  set.entity_of.resize(num_cols);
+
+  std::vector<ColumnStyle> styles(num_cols);
+  styles[0] = ColumnStyle::kCanonical;
+  // Alias columns dominate, as in the real benchmark: Auto-Join's web
+  // tables mostly differ by codes/abbreviations/reorderings, with typo and
+  // case noise as secondary classes.
+  const ColumnStyle fuzzy_styles[] = {ColumnStyle::kAlias, ColumnStyle::kAlias,
+                                      ColumnStyle::kMixed, ColumnStyle::kMixed,
+                                      ColumnStyle::kTypo,
+                                      ColumnStyle::kCaseNoise};
+  for (size_t c = 1; c < num_cols; ++c) {
+    styles[c] = fuzzy_styles[rng.Uniform(6)];
+  }
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    std::unordered_set<std::string> used;
+    for (size_t e = 0; e < entities.size(); ++e) {
+      if (!rng.Bernoulli(options.presence)) continue;
+      std::string surface = RenderSurface(entities[e], styles[c], &rng);
+      // Clean-clean: surfaces must be distinct within a column. Retry a few
+      // times with corruption, else skip the entity here.
+      for (int attempt = 0; attempt < 3 && used.count(surface); ++attempt) {
+        surface = ApplyTypo(&rng, surface);
+      }
+      if (!used.insert(surface).second) continue;
+      set.columns[c].push_back(surface);
+      set.entity_of[c].push_back(static_cast<uint64_t>(e));
+    }
+  }
+  return set;
+}
+
+std::vector<AutoJoinSet> GenerateAutoJoinBenchmark(
+    const AutoJoinOptions& options) {
+  std::vector<AutoJoinSet> sets;
+  sets.reserve(options.num_sets);
+  Rng seeder(options.seed);
+  for (size_t s = 0; s < options.num_sets; ++s) {
+    size_t topic = s % TopicNamesImpl().size();
+    AutoJoinSet set = GenerateAutoJoinSet(topic, options, seeder.Next());
+    set.name = StrFormat("%s-%02zu", set.topic.c_str(), s);
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,76 @@
+// Auto-Join-style fuzzy value-matching benchmark generator.
+//
+// The real Auto-Join benchmark (Zhu/He/Chaudhuri, VLDB 2017; used by the
+// paper for Table 1) ships 31 integration sets over 17 topics scraped from
+// web tables, each a set of aligning columns (~150 values per column on
+// average) whose values match fuzzily across columns in a clean-clean way.
+// Offline we regenerate its structure: 17 built-in topics (entity
+// vocabularies with real alias/code/abbreviation groups, plus combinatorial
+// person/company/title generators), per-column surface styles (one column
+// uses codes, another full names, another corrupted forms — exactly the
+// transformation classes Auto-Join catalogued), and exact ground-truth
+// match pairs. See DESIGN.md §1.
+#ifndef LAKEFUZZ_DATAGEN_AUTOJOIN_H_
+#define LAKEFUZZ_DATAGEN_AUTOJOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/pair_eval.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+/// One generated integration set: aligned columns + ground truth.
+struct AutoJoinSet {
+  std::string name;   ///< e.g. "countries-03"
+  std::string topic;  ///< one of the 17 topic names
+  /// columns[c] = distinct values of aligning column c (clean-clean).
+  std::vector<std::vector<std::string>> columns;
+  /// entity_of[c] maps value index in columns[c] → entity id. Values of the
+  /// same entity across different columns are true matches.
+  std::vector<std::vector<uint64_t>> entity_of;
+
+  /// Ground-truth cross-column match pairs, as hashed (column, value) item
+  /// ids compatible with ValueItemId() below.
+  std::set<ItemPair> GroundTruthPairs() const;
+};
+
+/// Stable id of a (column, value) item for pair evaluation.
+uint64_t ValueItemId(size_t column, const std::string& value);
+
+struct AutoJoinOptions {
+  /// Number of integration sets (the benchmark has 31).
+  size_t num_sets = 31;
+  /// Entities sampled per set (→ ~values per column; benchmark avg ~150).
+  size_t entities_per_set = 150;
+  /// Columns per set (2..4; the matcher's sequential merge is exercised by
+  /// sets with 3+).
+  size_t min_columns = 2;
+  size_t max_columns = 4;
+  /// Probability an entity appears in a given column (injects unmatchable
+  /// values — the matcher must leave them singleton).
+  double presence = 0.85;
+  uint64_t seed = 42;
+};
+
+/// Number of distinct topics (17, as in the benchmark).
+size_t AutoJoinNumTopics();
+
+/// Topic names in order.
+const std::vector<std::string>& AutoJoinTopicNames();
+
+/// Generates the benchmark: `options.num_sets` sets cycling over the 17
+/// topics with per-set seeds.
+std::vector<AutoJoinSet> GenerateAutoJoinBenchmark(
+    const AutoJoinOptions& options = AutoJoinOptions());
+
+/// Generates a single set for a given topic index (0..16) and seed.
+AutoJoinSet GenerateAutoJoinSet(size_t topic_index,
+                                const AutoJoinOptions& options,
+                                uint64_t seed);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DATAGEN_AUTOJOIN_H_

@@ -1,0 +1,117 @@
+#include "datagen/corruption.h"
+
+#include <cctype>
+
+#include "text/tokenize.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+
+std::string ApplyTypo(Rng* rng, const std::string& s) {
+  if (s.size() < 2) return s;
+  std::string out = s;
+  size_t kind = rng->Uniform(4);
+  size_t pos = 1 + rng->Uniform(out.size() - 1);  // keep the first character
+  switch (kind) {
+    case 0:  // insert
+      out.insert(out.begin() + pos, static_cast<char>('a' + rng->Uniform(26)));
+      break;
+    case 1:  // delete
+      out.erase(out.begin() + pos);
+      break;
+    case 2:  // substitute
+      out[pos] = static_cast<char>('a' + rng->Uniform(26));
+      break;
+    case 3:  // transpose
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else if (pos >= 1) {
+        std::swap(out[pos - 1], out[pos]);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string ApplyCaseNoise(Rng* rng, const std::string& s) {
+  switch (rng->Uniform(3)) {
+    case 0:
+      return ToLower(s);
+    case 1:
+      return ToUpper(s);
+    default: {
+      std::string out = s;
+      if (!out.empty()) {
+        unsigned char c = out[0];
+        out[0] = std::isupper(c) ? static_cast<char>(std::tolower(c))
+                                 : static_cast<char>(std::toupper(c));
+      }
+      return out;
+    }
+  }
+}
+
+std::string ReverseTokens(const std::string& s) {
+  auto tokens = WordTokens(s);
+  if (tokens.size() < 2) return s;
+  std::string last = tokens.back();
+  tokens.pop_back();
+  return last + ", " + Join(tokens, " ");
+}
+
+std::string DropVowels(Rng* rng, const std::string& s) {
+  // Collect positions of vowels after the first character.
+  std::vector<size_t> vowels;
+  for (size_t i = 1; i < s.size(); ++i) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+      vowels.push_back(i);
+    }
+  }
+  if (vowels.empty()) return s;
+  size_t drop = vowels[rng->Uniform(vowels.size())];
+  std::string out = s;
+  out.erase(out.begin() + drop);
+  return out;
+}
+
+std::string TruncateTokens(const std::string& s, size_t max_tokens) {
+  auto tokens = WordTokens(s);
+  if (tokens.size() <= max_tokens) return s;
+  tokens.resize(max_tokens);
+  return Join(tokens, " ");
+}
+
+std::string ApplyPunctuationNoise(Rng* rng, const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '.' && rng->Bernoulli(0.5)) continue;  // drop period
+    out.push_back(c);
+    if (c == ' ' && rng->Bernoulli(0.15)) out.push_back(' ');  // double space
+  }
+  return out;
+}
+
+std::string Corrupt(Rng* rng, const std::string& s,
+                    const CorruptionConfig& config) {
+  std::string out = s;
+  if (config.reverse_tokens > 0 && rng->Bernoulli(config.reverse_tokens)) {
+    out = ReverseTokens(out);
+  }
+  if (config.drop_vowels > 0 && rng->Bernoulli(config.drop_vowels)) {
+    out = DropVowels(rng, out);
+  }
+  if (config.typo > 0 && rng->Bernoulli(config.typo)) {
+    out = ApplyTypo(rng, out);
+  }
+  if (config.case_noise > 0 && rng->Bernoulli(config.case_noise)) {
+    out = ApplyCaseNoise(rng, out);
+  }
+  if (config.punctuation > 0 && rng->Bernoulli(config.punctuation)) {
+    out = ApplyPunctuationNoise(rng, out);
+  }
+  return out;
+}
+
+}  // namespace lakefuzz

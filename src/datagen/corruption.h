@@ -1,0 +1,52 @@
+// Syntactic corruptions applied by the benchmark generators.
+//
+// These are the transformation classes the Auto-Join paper (Zhu, He,
+// Chaudhuri, VLDB 2017) catalogued between real joinable web tables: typos,
+// case changes, punctuation differences, token reordering ("John Smith" /
+// "Smith, John"), truncation, and whitespace noise. All corruption is
+// seeded and deterministic.
+#ifndef LAKEFUZZ_DATAGEN_CORRUPTION_H_
+#define LAKEFUZZ_DATAGEN_CORRUPTION_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace lakefuzz {
+
+/// One random character edit: insert, delete, substitute, or transpose at a
+/// random position. Strings of length < 2 are returned unchanged.
+std::string ApplyTypo(Rng* rng, const std::string& s);
+
+/// Random case change: all-lower, all-upper, or first-letter toggle.
+std::string ApplyCaseNoise(Rng* rng, const std::string& s);
+
+/// "First Last" → "Last, First" (no-op for single-token strings).
+std::string ReverseTokens(const std::string& s);
+
+/// Drops a random non-leading vowel run ("Department" → "Dpartment"-ish
+/// abbreviation noise).
+std::string DropVowels(Rng* rng, const std::string& s);
+
+/// Truncates to the first `max_tokens` tokens.
+std::string TruncateTokens(const std::string& s, size_t max_tokens);
+
+/// Adds/removes periods and doubles spaces.
+std::string ApplyPunctuationNoise(Rng* rng, const std::string& s);
+
+/// Per-class probabilities for Corrupt(); all independent.
+struct CorruptionConfig {
+  double typo = 0.0;
+  double case_noise = 0.0;
+  double reverse_tokens = 0.0;
+  double drop_vowels = 0.0;
+  double punctuation = 0.0;
+};
+
+/// Applies each enabled corruption with its probability, in a fixed order.
+std::string Corrupt(Rng* rng, const std::string& s,
+                    const CorruptionConfig& config);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DATAGEN_CORRUPTION_H_

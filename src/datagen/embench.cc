@@ -1,0 +1,178 @@
+#include "datagen/embench.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/corruption.h"
+#include "embedding/vocab.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+struct EmEntity {
+  std::string name;      // canonical join value (tables 0, 1)
+  std::string nickname;  // optional nickname form ("" if none)
+  std::string email;     // canonical join value (tables 1, 2)
+  std::string city;
+  std::string country;       // canonical
+  std::string country_code;  // alias form
+  std::string university;
+  int64_t birth_year;
+  std::string profession;
+};
+
+const char* kProfessions[] = {"engineer", "teacher",  "physician",
+                              "lawyer",   "designer", "journalist"};
+
+}  // namespace
+
+EmBenchmark GenerateEmBenchmark(const EmBenchOptions& options) {
+  Rng rng(options.seed);
+  EmBenchmark bench;
+
+  std::unordered_map<std::string, std::string> nick;
+  for (const auto& [formal, n] : Nicknames()) nick.emplace(formal, n);
+  const auto& countries = TopicByName("countries").groups;
+  const auto& universities = TopicByName("universities").groups;
+
+  // Entities; homonyms deliberately reuse an earlier entity's name with
+  // different attributes. All other names are unique — with a middle
+  // initial, so near-collisions ("Robert Q. Smith" / "Robert J. Smith")
+  // exist but exact accidental collisions don't.
+  std::vector<EmEntity> entities;
+  entities.reserve(options.num_entities);
+  std::unordered_set<std::string> used_names;
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    EmEntity ent;
+    if (e > 0 && rng.Bernoulli(options.homonyms)) {
+      ent.name = entities[rng.Uniform(entities.size())].name;
+    } else {
+      do {
+        const std::string& first =
+            FirstNames()[rng.Uniform(FirstNames().size())];
+        char middle = static_cast<char>('A' + rng.Uniform(26));
+        ent.name = first + " " + std::string(1, middle) + ". " +
+                   LastNames()[rng.Uniform(LastNames().size())];
+      } while (!used_names.insert(ent.name).second);
+    }
+    {
+      auto first_token = ent.name.substr(0, ent.name.find(' '));
+      auto it = nick.find(first_token);
+      if (it != nick.end()) {
+        ent.nickname =
+            it->second + ent.name.substr(ent.name.find(' '));
+      }
+    }
+    {
+      // Unique email derived from the name plus a discriminating number.
+      std::string local = ToLower(ent.name);
+      std::string cleaned;
+      for (char c : local) {
+        if (c >= 'a' && c <= 'z') cleaned.push_back(c);
+        if (c == ' ' && !cleaned.empty() && cleaned.back() != '.') {
+          cleaned.push_back('.');
+        }
+      }
+      ent.email = cleaned + std::to_string(e % 97) + "@example.org";
+    }
+    ent.city = CityNames()[rng.Uniform(CityNames().size())];
+    const auto& country = countries[rng.Uniform(countries.size())];
+    ent.country = country.canonical;
+    ent.country_code =
+        country.aliases.empty() ? country.canonical : country.aliases[0];
+    ent.university = universities[rng.Uniform(universities.size())].canonical;
+    ent.birth_year = 1940 + static_cast<int64_t>(rng.Uniform(65));
+    ent.profession = kProfessions[rng.Uniform(6)];
+    entities.push_back(std::move(ent));
+  }
+
+  // Vertical partitions forming a join *chain*, as in real open-data
+  // integration sets: table 0 and 1 join on name; table 2 joins table 1 on
+  // email only. When an equi-join breaks at a corrupted link, the orphaned
+  // fragment shares nothing identifying with the rest of its entity — the
+  // situation Fuzzy FD repairs. Some attribute columns use alias forms
+  // (country code vs full name), like real open-data tables.
+  size_t k = std::max<size_t>(2, options.num_tables);
+  std::vector<Table> tables;
+  for (size_t l = 0; l < k; ++l) {
+    switch (l % 3) {
+      case 0:
+        tables.emplace_back(StrFormat("em_t%zu", l),
+                            Schema::FromNames({"name", "city", "country"}));
+        break;
+      case 1:
+        tables.emplace_back(
+            StrFormat("em_t%zu", l),
+            Schema::FromNames({"name", "email", "birthYear"}));
+        break;
+      default:
+        tables.emplace_back(
+            StrFormat("em_t%zu", l),
+            Schema::FromNames({"email", "university", "profession"}));
+        break;
+    }
+  }
+
+  CorruptionConfig name_noise;
+  name_noise.typo = 0.45;
+  name_noise.case_noise = 0.25;
+  name_noise.reverse_tokens = 0.3;
+
+  std::vector<std::vector<uint64_t>> row_entities(k);
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const EmEntity& ent = entities[e];
+    for (size_t l = 0; l < k; ++l) {
+      if (!rng.Bernoulli(options.presence)) continue;
+      // Join value surface for this table.
+      std::string surface = ent.name;
+      if (rng.Bernoulli(options.corruption)) {
+        if (!ent.nickname.empty() && rng.Bernoulli(0.3)) {
+          surface = ent.nickname;
+        } else {
+          surface = Corrupt(&rng, surface, name_noise);
+        }
+      }
+      // Email join values get corrupted too (typos only — emails have no
+      // reorderings or nicknames).
+      std::string email_surface = ent.email;
+      if (rng.Bernoulli(options.corruption * 0.7)) {
+        email_surface = ApplyTypo(&rng, email_surface);
+      }
+      std::vector<Value> row;
+      switch (l % 3) {
+        case 0:
+          row = {Value::String(surface), Value::String(ent.city),
+                 Value::String(rng.Bernoulli(0.5) ? ent.country
+                                                  : ent.country_code)};
+          break;
+        case 1:
+          row = {Value::String(surface), Value::String(email_surface),
+                 Value::Int(ent.birth_year)};
+          break;
+        default:
+          row = {Value::String(email_surface), Value::String(ent.university),
+                 Value::String(ent.profession)};
+          break;
+      }
+      Status s = tables[l].AppendRow(std::move(row));
+      assert(s.ok());
+      (void)s;
+      row_entities[l].push_back(static_cast<uint64_t>(e));
+    }
+  }
+
+  // TIDs in outer-union order.
+  uint64_t tid = 0;
+  for (size_t l = 0; l < k; ++l) {
+    for (uint64_t e : row_entities[l]) {
+      bench.tid_entity.emplace_back(tid++, e);
+    }
+  }
+  bench.tables = std::move(tables);
+  return bench;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,46 @@
+// Entity-matching benchmark generator (ALITE EM dataset, Sec 3.2).
+//
+// Plants E entities whose attributes are vertically partitioned across k
+// tables joined on a name column. The name surface is corrupted per table
+// (typos, "Last, First" reorderings, nicknames — the inconsistencies the
+// paper's motivating example shows), so equi-join FD fails to merge a
+// fraction of each entity's rows while Fuzzy FD recovers them. A small
+// share of entities are homonyms (same name, different cities/attributes),
+// which punishes EM precision exactly where fragmented integrations are
+// weakest: rows with too few attributes to tell homonyms apart.
+#ifndef LAKEFUZZ_DATAGEN_EMBENCH_H_
+#define LAKEFUZZ_DATAGEN_EMBENCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fd/aligned_schema.h"
+#include "table/table.h"
+
+namespace lakefuzz {
+
+struct EmBenchOptions {
+  size_t num_entities = 200;
+  size_t num_tables = 3;
+  /// Probability an entity has a row in a given table.
+  double presence = 0.9;
+  /// Probability a join value (name) is written in a non-canonical form.
+  double corruption = 0.28;
+  /// Fraction of entities sharing their name with another entity.
+  double homonyms = 0.05;
+  uint64_t seed = 99;
+};
+
+struct EmBenchmark {
+  std::vector<Table> tables;
+  /// Ground truth: (TID, entity id) for every input tuple, in outer-union
+  /// TID order (table order, then row order — matching FdProblem::Build).
+  std::vector<std::pair<uint64_t, uint64_t>> tid_entity;
+};
+
+EmBenchmark GenerateEmBenchmark(const EmBenchOptions& options);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DATAGEN_EMBENCH_H_

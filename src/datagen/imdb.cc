@@ -1,0 +1,139 @@
+#include "datagen/imdb.h"
+
+#include <cassert>
+
+#include "embedding/vocab.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+// Average generated rows per title: 1 basics + ~2 akas + 1 ratings +
+// ~2.5 principals + 1 crew = ~7.5, plus ~1 name row per ~2.5 titles' worth
+// of distinct principals. Used to size the title count for a tuple target.
+constexpr double kRowsPerTitle = 8.2;
+
+const char* kGenres[] = {"Drama",  "Comedy", "Action",  "Thriller",
+                         "Horror", "Romance", "Sci-Fi", "Documentary"};
+const char* kCategories[] = {"actor", "actress", "self", "producer"};
+const char* kProfessions[] = {"actor", "writer", "director", "composer"};
+
+}  // namespace
+
+ImdbBenchmark GenerateImdb(const ImdbOptions& options) {
+  Rng rng(options.seed);
+  ImdbBenchmark bench;
+
+  size_t num_titles = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(options.target_tuples) /
+                             kRowsPerTitle));
+  // Name pool: roughly 0.9 names per title; Zipf sampling reuses the head.
+  size_t name_pool = std::max<size_t>(2, (num_titles * 9) / 10);
+
+  Table names("name_basics",
+              Schema::FromNames(
+                  {"nconst", "primaryName", "birthYear", "primaryProfession"}));
+  Table basics("title_basics",
+               Schema::FromNames({"tconst", "primaryTitle", "startYear",
+                                  "genres"}));
+  Table akas("title_akas",
+             Schema::FromNames({"tconst", "akaTitle", "region"}));
+  Table ratings("title_ratings",
+                Schema::FromNames({"tconst", "averageRating", "numVotes"}));
+  Table principals("title_principals",
+                   Schema::FromNames({"tconst", "nconst", "category"}));
+  Table crew("title_crew", Schema::FromNames({"tconst", "nconst", "role"}));
+
+  auto append = [](Table* t, std::vector<Value> row) {
+    Status s = t->AppendRow(std::move(row));
+    assert(s.ok());
+    (void)s;
+  };
+
+  // Names (only those actually referenced are emitted, see below).
+  std::vector<std::string> nconsts(name_pool);
+  std::vector<char> name_used(name_pool, 0);
+  for (size_t i = 0; i < name_pool; ++i) {
+    nconsts[i] = StrFormat("nm%07zu", i);
+  }
+
+  const auto& countries = TopicByName("countries").groups;
+  const auto& adjs = TitleAdjectives();
+  const auto& nouns = TitleNouns();
+
+  size_t budget = options.target_tuples;
+  auto spend = [&budget](size_t n) {
+    budget = budget > n ? budget - n : 0;
+  };
+
+  for (size_t t = 0; t < num_titles && budget > 0; ++t) {
+    std::string tconst = StrFormat("tt%07zu", t);
+    std::string title =
+        StrFormat("%s %s %zu", adjs[rng.Uniform(adjs.size())].c_str(),
+                  nouns[rng.Uniform(nouns.size())].c_str(), t);
+    int64_t year = 1950 + static_cast<int64_t>(rng.Uniform(75));
+
+    append(&basics, {Value::String(tconst), Value::String(title),
+                     Value::Int(year),
+                     Value::String(kGenres[rng.Uniform(8)])});
+    spend(1);
+
+    size_t n_akas = 1 + rng.Uniform(3);
+    for (size_t a = 0; a < n_akas && budget > 0; ++a) {
+      const auto& region = countries[rng.Uniform(countries.size())];
+      std::string code =
+          region.aliases.empty() ? region.canonical : region.aliases[0];
+      append(&akas, {Value::String(tconst),
+                     Value::String(StrFormat("%s (%s)", title.c_str(),
+                                             code.c_str())),
+                     Value::String(code)});
+      spend(1);
+    }
+
+    if (budget > 0) {
+      append(&ratings,
+             {Value::String(tconst),
+              Value::Double(1.0 + rng.Uniform(90) / 10.0),
+              Value::Int(static_cast<int64_t>(10 + rng.Zipf(1000, 1.2)))});
+      spend(1);
+    }
+
+    size_t n_principals = 1 + rng.Uniform(4);
+    for (size_t p = 0; p < n_principals && budget > 0; ++p) {
+      size_t who = rng.Zipf(name_pool, options.name_zipf);
+      name_used[who] = 1;
+      append(&principals, {Value::String(tconst), Value::String(nconsts[who]),
+                           Value::String(kCategories[rng.Uniform(4)])});
+      spend(1);
+    }
+
+    if (budget > 0) {
+      size_t director = rng.Zipf(name_pool, options.name_zipf);
+      name_used[director] = 1;
+      append(&crew, {Value::String(tconst), Value::String(nconsts[director]),
+                     Value::String("director")});
+      spend(1);
+    }
+  }
+
+  // Emit name rows for referenced names, while budget remains.
+  for (size_t i = 0; i < name_pool && budget > 0; ++i) {
+    if (!name_used[i]) continue;
+    std::string full =
+        FirstNames()[rng.Uniform(FirstNames().size())] + " " +
+        LastNames()[rng.Uniform(LastNames().size())];
+    append(&names, {Value::String(nconsts[i]), Value::String(full),
+                    Value::Int(1920 + static_cast<int64_t>(rng.Uniform(85))),
+                    Value::String(kProfessions[rng.Uniform(4)])});
+    spend(1);
+  }
+
+  bench.tables = {std::move(names),      std::move(basics),
+                  std::move(akas),       std::move(ratings),
+                  std::move(principals), std::move(crew)};
+  for (const auto& t : bench.tables) bench.total_tuples += t.NumRows();
+  return bench;
+}
+
+}  // namespace lakefuzz

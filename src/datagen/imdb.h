@@ -1,0 +1,42 @@
+// IMDB-style efficiency benchmark generator (ALITE benchmark, Fig. 3).
+//
+// The paper measures FD runtime on integration sets sampled from the public
+// IMDB dump (~106M tuples across 6 tables), scaled from 5K to 30K input
+// tuples. Offline we regenerate the *join topology* that drives FD cost:
+// the 6-table star schema keyed by tconst/nconst, multi-row fan-out of
+// akas/principals per title, and Zipf-skewed reuse of names across titles
+// (popular actors connect many titles into one join-graph component). The
+// workload is equi-join (values are consistent), exactly like the original:
+// what Fig. 3 tests is that the *fuzzy* pipeline adds no overhead when
+// there is nothing fuzzy to match.
+#ifndef LAKEFUZZ_DATAGEN_IMDB_H_
+#define LAKEFUZZ_DATAGEN_IMDB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lakefuzz {
+
+struct ImdbOptions {
+  /// Total input tuples across all 6 tables (the paper's x-axis, 5K–30K).
+  size_t target_tuples = 10000;
+  /// Skew of name popularity (Zipf exponent; higher → bigger components).
+  double name_zipf = 1.05;
+  uint64_t seed = 7;
+};
+
+struct ImdbBenchmark {
+  /// name_basics, title_basics, title_akas, title_ratings,
+  /// title_principals, title_crew — join columns share names (tconst,
+  /// nconst) so AlignByName produces the intended alignment.
+  std::vector<Table> tables;
+  size_t total_tuples = 0;
+};
+
+ImdbBenchmark GenerateImdb(const ImdbOptions& options);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DATAGEN_IMDB_H_

@@ -1,0 +1,45 @@
+// ColumnEmbedder: column-level signatures for holistic schema matching.
+//
+// ALITE aligns columns by clustering column-level embeddings; we pool value
+// embeddings (mean of up to `sample_size` distinct values) into a signature
+// per column. Headers are deliberately excluded by default — data lake
+// headers are unreliable (the paper's premise) — but can be blended in.
+#ifndef LAKEFUZZ_EMBEDDING_COLUMN_EMBEDDER_H_
+#define LAKEFUZZ_EMBEDDING_COLUMN_EMBEDDER_H_
+
+#include <memory>
+
+#include "embedding/model.h"
+#include "table/table.h"
+
+namespace lakefuzz {
+
+struct ColumnEmbedderOptions {
+  /// Max distinct values pooled per column (first-appearance order, so the
+  /// signature is deterministic).
+  size_t sample_size = 64;
+  /// Weight of the header-name embedding in [0,1]; 0 ignores headers.
+  double header_weight = 0.0;
+};
+
+/// Pools value embeddings into per-column signature vectors.
+class ColumnEmbedder {
+ public:
+  ColumnEmbedder(std::shared_ptr<const EmbeddingModel> model,
+                 ColumnEmbedderOptions options = ColumnEmbedderOptions());
+
+  /// Signature of `table`'s column `col`: unit-norm mean of sampled distinct
+  /// value embeddings (+ optional header blend). All-null columns get the
+  /// zero vector.
+  Vec EmbedColumn(const Table& table, size_t col) const;
+
+  const EmbeddingModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const EmbeddingModel> model_;
+  ColumnEmbedderOptions options_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_COLUMN_EMBEDDER_H_

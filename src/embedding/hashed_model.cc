@@ -1,0 +1,101 @@
+#include "embedding/hashed_model.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "text/normalize.h"
+#include "text/tokenize.h"
+#include "text/acronym.h"
+#include "util/hash.h"
+
+namespace lakefuzz {
+
+HashedNgramModel::HashedNgramModel(HashedModelConfig config)
+    : config_(std::move(config)) {
+  if (config_.dim == 0) config_.dim = 1;
+  if (config_.ngram_min == 0) config_.ngram_min = 1;
+  if (config_.ngram_max < config_.ngram_min) {
+    config_.ngram_max = config_.ngram_min;
+  }
+}
+
+void HashedNgramModel::AddFeature(std::string_view feature, double weight,
+                                  Vec* out) const {
+  // Two independent hash functions: one picks the bucket, one the sign —
+  // the classic feature-hashing construction (unbiased inner products).
+  uint64_t h = SaltedHash(feature, config_.seed);
+  size_t bucket = static_cast<size_t>(h % config_.dim);
+  double sign = (SaltedHash(feature, config_.seed ^ 0x5157) & 1) ? 1.0 : -1.0;
+  (*out)[bucket] += static_cast<float>(sign * weight);
+}
+
+Vec HashedNgramModel::IdVector(uint64_t id) const {
+  Vec v(config_.dim, 0.0f);
+  // Dense pseudo-random unit vector seeded by the id: each dimension from a
+  // counter-mode hash, roughly N(0,1) by sum of two uniforms - 1.
+  for (size_t d = 0; d < config_.dim; ++d) {
+    uint64_t h = Mix64(id ^ Mix64(d ^ config_.seed));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    v[d] = static_cast<float>(2.0 * u - 1.0);
+  }
+  NormalizeInPlace(&v);
+  return v;
+}
+
+Vec HashedNgramModel::Embed(std::string_view value) const {
+  Vec surface(config_.dim, 0.0f);
+  const std::string norm = Normalize(value);
+
+  // Character n-grams (padded): robust to typos and casing.
+  for (size_t n = config_.ngram_min; n <= config_.ngram_max; ++n) {
+    for (const auto& gram : CharNgrams(norm, n)) {
+      AddFeature(gram, 1.0, &surface);
+    }
+  }
+  // Whole tokens: words carry more identity than their grams alone.
+  if (config_.use_word_tokens) {
+    for (const auto& tok : WordTokens(norm)) {
+      AddFeature("w:" + tok, 2.0, &surface);
+    }
+  }
+  // Initials bridge acronyms and their expansions: "united states" emits
+  // i:us, and the short token "us" also emits i:us.
+  if (config_.use_initials_feature) {
+    auto tokens = WordTokens(norm);
+    if (tokens.size() >= 2) {
+      AddFeature("i:" + Initials(norm), 3.0, &surface);
+    } else if (!tokens.empty() && tokens[0].size() <= 4) {
+      AddFeature("i:" + tokens[0], 1.5, &surface);
+    }
+  }
+  if (config_.noise > 0.0) {
+    // Deterministic per-value perturbation: the same value always gets the
+    // same "representation error", as a fixed pre-trained model would have.
+    uint64_t nid = Mix64(Fnv1a64(norm) ^ Mix64(config_.seed ^ 0xbad5eed));
+    Vec noise_vec = IdVector(nid);
+    double scale = config_.noise * (Norm(surface) > 0 ? Norm(surface) : 1.0);
+    AddScaled(&surface, noise_vec, scale);
+  }
+  NormalizeInPlace(&surface);
+
+  if (config_.knowledge_base != nullptr) {
+    if (const auto* senses = config_.knowledge_base->LookupAll(value)) {
+      // Ambiguous surface forms ("CA" = Canada | California) land between
+      // their senses, as real contextual embeddings do.
+      Vec concept_vec(config_.dim, 0.0f);
+      for (ConceptId id : *senses) {
+        AddScaled(&concept_vec, IdVector(id),
+                  1.0 / static_cast<double>(senses->size()));
+      }
+      NormalizeInPlace(&concept_vec);
+      Vec out(config_.dim, 0.0f);
+      AddScaled(&out, surface, 1.0 - config_.kb_weight);
+      AddScaled(&out, concept_vec, config_.kb_weight);
+      NormalizeInPlace(&out);
+      return out;
+    }
+  }
+  return surface;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,65 @@
+// HashedNgramModel: deterministic feature-hashing embeddings.
+//
+// The surface-similarity half of what an LLM embedding provides: values that
+// share character n-grams and tokens land near each other (typos, casing,
+// spacing); the semantic half (synonyms, codes) comes from an optional
+// KnowledgeBase blend. Five configurations of this one model class simulate
+// the paper's five embedding baselines (see model_zoo.h).
+#ifndef LAKEFUZZ_EMBEDDING_HASHED_MODEL_H_
+#define LAKEFUZZ_EMBEDDING_HASHED_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "embedding/knowledge_base.h"
+#include "embedding/model.h"
+
+namespace lakefuzz {
+
+struct HashedModelConfig {
+  std::string name = "hashed-ngram";
+  size_t dim = 256;
+  /// Character n-gram sizes hashed as features.
+  size_t ngram_min = 3;
+  size_t ngram_max = 5;
+  /// Hash whole word tokens as features too.
+  bool use_word_tokens = true;
+  /// Add an "initials" feature for multi-token phrases and short all-caps
+  /// tokens, letting acronyms ("US") meet their expansions ("United
+  /// States"). LLM-grade profiles enable this.
+  bool use_initials_feature = false;
+  /// Knowledge base consulted for the value's concept; nullptr disables.
+  std::shared_ptr<const KnowledgeBase> knowledge_base;
+  /// Weight of the concept vector relative to surface features in [0,1].
+  /// When a concept is found: embedding = (1-w)·surface + w·concept.
+  double kb_weight = 0.8;
+  /// Magnitude of deterministic per-value noise added to the surface
+  /// features (models imperfect representations of rare strings).
+  double noise = 0.0;
+  /// Feature-hashing seed; different seeds give decorrelated models.
+  uint64_t seed = 0x1a4ef0;
+};
+
+/// Deterministic embedding model; see HashedModelConfig.
+class HashedNgramModel : public EmbeddingModel {
+ public:
+  explicit HashedNgramModel(HashedModelConfig config);
+
+  Vec Embed(std::string_view value) const override;
+  size_t dim() const override { return config_.dim; }
+  std::string name() const override { return config_.name; }
+
+  const HashedModelConfig& config() const { return config_; }
+
+ private:
+  /// Unit vector derived deterministically from an id (concept vectors).
+  Vec IdVector(uint64_t id) const;
+  /// Accumulates a hashed feature with the given weight.
+  void AddFeature(std::string_view feature, double weight, Vec* out) const;
+
+  HashedModelConfig config_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_HASHED_MODEL_H_

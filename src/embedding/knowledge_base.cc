@@ -1,0 +1,81 @@
+#include "embedding/knowledge_base.h"
+
+#include <algorithm>
+
+#include "embedding/vocab.h"
+#include "text/normalize.h"
+#include "util/hash.h"
+
+namespace lakefuzz {
+
+ConceptId ConceptIdOf(std::string_view canonical) {
+  return Mix64(Fnv1a64(Normalize(canonical)) ^ 0xc0ffee);
+}
+
+std::string KnowledgeBase::Key(std::string_view surface) {
+  return Normalize(surface);
+}
+
+void KnowledgeBase::AddAlias(std::string_view canonical,
+                             std::string_view alias) {
+  ConceptId id = ConceptIdOf(canonical);
+  for (std::string_view surface : {canonical, alias}) {
+    auto& senses = alias_to_concepts_[Key(surface)];
+    if (std::find(senses.begin(), senses.end(), id) == senses.end()) {
+      senses.push_back(id);
+    }
+  }
+}
+
+std::optional<ConceptId> KnowledgeBase::Lookup(std::string_view surface) const {
+  const auto* senses = LookupAll(surface);
+  if (senses == nullptr) return std::nullopt;
+  return senses->front();
+}
+
+const std::vector<ConceptId>* KnowledgeBase::LookupAll(
+    std::string_view surface) const {
+  auto it = alias_to_concepts_.find(Key(surface));
+  if (it == alias_to_concepts_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+KnowledgeBase KnowledgeBase::Subset(double coverage, uint64_t seed) const {
+  if (coverage < 0.0) coverage = 0.0;
+  if (coverage > 1.0) coverage = 1.0;
+  KnowledgeBase out;
+  for (const auto& [alias, senses] : alias_to_concepts_) {
+    std::vector<ConceptId> kept;
+    for (ConceptId id : senses) {
+      // Per-sense deterministic coin flip: stable across runs, independent
+      // of map iteration order.
+      uint64_t h = Mix64(Fnv1a64(alias) ^ Mix64(seed) ^ Mix64(id));
+      double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u < coverage) kept.push_back(id);
+    }
+    if (!kept.empty()) out.alias_to_concepts_[alias] = std::move(kept);
+  }
+  return out;
+}
+
+const KnowledgeBase& KnowledgeBase::BuiltIn() {
+  static const KnowledgeBase* kb = [] {
+    auto* built = new KnowledgeBase();
+    for (const auto& topic : BuiltinTopics()) {
+      for (const auto& group : topic.groups) {
+        // Self-registration even for alias-free groups.
+        built->AddAlias(group.canonical, group.canonical);
+        for (const auto& alias : group.aliases) {
+          built->AddAlias(group.canonical, alias);
+        }
+      }
+    }
+    for (const auto& [formal, nick] : Nicknames()) {
+      built->AddAlias(formal, nick);
+    }
+    return built;
+  }();
+  return *kb;
+}
+
+}  // namespace lakefuzz

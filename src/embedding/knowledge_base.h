@@ -1,0 +1,70 @@
+// KnowledgeBase: alias → concept lookup, the simulated world knowledge of
+// the LLM-grade embedding profiles.
+//
+// An LLM embeds "CA" near "Canada" because it has seen them used
+// interchangeably; we model that as an explicit dictionary from normalized
+// surface forms to canonical concept ids. Each simulated model owns a
+// *subset* of the dictionary (its coverage), sampled deterministically —
+// weaker models know fewer aliases, which is what separates FastText from
+// Mistral in the paper's Table 1. See DESIGN.md §1.
+#ifndef LAKEFUZZ_EMBEDDING_KNOWLEDGE_BASE_H_
+#define LAKEFUZZ_EMBEDDING_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Stable identifier of a real-world concept (hash of its canonical name).
+using ConceptId = uint64_t;
+
+/// Immutable-after-build alias dictionary.
+///
+/// Aliases are genuinely ambiguous in the wild — "CA" is both Canada and
+/// California — so a surface form maps to a *list* of concepts, in
+/// registration order. Embedding models blend all of them, mirroring how an
+/// LLM embeds an ambiguous token between its senses.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// The full built-in dictionary: every alias group in BuiltinTopics()
+  /// plus first-name nicknames. Idempotent, cheap after first call.
+  static const KnowledgeBase& BuiltIn();
+
+  /// Registers `alias` (and the canonical itself) under the concept of
+  /// `canonical`. Lookup keys are normalized internally; duplicate
+  /// (alias, concept) registrations are ignored.
+  void AddAlias(std::string_view canonical, std::string_view alias);
+
+  /// First registered concept for a surface form, if any.
+  std::optional<ConceptId> Lookup(std::string_view surface) const;
+
+  /// All concepts for a surface form (nullptr when unknown).
+  const std::vector<ConceptId>* LookupAll(std::string_view surface) const;
+
+  /// Number of surface forms registered.
+  size_t size() const { return alias_to_concepts_.size(); }
+
+  /// A deterministic random subset: every (alias, concept) sense is kept
+  /// independently with probability ~`coverage` (clamped to [0,1]) — a
+  /// model may know CA=California but not CA=Canada. Aliases losing all
+  /// senses disappear.
+  KnowledgeBase Subset(double coverage, uint64_t seed) const;
+
+ private:
+  static std::string Key(std::string_view surface);
+
+  std::unordered_map<std::string, std::vector<ConceptId>> alias_to_concepts_;
+};
+
+/// Concept id of a canonical name (exposed for tests).
+ConceptId ConceptIdOf(std::string_view canonical);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_KNOWLEDGE_BASE_H_

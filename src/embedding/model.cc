@@ -1,0 +1,23 @@
+#include "embedding/model.h"
+
+namespace lakefuzz {
+
+Vec CachingModel::Embed(std::string_view value) const {
+  std::string key(value);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  Vec v = inner_->Embed(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(std::move(key), std::move(v));
+  return it->second;
+}
+
+size_t CachingModel::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,61 @@
+// EmbeddingModel: the interface the value matcher consumes.
+//
+// The paper embeds each cell value with a language model and compares
+// embeddings by cosine distance (Sec 2.2, "Embed Column Values"). Any
+// implementation of this interface can be plugged into the matcher —
+// including user-provided ones (see examples/custom_model.cc).
+#ifndef LAKEFUZZ_EMBEDDING_MODEL_H_
+#define LAKEFUZZ_EMBEDDING_MODEL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "embedding/vector_ops.h"
+
+namespace lakefuzz {
+
+/// Maps strings to fixed-dimension dense vectors. Implementations must be
+/// deterministic (same input → same vector) and thread-compatible for
+/// concurrent Embed calls.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Embedding of a cell value. Must return a vector of dim() floats.
+  virtual Vec Embed(std::string_view value) const = 0;
+
+  /// Embedding dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Display name ("Mistral", "FastText", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Memoizing decorator: caches embeddings by exact input string. The value
+/// matcher embeds each distinct value once per column, but representative
+/// values recur across the sequential merge rounds — caching them is the
+/// difference between O(values) and O(values × columns) embedding calls.
+class CachingModel : public EmbeddingModel {
+ public:
+  explicit CachingModel(std::shared_ptr<const EmbeddingModel> inner)
+      : inner_(std::move(inner)) {}
+
+  Vec Embed(std::string_view value) const override;
+  size_t dim() const override { return inner_->dim(); }
+  std::string name() const override { return inner_->name(); }
+
+  /// Number of cached entries (for tests / diagnostics).
+  size_t CacheSize() const;
+
+ private:
+  std::shared_ptr<const EmbeddingModel> inner_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, Vec> cache_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_MODEL_H_

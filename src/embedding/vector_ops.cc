@@ -1,0 +1,44 @@
+#include "embedding/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lakefuzz {
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+void NormalizeInPlace(Vec* v) {
+  double n = Norm(*v);
+  if (n <= 0.0) return;
+  float inv = static_cast<float>(1.0 / n);
+  for (auto& x : *v) x *= inv;
+}
+
+void AddScaled(Vec* a, const Vec& b, double scale) {
+  assert(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    (*a)[i] += static_cast<float>(scale * b[i]);
+  }
+}
+
+double CosineSimilarity(const Vec& a, const Vec& b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double CosineDistance(const Vec& a, const Vec& b) {
+  return 1.0 - CosineSimilarity(a, b);
+}
+
+}  // namespace lakefuzz

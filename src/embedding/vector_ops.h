@@ -1,0 +1,32 @@
+// Dense float vector operations used by the embedding layer.
+#ifndef LAKEFUZZ_EMBEDDING_VECTOR_OPS_H_
+#define LAKEFUZZ_EMBEDDING_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace lakefuzz {
+
+using Vec = std::vector<float>;
+
+/// Dot product; vectors must have equal dimension.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double Norm(const Vec& v);
+
+/// Scales `v` to unit norm in place; zero vectors are left unchanged.
+void NormalizeInPlace(Vec* v);
+
+/// a += scale * b.
+void AddScaled(Vec* a, const Vec& b, double scale);
+
+/// Cosine similarity in [-1, 1]; either vector zero → 0.
+double CosineSimilarity(const Vec& a, const Vec& b);
+
+/// Cosine distance in [0, 2]: 1 - CosineSimilarity. This is the `dist`
+/// function of the paper's Definition 2 (thresholded at θ).
+double CosineDistance(const Vec& a, const Vec& b);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_VECTOR_OPS_H_

@@ -1,0 +1,583 @@
+#include "embedding/vocab.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lakefuzz {
+namespace {
+
+std::vector<TopicVocab> BuildTopics() {
+  std::vector<TopicVocab> topics;
+
+  topics.push_back(TopicVocab{
+      "countries",
+      {
+          {"United States", {"US", "USA", "U.S.", "United States of America"}},
+          {"United Kingdom", {"UK", "GB", "Great Britain"}},
+          {"Germany", {"DE", "DEU", "Deutschland"}},
+          {"Canada", {"CA", "CAN"}},
+          {"Spain", {"ES", "ESP", "Espana"}},
+          {"India", {"IN", "IND"}},
+          {"France", {"FR", "FRA"}},
+          {"Italy", {"IT", "ITA", "Italia"}},
+          {"Japan", {"JP", "JPN", "Nippon"}},
+          {"China", {"CN", "CHN", "PRC"}},
+          {"Brazil", {"BR", "BRA", "Brasil"}},
+          {"Mexico", {"MX", "MEX"}},
+          {"Australia", {"AU", "AUS"}},
+          {"Netherlands", {"NL", "NLD", "Holland"}},
+          {"Switzerland", {"CH", "CHE"}},
+          {"Sweden", {"SE", "SWE"}},
+          {"Norway", {"NO", "NOR"}},
+          {"Denmark", {"DK", "DNK"}},
+          {"Finland", {"FI", "FIN"}},
+          {"Poland", {"PL", "POL", "Polska"}},
+          {"Austria", {"AT", "AUT"}},
+          {"Belgium", {"BE", "BEL"}},
+          {"Portugal", {"PT", "PRT"}},
+          {"Greece", {"GR", "GRC", "Hellas"}},
+          {"Ireland", {"IE", "IRL"}},
+          {"Russia", {"RU", "RUS", "Russian Federation"}},
+          {"Turkey", {"TR", "TUR", "Turkiye"}},
+          {"South Korea", {"KR", "KOR", "Republic of Korea"}},
+          {"North Korea", {"KP", "PRK", "DPRK"}},
+          {"South Africa", {"ZA", "ZAF", "RSA"}},
+          {"Egypt", {"EG", "EGY"}},
+          {"Nigeria", {"NG", "NGA"}},
+          {"Kenya", {"KE", "KEN"}},
+          {"Argentina", {"AR", "ARG"}},
+          {"Chile", {"CL", "CHL"}},
+          {"Colombia", {"CO", "COL"}},
+          {"Peru", {"PE", "PER"}},
+          {"Venezuela", {"VE", "VEN"}},
+          {"Thailand", {"TH", "THA", "Siam"}},
+          {"Vietnam", {"VN", "VNM", "Viet Nam"}},
+          {"Indonesia", {"ID", "IDN"}},
+          {"Malaysia", {"MY", "MYS"}},
+          {"Singapore", {"SG", "SGP"}},
+          {"Philippines", {"PH", "PHL"}},
+          {"New Zealand", {"NZ", "NZL", "Aotearoa"}},
+          {"Saudi Arabia", {"SA", "SAU", "KSA"}},
+          {"United Arab Emirates", {"AE", "ARE", "UAE"}},
+          {"Israel", {"IL", "ISR"}},
+          {"Iran", {"IR", "IRN", "Persia"}},
+          {"Iraq", {"IQ", "IRQ"}},
+          {"Pakistan", {"PK", "PAK"}},
+          {"Bangladesh", {"BD", "BGD"}},
+          {"Ukraine", {"UA", "UKR"}},
+          {"Czech Republic", {"CZ", "CZE", "Czechia"}},
+          {"Hungary", {"HU", "HUN"}},
+          {"Romania", {"RO", "ROU"}},
+          {"Bulgaria", {"BG", "BGR"}},
+          {"Croatia", {"HR", "HRV", "Hrvatska"}},
+          {"Iceland", {"IS", "ISL"}},
+          {"Luxembourg", {"LU", "LUX"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "us_states",
+      {
+          {"Alabama", {"AL"}},        {"Alaska", {"AK"}},
+          {"Arizona", {"AZ"}},        {"Arkansas", {"AR"}},
+          {"California", {"CA", "Calif."}},
+          {"Colorado", {"CO", "Colo."}},
+          {"Connecticut", {"CT", "Conn."}},
+          {"Delaware", {"DE"}},       {"Florida", {"FL", "Fla."}},
+          {"Georgia", {"GA"}},        {"Hawaii", {"HI"}},
+          {"Idaho", {"ID"}},          {"Illinois", {"IL", "Ill."}},
+          {"Indiana", {"IN", "Ind."}},
+          {"Iowa", {"IA"}},           {"Kansas", {"KS", "Kan."}},
+          {"Kentucky", {"KY"}},       {"Louisiana", {"LA"}},
+          {"Maine", {"ME"}},          {"Maryland", {"MD"}},
+          {"Massachusetts", {"MA", "Mass."}},
+          {"Michigan", {"MI", "Mich."}},
+          {"Minnesota", {"MN", "Minn."}},
+          {"Mississippi", {"MS", "Miss."}},
+          {"Missouri", {"MO"}},       {"Montana", {"MT", "Mont."}},
+          {"Nebraska", {"NE", "Neb."}},
+          {"Nevada", {"NV", "Nev."}}, {"New Hampshire", {"NH"}},
+          {"New Jersey", {"NJ"}},     {"New Mexico", {"NM"}},
+          {"New York", {"NY"}},       {"North Carolina", {"NC"}},
+          {"North Dakota", {"ND"}},   {"Ohio", {"OH"}},
+          {"Oklahoma", {"OK", "Okla."}},
+          {"Oregon", {"OR", "Ore."}}, {"Pennsylvania", {"PA", "Penn."}},
+          {"Rhode Island", {"RI"}},   {"South Carolina", {"SC"}},
+          {"South Dakota", {"SD"}},   {"Tennessee", {"TN", "Tenn."}},
+          {"Texas", {"TX", "Tex."}},  {"Utah", {"UT"}},
+          {"Vermont", {"VT"}},        {"Virginia", {"VA"}},
+          {"Washington", {"WA", "Wash."}},
+          {"West Virginia", {"WV"}},  {"Wisconsin", {"WI", "Wis."}},
+          {"Wyoming", {"WY", "Wyo."}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "months",
+      {
+          {"January", {"Jan", "Jan.", "01"}},
+          {"February", {"Feb", "Feb.", "02"}},
+          {"March", {"Mar", "Mar.", "03"}},
+          {"April", {"Apr", "Apr.", "04"}},
+          {"May", {"05"}},
+          {"June", {"Jun", "Jun.", "06"}},
+          {"July", {"Jul", "Jul.", "07"}},
+          {"August", {"Aug", "Aug.", "08"}},
+          {"September", {"Sep", "Sept", "Sept.", "09"}},
+          {"October", {"Oct", "Oct.", "10"}},
+          {"November", {"Nov", "Nov.", "11"}},
+          {"December", {"Dec", "Dec.", "12"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "weekdays",
+      {
+          {"Monday", {"Mon", "Mo"}},
+          {"Tuesday", {"Tue", "Tues", "Tu"}},
+          {"Wednesday", {"Wed", "We"}},
+          {"Thursday", {"Thu", "Thurs", "Th"}},
+          {"Friday", {"Fri", "Fr"}},
+          {"Saturday", {"Sat", "Sa"}},
+          {"Sunday", {"Sun", "Su"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "elements",
+      {
+          {"Hydrogen", {"H"}},     {"Helium", {"He"}},
+          {"Lithium", {"Li"}},     {"Beryllium", {"Be"}},
+          {"Boron", {"B"}},        {"Carbon", {"C"}},
+          {"Nitrogen", {"N"}},     {"Oxygen", {"O"}},
+          {"Fluorine", {"F"}},     {"Neon", {"Ne"}},
+          {"Sodium", {"Na"}},      {"Magnesium", {"Mg"}},
+          {"Aluminium", {"Al", "Aluminum"}},
+          {"Silicon", {"Si"}},     {"Phosphorus", {"P"}},
+          {"Sulfur", {"S", "Sulphur"}},
+          {"Chlorine", {"Cl"}},    {"Argon", {"Ar"}},
+          {"Potassium", {"K"}},    {"Calcium", {"Ca"}},
+          {"Titanium", {"Ti"}},    {"Chromium", {"Cr"}},
+          {"Manganese", {"Mn"}},   {"Iron", {"Fe"}},
+          {"Cobalt", {"Co"}},      {"Nickel", {"Ni"}},
+          {"Copper", {"Cu"}},      {"Zinc", {"Zn"}},
+          {"Silver", {"Ag"}},      {"Tin", {"Sn"}},
+          {"Iodine", {"I"}},       {"Tungsten", {"W"}},
+          {"Platinum", {"Pt"}},    {"Gold", {"Au"}},
+          {"Mercury", {"Hg"}},     {"Lead", {"Pb"}},
+          {"Uranium", {"U"}},      {"Radon", {"Rn"}},
+          {"Barium", {"Ba"}},      {"Krypton", {"Kr"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "currencies",
+      {
+          {"US Dollar", {"USD", "$", "Dollar"}},
+          {"Euro", {"EUR", "€"}},
+          {"British Pound", {"GBP", "Pound Sterling", "£"}},
+          {"Japanese Yen", {"JPY", "Yen", "¥"}},
+          {"Swiss Franc", {"CHF", "Franc"}},
+          {"Canadian Dollar", {"CAD"}},
+          {"Australian Dollar", {"AUD"}},
+          {"Chinese Yuan", {"CNY", "RMB", "Renminbi"}},
+          {"Indian Rupee", {"INR", "Rupee"}},
+          {"Brazilian Real", {"BRL", "Real"}},
+          {"Mexican Peso", {"MXN"}},
+          {"South Korean Won", {"KRW", "Won"}},
+          {"Russian Ruble", {"RUB", "Ruble"}},
+          {"Turkish Lira", {"TRY", "Lira"}},
+          {"Swedish Krona", {"SEK", "Krona"}},
+          {"Norwegian Krone", {"NOK", "Krone"}},
+          {"Danish Krone", {"DKK"}},
+          {"Polish Zloty", {"PLN", "Zloty"}},
+          {"Thai Baht", {"THB", "Baht"}},
+          {"Singapore Dollar", {"SGD"}},
+          {"Hong Kong Dollar", {"HKD"}},
+          {"South African Rand", {"ZAR", "Rand"}},
+          {"Israeli Shekel", {"ILS", "Shekel"}},
+          {"Saudi Riyal", {"SAR", "Riyal"}},
+          {"Egyptian Pound", {"EGP"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "airports",
+      {
+          {"Los Angeles International Airport", {"LAX"}},
+          {"John F Kennedy International Airport", {"JFK"}},
+          {"Heathrow Airport", {"LHR", "London Heathrow"}},
+          {"Charles de Gaulle Airport", {"CDG", "Paris CDG"}},
+          {"Frankfurt Airport", {"FRA"}},
+          {"Amsterdam Schiphol Airport", {"AMS", "Schiphol"}},
+          {"Madrid Barajas Airport", {"MAD", "Barajas"}},
+          {"Barcelona El Prat Airport", {"BCN", "El Prat"}},
+          {"Dubai International Airport", {"DXB"}},
+          {"Singapore Changi Airport", {"SIN", "Changi"}},
+          {"Tokyo Haneda Airport", {"HND", "Haneda"}},
+          {"Tokyo Narita Airport", {"NRT", "Narita"}},
+          {"Beijing Capital International Airport", {"PEK"}},
+          {"Hong Kong International Airport", {"HKG"}},
+          {"Sydney Kingsford Smith Airport", {"SYD"}},
+          {"Toronto Pearson International Airport", {"YYZ", "Pearson"}},
+          {"Vancouver International Airport", {"YVR"}},
+          {"O'Hare International Airport", {"ORD", "Chicago O'Hare"}},
+          {"Hartsfield Jackson Atlanta International Airport", {"ATL"}},
+          {"Denver International Airport", {"DEN"}},
+          {"Seattle Tacoma International Airport", {"SEA", "SeaTac"}},
+          {"Miami International Airport", {"MIA"}},
+          {"San Francisco International Airport", {"SFO"}},
+          {"Boston Logan International Airport", {"BOS", "Logan"}},
+          {"Munich Airport", {"MUC"}},
+          {"Zurich Airport", {"ZRH"}},
+          {"Vienna International Airport", {"VIE"}},
+          {"Copenhagen Airport", {"CPH"}},
+          {"Oslo Gardermoen Airport", {"OSL", "Gardermoen"}},
+          {"Istanbul Airport", {"IST"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "languages",
+      {
+          {"English", {"en", "eng"}},   {"Spanish", {"es", "spa", "Espanol"}},
+          {"French", {"fr", "fra", "Francais"}},
+          {"German", {"de", "deu", "Deutsch"}},
+          {"Italian", {"it", "ita", "Italiano"}},
+          {"Portuguese", {"pt", "por"}},
+          {"Dutch", {"nl", "nld", "Nederlands"}},
+          {"Russian", {"ru", "rus"}},   {"Japanese", {"ja", "jpn"}},
+          {"Chinese", {"zh", "zho", "Mandarin"}},
+          {"Korean", {"ko", "kor"}},    {"Arabic", {"ar", "ara"}},
+          {"Hindi", {"hi", "hin"}},     {"Bengali", {"bn", "ben"}},
+          {"Turkish", {"tr", "tur"}},   {"Polish", {"pl", "pol"}},
+          {"Swedish", {"sv", "swe"}},   {"Norwegian", {"no", "nor"}},
+          {"Danish", {"da", "dan"}},    {"Finnish", {"fi", "fin"}},
+          {"Greek", {"el", "ell"}},     {"Hebrew", {"he", "heb"}},
+          {"Thai", {"th", "tha"}},      {"Vietnamese", {"vi", "vie"}},
+          {"Indonesian", {"id", "ind", "Bahasa"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "universities",
+      {
+          {"Massachusetts Institute of Technology", {"MIT"}},
+          {"University of California Los Angeles", {"UCLA"}},
+          {"University of California Berkeley", {"UC Berkeley", "Cal"}},
+          {"New York University", {"NYU"}},
+          {"University of Southern California", {"USC"}},
+          {"Carnegie Mellon University", {"CMU"}},
+          {"Georgia Institute of Technology", {"Georgia Tech", "GT"}},
+          {"California Institute of Technology", {"Caltech", "CIT"}},
+          {"University of Michigan", {"UMich", "U-M"}},
+          {"University of Texas at Austin", {"UT Austin", "UT"}},
+          {"University of Illinois Urbana-Champaign", {"UIUC"}},
+          {"University of Washington", {"UW", "UDub"}},
+          {"University of Pennsylvania", {"UPenn", "Penn"}},
+          {"University of North Carolina", {"UNC"}},
+          {"Ohio State University", {"OSU", "Ohio State"}},
+          {"Pennsylvania State University", {"Penn State", "PSU"}},
+          {"Virginia Polytechnic Institute", {"Virginia Tech", "VT"}},
+          {"Texas A&M University", {"TAMU", "Texas A&M"}},
+          {"University of Florida", {"UF", "Florida"}},
+          {"University of Wisconsin Madison", {"UW-Madison"}},
+          {"London School of Economics", {"LSE"}},
+          {"University of British Columbia", {"UBC"}},
+          {"Eidgenossische Technische Hochschule Zurich", {"ETH Zurich", "ETH"}},
+          {"National University of Singapore", {"NUS"}},
+          {"Northeastern University", {"NEU", "Northeastern"}},
+          {"Worcester Polytechnic Institute", {"WPI"}},
+          {"University of Waterloo", {"UWaterloo", "Waterloo"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "units",
+      {
+          {"kilometer", {"km", "kilometre"}},
+          {"meter", {"m", "metre"}},
+          {"centimeter", {"cm", "centimetre"}},
+          {"millimeter", {"mm", "millimetre"}},
+          {"mile", {"mi"}},
+          {"kilogram", {"kg", "kilo"}},
+          {"gram", {"g"}},
+          {"pound", {"lb", "lbs"}},
+          {"ounce", {"oz"}},
+          {"liter", {"L", "litre"}},
+          {"milliliter", {"mL", "millilitre"}},
+          {"gallon", {"gal"}},
+          {"second", {"s", "sec"}},
+          {"minute", {"min"}},
+          {"hour", {"h", "hr"}},
+          {"celsius", {"C", "°C"}},
+          {"fahrenheit", {"F", "°F"}},
+          {"kelvin", {"K"}},
+          {"joule", {"J"}},
+          {"watt", {"W"}},
+          {"kilowatt", {"kW"}},
+          {"volt", {"V"}},
+          {"ampere", {"A", "amp"}},
+          {"hertz", {"Hz"}},
+          {"byte", {"B"}},
+          {"kilobyte", {"kB", "KB"}},
+          {"megabyte", {"MB"}},
+          {"gigabyte", {"GB"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "car_brands",
+      {
+          {"Mercedes-Benz", {"Mercedes", "Benz", "MB"}},
+          {"Bayerische Motoren Werke", {"BMW"}},
+          {"Volkswagen", {"VW"}},
+          {"General Motors", {"GM"}},
+          {"Ford Motor Company", {"Ford"}},
+          {"Toyota Motor Corporation", {"Toyota"}},
+          {"Honda Motor Company", {"Honda"}},
+          {"Nissan Motor Company", {"Nissan", "Datsun"}},
+          {"Hyundai Motor Company", {"Hyundai"}},
+          {"Kia Corporation", {"Kia"}},
+          {"Fiat Chrysler Automobiles", {"FCA", "Fiat Chrysler"}},
+          {"Alfa Romeo", {"Alfa"}},
+          {"Aston Martin", {"AM"}},
+          {"Rolls-Royce", {"RR", "Rolls Royce"}},
+          {"Land Rover", {"LR"}},
+          {"Range Rover", {"RangeRover"}},
+          {"Chevrolet", {"Chevy"}},
+          {"Cadillac", {"Caddy"}},
+          {"Porsche AG", {"Porsche"}},
+          {"Ferrari S.p.A.", {"Ferrari"}},
+          {"Lamborghini", {"Lambo"}},
+          {"Tesla Inc", {"Tesla"}},
+          {"Subaru Corporation", {"Subaru"}},
+          {"Mazda Motor Corporation", {"Mazda"}},
+          {"Mitsubishi Motors", {"Mitsubishi"}},
+          {"Suzuki Motor Corporation", {"Suzuki"}},
+          {"Renault Group", {"Renault"}},
+          {"Peugeot", {"PSA Peugeot"}},
+          {"Skoda Auto", {"Skoda"}},
+          {"Volvo Cars", {"Volvo"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "sports_teams",
+      {
+          {"New York Yankees", {"NYY", "Yankees"}},
+          {"Boston Red Sox", {"BOS", "Red Sox"}},
+          {"Los Angeles Lakers", {"LAL", "Lakers"}},
+          {"Golden State Warriors", {"GSW", "Warriors"}},
+          {"New England Patriots", {"NE", "Patriots", "Pats"}},
+          {"Green Bay Packers", {"GB", "Packers"}},
+          {"Dallas Cowboys", {"DAL", "Cowboys"}},
+          {"Chicago Bulls", {"CHI", "Bulls"}},
+          {"Toronto Raptors", {"TOR", "Raptors"}},
+          {"Manchester United", {"Man Utd", "MUFC", "Man United"}},
+          {"Manchester City", {"Man City", "MCFC"}},
+          {"Real Madrid", {"RMA", "Los Blancos"}},
+          {"FC Barcelona", {"Barca", "FCB"}},
+          {"Bayern Munich", {"FCB Munich", "Bayern"}},
+          {"Borussia Dortmund", {"BVB", "Dortmund"}},
+          {"Paris Saint-Germain", {"PSG"}},
+          {"Juventus FC", {"Juve", "Juventus"}},
+          {"AC Milan", {"Milan", "ACM"}},
+          {"Inter Milan", {"Inter", "Internazionale"}},
+          {"Liverpool FC", {"LFC", "Liverpool"}},
+          {"Chelsea FC", {"CFC", "Chelsea"}},
+          {"Arsenal FC", {"AFC", "Gunners", "Arsenal"}},
+          {"Tottenham Hotspur", {"Spurs", "THFC"}},
+          {"Ajax Amsterdam", {"Ajax", "AFC Ajax"}},
+          {"Atletico Madrid", {"Atleti", "ATM"}},
+          {"Seattle Seahawks", {"SEA", "Seahawks"}},
+          {"Denver Broncos", {"DEN", "Broncos"}},
+          {"Miami Dolphins", {"MIA", "Dolphins"}},
+          {"Philadelphia Eagles", {"PHI", "Eagles"}},
+          {"San Francisco 49ers", {"SF", "Niners", "49ers"}},
+      }});
+
+  topics.push_back(TopicVocab{
+      "programming_languages",
+      {
+          {"Python", {"py", "CPython"}},
+          {"JavaScript", {"JS", "ECMAScript"}},
+          {"TypeScript", {"TS"}},
+          {"C++", {"cpp", "cplusplus"}},
+          {"C#", {"csharp", "C Sharp"}},
+          {"Objective-C", {"ObjC", "objective c"}},
+          {"Visual Basic", {"VB", "VB.NET"}},
+          {"Ruby on Rails", {"RoR", "Rails"}},
+          {"Golang", {"Go"}},
+          {"Rust", {"rs"}},
+          {"Kotlin", {"kt"}},
+          {"Swift", {"swift-lang"}},
+          {"Haskell", {"hs"}},
+          {"Erlang", {"erl"}},
+          {"Elixir", {"ex"}},
+          {"Fortran", {"f90", "FORTRAN"}},
+          {"COBOL", {"Cobol"}},
+          {"Assembly", {"ASM", "assembler"}},
+          {"MATLAB", {"matlab"}},
+          {"Perl", {"pl"}},
+          {"Scala", {"sc"}},
+          {"Clojure", {"clj"}},
+          {"Julia", {"jl"}},
+          {"Lua", {"lua"}},
+          {"Shell", {"sh", "bash"}},
+      }});
+
+  return topics;
+}
+
+}  // namespace
+
+const std::vector<TopicVocab>& BuiltinTopics() {
+  static const std::vector<TopicVocab>* topics =
+      new std::vector<TopicVocab>(BuildTopics());
+  return *topics;
+}
+
+const TopicVocab& TopicByName(const std::string& name) {
+  for (const auto& t : BuiltinTopics()) {
+    if (t.topic == name) return t;
+  }
+  std::fprintf(stderr, "TopicByName: unknown topic '%s'\n", name.c_str());
+  std::abort();
+}
+
+const std::vector<std::pair<std::string, std::string>>& Nicknames() {
+  static const auto* pairs =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"Robert", "Bob"},      {"Robert", "Rob"},
+          {"William", "Bill"},    {"William", "Will"},
+          {"Richard", "Dick"},    {"Richard", "Rick"},
+          {"James", "Jim"},       {"James", "Jimmy"},
+          {"John", "Jack"},       {"John", "Johnny"},
+          {"Michael", "Mike"},    {"Christopher", "Chris"},
+          {"Joseph", "Joe"},      {"Thomas", "Tom"},
+          {"Charles", "Charlie"}, {"Charles", "Chuck"},
+          {"Daniel", "Dan"},      {"Matthew", "Matt"},
+          {"Anthony", "Tony"},    {"Donald", "Don"},
+          {"Steven", "Steve"},    {"Andrew", "Andy"},
+          {"Kenneth", "Ken"},     {"Edward", "Ed"},
+          {"Edward", "Ted"},      {"Ronald", "Ron"},
+          {"Timothy", "Tim"},     {"Jeffrey", "Jeff"},
+          {"Gregory", "Greg"},    {"Benjamin", "Ben"},
+          {"Samuel", "Sam"},      {"Patrick", "Pat"},
+          {"Alexander", "Alex"},  {"Nicholas", "Nick"},
+          {"Jonathan", "Jon"},    {"Lawrence", "Larry"},
+          {"Elizabeth", "Liz"},   {"Elizabeth", "Beth"},
+          {"Margaret", "Maggie"}, {"Margaret", "Peggy"},
+          {"Katherine", "Kate"},  {"Katherine", "Kathy"},
+          {"Jennifer", "Jen"},    {"Patricia", "Pat"},
+          {"Barbara", "Barb"},    {"Susan", "Sue"},
+          {"Jessica", "Jess"},    {"Rebecca", "Becky"},
+          {"Deborah", "Debbie"},  {"Victoria", "Vicky"},
+          {"Kimberly", "Kim"},    {"Christina", "Tina"},
+          {"Samantha", "Sam"},    {"Alexandra", "Sandra"},
+          {"Abigail", "Abby"},    {"Natalie", "Nat"},
+      };
+  return *pairs;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* names = new std::vector<std::string>{
+      "James",   "John",     "Robert",  "Michael", "William", "David",
+      "Richard", "Joseph",   "Thomas",  "Charles", "Daniel",  "Matthew",
+      "Anthony", "Donald",   "Steven",  "Andrew",  "Kenneth", "Edward",
+      "Ronald",  "Timothy",  "Jeffrey", "Gregory", "Benjamin","Samuel",
+      "Patrick", "Alexander","Nicholas","Jonathan","Lawrence","Mary",
+      "Patricia","Jennifer", "Linda",   "Elizabeth","Barbara","Susan",
+      "Jessica", "Sarah",    "Karen",   "Nancy",   "Lisa",    "Margaret",
+      "Betty",   "Sandra",   "Ashley",  "Dorothy", "Kimberly","Emily",
+      "Donna",   "Michelle", "Carol",   "Amanda",  "Melissa", "Deborah",
+      "Stephanie","Rebecca", "Laura",   "Sharon",  "Cynthia", "Katherine",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",   "Garcia",
+      "Miller",   "Davis",    "Rodriguez","Martinez", "Hernandez","Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",  "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson","White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",   "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",  "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",   "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell","Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",   "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins", "Reyes",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& CityNames() {
+  static const auto* names = new std::vector<std::string>{
+      "Berlin",     "Toronto",   "Barcelona", "New Delhi",  "Boston",
+      "London",     "Paris",     "Madrid",    "Rome",       "Vienna",
+      "Amsterdam",  "Brussels",  "Lisbon",    "Dublin",     "Prague",
+      "Warsaw",     "Budapest",  "Athens",    "Stockholm",  "Oslo",
+      "Copenhagen", "Helsinki",  "Zurich",    "Geneva",     "Munich",
+      "Hamburg",    "Frankfurt", "Cologne",   "Milan",      "Naples",
+      "Venice",     "Florence",  "Seville",   "Valencia",   "Porto",
+      "Moscow",     "Istanbul",  "Ankara",    "Cairo",      "Lagos",
+      "Nairobi",    "Cape Town", "Johannesburg","Casablanca","Tunis",
+      "New York",   "Los Angeles","Chicago",  "Houston",    "Phoenix",
+      "Philadelphia","San Antonio","San Diego","Dallas",    "San Jose",
+      "Austin",     "Seattle",   "Denver",    "Washington", "Miami",
+      "Atlanta",    "Detroit",   "Minneapolis","Portland",  "Las Vegas",
+      "Montreal",   "Vancouver", "Calgary",   "Ottawa",     "Edmonton",
+      "Mexico City","Guadalajara","Monterrey","Bogota",     "Lima",
+      "Santiago",   "Buenos Aires","Sao Paulo","Rio de Janeiro","Brasilia",
+      "Tokyo",      "Osaka",     "Kyoto",     "Seoul",      "Busan",
+      "Beijing",    "Shanghai",  "Shenzhen",  "Guangzhou",  "Hong Kong",
+      "Singapore",  "Bangkok",   "Jakarta",   "Manila",     "Kuala Lumpur",
+      "Mumbai",     "Bangalore", "Chennai",   "Kolkata",    "Hyderabad",
+      "Sydney",     "Melbourne", "Brisbane",  "Perth",      "Auckland",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& CompanyHeadWords() {
+  static const auto* words = new std::vector<std::string>{
+      "Acme",     "Global",   "United",  "National", "Pacific", "Atlantic",
+      "Northern", "Southern", "Eastern", "Western",  "Central", "Pioneer",
+      "Summit",   "Vertex",   "Quantum", "Stellar",  "Apex",    "Nova",
+      "Orion",    "Titan",    "Vanguard","Horizon",  "Cascade", "Granite",
+      "Liberty",  "Frontier", "Beacon",  "Crescent", "Evergreen","Keystone",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& CompanyTailWords() {
+  static const auto* words = new std::vector<std::string>{
+      "Systems",     "Technologies", "Industries",  "Solutions",
+      "Dynamics",    "Networks",     "Analytics",   "Logistics",
+      "Materials",   "Energy",       "Robotics",    "Software",
+      "Electronics", "Aerospace",    "Biosciences", "Pharmaceuticals",
+      "Financial",   "Holdings",     "Partners",    "Ventures",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& CompanyLegalSuffixes() {
+  static const auto* words = new std::vector<std::string>{
+      "Inc.", "Inc", "Incorporated", "Corp.", "Corp", "Corporation",
+      "LLC",  "Ltd.", "Ltd", "Limited", "Co.", "Company", "Group", "AG",
+      "GmbH", "S.A.", "PLC",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& TitleAdjectives() {
+  static const auto* words = new std::vector<std::string>{
+      "Midnight", "Golden",   "Silent",  "Broken",  "Electric", "Crimson",
+      "Hidden",   "Eternal",  "Wild",    "Frozen",  "Burning",  "Lonely",
+      "Distant",  "Shattered","Velvet",  "Neon",    "Silver",   "Hollow",
+      "Restless", "Fading",   "Rising",  "Falling", "Endless",  "Savage",
+  };
+  return *words;
+}
+
+const std::vector<std::string>& TitleNouns() {
+  static const auto* words = new std::vector<std::string>{
+      "River",   "Sky",     "Heart",   "Road",    "Dream",   "Fire",
+      "Shadow",  "Star",    "Ocean",   "Mountain","Storm",   "Garden",
+      "Mirror",  "Window",  "Bridge",  "Tower",   "Forest",  "Desert",
+      "Island",  "Harbor",  "Lantern", "Echo",    "Horizon", "Thunder",
+  };
+  return *words;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,60 @@
+// Built-in vocabularies: alias groups for real-world entities.
+//
+// Two consumers:
+//  * KnowledgeBase — the simulated "world knowledge" of LLM-grade embedding
+//    models (the paper embeds values with Mistral/Llama3; what those models
+//    contribute beyond surface similarity is exactly alias knowledge like
+//    "CA" ↔ "Canada"). See DESIGN.md §1 for the substitution rationale.
+//  * datagen — the Auto-Join-style benchmark generator draws its 17 topics
+//    from these tables.
+#ifndef LAKEFUZZ_EMBEDDING_VOCAB_H_
+#define LAKEFUZZ_EMBEDDING_VOCAB_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lakefuzz {
+
+/// A canonical entity name plus the alternate surface forms it appears as in
+/// the wild (codes, abbreviations, reorderings).
+struct AliasGroup {
+  std::string canonical;
+  std::vector<std::string> aliases;
+};
+
+/// A named topic with its alias groups.
+struct TopicVocab {
+  std::string topic;
+  std::vector<AliasGroup> groups;
+};
+
+/// All built-in alias topics (countries, US states, months, elements, …).
+/// Deterministic content and order.
+const std::vector<TopicVocab>& BuiltinTopics();
+
+/// Returns the topic with the given name; aborts if absent (programmer error).
+const TopicVocab& TopicByName(const std::string& name);
+
+/// Formal first names paired with their common nicknames.
+const std::vector<std::pair<std::string, std::string>>& Nicknames();
+
+/// Name parts for combinatorial person-name generation.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+/// City names (fuzzed only syntactically — typos/case — by generators).
+const std::vector<std::string>& CityNames();
+
+/// Word stock for combinatorial company name generation.
+const std::vector<std::string>& CompanyHeadWords();
+const std::vector<std::string>& CompanyTailWords();
+const std::vector<std::string>& CompanyLegalSuffixes();
+
+/// Word stock for synthetic song / movie titles.
+const std::vector<std::string>& TitleAdjectives();
+const std::vector<std::string>& TitleNouns();
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_VOCAB_H_

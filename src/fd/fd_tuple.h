@@ -1,0 +1,44 @@
+// FdResultTuple: an integrated (joined) tuple with provenance.
+#ifndef LAKEFUZZ_FD_FD_TUPLE_H_
+#define LAKEFUZZ_FD_FD_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lakefuzz {
+
+/// The join of a connected, join-consistent set of input tuples: one value
+/// per universal column (null where no member had a value), plus the sorted
+/// TIDs of the members (the paper's "TIDs" provenance column in Fig. 1).
+struct FdResultTuple {
+  std::vector<Value> values;
+  std::vector<uint32_t> tids;
+
+  bool operator==(const FdResultTuple& other) const {
+    return values == other.values && tids == other.tids;
+  }
+};
+
+/// True if `a`'s non-null values are a subset of `b`'s (b agrees wherever a
+/// is non-null). Equal tuples subsume each other.
+bool Subsumes(const FdResultTuple& b, const FdResultTuple& a);
+
+/// Number of non-null values.
+size_t NonNullCount(const FdResultTuple& t);
+
+/// Deterministic ordering: by TID list, then values.
+bool FdTupleLess(const FdResultTuple& a, const FdResultTuple& b);
+
+/// Materializes results as a table. When `include_provenance` is set, a
+/// leading "TIDs" column renders each provenance set as "{t0,t3}".
+Table FdResultsToTable(const std::vector<FdResultTuple>& results,
+                       const std::vector<std::string>& column_names,
+                       const std::string& table_name,
+                       bool include_provenance = false);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_FD_TUPLE_H_

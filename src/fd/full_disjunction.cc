@@ -1,0 +1,261 @@
+#include "fd/full_disjunction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Mutable enumeration state for one component.
+class ComponentEnumerator {
+ public:
+  ComponentEnumerator(const FdProblem& problem,
+                      const std::vector<uint32_t>& component,
+                      std::atomic<int64_t>* budget)
+      : problem_(problem),
+        component_(component),
+        budget_(budget),
+        num_cols_(problem.num_columns()) {
+    merged_.assign(num_cols_, Value::Null());
+    in_set_.assign(problem.num_tuples(), 0);
+    excluded_.assign(problem.num_tuples(), 0);
+    seen_stamp_.assign(problem.num_tuples(), 0);
+    uint32_t max_table = 0;
+    for (const auto& t : problem.tuples()) {
+      max_table = std::max(max_table, t.table_id);
+    }
+    table_used_.assign(max_table + 1, 0);
+  }
+
+  Result<std::vector<FdResultTuple>> Enumerate() {
+    // Fast path: the whole component is a single legal set iff every column
+    // has at most one distinct non-null value across it (O(total values))
+    // and no table contributes two tuples (an FD set holds at most one
+    // tuple per relation).
+    if (ComponentTablesDistinct() && ComponentFullyConsistent()) {
+      FdResultTuple t;
+      t.values = merged_;  // filled by ComponentFullyConsistent
+      t.tids = component_;
+      ResetMerged();
+      return std::vector<FdResultTuple>{std::move(t)};
+    }
+
+    LAKEFUZZ_RETURN_IF_ERROR(Extend());
+    return std::move(results_);
+  }
+
+  uint64_t nodes_used() const { return nodes_used_; }
+
+ private:
+  bool ComponentTablesDistinct() {
+    for (uint32_t tid : component_) {
+      uint32_t table = problem_.tuples()[tid].table_id;
+      if (table_used_[table]) {
+        for (uint32_t seen : component_) {
+          table_used_[problem_.tuples()[seen].table_id] = 0;
+        }
+        return false;
+      }
+      table_used_[table] = 1;
+    }
+    for (uint32_t tid : component_) {
+      table_used_[problem_.tuples()[tid].table_id] = 0;
+    }
+    return true;
+  }
+
+  bool ComponentFullyConsistent() {
+    for (uint32_t tid : component_) {
+      const auto& vals = problem_.tuples()[tid].values;
+      for (size_t c = 0; c < num_cols_; ++c) {
+        if (vals[c].is_null()) continue;
+        if (merged_[c].is_null()) {
+          merged_[c] = vals[c];
+        } else if (!(merged_[c] == vals[c])) {
+          ResetMerged();
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void ResetMerged() {
+    for (auto& v : merged_) v = Value::Null();
+  }
+
+  bool ConsistentWithMerged(uint32_t tid) const {
+    const auto& vals = problem_.tuples()[tid].values;
+    for (size_t c = 0; c < num_cols_; ++c) {
+      if (vals[c].is_null() || merged_[c].is_null()) continue;
+      if (!(merged_[c] == vals[c])) return false;
+    }
+    return true;
+  }
+
+  /// Adds `tid` to S; returns the columns that flipped null→non-null (undo
+  /// record for backtracking).
+  std::vector<size_t> Include(uint32_t tid) {
+    std::vector<size_t> flipped;
+    const auto& vals = problem_.tuples()[tid].values;
+    for (size_t c = 0; c < num_cols_; ++c) {
+      if (vals[c].is_null() || !merged_[c].is_null()) continue;
+      merged_[c] = vals[c];
+      flipped.push_back(c);
+    }
+    in_set_[tid] = true;
+    table_used_[problem_.tuples()[tid].table_id] = 1;
+    members_.push_back(tid);
+    return flipped;
+  }
+
+  void Undo(uint32_t tid, const std::vector<size_t>& flipped) {
+    for (size_t c : flipped) merged_[c] = Value::Null();
+    in_set_[tid] = false;
+    table_used_[problem_.tuples()[tid].table_id] = 0;
+    members_.pop_back();
+  }
+
+  /// Consistent join-graph extensions of the current set S. When S is empty
+  /// every component member is a candidate (seeds). `any_consistent` is set
+  /// if at least one extension exists *ignoring* exclusions — the
+  /// maximality test.
+  std::vector<uint32_t> Candidates(bool* any_consistent) {
+    std::vector<uint32_t> cand;
+    *any_consistent = false;
+    if (members_.empty()) {
+      for (uint32_t tid : component_) {
+        *any_consistent = true;
+        if (!excluded_[tid]) cand.push_back(tid);
+      }
+      return cand;
+    }
+    ++epoch_;
+    for (uint32_t m : members_) {
+      for (uint32_t nb : problem_.Neighbors(m)) {
+        if (in_set_[nb]) continue;
+        if (seen_stamp_[nb] == epoch_) continue;
+        seen_stamp_[nb] = epoch_;
+        // One tuple per relation: a tuple whose table is already represented
+        // can never extend S (neither now nor in any superset of S).
+        if (table_used_[problem_.tuples()[nb].table_id]) continue;
+        if (!ConsistentWithMerged(nb)) continue;
+        *any_consistent = true;
+        if (!excluded_[nb]) cand.push_back(nb);
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    return cand;
+  }
+
+  Status Extend() {
+    ++nodes_used_;
+    if ((nodes_used_ & 0x3ff) == 0 || members_.empty()) {
+      // Amortized budget check: draw down in blocks.
+      if (budget_ != nullptr &&
+          budget_->fetch_sub(1024, std::memory_order_relaxed) <= 0) {
+        return Status::FailedPrecondition(
+            "full disjunction search budget exhausted "
+            "(max_search_nodes); component too entangled");
+      }
+    }
+    bool any_consistent = false;
+    std::vector<uint32_t> cand = Candidates(&any_consistent);
+    if (!any_consistent) {
+      // S is ⊆-maximal among connected consistent sets: emit.
+      FdResultTuple t;
+      t.values = merged_;
+      t.tids = members_;
+      std::sort(t.tids.begin(), t.tids.end());
+      results_.push_back(std::move(t));
+      return Status::OK();
+    }
+    if (cand.empty()) {
+      // Extendable only by excluded tuples: every maximal superset contains
+      // an excluded tuple and is enumerated in a sibling branch. Prune.
+      return Status::OK();
+    }
+    std::vector<uint32_t> locally_excluded;
+    locally_excluded.reserve(cand.size());
+    for (uint32_t v : cand) {
+      // S is identical across loop iterations (Include/Undo pairs), but the
+      // exclusion set grows — skip candidates excluded by earlier siblings.
+      if (excluded_[v]) continue;
+      std::vector<size_t> flipped = Include(v);
+      Status st = Extend();
+      Undo(v, flipped);
+      if (!st.ok()) {
+        for (uint32_t u : locally_excluded) excluded_[u] = false;
+        return st;
+      }
+      excluded_[v] = true;
+      locally_excluded.push_back(v);
+    }
+    for (uint32_t u : locally_excluded) excluded_[u] = false;
+    return Status::OK();
+  }
+
+  const FdProblem& problem_;
+  const std::vector<uint32_t>& component_;
+  std::atomic<int64_t>* budget_;
+  const size_t num_cols_;
+
+  std::vector<Value> merged_;
+  std::vector<uint32_t> members_;
+  std::vector<char> in_set_;
+  std::vector<char> table_used_;
+  std::vector<char> excluded_;
+  std::vector<uint64_t> seen_stamp_;
+  uint64_t epoch_ = 0;
+  std::vector<FdResultTuple> results_;
+  uint64_t nodes_used_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
+    const FdProblem& problem, const std::vector<uint32_t>& component,
+    std::atomic<int64_t>* budget, uint64_t* nodes_used) {
+  ComponentEnumerator enumerator(problem, component, budget);
+  auto result = enumerator.Enumerate();
+  if (nodes_used != nullptr) *nodes_used = enumerator.nodes_used();
+  return result;
+}
+
+Result<FdResult> FullDisjunction::Run(FdProblem* problem) const {
+  problem->BuildIndex();
+  FdResult out;
+  out.stats.num_input_tuples = problem->num_tuples();
+  out.stats.num_components = problem->Components().size();
+
+  std::atomic<int64_t> budget{
+      static_cast<int64_t>(options_.max_search_nodes)};
+  for (const auto& comp : problem->Components()) {
+    out.stats.largest_component =
+        std::max(out.stats.largest_component, comp.size());
+    uint64_t nodes = 0;
+    LAKEFUZZ_ASSIGN_OR_RETURN(
+        std::vector<FdResultTuple> tuples,
+        RunComponent(*problem, comp, &budget, &nodes));
+    out.stats.search_nodes += nodes;
+    for (auto& t : tuples) out.tuples.push_back(std::move(t));
+  }
+  out.stats.results_before_subsumption = out.tuples.size();
+  out.tuples = EliminateSubsumed(std::move(out.tuples));
+  out.stats.results = out.tuples.size();
+  return out;
+}
+
+Result<Table> FullDisjunction::RunToTable(const std::vector<Table>& tables,
+                                          const AlignedSchema& aligned,
+                                          bool include_provenance) const {
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
+                            FdProblem::Build(tables, aligned));
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdResult result, Run(&problem));
+  return FdResultsToTable(result.tuples, problem.column_names(),
+                          "full_disjunction", include_provenance);
+}
+
+}  // namespace lakefuzz

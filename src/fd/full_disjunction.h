@@ -1,0 +1,84 @@
+// Full Disjunction: the associative information-preserving integration
+// operator (Galindo-Legaria 1994; Rajaraman & Ullman 1996).
+//
+// Semantics implemented (Cohen et al., VLDB 2006 characterization):
+//   FD(T1..Tn) = subsumption-free set of joins of all *connected,
+//   join-consistent* sets of input tuples over the aligned universal schema.
+//
+//   join-consistent: every pair of tuples in the set agrees on every column
+//     where both are non-null;
+//   connected: the graph linking tuples that share an equal non-null value
+//     on some column is connected over the set.
+//
+// Algorithm: per join-graph component, branch-and-exclude enumeration of the
+// ⊆-maximal connected join-consistent sets (each set found exactly once; the
+// exclusion set prunes subtrees whose maximal supersets were already
+// covered), with a column-wise fast path for fully-consistent components.
+// Joins of non-maximal sets are subsumed by construction, so only maximal
+// sets are materialized before the final subsumption pass.
+//
+// Equivalence with the textbook all-outer-join-orders definition is
+// property-tested against fd/oracle.h on randomized inputs.
+#ifndef LAKEFUZZ_FD_FULL_DISJUNCTION_H_
+#define LAKEFUZZ_FD_FULL_DISJUNCTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "fd/fd_tuple.h"
+#include "fd/problem.h"
+#include "fd/subsumption.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct FdOptions {
+  /// Upper bound on enumeration nodes across the whole run; exceeded →
+  /// FailedPrecondition (the instance is adversarially entangled).
+  uint64_t max_search_nodes = 200'000'000;
+};
+
+/// Run diagnostics (reported by benchmarks).
+struct FdStats {
+  size_t num_input_tuples = 0;
+  size_t num_components = 0;
+  size_t largest_component = 0;
+  uint64_t search_nodes = 0;
+  size_t results_before_subsumption = 0;
+  size_t results = 0;
+};
+
+struct FdResult {
+  std::vector<FdResultTuple> tuples;  ///< sorted by FdTupleLess
+  FdStats stats;
+};
+
+/// Sequential Full Disjunction executor.
+class FullDisjunction {
+ public:
+  explicit FullDisjunction(FdOptions options = FdOptions())
+      : options_(options) {}
+
+  /// Computes FD over a prepared problem (builds its index if needed).
+  Result<FdResult> Run(FdProblem* problem) const;
+
+  /// Convenience: outer-union + FD + table materialization.
+  Result<Table> RunToTable(const std::vector<Table>& tables,
+                           const AlignedSchema& aligned,
+                           bool include_provenance = false) const;
+
+  /// Enumerates the joins of maximal connected consistent sets within one
+  /// component (no subsumption). `budget` is decremented per search node;
+  /// reaching zero aborts with FailedPrecondition. Exposed for the parallel
+  /// executor and for tests.
+  static Result<std::vector<FdResultTuple>> RunComponent(
+      const FdProblem& problem, const std::vector<uint32_t>& component,
+      std::atomic<int64_t>* budget, uint64_t* nodes_used);
+
+ private:
+  FdOptions options_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_FULL_DISJUNCTION_H_

@@ -1,0 +1,68 @@
+#include "fd/parallel.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace lakefuzz {
+
+Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
+  problem->BuildIndex();
+  FdResult out;
+  out.stats.num_input_tuples = problem->num_tuples();
+  out.stats.num_components = problem->Components().size();
+
+  // Largest components first: they dominate runtime, so schedule them before
+  // the long tail of singletons.
+  std::vector<const std::vector<uint32_t>*> comps;
+  comps.reserve(problem->Components().size());
+  for (const auto& c : problem->Components()) {
+    comps.push_back(&c);
+    out.stats.largest_component =
+        std::max(out.stats.largest_component, c.size());
+  }
+  std::stable_sort(comps.begin(), comps.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->size() > b->size();
+                   });
+
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(threads);
+
+  std::atomic<int64_t> budget{
+      static_cast<int64_t>(options_.fd.max_search_nodes)};
+  std::vector<std::vector<FdResultTuple>> per_comp(comps.size());
+  std::mutex err_mu;
+  Status first_error = Status::OK();
+  std::atomic<uint64_t> total_nodes{0};
+
+  pool.ParallelFor(comps.size(), [&](size_t i) {
+    uint64_t nodes = 0;
+    auto res = FullDisjunction::RunComponent(*problem, *comps[i], &budget,
+                                             &nodes);
+    total_nodes.fetch_add(nodes, std::memory_order_relaxed);
+    if (!res.ok()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = res.status();
+      return;
+    }
+    per_comp[i] = std::move(res).value();
+  });
+  if (!first_error.ok()) return first_error;
+
+  for (auto& tuples : per_comp) {
+    for (auto& t : tuples) out.tuples.push_back(std::move(t));
+  }
+  out.stats.search_nodes = total_nodes.load();
+  out.stats.results_before_subsumption = out.tuples.size();
+  out.tuples = EliminateSubsumed(std::move(out.tuples));
+  out.stats.results = out.tuples.size();
+  return out;
+}
+
+}  // namespace lakefuzz

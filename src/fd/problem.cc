@@ -1,0 +1,127 @@
+#include "fd/problem.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+
+Result<FdProblem> FdProblem::Build(const std::vector<Table>& tables,
+                                   const AlignedSchema& aligned) {
+  LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
+  FdProblem problem(aligned.NumUniversal(), aligned.universal_names);
+  for (size_t l = 0; l < tables.size(); ++l) {
+    const Table& t = tables[l];
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      std::vector<Value> padded(aligned.NumUniversal());
+      for (size_t c = 0; c < t.NumColumns(); ++c) {
+        padded[aligned.column_map[l][c]] = t.At(r, c);
+      }
+      LAKEFUZZ_RETURN_IF_ERROR(
+          problem.AddTuple(static_cast<uint32_t>(l), std::move(padded)));
+    }
+  }
+  return problem;
+}
+
+Status FdProblem::AddTuple(uint32_t table_id, std::vector<Value> values) {
+  if (values.size() != num_columns_) {
+    return Status::InvalidArgument(
+        StrFormat("tuple has %zu values, problem has %zu columns",
+                  values.size(), num_columns_));
+  }
+  tuples_.push_back(FdInputTuple{table_id, std::move(values)});
+  index_built_ = false;
+  return Status::OK();
+}
+
+const std::vector<uint32_t>& FdProblem::Neighbors(uint32_t tid) const {
+  assert(index_built_);
+  return adjacency_[tid];
+}
+
+const std::vector<std::vector<uint32_t>>& FdProblem::Components() const {
+  assert(index_built_);
+  return components_;
+}
+
+namespace {
+
+struct PostingKey {
+  size_t col;
+  Value value;
+  bool operator==(const PostingKey& other) const {
+    return col == other.col && value == other.value;
+  }
+};
+
+struct PostingKeyHasher {
+  size_t operator()(const PostingKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(static_cast<uint64_t>(k.col)), k.value.Hash()));
+  }
+};
+
+}  // namespace
+
+void FdProblem::BuildIndex() {
+  if (index_built_) return;
+  const uint32_t n = static_cast<uint32_t>(tuples_.size());
+
+  std::unordered_map<PostingKey, std::vector<uint32_t>, PostingKeyHasher>
+      postings;
+  for (uint32_t tid = 0; tid < n; ++tid) {
+    const auto& vals = tuples_[tid].values;
+    for (size_t c = 0; c < num_columns_; ++c) {
+      if (vals[c].is_null()) continue;
+      postings[PostingKey{c, vals[c]}].push_back(tid);
+    }
+  }
+
+  adjacency_.assign(n, {});
+  // Union-find for components.
+  std::vector<uint32_t> parent(n);
+  for (uint32_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const auto& [key, tids] : postings) {
+    (void)key;
+    if (tids.size() < 2) continue;
+    for (size_t i = 0; i < tids.size(); ++i) {
+      for (size_t j = i + 1; j < tids.size(); ++j) {
+        adjacency_[tids[i]].push_back(tids[j]);
+        adjacency_[tids[j]].push_back(tids[i]);
+      }
+      parent[find(tids[i])] = find(tids[0]);
+    }
+  }
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+
+  std::unordered_map<uint32_t, std::vector<uint32_t>> comp_map;
+  for (uint32_t tid = 0; tid < n; ++tid) comp_map[find(tid)].push_back(tid);
+  components_.clear();
+  components_.reserve(comp_map.size());
+  for (auto& [root, tids] : comp_map) {
+    (void)root;
+    std::sort(tids.begin(), tids.end());
+    components_.push_back(std::move(tids));
+  }
+  // Deterministic component order: by smallest member TID.
+  std::sort(components_.begin(), components_.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  index_built_ = true;
+}
+
+}  // namespace lakefuzz

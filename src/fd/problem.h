@@ -1,0 +1,74 @@
+// FdProblem: the outer-union representation Full Disjunction operates on.
+//
+// Every input tuple is padded to the universal schema with nulls and tagged
+// with its source table and a global tuple id (TID). Posting lists over
+// (column, value) pairs induce the *join graph*: tuples sharing an equal
+// non-null value on a universal column are joinable neighbors; its connected
+// components partition the FD computation.
+#ifndef LAKEFUZZ_FD_PROBLEM_H_
+#define LAKEFUZZ_FD_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/aligned_schema.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+/// One null-padded input tuple.
+struct FdInputTuple {
+  uint32_t table_id = 0;
+  /// Values over the universal schema (size = FdProblem::num_columns()).
+  std::vector<Value> values;
+};
+
+/// A materialized Full Disjunction instance.
+class FdProblem {
+ public:
+  FdProblem(size_t num_columns, std::vector<std::string> column_names)
+      : num_columns_(num_columns), column_names_(std::move(column_names)) {}
+
+  /// Outer-unions `tables` under `aligned` (validated first).
+  static Result<FdProblem> Build(const std::vector<Table>& tables,
+                                 const AlignedSchema& aligned);
+
+  size_t num_columns() const { return num_columns_; }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const std::vector<FdInputTuple>& tuples() const { return tuples_; }
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// Appends a tuple (used by Build and by tests constructing instances
+  /// directly). `values` must have num_columns() entries.
+  Status AddTuple(uint32_t table_id, std::vector<Value> values);
+
+  /// TIDs adjacent to `tid` in the join graph: tuples sharing at least one
+  /// equal non-null (column, value). Deduplicated, excludes `tid` itself.
+  /// Requires BuildIndex() to have been called.
+  const std::vector<uint32_t>& Neighbors(uint32_t tid) const;
+
+  /// Connected components of the join graph, each a sorted TID list.
+  /// Singleton tuples (no joinable partner) form singleton components.
+  /// Requires BuildIndex().
+  const std::vector<std::vector<uint32_t>>& Components() const;
+
+  /// Builds posting lists, adjacency, and components. Idempotent.
+  void BuildIndex();
+  bool index_built() const { return index_built_; }
+
+ private:
+  size_t num_columns_;
+  std::vector<std::string> column_names_;
+  std::vector<FdInputTuple> tuples_;
+
+  bool index_built_ = false;
+  std::vector<std::vector<uint32_t>> adjacency_;
+  std::vector<std::vector<uint32_t>> components_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_PROBLEM_H_

@@ -1,0 +1,165 @@
+#include "fd/subsumption.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+
+bool Subsumes(const FdResultTuple& b, const FdResultTuple& a) {
+  assert(a.values.size() == b.values.size());
+  for (size_t c = 0; c < a.values.size(); ++c) {
+    if (a.values[c].is_null()) continue;
+    if (b.values[c].is_null() || !(b.values[c] == a.values[c])) return false;
+  }
+  return true;
+}
+
+size_t NonNullCount(const FdResultTuple& t) {
+  size_t n = 0;
+  for (const auto& v : t.values) {
+    if (!v.is_null()) ++n;
+  }
+  return n;
+}
+
+bool FdTupleLess(const FdResultTuple& a, const FdResultTuple& b) {
+  if (a.tids != b.tids) return a.tids < b.tids;
+  for (size_t c = 0; c < a.values.size() && c < b.values.size(); ++c) {
+    if (a.values[c] == b.values[c]) continue;
+    return a.values[c] < b.values[c];
+  }
+  return a.values.size() < b.values.size();
+}
+
+Table FdResultsToTable(const std::vector<FdResultTuple>& results,
+                       const std::vector<std::string>& column_names,
+                       const std::string& table_name,
+                       bool include_provenance) {
+  std::vector<std::string> names;
+  if (include_provenance) names.push_back("TIDs");
+  names.insert(names.end(), column_names.begin(), column_names.end());
+  Table out(table_name, Schema::FromNames(names));
+  for (const auto& r : results) {
+    std::vector<Value> row;
+    row.reserve(names.size());
+    if (include_provenance) {
+      std::string prov = "{";
+      for (size_t i = 0; i < r.tids.size(); ++i) {
+        if (i > 0) prov += ",";
+        prov += StrFormat("t%u", r.tids[i]);
+      }
+      prov += "}";
+      row.push_back(Value::String(std::move(prov)));
+    }
+    row.insert(row.end(), r.values.begin(), r.values.end());
+    Status s = out.AppendRow(std::move(row));
+    assert(s.ok());
+    (void)s;
+  }
+  return out;
+}
+
+namespace {
+
+uint64_t ValuesSignature(const FdResultTuple& t) {
+  uint64_t h = 0x5ca1ab1e;
+  for (size_t c = 0; c < t.values.size(); ++c) {
+    if (t.values[c].is_null()) continue;
+    h = HashCombine(h, HashCombine(Mix64(c), t.values[c].Hash()));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<FdResultTuple> EliminateSubsumed(
+    std::vector<FdResultTuple> tuples) {
+  // Pass 1: collapse exact duplicates (same values). The survivor is the
+  // copy with the most complete provenance (largest TID set), then the
+  // lexicographically smallest — this makes the production enumerator
+  // (which only materializes maximal sets) and the subset oracle agree
+  // tuple-for-tuple, TIDs included.
+  auto prefer = [](const FdResultTuple& a, const FdResultTuple& b) {
+    if (a.tids.size() != b.tids.size()) {
+      return a.tids.size() > b.tids.size();
+    }
+    return a.tids < b.tids;
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> by_sig;
+  std::vector<char> dead(tuples.size(), 0);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto& bucket = by_sig[ValuesSignature(tuples[i])];
+    bool merged = false;
+    for (size_t j : bucket) {
+      if (tuples[j].values == tuples[i].values) {
+        if (prefer(tuples[i], tuples[j])) {
+          std::swap(tuples[i], tuples[j]);
+        }
+        dead[i] = 1;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) bucket.push_back(i);
+  }
+
+  // Pass 2: posting lists over live tuples; each tuple checks only tuples
+  // sharing its rarest non-null (column, value).
+  struct Key {
+    size_t col;
+    uint64_t vhash;
+    bool operator==(const Key& o) const {
+      return col == o.col && vhash == o.vhash;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(HashCombine(Mix64(k.col), k.vhash));
+    }
+  };
+  std::unordered_map<Key, std::vector<size_t>, KeyHasher> postings;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t c = 0; c < tuples[i].values.size(); ++c) {
+      if (tuples[i].values[c].is_null()) continue;
+      postings[Key{c, tuples[i].values[c].Hash()}].push_back(i);
+    }
+  }
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (dead[i]) continue;
+    size_t nn_i = NonNullCount(tuples[i]);
+    if (nn_i == 0) {
+      // All-null tuple: subsumed by anything; only survives alone.
+      if (tuples.size() > 1) dead[i] = 1;
+      continue;
+    }
+    // Rarest posting for tuple i.
+    const std::vector<size_t>* best = nullptr;
+    for (size_t c = 0; c < tuples[i].values.size(); ++c) {
+      if (tuples[i].values[c].is_null()) continue;
+      const auto& lst = postings[Key{c, tuples[i].values[c].Hash()}];
+      if (best == nullptr || lst.size() < best->size()) best = &lst;
+    }
+    for (size_t j : *best) {
+      if (j == i || dead[j]) continue;
+      if (NonNullCount(tuples[j]) <= nn_i) continue;  // equal ⇒ duplicate, handled
+      if (Subsumes(tuples[j], tuples[i])) {
+        dead[i] = 1;
+        break;
+      }
+    }
+  }
+
+  std::vector<FdResultTuple> out;
+  out.reserve(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (!dead[i]) out.push_back(std::move(tuples[i]));
+  }
+  std::sort(out.begin(), out.end(), FdTupleLess);
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,26 @@
+// Subsumption elimination: the final step of Full Disjunction.
+//
+// A result tuple is dropped when another result carries all its information
+// (agrees on its non-null values and has at least as many). Duplicates are
+// collapsed to the copy with the lexicographically smallest provenance, so
+// output is deterministic.
+#ifndef LAKEFUZZ_FD_SUBSUMPTION_H_
+#define LAKEFUZZ_FD_SUBSUMPTION_H_
+
+#include <vector>
+
+#include "fd/fd_tuple.h"
+
+namespace lakefuzz {
+
+/// Removes subsumed and duplicate tuples. Output is sorted by FdTupleLess.
+///
+/// Complexity: near-linear via (column, value) posting lists — a tuple can
+/// only be subsumed by one sharing its rarest non-null value — instead of
+/// all-pairs comparison.
+std::vector<FdResultTuple> EliminateSubsumed(
+    std::vector<FdResultTuple> tuples);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_SUBSUMPTION_H_

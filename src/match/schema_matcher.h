@@ -1,0 +1,52 @@
+// Holistic schema matching: ALITE's column-alignment stage.
+//
+// Data lake headers are unreliable, so columns are aligned by *content*:
+// each column gets a pooled value-embedding signature (ColumnEmbedder), and
+// signatures are clustered holistically across all tables of the integration
+// set (Su et al., EDBT 2006 style), under the constraint that a cluster
+// holds at most one column per table. Clusters become the universal columns
+// of the AlignedSchema that Full Disjunction consumes.
+#ifndef LAKEFUZZ_MATCH_SCHEMA_MATCHER_H_
+#define LAKEFUZZ_MATCH_SCHEMA_MATCHER_H_
+
+#include <memory>
+
+#include "embedding/column_embedder.h"
+#include "fd/aligned_schema.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct SchemaMatcherOptions {
+  /// Minimum cosine similarity for two column signatures to be merged.
+  /// Calibrated so that code-vs-full-name columns of one domain align
+  /// (pooled signatures agree through the knowledge-base component) while
+  /// unrelated columns (near-orthogonal signatures) stay apart.
+  double similarity_threshold = 0.30;
+  ColumnEmbedderOptions embedder;
+  /// Tie-break/assist weight for equal header names in [0,1]: added to the
+  /// content similarity when headers match exactly (data lakes can't rely
+  /// on headers, but when present and equal they are evidence).
+  double header_bonus = 0.05;
+};
+
+/// Greedy constrained agglomerative clustering of column signatures.
+class HolisticSchemaMatcher {
+ public:
+  HolisticSchemaMatcher(std::shared_ptr<const EmbeddingModel> model,
+                        SchemaMatcherOptions options = SchemaMatcherOptions());
+
+  /// Aligns the integration set into an AlignedSchema. Universal column
+  /// names are the most frequent header among each cluster's members
+  /// (ties → first by table order), uniquified with numeric suffixes.
+  Result<AlignedSchema> Align(const std::vector<Table>& tables) const;
+
+ private:
+  std::shared_ptr<const EmbeddingModel> model_;
+  SchemaMatcherOptions options_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_MATCH_SCHEMA_MATCHER_H_

@@ -1,0 +1,60 @@
+#include "metrics/pair_eval.h"
+
+#include <cassert>
+#include <map>
+
+namespace lakefuzz {
+
+ItemPair MakePair(uint64_t a, uint64_t b) {
+  assert(a != b);
+  return a < b ? ItemPair{a, b} : ItemPair{b, a};
+}
+
+Prf EvaluatePairs(const std::set<ItemPair>& predicted,
+                  const std::set<ItemPair>& ground_truth) {
+  Prf out;
+  for (const auto& p : predicted) {
+    if (ground_truth.count(p)) {
+      ++out.tp;
+    } else {
+      ++out.fp;
+    }
+  }
+  for (const auto& g : ground_truth) {
+    if (!predicted.count(g)) ++out.fn;
+  }
+  return out;
+}
+
+std::set<ItemPair> ClustersToPairs(
+    const std::vector<std::vector<uint64_t>>& clusters) {
+  std::set<ItemPair> pairs;
+  for (const auto& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        if (cluster[i] == cluster[j]) continue;
+        pairs.insert(MakePair(cluster[i], cluster[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+Prf EvaluateClustering(
+    const std::vector<std::vector<uint64_t>>& predicted,
+    const std::vector<std::pair<uint64_t, uint64_t>>& item_labels) {
+  std::map<uint64_t, std::vector<uint64_t>> by_label;
+  for (const auto& [item, label] : item_labels) {
+    by_label[label].push_back(item);
+  }
+  std::vector<std::vector<uint64_t>> gt_clusters;
+  gt_clusters.reserve(by_label.size());
+  for (auto& [label, items] : by_label) {
+    (void)label;
+    gt_clusters.push_back(std::move(items));
+  }
+  return EvaluatePairs(ClustersToPairs(predicted),
+                       ClustersToPairs(gt_clusters));
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,38 @@
+// Pairwise evaluation of matchings and clusterings against ground truth.
+#ifndef LAKEFUZZ_METRICS_PAIR_EVAL_H_
+#define LAKEFUZZ_METRICS_PAIR_EVAL_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "metrics/prf.h"
+
+namespace lakefuzz {
+
+/// An unordered pair of item ids, stored canonically (first < second).
+using ItemPair = std::pair<uint64_t, uint64_t>;
+
+/// Canonicalizes (a, b); a == b is a programming error for match pairs.
+ItemPair MakePair(uint64_t a, uint64_t b);
+
+/// Compares predicted vs ground-truth pair sets.
+Prf EvaluatePairs(const std::set<ItemPair>& predicted,
+                  const std::set<ItemPair>& ground_truth);
+
+/// Expands a clustering (groups of item ids) into its set of intra-cluster
+/// pairs — the standard pairwise view of a clustering.
+std::set<ItemPair> ClustersToPairs(
+    const std::vector<std::vector<uint64_t>>& clusters);
+
+/// Pairwise P/R/F1 of a predicted clustering against a ground-truth
+/// labeling: items[i] carries label labels[i]; ground-truth pairs are items
+/// sharing a label.
+Prf EvaluateClustering(const std::vector<std::vector<uint64_t>>& predicted,
+                       const std::vector<std::pair<uint64_t, uint64_t>>&
+                           item_labels /* (item, label) */);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_METRICS_PAIR_EVAL_H_

@@ -1,0 +1,57 @@
+#include "metrics/prf.h"
+
+#include <vector>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+
+double Prf::precision() const {
+  size_t denom = tp + fp;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / denom;
+}
+
+double Prf::recall() const {
+  size_t denom = tp + fn;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / denom;
+}
+
+double Prf::f1() const {
+  double p = precision();
+  double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string Prf::ToString() const {
+  return StrFormat("P=%.2f R=%.2f F1=%.2f", precision(), recall(), f1());
+}
+
+Prf MicroAverage(const std::vector<Prf>& parts) {
+  Prf out;
+  for (const auto& p : parts) {
+    out.tp += p.tp;
+    out.fp += p.fp;
+    out.fn += p.fn;
+  }
+  return out;
+}
+
+std::string MacroPrf::ToString() const {
+  return StrFormat("P=%.2f R=%.2f F1=%.2f", precision, recall, f1);
+}
+
+MacroPrf MacroAverage(const std::vector<Prf>& parts) {
+  MacroPrf out;
+  if (parts.empty()) return out;
+  for (const auto& p : parts) {
+    out.precision += p.precision();
+    out.recall += p.recall();
+    out.f1 += p.f1();
+  }
+  out.precision /= static_cast<double>(parts.size());
+  out.recall /= static_cast<double>(parts.size());
+  out.f1 /= static_cast<double>(parts.size());
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,42 @@
+// Precision / Recall / F1 — the paper's effectiveness metrics.
+#ifndef LAKEFUZZ_METRICS_PRF_H_
+#define LAKEFUZZ_METRICS_PRF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Counts plus derived scores. Conventions: P = tp/(tp+fp) (1 when no
+/// predictions), R = tp/(tp+fn) (1 when nothing to find), F1 harmonic mean
+/// (0 when P+R = 0).
+struct Prf {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  /// "P=0.81 R=0.86 F1=0.82".
+  std::string ToString() const;
+};
+
+/// Micro-average: sums counts across parts (every decision weighs equally).
+Prf MicroAverage(const std::vector<Prf>& parts);
+
+/// Macro-averaged P/R/F1 over parts — what the paper's Table 1 reports
+/// ("average performance over 31 sets"). Parts are weighted equally.
+struct MacroPrf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::string ToString() const;
+};
+MacroPrf MacroAverage(const std::vector<Prf>& parts);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_METRICS_PRF_H_

@@ -1,0 +1,45 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+namespace lakefuzz {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out->append("  ");
+      out->append(row[c]);
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+  std::string out;
+  emit_row(headers_, &out);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  out.append(rule, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,30 @@
+// Paper-style result tables for benchmark output.
+#ifndef LAKEFUZZ_METRICS_REPORT_H_
+#define LAKEFUZZ_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Accumulates rows of string cells and renders an aligned text table, the
+/// format every bench binary prints its paper table/figure in.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Aligned rendering with a header rule.
+  std::string Render() const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_METRICS_REPORT_H_

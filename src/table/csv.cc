@@ -1,0 +1,234 @@
+#include "table/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// One parsed record: the raw field texts plus whether each was quoted
+/// (quoted fields are exempt from trimming and are never inferred as null).
+struct RawRecord {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+};
+
+/// Streaming RFC-4180 tokenizer.
+class CsvParser {
+ public:
+  CsvParser(std::string_view text, char delimiter)
+      : text_(text), delim_(delimiter) {}
+
+  /// Reads the next record into `out`. Returns false at end of input.
+  /// A trailing newline does not produce an empty final record.
+  Result<bool> Next(RawRecord* out) {
+    out->fields.clear();
+    out->quoted.clear();
+    if (pos_ >= text_.size()) return false;
+
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    bool any_char = false;
+
+    auto flush_field = [&] {
+      out->fields.push_back(std::move(field));
+      out->quoted.push_back(field_was_quoted);
+      field.clear();
+      field_was_quoted = false;
+    };
+
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            field.push_back('"');
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+        } else {
+          field.push_back(c);
+          ++pos_;
+        }
+        any_char = true;
+        continue;
+      }
+      if (c == '"' && field.empty() && !field_was_quoted) {
+        in_quotes = true;
+        field_was_quoted = true;
+        any_char = true;
+        ++pos_;
+        continue;
+      }
+      if (c == delim_) {
+        flush_field();
+        any_char = true;
+        ++pos_;
+        continue;
+      }
+      if (c == '\r') {
+        // Swallow CR; CRLF and bare CR both terminate the record.
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        flush_field();
+        return true;
+      }
+      if (c == '\n') {
+        ++pos_;
+        flush_field();
+        return true;
+      }
+      field.push_back(c);
+      any_char = true;
+      ++pos_;
+    }
+
+    if (in_quotes) {
+      return Status::InvalidArgument("unterminated quoted field at end of CSV");
+    }
+    if (any_char || !out->fields.empty()) {
+      flush_field();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string_view text_;
+  char delim_;
+  size_t pos_ = 0;
+};
+
+Value FieldToValue(const std::string& raw, bool quoted,
+                   const CsvOptions& options) {
+  std::string text = raw;
+  if (!quoted && options.trim_unquoted) text = Trim(text);
+  if (text.empty() && !quoted) return Value::Null();
+  if (options.infer_types && !quoted) return Value::Parse(text);
+  if (text.empty()) return Value::Null();
+  return Value::String(std::move(text));
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  // Leading/trailing whitespace must be preserved through a read round-trip.
+  return !s.empty() && (std::isspace(static_cast<unsigned char>(s.front())) ||
+                        std::isspace(static_cast<unsigned char>(s.back())));
+}
+
+void AppendCsvField(const Value& v, char delimiter, std::string* out) {
+  std::string text = v.ToString();
+  if (v.type() == ValueType::kString &&
+      (NeedsQuoting(text, delimiter) || text.empty())) {
+    out->push_back('"');
+    for (char c : text) {
+      if (c == '"') out->push_back('"');
+      out->push_back(c);
+    }
+    out->push_back('"');
+  } else {
+    out->append(text);
+  }
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::string_view text, std::string table_name,
+                      const CsvOptions& options) {
+  CsvParser parser(text, options.delimiter);
+  RawRecord record;
+
+  // Header (or synthesized names from the first record's width).
+  LAKEFUZZ_ASSIGN_OR_RETURN(bool has_first, parser.Next(&record));
+  if (!has_first) {
+    return Table(std::move(table_name), Schema());
+  }
+
+  std::vector<std::string> names;
+  std::vector<RawRecord> pending;
+  if (options.has_header) {
+    for (const auto& f : record.fields) names.push_back(Trim(f));
+  } else {
+    for (size_t i = 0; i < record.fields.size(); ++i) {
+      names.push_back(StrFormat("c%zu", i));
+    }
+    pending.push_back(record);
+  }
+
+  Table table(std::move(table_name), Schema::FromNames(names));
+  size_t row_number = options.has_header ? 1 : 0;
+  auto append = [&](const RawRecord& rec) -> Status {
+    ++row_number;
+    if (rec.fields.size() != names.size()) {
+      return Status::InvalidArgument(
+          StrFormat("record %zu has %zu fields, expected %zu", row_number,
+                    rec.fields.size(), names.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(rec.fields.size());
+    for (size_t i = 0; i < rec.fields.size(); ++i) {
+      row.push_back(FieldToValue(rec.fields[i], rec.quoted[i], options));
+    }
+    return table.AppendRow(std::move(row));
+  };
+
+  for (const auto& rec : pending) {
+    LAKEFUZZ_RETURN_IF_ERROR(append(rec));
+  }
+  while (true) {
+    LAKEFUZZ_ASSIGN_OR_RETURN(bool more, parser.Next(&record));
+    if (!more) break;
+    LAKEFUZZ_RETURN_IF_ERROR(append(record));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Table name = file stem.
+  size_t slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  return ReadCsv(buf.str(), stem, options);
+}
+
+std::string WriteCsv(const Table& table, char delimiter) {
+  std::string out;
+  const auto names = table.schema().FieldNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    AppendCsvField(Value::String(names[i]), delimiter, &out);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      AppendCsvField(table.At(r, c), delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsv(table, delimiter);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace lakefuzz

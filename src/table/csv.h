@@ -1,0 +1,47 @@
+// RFC-4180 CSV reader/writer for data lake tables.
+//
+// Handles quoted fields, escaped quotes (""), embedded delimiters and
+// newlines, CRLF and LF line endings, and optional type inference.
+#ifndef LAKEFUZZ_TABLE_CSV_H_
+#define LAKEFUZZ_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First record is the header row; when false, columns are named c0, c1, …
+  bool has_header = true;
+  /// Parse cells with Value::Parse (type inference); otherwise everything
+  /// non-empty is a String and "" is Null.
+  bool infer_types = true;
+  /// Trim ASCII whitespace around unquoted fields before parsing.
+  bool trim_unquoted = true;
+};
+
+/// Parses CSV text into a table named `table_name`.
+/// Fails on structural errors: unterminated quote, or a record whose field
+/// count differs from the header/first record.
+Result<Table> ReadCsv(std::string_view text, std::string table_name,
+                      const CsvOptions& options = CsvOptions());
+
+/// Reads and parses a CSV file; the table is named after the file stem.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = CsvOptions());
+
+/// Serializes a table to CSV (always emits a header row). Fields containing
+/// the delimiter, quotes, CR or LF are quoted; quotes are doubled.
+std::string WriteCsv(const Table& table, char delimiter = ',');
+
+/// Writes CSV to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TABLE_CSV_H_

@@ -1,0 +1,101 @@
+#include "table/print.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Display width in columns; counts UTF-8 lead bytes so multi-byte glyphs
+/// (e.g. "⊥") occupy one cell instead of three.
+size_t DisplayWidth(const std::string& s) {
+  size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;  // not a UTF-8 continuation byte
+  }
+  return w;
+}
+
+std::string Clip(const std::string& s, size_t max_width) {
+  if (DisplayWidth(s) <= max_width) return s;
+  std::string out;
+  size_t w = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = s[i];
+    if ((c & 0xC0) != 0x80) {
+      if (w + 1 > max_width - 1) break;
+      ++w;
+    }
+    out.push_back(static_cast<char>(c));
+  }
+  out += "…";
+  return out;
+}
+
+void AppendPadded(const std::string& s, size_t width, std::string* out) {
+  out->append(s);
+  size_t w = DisplayWidth(s);
+  for (size_t i = w; i < width; ++i) out->push_back(' ');
+}
+
+}  // namespace
+
+std::string RenderTable(const Table& table, const PrintOptions& options) {
+  const size_t cols = table.NumColumns();
+  const size_t shown_rows = std::min(table.NumRows(), options.max_rows);
+
+  std::vector<std::vector<std::string>> cells(shown_rows + 1,
+                                              std::vector<std::string>(cols));
+  for (size_t c = 0; c < cols; ++c) {
+    cells[0][c] = Clip(table.schema().field(c).name, options.max_cell_width);
+  }
+  for (size_t r = 0; r < shown_rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const Value& v = table.At(r, c);
+      cells[r + 1][c] =
+          Clip(v.is_null() ? options.null_text : v.ToString(),
+               options.max_cell_width);
+    }
+  }
+
+  std::vector<size_t> widths(cols, 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < cols; ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+
+  std::string out;
+  out += StrFormat("== %s (%zu rows x %zu cols) ==\n", table.name().c_str(),
+                   table.NumRows(), cols);
+  auto rule = [&] {
+    out += "+";
+    for (size_t c = 0; c < cols; ++c) {
+      out.append(widths[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (size_t c = 0; c < cols; ++c) {
+      out += " ";
+      AppendPadded(row[c], widths[c], &out);
+      out += " |";
+    }
+    out += "\n";
+  };
+
+  rule();
+  emit_row(cells[0]);
+  rule();
+  for (size_t r = 0; r < shown_rows; ++r) emit_row(cells[r + 1]);
+  rule();
+  if (table.NumRows() > shown_rows) {
+    out += StrFormat("… (%zu more rows)\n", table.NumRows() - shown_rows);
+  }
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,26 @@
+// Fixed-width pretty printer for tables (examples and debugging output).
+#ifndef LAKEFUZZ_TABLE_PRINT_H_
+#define LAKEFUZZ_TABLE_PRINT_H_
+
+#include <string>
+
+#include "table/table.h"
+
+namespace lakefuzz {
+
+struct PrintOptions {
+  /// Rows beyond this limit are elided with a "… (N more rows)" marker.
+  size_t max_rows = 50;
+  /// Cell text wider than this is truncated with an ellipsis.
+  size_t max_cell_width = 32;
+  /// Rendering of nulls (the paper uses the "Ʇ" symbol; we default to ⊥).
+  std::string null_text = "⊥";
+};
+
+/// Renders the table as an aligned ASCII grid with a title line.
+std::string RenderTable(const Table& table,
+                        const PrintOptions& options = PrintOptions());
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TABLE_PRINT_H_

@@ -1,0 +1,31 @@
+#include "table/schema.h"
+
+namespace lakefuzz {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const auto& n : names) fields.push_back(Field{n, ValueType::kNull});
+  return Schema(std::move(fields));
+}
+
+size_t Schema::AddField(Field f) {
+  fields_.push_back(std::move(f));
+  return fields_.size() - 1;
+}
+
+size_t Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return kNotFound;
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+}  // namespace lakefuzz

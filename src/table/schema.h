@@ -1,0 +1,58 @@
+// Schema: ordered, named columns of a table.
+#ifndef LAKEFUZZ_TABLE_SCHEMA_H_
+#define LAKEFUZZ_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace lakefuzz {
+
+/// One column declaration. `type` is advisory (kNull means "untyped/any");
+/// data lake CSVs routinely violate declared types, so enforcement is opt-in.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Convenience: untyped fields from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t NumFields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Appends a field; returns its index.
+  size_t AddField(Field f);
+
+  /// Index of the first field with this name, or npos.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  size_t FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) != kNotFound;
+  }
+
+  std::vector<std::string> FieldNames() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TABLE_SCHEMA_H_

@@ -1,0 +1,49 @@
+#include "table/stats.h"
+
+#include <unordered_set>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+
+ValueType ColumnStats::dominant_type() const {
+  size_t best = 0;  // kNull
+  for (size_t t = 1; t < type_counts.size(); ++t) {
+    if (type_counts[t] > type_counts[best] ||
+        (best == 0 && type_counts[t] > 0)) {
+      best = t;
+    }
+  }
+  return static_cast<ValueType>(best);
+}
+
+ColumnStats ComputeColumnStats(const Table& table, size_t col) {
+  ColumnStats stats;
+  stats.row_count = table.NumRows();
+  std::unordered_set<Value, ValueHasher> distinct;
+  size_t total_length = 0;
+  for (const Value& v : table.ColumnValues(col)) {
+    ++stats.type_counts[static_cast<size_t>(v.type())];
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    distinct.insert(v);
+    total_length += v.ToString().size();
+  }
+  stats.distinct_count = distinct.size();
+  size_t non_null = stats.row_count - stats.null_count;
+  stats.mean_length =
+      non_null == 0 ? 0.0 : static_cast<double>(total_length) / non_null;
+  return stats;
+}
+
+std::string RenderColumnStats(const ColumnStats& stats) {
+  return StrFormat(
+      "rows=%zu nulls=%.0f%% distinct=%.2f type=%s len=%.1f",
+      stats.row_count, stats.null_fraction() * 100.0, stats.distinct_ratio(),
+      std::string(ValueTypeToString(stats.dominant_type())).c_str(),
+      stats.mean_length);
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,46 @@
+// Column profiling: the quick statistics a data lake system keeps per
+// column (used for diagnostics and as cheap signals alongside embeddings).
+#ifndef LAKEFUZZ_TABLE_STATS_H_
+#define LAKEFUZZ_TABLE_STATS_H_
+
+#include <array>
+#include <string>
+
+#include "table/table.h"
+
+namespace lakefuzz {
+
+/// Per-column profile.
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+  /// Counts per ValueType (indexed by static_cast<size_t>(type)).
+  std::array<size_t, 5> type_counts{};
+  /// Mean ToString() length of non-null values.
+  double mean_length = 0.0;
+
+  double null_fraction() const {
+    return row_count == 0 ? 0.0
+                          : static_cast<double>(null_count) / row_count;
+  }
+  /// Distinct values per non-null value — 1.0 means key-like.
+  double distinct_ratio() const {
+    size_t non_null = row_count - null_count;
+    return non_null == 0
+               ? 0.0
+               : static_cast<double>(distinct_count) / non_null;
+  }
+  /// The most frequent non-null type, or kNull for all-null columns.
+  ValueType dominant_type() const;
+};
+
+/// Profiles one column.
+ColumnStats ComputeColumnStats(const Table& table, size_t col);
+
+/// One-line rendering, e.g. "rows=100 nulls=3% distinct=0.97 type=string".
+std::string RenderColumnStats(const ColumnStats& stats);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TABLE_STATS_H_

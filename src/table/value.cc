@@ -1,0 +1,184 @@
+#include "table/value.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool LooksLikeInt(std::string_view s) {
+  size_t i = 0;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(std::string_view s) {
+  // Require at least one digit and only [0-9.+-eE] characters; strtod does
+  // the real validation.
+  bool digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      digit = true;
+    } else if (c != '.' && c != '+' && c != '-' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+Value Value::Parse(std::string_view text) {
+  if (text.empty()) return Null();
+  if (LooksLikeInt(text)) {
+    errno = 0;
+    std::string buf(text);
+    char* end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (errno == 0 && end == buf.c_str() + buf.size()) {
+      return Int(static_cast<int64_t>(v));
+    }
+    // Overflowing integer literals fall through to String: turning them into
+    // doubles would silently lose digits.
+    return String(std::move(buf));
+  }
+  if (LooksLikeDouble(text)) {
+    std::string buf(text);
+    char* end = nullptr;
+    errno = 0;
+    double d = std::strtod(buf.c_str(), &end);
+    if (errno == 0 && end == buf.c_str() + buf.size() && std::isfinite(d)) {
+      return Double(d);
+    }
+    return String(std::move(buf));
+  }
+  if (EqualsIgnoreCase(text, "true")) return Bool(true);
+  if (EqualsIgnoreCase(text, "false")) return Bool(false);
+  return String(std::string(text));
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == ValueType::kString);
+  static const std::string kEmpty;
+  return type_ == ValueType::kString ? str_ : kEmpty;
+}
+
+int64_t Value::AsInt() const {
+  assert(type_ == ValueType::kInt64);
+  return type_ == ValueType::kInt64 ? int_ : 0;
+}
+
+double Value::AsDouble() const {
+  assert(type_ == ValueType::kDouble);
+  return type_ == ValueType::kDouble ? dbl_ : 0.0;
+}
+
+bool Value::AsBool() const {
+  assert(type_ == ValueType::kBool);
+  return type_ == ValueType::kBool ? bool_ : false;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString:
+      return str_;
+    case ValueType::kInt64:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      std::string out = StrFormat("%.17g", dbl_);
+      // Prefer the shorter %.15g form when it round-trips.
+      std::string shorter = StrFormat("%.15g", dbl_);
+      if (std::strtod(shorter.c_str(), nullptr) == dbl_) out = shorter;
+      return out;
+    }
+    case ValueType::kBool:
+      return bool_ ? "true" : "false";
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kString:
+      return str_ == other.str_;
+    case ValueType::kInt64:
+      return int_ == other.int_;
+    case ValueType::kDouble:
+      return dbl_ == other.dbl_;
+    case ValueType::kBool:
+      return bool_ == other.bool_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type_ != other.type_) return type_ < other.type_;
+  switch (type_) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kString:
+      return str_ < other.str_;
+    case ValueType::kInt64:
+      return int_ < other.int_;
+    case ValueType::kDouble:
+      return dbl_ < other.dbl_;
+    case ValueType::kBool:
+      return bool_ < other.bool_;
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t tag = static_cast<uint64_t>(type_);
+  switch (type_) {
+    case ValueType::kNull:
+      return Mix64(tag);
+    case ValueType::kString:
+      return HashCombine(Mix64(tag), Fnv1a64(str_));
+    case ValueType::kInt64:
+      return HashCombine(Mix64(tag), Mix64(static_cast<uint64_t>(int_)));
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = dbl_ == 0.0 ? 0.0 : dbl_;  // collapse -0.0 and +0.0
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(Mix64(tag), Mix64(bits));
+    }
+    case ValueType::kBool:
+      return HashCombine(Mix64(tag), Mix64(bool_ ? 1 : 0));
+  }
+  return 0;
+}
+
+}  // namespace lakefuzz

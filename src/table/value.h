@@ -1,0 +1,111 @@
+// Value: the cell type of lakefuzz tables.
+//
+// A Value is null or a typed scalar (string / int64 / double / bool). Nulls
+// are untyped. Equality is type-sensitive (Int64(1) != Double(1.0)): Full
+// Disjunction joins on *value identity*, and silently coercing types would
+// manufacture joins the input does not support.
+#ifndef LAKEFUZZ_TABLE_VALUE_H_
+#define LAKEFUZZ_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace lakefuzz {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kString,
+  kInt64,
+  kDouble,
+  kBool,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A nullable scalar cell.
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = ValueType::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = ValueType::kInt64;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = ValueType::kDouble;
+    v.dbl_ = d;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = ValueType::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  /// Parses `text` with type inference: "" → null, integer literals → Int64,
+  /// decimal/scientific → Double, "true"/"false" (any case) → Bool, otherwise
+  /// String. Leading/trailing whitespace is significant (kept as String) —
+  /// CSV ingestion decides about trimming, not the value parser.
+  static Value Parse(std::string_view text);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (asserts in debug builds, returns a default in release).
+  const std::string& AsString() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  bool AsBool() const;
+
+  /// Canonical text rendering: null → "", Int64 → decimal, Double → shortest
+  /// round-trip via %.17g trimmed, Bool → "true"/"false".
+  std::string ToString() const;
+
+  /// Type-sensitive equality. Null == Null is true here — FD code treats
+  /// nulls specially and never joins on them; container use (dedup, hashing)
+  /// needs reflexive equality.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order (by type tag, then payload) for deterministic sorting.
+  bool operator<(const Value& other) const;
+
+  /// Deterministic hash consistent with operator==.
+  uint64_t Hash() const;
+
+ private:
+  ValueType type_;
+  std::string str_;
+  union {
+    int64_t int_;
+    double dbl_;
+    bool bool_;
+  };
+};
+
+/// std-container adapter for Value hashing.
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TABLE_VALUE_H_

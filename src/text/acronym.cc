@@ -1,0 +1,57 @@
+#include "text/acronym.h"
+
+#include <cctype>
+
+#include "text/tokenize.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+
+std::string Initials(std::string_view phrase) {
+  std::string out;
+  for (const auto& tok : WordTokens(phrase)) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(tok[0]))));
+  }
+  return out;
+}
+
+bool IsAcronymOf(std::string_view candidate, std::string_view phrase) {
+  auto tokens = WordTokens(phrase);
+  if (tokens.size() < 2) return false;
+  std::string cand = ToLower(Trim(candidate));
+  // Drop periods: "U.S." → "us".
+  std::string cleaned;
+  for (char c : cand) {
+    if (c != '.' && c != ' ') cleaned.push_back(c);
+  }
+  if (cleaned.size() < 2) return false;
+  return cleaned == Initials(phrase);
+}
+
+bool IsAbbreviationOf(std::string_view abbrev, std::string_view full) {
+  std::string a = ToLower(Trim(abbrev));
+  std::string f = ToLower(Trim(full));
+  // Strip a trailing period: "Dept." → "Dept".
+  if (!a.empty() && a.back() == '.') a.pop_back();
+  if (a.size() < 2 || a.size() >= f.size()) return false;
+  if (WordTokens(a).size() != 1 || WordTokens(f).size() != 1) return false;
+  // Truncation: "Dep" ⊑ "Department".
+  if (f.compare(0, a.size(), a) == 0) return true;
+  // Subsequence with matching first letter and consonant skeleton:
+  // "Dept" vs "Department", "Mr" vs "Mister".
+  if (a[0] != f[0]) return false;
+  size_t i = 0;
+  for (char c : f) {
+    if (i < a.size() && c == a[i]) ++i;
+  }
+  return i == a.size();
+}
+
+double AcronymAffinity(std::string_view a, std::string_view b) {
+  if (IsAcronymOf(a, b) || IsAcronymOf(b, a)) return 1.0;
+  if (IsAbbreviationOf(a, b) || IsAbbreviationOf(b, a)) return 1.0;
+  return 0.0;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,32 @@
+// Acronym and abbreviation heuristics.
+//
+// Used by the higher-tier simulated embedding models ("LLM-grade" profiles)
+// to recognize that "USA" abbreviates "United States of America" — the kind
+// of world knowledge an LLM embedding encodes and a pure n-gram model lacks.
+#ifndef LAKEFUZZ_TEXT_ACRONYM_H_
+#define LAKEFUZZ_TEXT_ACRONYM_H_
+
+#include <string>
+#include <string_view>
+
+namespace lakefuzz {
+
+/// First letters of each word token, lowercased ("United States" → "us").
+std::string Initials(std::string_view phrase);
+
+/// True if `candidate` equals the initials of `phrase` (case-insensitive),
+/// for phrases of at least two tokens ("US" / "United States").
+bool IsAcronymOf(std::string_view candidate, std::string_view phrase);
+
+/// True if `abbrev` plausibly abbreviates `full` by truncation or vowel
+/// dropping of a single token ("Inc" / "Incorporated", "Mr" / "Mister",
+/// "Dept" / "Department"). Requires |abbrev| >= 2 and |abbrev| < |full|.
+bool IsAbbreviationOf(std::string_view abbrev, std::string_view full);
+
+/// Symmetric heuristic score in [0,1]: 1 when either side acronymizes or
+/// abbreviates the other, otherwise 0.
+double AcronymAffinity(std::string_view a, std::string_view b);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TEXT_ACRONYM_H_

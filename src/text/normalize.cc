@@ -1,0 +1,48 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace lakefuzz {
+
+std::string Normalize(std::string_view s, const NormalizeOptions& options) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c < 0x80) {
+      if (options.strip_punctuation && std::ispunct(c)) continue;
+      if (options.case_fold) c = static_cast<unsigned char>(std::tolower(c));
+    }
+    out.push_back(static_cast<char>(c));
+  }
+  if (options.collapse_whitespace) {
+    std::string collapsed;
+    collapsed.reserve(out.size());
+    bool in_ws = false;
+    for (unsigned char c : out) {
+      if (c < 0x80 && std::isspace(c)) {
+        in_ws = true;
+        continue;
+      }
+      if (in_ws && !collapsed.empty()) collapsed.push_back(' ');
+      in_ws = false;
+      collapsed.push_back(static_cast<char>(c));
+    }
+    out = std::move(collapsed);
+  }
+  if (options.trim) {
+    size_t b = 0;
+    size_t e = out.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(out[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(out[e - 1]))) --e;
+    out = out.substr(b, e - b);
+  }
+  return out;
+}
+
+std::string NormalizeForIdentity(std::string_view s) {
+  NormalizeOptions opts;
+  opts.strip_punctuation = false;
+  return Normalize(s, opts);
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,34 @@
+// Text normalization applied to cell values before similarity computation.
+//
+// Data lake values differ in case, punctuation, and spacing long before they
+// differ semantically; every matcher in lakefuzz funnels values through here
+// first so those trivial inconsistencies never reach the expensive stages.
+#ifndef LAKEFUZZ_TEXT_NORMALIZE_H_
+#define LAKEFUZZ_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace lakefuzz {
+
+struct NormalizeOptions {
+  bool case_fold = true;        ///< ASCII lowercase.
+  bool strip_punctuation = true;///< Drop ASCII punctuation (keeps alnum/space).
+  bool collapse_whitespace = true;  ///< Runs of whitespace → single space.
+  bool trim = true;             ///< Remove leading/trailing whitespace.
+};
+
+/// Applies the enabled normalizations, in the order: case fold → punctuation
+/// strip → whitespace collapse → trim. Bytes >= 0x80 pass through unchanged
+/// (UTF-8 payloads are preserved, not folded).
+std::string Normalize(std::string_view s,
+                      const NormalizeOptions& options = NormalizeOptions());
+
+/// Normalization preset used for *join-value identity* (the exact-match
+/// pre-pass): case fold + trim + whitespace collapse, but punctuation kept —
+/// "U.S." and "US" should count as fuzzy, not identical.
+std::string NormalizeForIdentity(std::string_view s);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TEXT_NORMALIZE_H_

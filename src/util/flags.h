@@ -1,0 +1,38 @@
+// Tiny command-line flag parser for examples and benchmark harnesses.
+//
+// Accepts --key=value and --key value and bare --switch forms. Unknown
+// arguments are collected as positionals.
+#ifndef LAKEFUZZ_UTIL_FLAGS_H_
+#define LAKEFUZZ_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Parsed command line.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped).
+  static Flags Parse(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of --name, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_FLAGS_H_

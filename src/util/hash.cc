@@ -1,0 +1,5 @@
+#include "util/hash.h"
+
+// Header-only; this translation unit exists so the module has a library
+// archive even if all hashing stays inline.
+namespace lakefuzz {}

@@ -1,0 +1,55 @@
+// Deterministic, seedable hashing primitives.
+//
+// All hashing in lakefuzz (feature hashing for embeddings, posting-list keys,
+// dedup signatures) goes through these functions so results are reproducible
+// across platforms and runs — std::hash is implementation-defined and is
+// deliberately not used.
+#ifndef LAKEFUZZ_UTIL_HASH_H_
+#define LAKEFUZZ_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace lakefuzz {
+
+/// 64-bit FNV-1a over raw bytes.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// 64-bit FNV-1a over a string.
+inline uint64_t Fnv1a64(std::string_view s,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Strong 64-bit finalizer (splitmix64). Good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two hashes (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (Mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Hash of a string with an integer salt; used for feature hashing where
+/// several independent hash functions are derived from one base hash.
+inline uint64_t SaltedHash(std::string_view s, uint64_t salt) {
+  return Mix64(Fnv1a64(s) ^ Mix64(salt));
+}
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_HASH_H_

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lakefuzz {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelPrefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kInfo:
+      return "[info] ";
+    case LogLevel::kWarning:
+      return "[warn] ";
+    case LogLevel::kError:
+      return "[error] ";
+  }
+  return "[?] ";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", LevelPrefix(level), msg.c_str());
+}
+
+void LogDebug(const std::string& msg) { Log(LogLevel::kDebug, msg); }
+void LogInfo(const std::string& msg) { Log(LogLevel::kInfo, msg); }
+void LogWarning(const std::string& msg) { Log(LogLevel::kWarning, msg); }
+void LogError(const std::string& msg) { Log(LogLevel::kError, msg); }
+
+}  // namespace lakefuzz

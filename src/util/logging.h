@@ -1,0 +1,26 @@
+// Leveled logging to stderr. Benchmarks print results to stdout; diagnostics
+// go through these helpers so they can be silenced uniformly.
+#ifndef LAKEFUZZ_UTIL_LOGGING_H_
+#define LAKEFUZZ_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace lakefuzz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` at `level` with a level prefix, if enabled.
+void Log(LogLevel level, const std::string& msg);
+
+void LogDebug(const std::string& msg);
+void LogInfo(const std::string& msg);
+void LogWarning(const std::string& msg);
+void LogError(const std::string& msg);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_LOGGING_H_

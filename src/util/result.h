@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the library's exception-free return channel.
+#ifndef LAKEFUZZ_UTIL_RESULT_H_
+#define LAKEFUZZ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lakefuzz {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Accessing `value()` on an errored Result is a programming error and
+/// asserts in debug builds. Typical use:
+///
+///   Result<Table> r = CsvReader::ReadFile(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or, when errored, the supplied fallback.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace lakefuzz
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` must be declarable via `auto`.
+#define LAKEFUZZ_ASSIGN_OR_RETURN(lhs, expr)          \
+  LAKEFUZZ_ASSIGN_OR_RETURN_IMPL_(                    \
+      LAKEFUZZ_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+#define LAKEFUZZ_CONCAT_INNER_(a, b) a##b
+#define LAKEFUZZ_CONCAT_(a, b) LAKEFUZZ_CONCAT_INNER_(a, b)
+#define LAKEFUZZ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // LAKEFUZZ_UTIL_RESULT_H_

@@ -1,0 +1,144 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lakefuzz {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+  // xoshiro must not be seeded with all zeros; splitmix cannot produce four
+  // zero outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformReal() {
+  // 53 high bits → uniform in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * UniformReal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = UniformReal();
+  double u2 = UniformReal();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF by linear scan over 1/(k+1)^s weights. Adequate for the
+  // generator sizes used in benchmarks (n up to a few thousand ranks).
+  double norm = 0.0;
+  for (uint64_t k = 0; k < n; ++k) norm += 1.0 / std::pow(double(k + 1), s);
+  double u = UniformReal() * norm;
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(double(k + 1), s);
+    if (u <= acc) return k;
+  }
+  return n - 1;
+}
+
+size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0) total += w;
+  }
+  assert(total > 0.0);
+  double u = UniformReal() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return i - 1;
+  }
+  return 0;
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  if (k > n) k = n;
+  // Partial Fisher-Yates over an index vector.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Uniform(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::string Rng::AlphaString(size_t len) {
+  std::string out(len, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Uniform(26));
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xf0f0f0f0f0f0f0f0ULL); }
+
+}  // namespace lakefuzz

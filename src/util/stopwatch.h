@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for benchmarks and progress reporting.
+#ifndef LAKEFUZZ_UTIL_STOPWATCH_H_
+#define LAKEFUZZ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lakefuzz {
+
+/// Monotonic stopwatch. Starts on construction; `Restart()` to reuse.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_STOPWATCH_H_

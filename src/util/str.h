@@ -1,0 +1,50 @@
+// Small string utilities shared across the library.
+#ifndef LAKEFUZZ_UTIL_STR_H_
+#define LAKEFUZZ_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" → {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// ASCII lower/upper casing (bytes >= 0x80 pass through unchanged).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Renders a double with fixed precision and no trailing-zero noise beyond it.
+std::string FormatDouble(double v, int precision);
+
+/// 1234567 → "1,234,567" (for benchmark output).
+std::string WithThousandsSep(int64_t v);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_STR_H_

@@ -1,0 +1,61 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace lakefuzz {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic scheduling with a shared index counter: work items can be very
+  // uneven (FD component sizes are skewed), so static chunking is wasteful.
+  std::atomic<size_t> next{0};
+  std::vector<std::future<void>> futures;
+  size_t lanes = std::min(n, workers_.size());
+  futures.reserve(lanes);
+  for (size_t t = 0; t < lanes; ++t) {
+    futures.push_back(Submit([&next, n, &fn] {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace lakefuzz

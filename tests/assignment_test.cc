@@ -1,0 +1,353 @@
+// Tests for src/assignment: Jonker-Volgenant, greedy, thresholded, sparse.
+//
+// The optimal solver is property-tested against exhaustive enumeration on
+// random small matrices — the strongest correctness statement available for
+// an optimization algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assignment/cost_matrix.h"
+#include "assignment/greedy.h"
+#include "assignment/jonker_volgenant.h"
+#include "assignment/thresholded.h"
+#include "util/rng.h"
+
+namespace lakefuzz {
+namespace {
+
+CostMatrix FromRows(std::vector<std::vector<double>> rows) {
+  CostMatrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) m.set(r, c, rows[r][c]);
+  }
+  return m;
+}
+
+/// Exhaustive optimal assignment for tiny matrices (reference oracle).
+double BruteForceBest(const CostMatrix& m) {
+  // Permute over the smaller dimension.
+  size_t nr = m.rows();
+  size_t nc = m.cols();
+  bool transpose = nr > nc;
+  size_t small = transpose ? nc : nr;
+  size_t large = transpose ? nr : nc;
+  std::vector<size_t> perm(large);
+  for (size_t i = 0; i < large; ++i) perm[i] = i;
+  double best = std::numeric_limits<double>::infinity();
+  std::sort(perm.begin(), perm.end());
+  do {
+    double total = 0;
+    bool feasible = true;
+    for (size_t i = 0; i < small; ++i) {
+      double v = transpose ? m.at(perm[i], i) : m.at(i, perm[i]);
+      if (v == CostMatrix::kForbidden) {
+        feasible = false;
+        break;
+      }
+      total += v;
+    }
+    if (feasible) best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+// ---------------------------------------------------------------- JV basics
+
+TEST(JonkerVolgenantTest, EmptyMatrix) {
+  auto r = SolveAssignment(CostMatrix());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pairs.empty());
+  EXPECT_DOUBLE_EQ(r->total_cost, 0.0);
+}
+
+TEST(JonkerVolgenantTest, SingleCell) {
+  auto r = SolveAssignment(FromRows({{3.5}}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 1u);
+  EXPECT_EQ(r->pairs[0], (std::pair<size_t, size_t>{0, 0}));
+  EXPECT_DOUBLE_EQ(r->total_cost, 3.5);
+}
+
+TEST(JonkerVolgenantTest, ClassicThreeByThree) {
+  // Known instance: optimal = 5 (0→1, 1→0, 2→2).
+  auto r = SolveAssignment(FromRows({{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_cost, 5.0);
+  EXPECT_EQ(r->pairs.size(), 3u);
+}
+
+TEST(JonkerVolgenantTest, RectangularWideAssignsAllRows) {
+  auto r = SolveAssignment(FromRows({{10, 1, 10, 10}, {1, 10, 10, 10}}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->total_cost, 2.0);
+}
+
+TEST(JonkerVolgenantTest, RectangularTallAssignsAllCols) {
+  auto r = SolveAssignment(FromRows({{10, 1}, {1, 10}, {5, 5}}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->total_cost, 2.0);
+}
+
+TEST(JonkerVolgenantTest, NegativeCostsSupported) {
+  auto r = SolveAssignment(FromRows({{-1, 2}, {2, -3}}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_cost, -4.0);
+}
+
+TEST(JonkerVolgenantTest, ForbiddenPairsExcludedFromResult) {
+  CostMatrix m = FromRows({{1, 2}, {3, 4}});
+  m.set(0, 0, CostMatrix::kForbidden);
+  m.set(0, 1, CostMatrix::kForbidden);
+  auto r = SolveAssignment(m);
+  ASSERT_TRUE(r.ok());
+  // Row 0 has no allowed column: only row 1 is matched.
+  ASSERT_EQ(r->pairs.size(), 1u);
+  EXPECT_EQ(r->pairs[0].first, 1u);
+}
+
+TEST(JonkerVolgenantTest, ForbiddenDoesNotDistortOptimum) {
+  CostMatrix m = FromRows({{1, 5}, {2, CostMatrix::kForbidden}});
+  auto r = SolveAssignment(m);
+  ASSERT_TRUE(r.ok());
+  // Row 1 must take column 0, pushing row 0 to column 1: cost 7.
+  EXPECT_DOUBLE_EQ(r->total_cost, 7.0);
+}
+
+TEST(JonkerVolgenantTest, RejectsNaN) {
+  CostMatrix m = FromRows({{std::nan("")}});
+  EXPECT_FALSE(SolveAssignment(m).ok());
+}
+
+TEST(JonkerVolgenantTest, PairsSortedByRow) {
+  auto r = SolveAssignment(FromRows({{1, 9, 9}, {9, 1, 9}, {9, 9, 1}}));
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->pairs.size(); ++i) {
+    EXPECT_LT(r->pairs[i - 1].first, r->pairs[i].first);
+  }
+}
+
+// ------------------------------------------------- JV vs brute force (P)
+
+struct RandomCase {
+  size_t rows;
+  size_t cols;
+  double forbidden_prob;
+};
+
+class JvRandomProperty : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(JvRandomProperty, MatchesBruteForceOptimum) {
+  const RandomCase& rc = GetParam();
+  Rng rng(1000 + rc.rows * 31 + rc.cols * 7 +
+          static_cast<uint64_t>(rc.forbidden_prob * 100));
+  for (int trial = 0; trial < 40; ++trial) {
+    CostMatrix m(rc.rows, rc.cols);
+    for (size_t r = 0; r < rc.rows; ++r) {
+      for (size_t c = 0; c < rc.cols; ++c) {
+        m.set(r, c, rng.Bernoulli(rc.forbidden_prob)
+                        ? CostMatrix::kForbidden
+                        : std::round(rng.UniformReal() * 100) / 10.0);
+      }
+    }
+    auto solved = SolveAssignment(m);
+    ASSERT_TRUE(solved.ok());
+    double brute = BruteForceBest(m);
+    if (std::isinf(brute)) {
+      // No full assignment exists; JV returns a partial one. Its matched
+      // pairs must still avoid forbidden entries.
+      for (auto [r, c] : solved->pairs) {
+        EXPECT_FALSE(m.forbidden(r, c));
+      }
+      continue;
+    }
+    EXPECT_NEAR(solved->total_cost, brute, 1e-9)
+        << rc.rows << "x" << rc.cols << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JvRandomProperty,
+    ::testing::Values(RandomCase{1, 1, 0.0}, RandomCase{2, 2, 0.0},
+                      RandomCase{3, 3, 0.0}, RandomCase{4, 4, 0.0},
+                      RandomCase{5, 5, 0.0}, RandomCase{6, 6, 0.0},
+                      RandomCase{2, 5, 0.0}, RandomCase{5, 2, 0.0},
+                      RandomCase{3, 6, 0.0}, RandomCase{4, 4, 0.2},
+                      RandomCase{5, 5, 0.4}, RandomCase{3, 5, 0.3}),
+    [](const ::testing::TestParamInfo<RandomCase>& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "f" +
+             std::to_string(static_cast<int>(info.param.forbidden_prob * 100));
+    });
+
+// ---------------------------------------------------------------- Greedy
+
+TEST(GreedyTest, OptimalOnDiagonal) {
+  auto r = SolveGreedy(FromRows({{1, 9}, {9, 1}}));
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+}
+
+TEST(GreedyTest, KnownSuboptimalInstance) {
+  // Greedy takes (0,0)=1 then is forced into (1,1)=100 → 101;
+  // optimal is (0,1)+(1,0) = 2+3 = 5.
+  CostMatrix m = FromRows({{1, 2}, {3, 100}});
+  Assignment greedy = SolveGreedy(m);
+  auto optimal = SolveAssignment(m);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_DOUBLE_EQ(greedy.total_cost, 101.0);
+  EXPECT_DOUBLE_EQ(optimal->total_cost, 5.0);
+}
+
+TEST(GreedyTest, SkipsForbidden) {
+  CostMatrix m = FromRows({{CostMatrix::kForbidden, 2}, {3, 4}});
+  Assignment r = SolveGreedy(m);
+  for (auto [row, col] : r.pairs) EXPECT_FALSE(m.forbidden(row, col));
+  EXPECT_EQ(r.pairs.size(), 2u);
+}
+
+TEST(GreedyTest, NeverBeatsOptimal) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + rng.Uniform(5);
+    CostMatrix m(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) m.set(r, c, rng.UniformReal());
+    }
+    auto opt = SolveAssignment(m);
+    ASSERT_TRUE(opt.ok());
+    EXPECT_GE(SolveGreedy(m).total_cost, opt->total_cost - 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- Thresholded
+
+TEST(ThresholdedTest, DropsPairsAtOrAboveTheta) {
+  ThresholdedOptions opts;
+  opts.threshold = 0.5;
+  auto r = SolveThresholded(FromRows({{0.1, 0.9}, {0.9, 0.5}}), opts);
+  ASSERT_TRUE(r.ok());
+  // (1,1) has cost exactly 0.5 → excluded (Definition 2 uses strict <).
+  ASSERT_EQ(r->pairs.size(), 1u);
+  EXPECT_EQ(r->pairs[0], (std::pair<size_t, size_t>{0, 0}));
+}
+
+TEST(ThresholdedTest, MaskBeforeSolveRecoversBlockedMatch) {
+  // Unmasked optimal pairs (0,0)+(1,1) = 0.1+0.8 = 0.9 (beats 0.95), but
+  // 0.8 ≥ θ gets filtered → 1 match. Masking 0.8 first makes the solver
+  // shift row 0 to col 1 so row 1 can take col 0 → 2 matches.
+  CostMatrix m = FromRows({{0.1, 0.65}, {0.3, 0.8}});
+  ThresholdedOptions masked;
+  masked.threshold = 0.7;
+  masked.mask_before_solve = true;
+  auto rm = SolveThresholded(m, masked);
+  ASSERT_TRUE(rm.ok());
+  EXPECT_EQ(rm->pairs.size(), 2u);
+
+  ThresholdedOptions unmasked = masked;
+  unmasked.mask_before_solve = false;
+  auto ru = SolveThresholded(m, unmasked);
+  ASSERT_TRUE(ru.ok());
+  EXPECT_EQ(ru->pairs.size(), 1u);  // scipy-parity mode loses one match
+}
+
+TEST(ThresholdedTest, GreedyAlgorithmSelectable) {
+  ThresholdedOptions opts;
+  opts.threshold = 10.0;
+  opts.algorithm = AssignmentAlgorithm::kGreedy;
+  // 100 is masked (≥ θ); greedy then takes (0,0)=1, which blocks both
+  // remaining pairs → one match. Optimal would find (0,1)+(1,0)=5.
+  auto r = SolveThresholded(FromRows({{1, 2}, {3, 100}}), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->total_cost, 1.0);
+  ThresholdedOptions optimal = opts;
+  optimal.algorithm = AssignmentAlgorithm::kOptimal;
+  auto ro = SolveThresholded(FromRows({{1, 2}, {3, 100}}), optimal);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(ro->pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(ro->total_cost, 5.0);
+}
+
+// ---------------------------------------------------------------- Sparse
+
+TEST(SparseTest, EquivalentToDenseOnRandomInstances) {
+  Rng rng(4242);
+  ThresholdedOptions opts;
+  opts.threshold = 0.7;
+  // The sparse solver only ever sees sub-θ candidate edges, i.e. it is
+  // inherently masked; compare against the masked dense solver.
+  opts.mask_before_solve = true;
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 1 + rng.Uniform(6);
+    size_t cols = 1 + rng.Uniform(6);
+    CostMatrix dense(rows, cols, CostMatrix::kForbidden);
+    std::vector<SparseEdge> edges;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (rng.Bernoulli(0.5)) continue;  // sparse pattern
+        double v = rng.UniformReal();
+        dense.set(r, c, v);
+        edges.push_back(SparseEdge{r, c, v});
+      }
+    }
+    auto rd = SolveThresholded(dense, opts);
+    auto rs = SolveSparseThresholded(rows, cols, edges, opts);
+    ASSERT_TRUE(rd.ok());
+    ASSERT_TRUE(rs.ok());
+    // Optima agree (pair sets may differ only on ties).
+    EXPECT_NEAR(rd->total_cost, rs->total_cost, 1e-9) << "trial " << trial;
+    EXPECT_EQ(rd->pairs.size(), rs->pairs.size());
+  }
+}
+
+TEST(SparseTest, OutOfRangeEdgeRejected) {
+  ThresholdedOptions opts;
+  auto r = SolveSparseThresholded(2, 2, {SparseEdge{5, 0, 0.1}}, opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SparseTest, ParallelEdgesKeepCheapest) {
+  ThresholdedOptions opts;
+  opts.threshold = 1.0;
+  auto r = SolveSparseThresholded(
+      1, 1, {SparseEdge{0, 0, 0.9}, SparseEdge{0, 0, 0.2}}, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->total_cost, 0.2);
+}
+
+TEST(SparseTest, IndependentComponentsAllSolved) {
+  ThresholdedOptions opts;
+  opts.threshold = 1.0;
+  // Two disjoint components: {r0,c0} and {r1,r2}x{c1,c2}.
+  auto r = SolveSparseThresholded(
+      3, 3,
+      {SparseEdge{0, 0, 0.1}, SparseEdge{1, 1, 0.2}, SparseEdge{1, 2, 0.3},
+       SparseEdge{2, 1, 0.3}, SparseEdge{2, 2, 0.6}},
+      opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pairs.size(), 3u);
+  // Second component's optimum is the anti-diagonal 0.3 + 0.3.
+  EXPECT_NEAR(r->total_cost, 0.1 + 0.3 + 0.3, 1e-12);
+}
+
+TEST(SparseTest, EmptyEdgesNoMatches) {
+  ThresholdedOptions opts;
+  auto r = SolveSparseThresholded(4, 4, {}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->pairs.empty());
+}
+
+// ---------------------------------------------------------------- CostMatrix
+
+TEST(CostMatrixTest, MaxFiniteIgnoresForbidden) {
+  CostMatrix m = FromRows({{1, 2}, {CostMatrix::kForbidden, 0.5}});
+  EXPECT_DOUBLE_EQ(m.MaxFinite(), 2.0);
+  CostMatrix all_forbidden(2, 2, CostMatrix::kForbidden);
+  EXPECT_DOUBLE_EQ(all_forbidden.MaxFinite(), 0.0);
+}
+
+}  // namespace
+}  // namespace lakefuzz

@@ -1,0 +1,314 @@
+// Tests for src/datagen: corruptions and the three benchmark generators.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datagen/autojoin.h"
+#include "datagen/corruption.h"
+#include "datagen/embench.h"
+#include "datagen/imdb.h"
+#include "embedding/vocab.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+// ---------------------------------------------------------------- Corruption
+
+TEST(CorruptionTest, TypoChangesStringPreservingFirstChar) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = ApplyTypo(&rng, "Barcelona");
+    EXPECT_EQ(s[0], 'B');
+    EXPECT_GE(s.size(), 8u);
+    EXPECT_LE(s.size(), 10u);
+  }
+}
+
+TEST(CorruptionTest, TypoLeavesTinyStringsAlone) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyTypo(&rng, "a"), "a");
+  EXPECT_EQ(ApplyTypo(&rng, ""), "");
+}
+
+TEST(CorruptionTest, CaseNoiseOnlyChangesCase) {
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    std::string s = ApplyCaseNoise(&rng, "Berlin");
+    EXPECT_TRUE(EqualsIgnoreCase(s, "Berlin")) << s;
+  }
+}
+
+TEST(CorruptionTest, ReverseTokens) {
+  EXPECT_EQ(ReverseTokens("John Smith"), "Smith, John");
+  EXPECT_EQ(ReverseTokens("Anna Maria Lopez"), "Lopez, Anna Maria");
+  EXPECT_EQ(ReverseTokens("Mononym"), "Mononym");
+}
+
+TEST(CorruptionTest, DropVowelsRemovesOneVowel) {
+  Rng rng(4);
+  std::string s = DropVowels(&rng, "Department");
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(DropVowels(&rng, "xyz"), "xyz");  // nothing to drop
+}
+
+TEST(CorruptionTest, TruncateTokens) {
+  EXPECT_EQ(TruncateTokens("a b c d", 2), "a b");
+  EXPECT_EQ(TruncateTokens("a b", 5), "a b");
+}
+
+TEST(CorruptionTest, CorruptRespectsZeroConfig) {
+  Rng rng(5);
+  CorruptionConfig off;  // all probabilities zero
+  EXPECT_EQ(Corrupt(&rng, "Untouched String", off), "Untouched String");
+}
+
+TEST(CorruptionTest, CorruptDeterministicPerSeed) {
+  CorruptionConfig cfg;
+  cfg.typo = 0.8;
+  cfg.case_noise = 0.5;
+  Rng r1(6), r2(6);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(Corrupt(&r1, "Barcelona", cfg), Corrupt(&r2, "Barcelona", cfg));
+  }
+}
+
+// ---------------------------------------------------------------- Auto-Join
+
+TEST(AutoJoinTest, SeventeenTopics) {
+  EXPECT_EQ(AutoJoinNumTopics(), 17u);
+  std::set<std::string> names(AutoJoinTopicNames().begin(),
+                              AutoJoinTopicNames().end());
+  EXPECT_EQ(names.size(), 17u);
+  EXPECT_TRUE(names.count("countries"));
+  EXPECT_TRUE(names.count("officials"));
+}
+
+TEST(AutoJoinTest, GeneratesRequestedNumberOfSets) {
+  AutoJoinOptions opts;
+  opts.num_sets = 31;
+  opts.entities_per_set = 40;  // keep the test fast
+  auto sets = GenerateAutoJoinBenchmark(opts);
+  EXPECT_EQ(sets.size(), 31u);
+  std::set<std::string> topics;
+  for (const auto& s : sets) topics.insert(s.topic);
+  EXPECT_EQ(topics.size(), 17u);  // all topics cycled through
+}
+
+TEST(AutoJoinTest, ColumnsAreCleanClean) {
+  AutoJoinOptions opts;
+  opts.num_sets = 17;
+  opts.entities_per_set = 60;
+  for (const auto& set : GenerateAutoJoinBenchmark(opts)) {
+    ASSERT_GE(set.columns.size(), opts.min_columns);
+    ASSERT_LE(set.columns.size(), opts.max_columns);
+    for (size_t c = 0; c < set.columns.size(); ++c) {
+      std::unordered_set<std::string> distinct(set.columns[c].begin(),
+                                               set.columns[c].end());
+      EXPECT_EQ(distinct.size(), set.columns[c].size())
+          << set.name << " column " << c;
+      EXPECT_EQ(set.columns[c].size(), set.entity_of[c].size());
+    }
+  }
+}
+
+TEST(AutoJoinTest, GroundTruthPairsNonEmptyAndCrossColumn) {
+  AutoJoinOptions opts;
+  opts.entities_per_set = 50;
+  AutoJoinSet set = GenerateAutoJoinSet(0, opts, 123);
+  auto gt = set.GroundTruthPairs();
+  EXPECT_GT(gt.size(), 10u);
+}
+
+TEST(AutoJoinTest, DeterministicForSeed) {
+  AutoJoinOptions opts;
+  opts.entities_per_set = 30;
+  AutoJoinSet a = GenerateAutoJoinSet(3, opts, 99);
+  AutoJoinSet b = GenerateAutoJoinSet(3, opts, 99);
+  EXPECT_EQ(a.columns, b.columns);
+  EXPECT_EQ(a.entity_of, b.entity_of);
+}
+
+TEST(AutoJoinTest, DifferentSeedsDiffer) {
+  AutoJoinOptions opts;
+  opts.entities_per_set = 30;
+  AutoJoinSet a = GenerateAutoJoinSet(0, opts, 1);
+  AutoJoinSet b = GenerateAutoJoinSet(0, opts, 2);
+  EXPECT_NE(a.columns, b.columns);
+}
+
+TEST(AutoJoinTest, FirstColumnHoldsCanonicalForms) {
+  AutoJoinOptions opts;
+  opts.entities_per_set = 30;
+  AutoJoinSet set = GenerateAutoJoinSet(0, opts, 5);  // countries
+  // Column 0 is canonical style: every value must be a known canonical.
+  std::set<std::string> canonicals;
+  for (const auto& g : TopicByName("countries").groups) {
+    canonicals.insert(g.canonical);
+  }
+  for (const auto& v : set.columns[0]) {
+    EXPECT_TRUE(canonicals.count(v)) << v;
+  }
+}
+
+TEST(AutoJoinTest, ValueItemIdDistinguishesColumns) {
+  EXPECT_NE(ValueItemId(0, "x"), ValueItemId(1, "x"));
+  EXPECT_EQ(ValueItemId(2, "x"), ValueItemId(2, "x"));
+}
+
+// ---------------------------------------------------------------- IMDB
+
+TEST(ImdbTest, SixTablesWithExpectedSchemas) {
+  ImdbOptions opts;
+  opts.target_tuples = 500;
+  auto bench = GenerateImdb(opts);
+  ASSERT_EQ(bench.tables.size(), 6u);
+  EXPECT_EQ(bench.tables[0].name(), "name_basics");
+  EXPECT_EQ(bench.tables[1].name(), "title_basics");
+  EXPECT_TRUE(bench.tables[2].schema().HasField("tconst"));
+  EXPECT_TRUE(bench.tables[4].schema().HasField("nconst"));
+}
+
+TEST(ImdbTest, RespectsTupleBudget) {
+  for (size_t target : {200u, 1000u, 5000u}) {
+    ImdbOptions opts;
+    opts.target_tuples = target;
+    auto bench = GenerateImdb(opts);
+    EXPECT_LE(bench.total_tuples, target);
+    EXPECT_GT(bench.total_tuples, target * 8 / 10) << "target " << target;
+  }
+}
+
+TEST(ImdbTest, KeysAreWellFormed) {
+  ImdbOptions opts;
+  opts.target_tuples = 300;
+  auto bench = GenerateImdb(opts);
+  const Table& basics = bench.tables[1];
+  for (size_t r = 0; r < basics.NumRows(); ++r) {
+    const std::string& t = basics.At(r, 0).AsString();
+    EXPECT_EQ(t.substr(0, 2), "tt");
+    EXPECT_EQ(t.size(), 9u);
+  }
+  const Table& names = bench.tables[0];
+  for (size_t r = 0; r < names.NumRows(); ++r) {
+    EXPECT_EQ(names.At(r, 0).AsString().substr(0, 2), "nm");
+  }
+}
+
+TEST(ImdbTest, PrincipalsReferenceEmittedNames) {
+  ImdbOptions opts;
+  opts.target_tuples = 400;
+  auto bench = GenerateImdb(opts);
+  std::unordered_set<std::string> known;
+  const Table& names = bench.tables[0];
+  for (size_t r = 0; r < names.NumRows(); ++r) {
+    known.insert(names.At(r, 0).AsString());
+  }
+  // Most principals' nconst should resolve (tail may be cut by the budget).
+  const Table& principals = bench.tables[4];
+  size_t resolved = 0;
+  for (size_t r = 0; r < principals.NumRows(); ++r) {
+    resolved += known.count(principals.At(r, 1).AsString());
+  }
+  EXPECT_GT(resolved, principals.NumRows() / 2);
+}
+
+TEST(ImdbTest, DeterministicForSeed) {
+  ImdbOptions opts;
+  opts.target_tuples = 300;
+  auto a = GenerateImdb(opts);
+  auto b = GenerateImdb(opts);
+  ASSERT_EQ(a.total_tuples, b.total_tuples);
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(a.tables[i].NumRows(), b.tables[i].NumRows());
+    for (size_t r = 0; r < a.tables[i].NumRows(); ++r) {
+      EXPECT_EQ(a.tables[i].Row(r), b.tables[i].Row(r));
+    }
+  }
+}
+
+// ---------------------------------------------------------------- EM bench
+
+TEST(EmBenchTest, TidLabelsMatchRowCount) {
+  EmBenchOptions opts;
+  opts.num_entities = 60;
+  auto bench = GenerateEmBenchmark(opts);
+  size_t total_rows = 0;
+  for (const auto& t : bench.tables) total_rows += t.NumRows();
+  ASSERT_EQ(bench.tid_entity.size(), total_rows);
+  // TIDs must be 0..n-1 in order.
+  for (size_t i = 0; i < bench.tid_entity.size(); ++i) {
+    EXPECT_EQ(bench.tid_entity[i].first, i);
+  }
+}
+
+TEST(EmBenchTest, JoinChainSchema) {
+  // Join chain: tables 0,1 share "name"; tables 1,2 share "email".
+  EmBenchOptions opts;
+  opts.num_entities = 40;
+  auto bench = GenerateEmBenchmark(opts);
+  ASSERT_EQ(bench.tables.size(), 3u);
+  EXPECT_EQ(bench.tables[0].schema().field(0).name, "name");
+  EXPECT_EQ(bench.tables[1].schema().field(0).name, "name");
+  EXPECT_TRUE(bench.tables[1].schema().HasField("email"));
+  EXPECT_EQ(bench.tables[2].schema().field(0).name, "email");
+  EXPECT_FALSE(bench.tables[2].schema().HasField("name"));
+}
+
+TEST(EmBenchTest, CorruptionProducesFuzzyVariants) {
+  EmBenchOptions opts;
+  opts.num_entities = 120;
+  opts.corruption = 0.5;
+  auto bench = GenerateEmBenchmark(opts);
+  // Collect per-entity *name* surfaces (tables 0 and 1); at least some
+  // entities must have inconsistent surfaces (what the benchmark stresses).
+  std::map<uint64_t, std::set<std::string>> surfaces;
+  size_t tid = 0;
+  for (size_t l = 0; l < bench.tables.size(); ++l) {
+    const Table& t = bench.tables[l];
+    for (size_t r = 0; r < t.NumRows(); ++r, ++tid) {
+      if (l % 3 == 2) continue;  // email-keyed table
+      surfaces[bench.tid_entity[tid].second].insert(t.At(r, 0).AsString());
+    }
+  }
+  size_t fuzzy_entities = 0;
+  for (const auto& [e, forms] : surfaces) {
+    if (forms.size() > 1) ++fuzzy_entities;
+  }
+  EXPECT_GT(fuzzy_entities, 20u);
+}
+
+TEST(EmBenchTest, ZeroCorruptionKeepsSurfacesCanonical) {
+  EmBenchOptions opts;
+  opts.num_entities = 50;
+  opts.corruption = 0.0;
+  auto bench = GenerateEmBenchmark(opts);
+  std::map<uint64_t, std::set<std::string>> surfaces;
+  size_t tid = 0;
+  for (size_t l = 0; l < bench.tables.size(); ++l) {
+    const Table& t = bench.tables[l];
+    for (size_t r = 0; r < t.NumRows(); ++r, ++tid) {
+      if (l % 3 == 2) continue;  // email-keyed table
+      surfaces[bench.tid_entity[tid].second].insert(t.At(r, 0).AsString());
+    }
+  }
+  for (const auto& [e, forms] : surfaces) {
+    EXPECT_EQ(forms.size(), 1u) << "entity " << e;
+  }
+}
+
+TEST(EmBenchTest, DeterministicForSeed) {
+  EmBenchOptions opts;
+  opts.num_entities = 30;
+  auto a = GenerateEmBenchmark(opts);
+  auto b = GenerateEmBenchmark(opts);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    ASSERT_EQ(a.tables[i].NumRows(), b.tables[i].NumRows());
+  }
+  EXPECT_EQ(a.tid_entity, b.tid_entity);
+}
+
+}  // namespace
+}  // namespace lakefuzz

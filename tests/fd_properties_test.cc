@@ -1,0 +1,213 @@
+// Property tests of the Full Disjunction guarantees the paper builds on:
+//
+//   (1) information preservation — every input tuple's TID appears in at
+//       least one result tuple ("each tuple is represented and no tuples
+//       remain incomplete", paper Sec 1);
+//   (2) the output is subsumption-free;
+//   (3) every result's provenance is a connected, join-consistent set with
+//       at most one tuple per table, and its values are exactly their join.
+//
+// Checked on randomized instances across a grid of shapes, for both the
+// sequential and the parallel executor, and through the fuzzy pipeline.
+#include <gtest/gtest.h>
+
+#include "core/fuzzy_fd.h"
+#include "embedding/model_zoo.h"
+#include "fd/full_disjunction.h"
+#include "fd/parallel.h"
+#include "util/rng.h"
+
+namespace lakefuzz {
+namespace {
+
+struct Shape {
+  size_t num_tables;
+  size_t rows_per_table;
+  size_t num_columns;
+  size_t value_domain;
+  uint64_t seed;
+};
+
+FdProblem RandomProblem(const Shape& shape, Rng* rng) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < shape.num_columns; ++c) {
+    names.push_back("c" + std::to_string(c));
+  }
+  FdProblem problem(shape.num_columns, names);
+  for (size_t l = 0; l < shape.num_tables; ++l) {
+    for (size_t r = 0; r < shape.rows_per_table; ++r) {
+      std::vector<Value> vals(shape.num_columns);
+      bool any = false;
+      for (size_t c = 0; c < shape.num_columns; ++c) {
+        if (rng->Bernoulli(0.3)) continue;
+        vals[c] = Value::String(std::string(
+            1, static_cast<char>('a' + rng->Uniform(shape.value_domain))));
+        any = true;
+      }
+      if (!any) vals[0] = Value::String("x");  // avoid all-null tuples
+      EXPECT_TRUE(
+          problem.AddTuple(static_cast<uint32_t>(l), std::move(vals)).ok());
+    }
+  }
+  return problem;
+}
+
+void CheckInvariants(const FdProblem& problem, const FdResult& result) {
+  // (1) Information preservation.
+  std::vector<char> covered(problem.num_tuples(), 0);
+  for (const auto& t : result.tuples) {
+    for (uint32_t tid : t.tids) {
+      ASSERT_LT(tid, problem.num_tuples());
+      covered[tid] = 1;
+    }
+  }
+  for (size_t tid = 0; tid < problem.num_tuples(); ++tid) {
+    // A tuple may be represented through a duplicate with identical values;
+    // verify its values are carried by some result instead of its TID.
+    if (covered[tid]) continue;
+    FdResultTuple as_result;
+    as_result.values = problem.tuples()[tid].values;
+    bool carried = false;
+    for (const auto& t : result.tuples) {
+      if (Subsumes(t, as_result)) {
+        carried = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(carried) << "input tuple " << tid << " lost";
+  }
+
+  // (2) Subsumption-free output.
+  for (size_t i = 0; i < result.tuples.size(); ++i) {
+    for (size_t j = 0; j < result.tuples.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Subsumes(result.tuples[i], result.tuples[j]) &&
+                   Subsumes(result.tuples[j], result.tuples[i]))
+          << "duplicate results " << i << " and " << j;
+      if (NonNullCount(result.tuples[i]) > NonNullCount(result.tuples[j])) {
+        EXPECT_FALSE(Subsumes(result.tuples[i], result.tuples[j]))
+            << "result " << j << " subsumed by " << i;
+      }
+    }
+  }
+
+  // (3) Provenance validity: one tuple per table, join-consistent, values
+  // are exactly the join, and the set is connected.
+  for (const auto& t : result.tuples) {
+    std::set<uint32_t> tables;
+    std::vector<Value> merged(problem.num_columns());
+    for (uint32_t tid : t.tids) {
+      const auto& input = problem.tuples()[tid];
+      EXPECT_TRUE(tables.insert(input.table_id).second)
+          << "two tuples from table " << input.table_id;
+      for (size_t c = 0; c < problem.num_columns(); ++c) {
+        if (input.values[c].is_null()) continue;
+        if (merged[c].is_null()) {
+          merged[c] = input.values[c];
+        } else {
+          EXPECT_EQ(merged[c], input.values[c]) << "join-inconsistent set";
+        }
+      }
+    }
+    EXPECT_EQ(merged, t.values) << "values are not the join of the TIDs";
+
+    // Connectivity via shared equal non-null values.
+    if (t.tids.size() > 1) {
+      std::vector<char> reached(t.tids.size(), 0);
+      reached[0] = 1;
+      size_t count = 1;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (size_t i = 0; i < t.tids.size(); ++i) {
+          if (reached[i]) continue;
+          for (size_t j = 0; j < t.tids.size(); ++j) {
+            if (!reached[j]) continue;
+            const auto& a = problem.tuples()[t.tids[i]].values;
+            const auto& b = problem.tuples()[t.tids[j]].values;
+            bool share = false;
+            for (size_t c = 0; c < problem.num_columns(); ++c) {
+              if (!a[c].is_null() && !b[c].is_null() && a[c] == b[c]) {
+                share = true;
+                break;
+              }
+            }
+            if (share) {
+              reached[i] = 1;
+              ++count;
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      EXPECT_EQ(count, t.tids.size()) << "provenance set not connected";
+    }
+  }
+}
+
+class FdInvariantProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(FdInvariantProperty, SequentialExecutorUpholdsInvariants) {
+  Rng rng(GetParam().seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    FdProblem problem = RandomProblem(GetParam(), &rng);
+    auto result = FullDisjunction().Run(&problem);
+    ASSERT_TRUE(result.ok());
+    CheckInvariants(problem, *result);
+  }
+}
+
+TEST_P(FdInvariantProperty, ParallelExecutorUpholdsInvariants) {
+  Rng rng(GetParam().seed ^ 0x9999);
+  for (int trial = 0; trial < 5; ++trial) {
+    FdProblem problem = RandomProblem(GetParam(), &rng);
+    auto result = ParallelFullDisjunction().Run(&problem);
+    ASSERT_TRUE(result.ok());
+    CheckInvariants(problem, *result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FdInvariantProperty,
+    ::testing::Values(Shape{2, 4, 3, 2, 1}, Shape{3, 5, 3, 3, 2},
+                      Shape{4, 6, 4, 3, 3}, Shape{3, 8, 5, 4, 4},
+                      Shape{5, 4, 4, 2, 5}, Shape{2, 10, 3, 5, 6}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      const auto& p = info.param;
+      return "t" + std::to_string(p.num_tables) + "r" +
+             std::to_string(p.rows_per_table) + "c" +
+             std::to_string(p.num_columns) + "d" +
+             std::to_string(p.value_domain);
+    });
+
+TEST(FuzzyFdInvariantTest, PipelineOutputUpholdsFdInvariants) {
+  // The fuzzy pipeline's output is an FD over the *rewritten* tables; its
+  // invariants must hold with respect to those tables.
+  auto t1 = Table::FromRows("T1", {"k", "a"},
+                            {{Value::String("Berlinn"), Value::String("x")},
+                             {Value::String("Toronto"), Value::String("y")}});
+  auto t2 = Table::FromRows("T2", {"k", "b"},
+                            {{Value::String("Berlin"), Value::String("p")},
+                             {Value::String("Madrid"), Value::String("q")}});
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  std::vector<Table> tables{*t1, *t2};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+
+  FuzzyFdOptions opts;
+  opts.matcher.model = MakeModel(ModelKind::kMistral);
+  FuzzyFullDisjunction fuzzy(opts);
+  auto rewritten = fuzzy.RewriteTables(tables, *aligned, nullptr);
+  ASSERT_TRUE(rewritten.ok());
+  auto result = fuzzy.RunToTuples(tables, *aligned);
+  ASSERT_TRUE(result.ok());
+
+  auto problem = FdProblem::Build(*rewritten, *aligned);
+  ASSERT_TRUE(problem.ok());
+  problem->BuildIndex();
+  CheckInvariants(*problem, *result);
+}
+
+}  // namespace
+}  // namespace lakefuzz

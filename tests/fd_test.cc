@@ -1,0 +1,558 @@
+// Tests for src/fd: aligned schemas, the FD problem, subsumption, the
+// production Full Disjunction (validated against the brute-force oracle and
+// against the paper's Fig. 1), and the parallel executor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fd/aligned_schema.h"
+#include "fd/full_disjunction.h"
+#include "fd/oracle.h"
+#include "fd/parallel.h"
+#include "fd/problem.h"
+#include "fd/subsumption.h"
+#include "util/rng.h"
+
+namespace lakefuzz {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+// The paper's Fig. 1 tables (equi-join case).
+std::vector<Table> Fig1Tables() {
+  auto t1 = Table::FromRows(
+      "T1", {"City", "Country"},
+      {{S("Berlinn"), S("Germany")},
+       {S("Toronto"), S("Canada")},
+       {S("Barcelona"), S("Spain")},
+       {S("New Delhi"), S("India")}});
+  auto t2 = Table::FromRows(
+      "T2", {"Country", "City", "VacRate"},
+      {{S("CA"), S("Toronto"), S("83%")},
+       {S("US"), S("Boston"), S("62%")},
+       {S("DE"), S("Berlin"), S("63%")},
+       {S("ES"), S("Barcelona"), S("82%")}});
+  auto t3 = Table::FromRows(
+      "T3", {"City", "TotalCases", "DeathRate"},
+      {{S("Berlin"), S("1.4M"), S("147")},
+       {S("barcelona"), S("2.68M"), S("275")},
+       {S("Boston"), S("263K"), S("335")}});
+  EXPECT_TRUE(t1.ok() && t2.ok() && t3.ok());
+  return {std::move(t1).value(), std::move(t2).value(), std::move(t3).value()};
+}
+
+// ---------------------------------------------------------------- AlignedSchema
+
+TEST(AlignedSchemaTest, AlignByNameMergesEqualHeaders) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  // Universal columns: City, Country, VacRate, TotalCases, DeathRate.
+  EXPECT_EQ(aligned->NumUniversal(), 5u);
+  EXPECT_EQ(aligned->universal_names[0], "City");
+  // T2's City (its column 1) maps to the same universal column as T1's.
+  EXPECT_EQ(aligned->column_map[1][1], aligned->column_map[0][0]);
+}
+
+TEST(AlignedSchemaTest, AlignByNameRejectsDuplicateHeaders) {
+  Table bad("bad", Schema::FromNames({"x", "x"}));
+  auto aligned = AlignByName({bad});
+  EXPECT_FALSE(aligned.ok());
+}
+
+TEST(AlignedSchemaTest, SourcesOfListsTableOrder) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto sources = aligned->SourcesOf(0);  // City
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_EQ(sources[0], (std::pair<size_t, size_t>{0, 0}));
+  EXPECT_EQ(sources[1], (std::pair<size_t, size_t>{1, 1}));
+  EXPECT_EQ(sources[2], (std::pair<size_t, size_t>{2, 0}));
+}
+
+TEST(AlignedSchemaTest, ValidateCatchesBadMappings) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  AlignedSchema broken = *aligned;
+  broken.column_map[0][1] = broken.column_map[0][0];  // two cols → same u
+  EXPECT_FALSE(ValidateAlignedSchema(broken, tables).ok());
+  AlignedSchema out_of_range = *aligned;
+  out_of_range.column_map[0][0] = 99;
+  EXPECT_FALSE(ValidateAlignedSchema(out_of_range, tables).ok());
+  AlignedSchema wrong_width = *aligned;
+  wrong_width.column_map[0].pop_back();
+  EXPECT_FALSE(ValidateAlignedSchema(wrong_width, tables).ok());
+}
+
+// ---------------------------------------------------------------- FdProblem
+
+TEST(FdProblemTest, BuildPadsWithNulls) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(problem->num_tuples(), 11u);
+  EXPECT_EQ(problem->num_columns(), 5u);
+  // First T1 tuple: City/Country set, rest null.
+  const auto& t0 = problem->tuples()[0];
+  EXPECT_EQ(t0.table_id, 0u);
+  EXPECT_EQ(t0.values[0], S("Berlinn"));
+  EXPECT_TRUE(t0.values[2].is_null());
+}
+
+TEST(FdProblemTest, NeighborsViaSharedValues) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  problem->BuildIndex();
+  // TID 1 = (Toronto, Canada); TID 4 = T2 (CA, Toronto, 83%): share City.
+  const auto& n1 = problem->Neighbors(1);
+  EXPECT_NE(std::find(n1.begin(), n1.end(), 4u), n1.end());
+  // Berlinn (TID 0) has no equal value anywhere.
+  EXPECT_TRUE(problem->Neighbors(0).empty());
+}
+
+TEST(FdProblemTest, ComponentsPartitionTuples) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  problem->BuildIndex();
+  size_t total = 0;
+  std::set<uint32_t> seen;
+  for (const auto& comp : problem->Components()) {
+    total += comp.size();
+    for (uint32_t t : comp) EXPECT_TRUE(seen.insert(t).second);
+  }
+  EXPECT_EQ(total, problem->num_tuples());
+}
+
+TEST(FdProblemTest, AddTupleChecksArity) {
+  FdProblem p(3, {"a", "b", "c"});
+  EXPECT_FALSE(p.AddTuple(0, {S("x")}).ok());
+  EXPECT_TRUE(p.AddTuple(0, {S("x"), Value::Null(), Value::Null()}).ok());
+}
+
+// ---------------------------------------------------------------- Subsumption
+
+FdResultTuple MakeTuple(std::vector<Value> values, std::vector<uint32_t> tids) {
+  FdResultTuple t;
+  t.values = std::move(values);
+  t.tids = std::move(tids);
+  return t;
+}
+
+TEST(SubsumptionTest, SubsumesSemantics) {
+  auto big = MakeTuple({S("a"), S("b"), S("c")}, {0, 1});
+  auto small = MakeTuple({S("a"), Value::Null(), S("c")}, {0});
+  auto conflicting = MakeTuple({S("a"), S("X"), Value::Null()}, {2});
+  EXPECT_TRUE(Subsumes(big, small));
+  EXPECT_FALSE(Subsumes(small, big));
+  EXPECT_TRUE(Subsumes(big, big));
+  EXPECT_FALSE(Subsumes(big, conflicting));
+}
+
+TEST(SubsumptionTest, EliminatesStrictlySubsumed) {
+  auto result = EliminateSubsumed(
+      {MakeTuple({S("a"), Value::Null()}, {0}),
+       MakeTuple({S("a"), S("b")}, {0, 1})});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].values[1], S("b"));
+}
+
+TEST(SubsumptionTest, KeepsIncomparableTuples) {
+  auto result = EliminateSubsumed(
+      {MakeTuple({S("a"), Value::Null()}, {0}),
+       MakeTuple({Value::Null(), S("b")}, {1})});
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(SubsumptionTest, CollapsesDuplicatesKeepingSmallestProvenance) {
+  auto result = EliminateSubsumed(
+      {MakeTuple({S("a")}, {5}), MakeTuple({S("a")}, {2})});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].tids, (std::vector<uint32_t>{2}));
+}
+
+TEST(SubsumptionTest, EqualValuesDifferentColumnsNotConfused) {
+  // Same value "x" in different columns must not alias.
+  auto a = MakeTuple({S("x"), Value::Null()}, {0});
+  auto b = MakeTuple({Value::Null(), S("x")}, {1});
+  EXPECT_EQ(EliminateSubsumed({a, b}).size(), 2u);
+}
+
+TEST(SubsumptionTest, OutputSortedDeterministically) {
+  auto result = EliminateSubsumed(
+      {MakeTuple({S("z")}, {3}), MakeTuple({S("y")}, {1}),
+       MakeTuple({S("x")}, {2})});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_TRUE(FdTupleLess(result[0], result[1]));
+  EXPECT_TRUE(FdTupleLess(result[1], result[2]));
+}
+
+TEST(SubsumptionTest, NonNullCount) {
+  EXPECT_EQ(NonNullCount(MakeTuple({S("a"), Value::Null(), S("c")}, {})), 2u);
+  EXPECT_EQ(NonNullCount(MakeTuple({}, {})), 0u);
+}
+
+TEST(SubsumptionTest, ChainOfSubsumption) {
+  auto result = EliminateSubsumed(
+      {MakeTuple({S("a"), Value::Null(), Value::Null()}, {0}),
+       MakeTuple({S("a"), S("b"), Value::Null()}, {0, 1}),
+       MakeTuple({S("a"), S("b"), S("c")}, {0, 1, 2})});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(NonNullCount(result[0]), 3u);
+}
+
+// ---------------------------------------------------------------- FD on Fig. 1
+
+TEST(FullDisjunctionTest, Fig1EquiJoinProducesNineTuples) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  FullDisjunction fd;
+  auto result = fd.Run(&problem.value());
+  ASSERT_TRUE(result.ok());
+  // Paper Fig. 1, FD(T1,T2,T3): f1..f9.
+  EXPECT_EQ(result->tuples.size(), 9u);
+
+  // f6 = {t5(Boston row of T2 = TID 5), t10? } — Boston rows: T2 row 1 is
+  // TID 5, T3 row 2 is TID 10; they must be merged.
+  bool found_boston = false;
+  for (const auto& t : result->tuples) {
+    if (t.tids == std::vector<uint32_t>{5, 10}) {
+      found_boston = true;
+      EXPECT_EQ(t.values[0], S("Boston"));
+      EXPECT_EQ(t.values[1], S("US"));
+      EXPECT_EQ(t.values[2], S("62%"));
+      EXPECT_EQ(t.values[3], S("263K"));
+    }
+  }
+  EXPECT_TRUE(found_boston);
+
+  // Berlin rows of T2 (TID 6) and T3 (TID 8) merge; Berlinn (TID 0) stays
+  // alone; Barcelona/ES (TID 7) and Barcelona/Spain (TID 2) stay apart.
+  std::set<std::vector<uint32_t>> tid_sets;
+  for (const auto& t : result->tuples) tid_sets.insert(t.tids);
+  EXPECT_TRUE(tid_sets.count({6, 8}));
+  EXPECT_TRUE(tid_sets.count({0}));
+  EXPECT_TRUE(tid_sets.count({2}));
+  EXPECT_TRUE(tid_sets.count({7}));
+  EXPECT_TRUE(tid_sets.count({9}));  // barcelona (lowercase, T3)
+}
+
+TEST(FullDisjunctionTest, TwoTableCaseEqualsFullOuterJoin) {
+  auto left = Table::FromRows("L", {"k", "a"},
+                              {{S("1"), S("x")}, {S("2"), S("y")}});
+  auto right = Table::FromRows("R", {"k", "b"},
+                               {{S("1"), S("p")}, {S("3"), S("q")}});
+  ASSERT_TRUE(left.ok() && right.ok());
+  std::vector<Table> tables{*left, *right};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto result = FullDisjunction().Run(&problem.value());
+  ASSERT_TRUE(result.ok());
+  // FULL OUTER JOIN: merged(1), left-only(2), right-only(3).
+  ASSERT_EQ(result->tuples.size(), 3u);
+}
+
+TEST(FullDisjunctionTest, CrossProductWhenMultipleJoinPartners) {
+  // One left tuple joins two right tuples that conflict with each other:
+  // FD keeps both combinations (like a join).
+  auto left = Table::FromRows("L", {"k", "a"}, {{S("1"), S("x")}});
+  auto right = Table::FromRows("R", {"k", "b"},
+                               {{S("1"), S("p")}, {S("1"), S("q")}});
+  ASSERT_TRUE(left.ok() && right.ok());
+  std::vector<Table> tables{*left, *right};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto result = FullDisjunction().Run(&problem.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);
+  for (const auto& t : result->tuples) {
+    EXPECT_EQ(NonNullCount(t), 3u);  // k, a, b all filled
+  }
+}
+
+TEST(FullDisjunctionTest, EmptyInputYieldsEmptyResult) {
+  FdProblem problem(2, {"a", "b"});
+  auto result = FullDisjunction().Run(&problem);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuples.empty());
+  EXPECT_EQ(result->stats.num_components, 0u);
+}
+
+TEST(FullDisjunctionTest, SingleTableIsIdentityModuloSubsumption) {
+  auto t = Table::FromRows("T", {"a", "b"},
+                           {{S("1"), S("x")}, {S("2"), Value::Null()}});
+  ASSERT_TRUE(t.ok());
+  std::vector<Table> tables{*t};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto result = FullDisjunction().Run(&problem.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 2u);
+}
+
+TEST(FullDisjunctionTest, DuplicateTuplesCollapse) {
+  auto t = Table::FromRows("T", {"a"}, {{S("dup")}, {S("dup")}});
+  ASSERT_TRUE(t.ok());
+  std::vector<Table> tables{*t};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto result = FullDisjunction().Run(&problem.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuples.size(), 1u);
+}
+
+TEST(FullDisjunctionTest, BudgetExhaustionSurfacesError) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  FdOptions opts;
+  opts.max_search_nodes = 1;  // absurdly small
+  auto result = FullDisjunction(opts).Run(&problem.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FullDisjunctionTest, ResultsToTableWithProvenance) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto table = FullDisjunction().RunToTable(tables, *aligned,
+                                            /*include_provenance=*/true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).name, "TIDs");
+  EXPECT_EQ(table->NumRows(), 9u);
+  bool saw_pair = false;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    if (table->At(r, 0) == S("{t6,t8}")) saw_pair = true;
+  }
+  EXPECT_TRUE(saw_pair);
+}
+
+// ---------------------------------------------------- property: vs oracle
+
+struct OracleCase {
+  size_t num_tables;
+  size_t rows_per_table;
+  size_t num_columns;
+  size_t value_domain;  ///< small domain → dense join graph, conflicts
+  uint64_t seed;
+};
+
+class FdOracleProperty : public ::testing::TestWithParam<OracleCase> {};
+
+FdProblem RandomProblem(const OracleCase& oc, Rng* rng) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < oc.num_columns; ++c) {
+    names.push_back("c" + std::to_string(c));
+  }
+  FdProblem problem(oc.num_columns, names);
+  for (size_t l = 0; l < oc.num_tables; ++l) {
+    for (size_t r = 0; r < oc.rows_per_table; ++r) {
+      std::vector<Value> vals(oc.num_columns);
+      for (size_t c = 0; c < oc.num_columns; ++c) {
+        if (rng->Bernoulli(0.35)) continue;  // null
+        vals[c] = Value::String(
+            std::string(1, static_cast<char>('a' + rng->Uniform(oc.value_domain))));
+      }
+      EXPECT_TRUE(
+          problem.AddTuple(static_cast<uint32_t>(l), std::move(vals)).ok());
+    }
+  }
+  return problem;
+}
+
+TEST_P(FdOracleProperty, ProductionMatchesOracle) {
+  const OracleCase& oc = GetParam();
+  Rng rng(oc.seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    FdProblem problem = RandomProblem(oc, &rng);
+    FdProblem problem_copy = problem;
+    auto fast = FullDisjunction().Run(&problem);
+    auto oracle = NaiveFdOracle(problem_copy);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(oracle.ok());
+    ASSERT_EQ(fast->tuples.size(), oracle->size()) << "trial " << trial;
+    for (size_t i = 0; i < fast->tuples.size(); ++i) {
+      EXPECT_EQ(fast->tuples[i].values, (*oracle)[i].values)
+          << "trial " << trial << " tuple " << i;
+      EXPECT_EQ(fast->tuples[i].tids, (*oracle)[i].tids);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, FdOracleProperty,
+    ::testing::Values(OracleCase{2, 3, 2, 2, 11}, OracleCase{2, 4, 3, 2, 22},
+                      OracleCase{3, 3, 3, 2, 33}, OracleCase{3, 3, 4, 3, 44},
+                      OracleCase{4, 3, 3, 3, 55}, OracleCase{2, 6, 3, 2, 66},
+                      OracleCase{3, 4, 2, 2, 77}, OracleCase{4, 2, 5, 3, 88}),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      const auto& p = info.param;
+      return "t" + std::to_string(p.num_tables) + "r" +
+             std::to_string(p.rows_per_table) + "c" +
+             std::to_string(p.num_columns) + "d" +
+             std::to_string(p.value_domain);
+    });
+
+// ------------------------------------------- property: order invariance
+
+TEST(FullDisjunctionTest, TableOrderInvariantUpToProvenance) {
+  // FD is associative/commutative: permuting the input tables must yield
+  // the same set of value tuples (TIDs renumber, values must not change).
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto base = FullDisjunction().Run(&problem.value());
+  ASSERT_TRUE(base.ok());
+
+  std::vector<size_t> perm{2, 0, 1};
+  std::vector<Table> shuffled;
+  for (size_t i : perm) shuffled.push_back(tables[i]);
+  auto aligned2 = AlignByName(shuffled);
+  ASSERT_TRUE(aligned2.ok());
+  auto problem2 = FdProblem::Build(shuffled, *aligned2);
+  ASSERT_TRUE(problem2.ok());
+  auto permuted = FullDisjunction().Run(&problem2.value());
+  ASSERT_TRUE(permuted.ok());
+
+  ASSERT_EQ(base->tuples.size(), permuted->tuples.size());
+  // Compare as multisets of value maps keyed by universal NAME (column
+  // order may differ between the two alignments).
+  auto canonicalize = [](const FdResult& r,
+                         const std::vector<std::string>& names) {
+    std::multiset<std::set<std::pair<std::string, std::string>>> out;
+    for (const auto& t : r.tuples) {
+      std::set<std::pair<std::string, std::string>> entry;
+      for (size_t c = 0; c < t.values.size(); ++c) {
+        if (!t.values[c].is_null()) {
+          entry.emplace(names[c], t.values[c].ToString());
+        }
+      }
+      out.insert(std::move(entry));
+    }
+    return out;
+  };
+  EXPECT_EQ(canonicalize(*base, aligned->universal_names),
+            canonicalize(*permuted, aligned2->universal_names));
+}
+
+TEST(FullDisjunctionTest, RandomizedOrderInvariance) {
+  Rng rng(505);
+  for (int trial = 0; trial < 10; ++trial) {
+    OracleCase oc{3, 3, 3, 2, 0};
+    FdProblem p = RandomProblem(oc, &rng);
+    // Recreate the same tuples under a permuted table labeling by swapping
+    // table ids — values stay put, so FD output values must be identical.
+    FdProblem q(p.num_columns(), p.column_names());
+    for (const auto& t : p.tuples()) {
+      EXPECT_TRUE(q.AddTuple((t.table_id + 1) % 3, t.values).ok());
+    }
+    auto rp = FullDisjunction().Run(&p);
+    auto rq = FullDisjunction().Run(&q);
+    ASSERT_TRUE(rp.ok());
+    ASSERT_TRUE(rq.ok());
+    ASSERT_EQ(rp->tuples.size(), rq->tuples.size());
+    for (size_t i = 0; i < rp->tuples.size(); ++i) {
+      EXPECT_EQ(rp->tuples[i].values, rq->tuples[i].values);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Parallel
+
+TEST(ParallelFdTest, MatchesSequentialOnFig1) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto p1 = FdProblem::Build(tables, *aligned);
+  auto p2 = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  auto seq = FullDisjunction().Run(&p1.value());
+  ParallelFdOptions popts;
+  popts.num_threads = 4;
+  auto par = ParallelFullDisjunction(popts).Run(&p2.value());
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  ASSERT_EQ(seq->tuples.size(), par->tuples.size());
+  for (size_t i = 0; i < seq->tuples.size(); ++i) {
+    EXPECT_EQ(seq->tuples[i].values, par->tuples[i].values);
+    EXPECT_EQ(seq->tuples[i].tids, par->tuples[i].tids);
+  }
+}
+
+TEST(ParallelFdTest, MatchesSequentialOnRandomInstances) {
+  Rng rng(606);
+  for (int trial = 0; trial < 8; ++trial) {
+    OracleCase oc{3, 5, 3, 3, 0};
+    FdProblem p = RandomProblem(oc, &rng);
+    FdProblem q = p;
+    auto seq = FullDisjunction().Run(&p);
+    auto par = ParallelFullDisjunction().Run(&q);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(seq->tuples.size(), par->tuples.size()) << trial;
+    for (size_t i = 0; i < seq->tuples.size(); ++i) {
+      EXPECT_EQ(seq->tuples[i].values, par->tuples[i].values);
+    }
+  }
+}
+
+TEST(ParallelFdTest, PropagatesBudgetError) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  ParallelFdOptions popts;
+  popts.fd.max_search_nodes = 1;
+  auto result = ParallelFullDisjunction(popts).Run(&problem.value());
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------- Oracle
+
+TEST(OracleTest, RefusesLargeInputs) {
+  FdProblem p(1, {"a"});
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(p.AddTuple(0, {S("v")}).ok());
+  }
+  EXPECT_FALSE(NaiveFdOracle(p, /*max_tuples=*/20).ok());
+}
+
+TEST(OracleTest, HandlesFig1) {
+  auto tables = Fig1Tables();
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+  auto problem = FdProblem::Build(tables, *aligned);
+  ASSERT_TRUE(problem.ok());
+  auto oracle = NaiveFdOracle(*problem);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->size(), 9u);
+}
+
+}  // namespace
+}  // namespace lakefuzz

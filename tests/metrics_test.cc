@@ -1,0 +1,100 @@
+// Tests for src/metrics: P/R/F1, pair evaluation, report tables.
+#include <gtest/gtest.h>
+
+#include "metrics/pair_eval.h"
+#include "metrics/prf.h"
+#include "metrics/report.h"
+
+namespace lakefuzz {
+namespace {
+
+TEST(PrfTest, BasicMath) {
+  Prf p{/*tp=*/8, /*fp=*/2, /*fn=*/4};
+  EXPECT_DOUBLE_EQ(p.precision(), 0.8);
+  EXPECT_NEAR(p.recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(p.f1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+}
+
+TEST(PrfTest, EmptyConventions) {
+  Prf none;
+  EXPECT_DOUBLE_EQ(none.precision(), 1.0);  // nothing predicted
+  EXPECT_DOUBLE_EQ(none.recall(), 1.0);     // nothing to find
+  Prf all_wrong{0, 3, 2};
+  EXPECT_DOUBLE_EQ(all_wrong.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(all_wrong.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(all_wrong.f1(), 0.0);
+}
+
+TEST(PrfTest, ToStringFormat) {
+  Prf p{1, 1, 0};
+  EXPECT_EQ(p.ToString(), "P=0.50 R=1.00 F1=0.67");
+}
+
+TEST(PrfTest, MicroAverageSumsCounts) {
+  Prf micro = MicroAverage({Prf{1, 0, 1}, Prf{3, 2, 0}});
+  EXPECT_EQ(micro.tp, 4u);
+  EXPECT_EQ(micro.fp, 2u);
+  EXPECT_EQ(micro.fn, 1u);
+}
+
+TEST(PrfTest, MacroAverageAveragesScores) {
+  // Part 1: P=1, R=0.5; part 2: P=0.5, R=1.
+  MacroPrf macro = MacroAverage({Prf{1, 0, 1}, Prf{1, 1, 0}});
+  EXPECT_DOUBLE_EQ(macro.precision, 0.75);
+  EXPECT_DOUBLE_EQ(macro.recall, 0.75);
+  MacroPrf empty = MacroAverage({});
+  EXPECT_DOUBLE_EQ(empty.f1, 0.0);
+}
+
+TEST(PairEvalTest, MakePairCanonicalizes) {
+  EXPECT_EQ(MakePair(5, 2), MakePair(2, 5));
+  EXPECT_EQ(MakePair(2, 5).first, 2u);
+}
+
+TEST(PairEvalTest, EvaluatePairsCounts) {
+  std::set<ItemPair> pred{MakePair(1, 2), MakePair(3, 4), MakePair(5, 6)};
+  std::set<ItemPair> gt{MakePair(1, 2), MakePair(3, 4), MakePair(7, 8)};
+  Prf p = EvaluatePairs(pred, gt);
+  EXPECT_EQ(p.tp, 2u);
+  EXPECT_EQ(p.fp, 1u);
+  EXPECT_EQ(p.fn, 1u);
+}
+
+TEST(PairEvalTest, ClustersToPairsEnumeratesWithinClusters) {
+  auto pairs = ClustersToPairs({{1, 2, 3}, {4}, {5, 6}});
+  EXPECT_EQ(pairs.size(), 3u + 0u + 1u);
+  EXPECT_TRUE(pairs.count(MakePair(1, 3)));
+  EXPECT_FALSE(pairs.count(MakePair(3, 4)));
+}
+
+TEST(PairEvalTest, EvaluateClusteringAgainstLabels) {
+  // Predicted: {0,1} {2,3}; truth: 0,1,2 share label A, 3 is B.
+  Prf p = EvaluateClustering({{0, 1}, {2, 3}},
+                             {{0, 100}, {1, 100}, {2, 100}, {3, 200}});
+  // GT pairs: (0,1),(0,2),(1,2). Predicted: (0,1) tp, (2,3) fp.
+  EXPECT_EQ(p.tp, 1u);
+  EXPECT_EQ(p.fp, 1u);
+  EXPECT_EQ(p.fn, 2u);
+}
+
+TEST(ReportTableTest, RendersAlignedColumns) {
+  ReportTable t({"Model", "F1"});
+  t.AddRow({"Mistral", "0.82"});
+  t.AddRow({"FastText", "0.66"});
+  std::string s = t.Render();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("Mistral"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(ReportTableTest, ShortRowsPadded) {
+  ReportTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string s = t.Render();  // must not crash; missing cells empty
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lakefuzz
