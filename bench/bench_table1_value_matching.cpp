@@ -12,7 +12,17 @@
 // (θ = 0.7, the paper's setting). Absolute values need not match — the
 // models and the benchmark are simulated (DESIGN.md §1) — but the ordering
 // and the LLM-vs-pretrained gap are the claims under reproduction.
+//
+// Performance flags:
+//   --threads=N        matcher worker threads for the main pass (0 = all
+//                      hardware threads, 1 = serial)
+//   --scale_threads=a,b,c  additionally run the Mistral configuration once
+//                      per listed thread count (throughput scaling curve)
+//   --json_out=PATH    write p50/p95 wall times + matcher counters per
+//                      configuration as a JSON array (BENCH_value_matching
+//                      artifact)
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.h"
 #include "embedding/model_zoo.h"
@@ -29,13 +39,19 @@ int main(int argc, char** argv) {
   gen.entities_per_set =
       static_cast<size_t>(flags.GetInt("entities", 150));
   double theta = flags.GetDouble("theta", 0.7);
+  size_t threads = ParseThreadsFlag(flags);
+  std::string json_out = flags.GetString("json_out", "");
+  std::string scale_threads = flags.GetString("scale_threads", "");
 
   std::printf(
       "=== Table 1: Value Matching effectiveness in Auto-Join Benchmark "
-      "===\n%zu integration sets, %zu topics, ~%zu entities/set, θ=%.2f\n\n",
-      gen.num_sets, AutoJoinNumTopics(), gen.entities_per_set, theta);
+      "===\n%zu integration sets, %zu topics, ~%zu entities/set, θ=%.2f, "
+      "threads=%zu\n\n",
+      gen.num_sets, AutoJoinNumTopics(), gen.entities_per_set, theta,
+      threads);
 
   auto sets = GenerateAutoJoinBenchmark(gen);
+  BenchJsonWriter json;
 
   struct PaperRow {
     double p, r, f1;
@@ -52,24 +68,65 @@ int main(int argc, char** argv) {
     ValueMatcherOptions opts;
     opts.model = MakeModel(kind);
     opts.threshold = theta;
+    opts.num_threads = threads;
     Stopwatch watch;
+    BenchRunStats run;
     std::vector<Prf> parts;
     parts.reserve(sets.size());
     for (const auto& set : sets) {
-      parts.push_back(EvaluateAutoJoinSet(set, opts));
+      parts.push_back(EvaluateAutoJoinSet(set, opts, &run));
     }
     MacroPrf macro = MacroAverage(parts);
-    const PaperRow& ref = paper.at(std::string(ModelKindToString(kind)));
-    table.AddRow({std::string(ModelKindToString(kind)),
-                  FormatDouble(macro.precision, 2),
+    const std::string name(ModelKindToString(kind));
+    const PaperRow& ref = paper.at(name);
+    table.AddRow({name, FormatDouble(macro.precision, 2),
                   FormatDouble(macro.recall, 2), FormatDouble(macro.f1, 2),
                   StrFormat("%.2f/%.2f/%.2f", ref.p, ref.r, ref.f1),
                   FormatDouble(watch.ElapsedSeconds(), 2)});
+    json.AddFromStats("table1_" + name, ResolveNumThreads(threads), run,
+                      {{"precision", macro.precision},
+                       {"recall", macro.recall},
+                       {"f1", macro.f1}});
   }
   std::printf("%s", table.Render().c_str());
   std::printf(
       "\nExpected shape: Mistral ≥ Llama3 > RoBERTa ≥ BERT > FastText, "
       "LLM-grade models\nahead of the pre-trained LMs by a clear margin on "
       "every metric (paper Sec 3.2).\n");
+
+  // Thread-scaling curve: same Mistral workload at each requested thread
+  // count. Groups are asserted identical run-to-run elsewhere (ctest); here
+  // the JSON records the throughput trajectory.
+  if (!scale_threads.empty()) {
+    std::printf("\n--- thread scaling (Mistral) ---\n");
+    for (const std::string& part : Split(scale_threads, ',')) {
+      size_t t = 0;
+      if (!ParseThreadCount(part, &t)) {
+        std::fprintf(stderr,
+                     "--scale_threads: skipping invalid entry \"%s\" "
+                     "(want an integer in [0, %zu])\n",
+                     part.c_str(), kMaxBenchThreads);
+        continue;
+      }
+      ValueMatcherOptions opts;
+      opts.model = MakeModel(ModelKind::kMistral);
+      opts.threshold = theta;
+      opts.num_threads = t;
+      Stopwatch watch;
+      BenchRunStats run;
+      for (const auto& set : sets) {
+        EvaluateAutoJoinSet(set, opts, &run);
+      }
+      double secs = watch.ElapsedSeconds();
+      std::printf("threads=%zu (resolved %zu): %.3f s, p50 %.2f ms, "
+                  "p95 %.2f ms/set\n",
+                  t, ResolveNumThreads(t), secs,
+                  Percentile(run.unit_ms, 0.50), Percentile(run.unit_ms, 0.95));
+      json.AddFromStats(StrFormat("scaling_mistral_t%zu", t),
+                        ResolveNumThreads(t), run);
+    }
+  }
+
+  if (!json.WriteFile(json_out)) return 1;
   return 0;
 }

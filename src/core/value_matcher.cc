@@ -3,12 +3,16 @@
 #include "assignment/jonker_volgenant.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "assignment/parallel_cost.h"
 #include "embedding/vector_ops.h"
 #include "text/normalize.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace lakefuzz {
 namespace {
@@ -16,7 +20,9 @@ namespace {
 /// Working state of one group during the sequential merge.
 struct GroupState {
   ValueGroup group;
-  Vec rep_embedding;  // valid only in embedding mode
+  /// Unit-normalized representative embedding, shared with the cache
+  /// (embedding mode only).
+  std::shared_ptr<const Vec> rep_embedding;
 };
 
 }  // namespace
@@ -50,9 +56,14 @@ CrossColumnPairs(const ValueMatchResult& result) {
 
 Result<ValueMatchResult> ValueMatcher::MatchColumns(
     const std::vector<std::vector<std::string>>& columns) const {
-  if (options_.model == nullptr && options_.string_distance == nullptr) {
+  const bool use_embeddings = options_.model != nullptr;
+  const bool use_bounded_distance =
+      !use_embeddings && options_.bounded_string_distance != nullptr;
+  if (!use_embeddings && options_.string_distance == nullptr &&
+      !use_bounded_distance) {
     return Status::InvalidArgument(
-        "ValueMatcherOptions: either model or string_distance must be set");
+        "ValueMatcherOptions: one of model, string_distance, or "
+        "bounded_string_distance must be set");
   }
   for (size_t c = 0; c < columns.size(); ++c) {
     std::unordered_set<std::string> distinct(columns[c].begin(),
@@ -66,20 +77,50 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
   ValueMatchResult result;
   if (columns.empty()) return result;
 
+  // Scoring substrate: one embedding cache per match call (representatives
+  // recur across merge rounds; values recur across columns) and one thread
+  // pool shared by every fill below. The pool is created lazily on the
+  // first fill large enough to use it — the many small residual problems
+  // left after the exact-match prepass run serially either way and must
+  // not pay N thread spawns per column. Output is identical at any thread
+  // count because each cost cell is a pure function of its (group, value)
+  // pair.
+  std::unique_ptr<EmbeddingCache> cache;
+  if (use_embeddings) {
+    cache = std::make_unique<EmbeddingCache>(options_.model,
+                                             options_.embedding_cache);
+  }
+  const size_t num_threads = ResolveNumThreads(options_.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  auto pool_for = [&](size_t work_items, size_t min_work) -> ThreadPool* {
+    if (num_threads <= 1 || work_items < min_work) return nullptr;
+    if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+    return pool.get();
+  };
+  // Embedding calls are heavyweight relative to pool dispatch; a much
+  // smaller batch than a cost fill already amortizes the pool.
+  constexpr size_t kMinParallelEmbeds = 64;
+
+  std::atomic<size_t> pruned_evaluations{0};
+
+  auto string_cost = [&](const std::string& rep, const std::string& value,
+                         double budget) -> double {
+    if (use_bounded_distance) {
+      bool pruned = false;
+      double d =
+          options_.bounded_string_distance(rep, value, budget, &pruned);
+      if (pruned) pruned_evaluations.fetch_add(1, std::memory_order_relaxed);
+      return d;
+    }
+    return options_.string_distance(rep, value);
+  };
+
   // Global frequency of each value across all aligning columns — the
   // electorate for representative selection (paper Sec 2.2, Ex. 4).
   std::unordered_map<std::string, size_t> freq;
   for (const auto& col : columns) {
     for (const auto& v : col) ++freq[v];
   }
-
-  const bool use_embeddings = options_.model != nullptr;
-  auto embed = [&](const std::string& s) { return options_.model->Embed(s); };
-  auto pair_cost = [&](const GroupState& g,
-                       const std::string& value, const Vec* value_emb) {
-    if (use_embeddings) return CosineDistance(g.rep_embedding, *value_emb);
-    return options_.string_distance(g.group.representative, value);
-  };
 
   auto elect_representative = [&](GroupState* g) {
     size_t best = 0;
@@ -98,7 +139,9 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
     if (rep != g->group.representative || g->group.members.size() == 1) {
       g->group.representative = rep;
       g->group.representative_member = best;
-      if (use_embeddings) g->rep_embedding = embed(rep);
+      // Cache hit whenever the representative survived a previous round or
+      // equals any already-seen value — the common case.
+      if (use_embeddings) g->rep_embedding = cache->GetNormalized(rep);
     }
   };
 
@@ -156,28 +199,54 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
     }
 
     if (!open_groups.empty() && !open_values.empty()) {
-      std::vector<Vec> value_embs;
+      std::vector<std::shared_ptr<const Vec>> value_embs;
       if (use_embeddings) {
-        value_embs.reserve(open_values.size());
-        for (size_t vi : open_values) value_embs.push_back(embed(values[vi]));
+        // Warm the cache in parallel; each slot is written by exactly one
+        // worker, and the vectors themselves are deterministic, so the
+        // outcome is thread-count independent.
+        value_embs.resize(open_values.size());
+        ParallelIndexFor(
+            open_values.size(),
+            [&](size_t k) {
+              value_embs[k] = cache->GetNormalized(values[open_values[k]]);
+            },
+            pool_for(open_values.size(), kMinParallelEmbeds));
       }
+      const size_t cells = open_groups.size() * open_values.size();
+      const bool dense = cells <= options_.max_dense_cells;
+      // Pruning budget for the bounded string distance. A pruned pair is
+      // reported as distance 1.0 instead of its true above-budget value, so
+      // pruning is enabled only where that substitution provably cannot
+      // change the result: sparse mode drops edges >= θ before solving, and
+      // dense mask-before-solve masks cells >= θ to forbidden either way.
+      // The default dense solve-then-filter mode optimizes the
+      // *unconstrained* matrix — a capped above-θ cost could flip which
+      // below-θ pairs win — and auto-threshold reads the entire distance
+      // distribution; both get budget 1.0, which the bounded-distance
+      // contract defines as fully exact.
+      const bool prune_safe =
+          !options_.auto_threshold && (!dense || options_.mask_before_solve);
+      const double distance_budget = prune_safe ? options_.threshold : 1.0;
+      auto pair_cost = [&](size_t r, size_t k) -> double {
+        const GroupState& g = combined[open_groups[r]];
+        if (use_embeddings) {
+          return CosineDistancePrenormalized(*g.rep_embedding, *value_embs[k]);
+        }
+        return string_cost(g.group.representative, values[open_values[k]],
+                           distance_budget);
+      };
+
       ThresholdedOptions topts;
       topts.threshold = options_.threshold;
       topts.algorithm = options_.algorithm;
       topts.mask_before_solve = options_.mask_before_solve;
 
       Assignment assignment;
-      const size_t cells = open_groups.size() * open_values.size();
-      if (cells <= options_.max_dense_cells) {
+      if (dense) {
         CostMatrix cost(open_groups.size(), open_values.size());
-        for (size_t r = 0; r < open_groups.size(); ++r) {
-          for (size_t k = 0; k < open_values.size(); ++k) {
-            cost.set(r, k,
-                     pair_cost(combined[open_groups[r]], values[open_values[k]],
-                               use_embeddings ? &value_embs[k] : nullptr));
-            ++result.stats.cost_evaluations;
-          }
-        }
+        FillCostMatrixParallel(&cost, pair_cost,
+                               pool_for(cells, kMinParallelWork));
+        result.stats.cost_evaluations += cells;
         if (options_.auto_threshold) {
           // Probe solve without a threshold: the optimal pairing's distance
           // distribution is bimodal (matches vs forced non-matches); the
@@ -206,12 +275,11 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
         std::vector<SparseEdge> edges;
         edges.reserve(candidates.size());
         for (auto [r, k] : candidates) {
-          double d =
-              pair_cost(combined[open_groups[r]], values[open_values[k]],
-                        use_embeddings ? &value_embs[k] : nullptr);
-          ++result.stats.cost_evaluations;
-          edges.push_back(SparseEdge{r, k, d});
+          edges.push_back(SparseEdge{r, k, 0.0});
         }
+        ScoreEdgesParallel(&edges, pair_cost,
+                           pool_for(edges.size(), kMinParallelWork));
+        result.stats.cost_evaluations += edges.size();
         if (options_.auto_threshold && !edges.empty()) {
           // No cheap unconstrained probe in sparse mode; the candidate-edge
           // distances themselves carry the bimodal signal.
@@ -250,6 +318,12 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
     }
   }
 
+  result.stats.pruned_evaluations =
+      pruned_evaluations.load(std::memory_order_relaxed);
+  if (cache != nullptr) {
+    result.stats.embedding_cache_hits = cache->hits();
+    result.stats.embedding_cache_misses = cache->misses();
+  }
   result.groups.reserve(combined.size());
   for (auto& g : combined) result.groups.push_back(std::move(g.group));
   return result;

@@ -31,6 +31,7 @@
 #include "assignment/thresholded.h"
 #include "core/auto_threshold.h"
 #include "core/blocking.h"
+#include "embedding/embedding_cache.h"
 #include "embedding/model.h"
 #include "text/distance.h"
 #include "util/result.h"
@@ -62,6 +63,23 @@ struct ValueMatcherOptions {
   /// `string_distance` (must be set; ablation A3).
   std::shared_ptr<const EmbeddingModel> model;
   StringDistanceFn string_distance;
+  /// Optional threshold-aware replacement for `string_distance` (takes
+  /// precedence when both are set): exact below its budget, may prune
+  /// hopeless pairs to 1.0 (see MakeBoundedStringDistance). Match results
+  /// are guaranteed identical to the plain distance, so the matcher passes
+  /// θ as the budget only where a capped above-θ value provably cannot
+  /// change the assignment: sparse mode (edges ≥ θ are dropped before
+  /// solving) and dense mode with `mask_before_solve` (cells ≥ θ are
+  /// masked either way). In the default dense solve-then-filter mode and
+  /// under `auto_threshold` the budget is lifted to 1.0 — every value
+  /// exact, zero prunes; the banded DP still applies.
+  BoundedStringDistanceFn bounded_string_distance;
+  /// Worker threads for cost-matrix fill, sparse-edge scoring, and value
+  /// embedding: 0 = hardware concurrency, 1 = serial (no pool is created).
+  /// Results are deterministic regardless of the setting.
+  size_t num_threads = 1;
+  /// Sizing of the per-MatchColumns embedding cache (embedding mode only).
+  EmbeddingCacheOptions embedding_cache;
 };
 
 /// One disjoint set of matched values.
@@ -81,6 +99,17 @@ struct ValueMatchStats {
   size_t dense_solves = 0;
   size_t sparse_solves = 0;
   size_t cost_evaluations = 0;
+  /// Pairs the bounded string distance proved hopeless without a full DP
+  /// (subset of cost_evaluations).
+  size_t pruned_evaluations = 0;
+  /// Embedding-cache traffic (embedding mode only): hits are value→vector
+  /// lookups answered from the cache. Deterministic with an unbounded cache
+  /// (misses = distinct strings embedded); with `embedding_cache.max_entries`
+  /// set AND num_threads > 1, which keys stay cached depends on arrival
+  /// order, so these two counters may vary run-to-run. Match results never
+  /// do.
+  size_t embedding_cache_hits = 0;
+  size_t embedding_cache_misses = 0;
   /// θ actually used per assignment round (one entry per solve; equals the
   /// configured threshold unless auto_threshold is on).
   std::vector<double> thresholds_used;

@@ -30,7 +30,8 @@ class ColumnEmbedder {
 
   /// Signature of `table`'s column `col`: unit-norm mean of sampled distinct
   /// value embeddings (+ optional header blend). All-null columns get the
-  /// zero vector.
+  /// zero vector. Unit-or-zero norm is an interface guarantee: consumers
+  /// (HolisticSchemaMatcher) compare signatures with DotPrenormalized.
   Vec EmbedColumn(const Table& table, size_t col) const;
 
   const EmbeddingModel& model() const { return *model_; }

@@ -1,0 +1,84 @@
+// EmbeddingCache: the value-matching hot path's embedding memo.
+//
+// The sequential merge re-embeds the same strings over and over: every round
+// embeds the incoming column's values, and group representatives — which
+// mostly survive from round to round — are re-embedded each time they are
+// compared. This cache memoizes value→vector lookups across columns and
+// stores vectors *pre-normalized* to unit length, so the matcher's cosine
+// distance degrades to a single dot product (CosineDistancePrenormalized)
+// instead of three (Dot + two norm recomputations) per cell.
+//
+// Concurrency: lookups are sharded by string hash; each shard has its own
+// mutex, so parallel cost-matrix workers warming the cache contend only
+// within a shard. Entries are shared_ptr so a returned vector stays valid
+// across rehashes and (bounded mode) non-insertion.
+#ifndef LAKEFUZZ_EMBEDDING_EMBEDDING_CACHE_H_
+#define LAKEFUZZ_EMBEDDING_EMBEDDING_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "embedding/model.h"
+
+namespace lakefuzz {
+
+struct EmbeddingCacheOptions {
+  /// Upper bound on total cached entries; 0 = unbounded. At the bound,
+  /// values are computed but not inserted (no eviction). Match results are
+  /// unaffected either way; note that with a bound AND parallel warm-up,
+  /// *which* keys land in the cache — and therefore the hit/miss counters —
+  /// depends on arrival order across threads.
+  size_t max_entries = 0;
+  /// Number of independently locked shards (rounded up to a power of two).
+  size_t shards = 16;
+};
+
+/// Memoizing, normalizing embedding lookup table. Thread-safe.
+class EmbeddingCache {
+ public:
+  explicit EmbeddingCache(std::shared_ptr<const EmbeddingModel> model,
+                          EmbeddingCacheOptions options = {});
+
+  /// The unit-normalized embedding of `value`. The returned vector is
+  /// immutable and remains valid for the cache's lifetime (or the caller's
+  /// copy of the shared_ptr, whichever is longer). Takes const string& so a
+  /// hit costs no allocation — call sites on the hot path already hold
+  /// std::strings.
+  std::shared_ptr<const Vec> GetNormalized(const std::string& value) const;
+
+  const EmbeddingModel& model() const { return *model_; }
+
+  size_t size() const;
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const Vec>> map;
+  };
+
+  Shard& ShardFor(std::string_view value) const;
+
+  std::shared_ptr<const EmbeddingModel> model_;
+  EmbeddingCacheOptions options_;
+  /// True when the model already emits unit vectors (the invariant threaded
+  /// through EmbeddingModel::prenormalized()); skips the defensive
+  /// re-normalization.
+  bool model_prenormalized_;
+  mutable std::vector<Shard> shards_;
+  /// Total entries across shards; enforces max_entries globally rather than
+  /// as a per-shard quota.
+  mutable std::atomic<size_t> total_entries_{0};
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_EMBEDDING_EMBEDDING_CACHE_H_

@@ -48,6 +48,9 @@ class HashedNgramModel : public EmbeddingModel {
   Vec Embed(std::string_view value) const override;
   size_t dim() const override { return config_.dim; }
   std::string name() const override { return config_.name; }
+  /// Embed() ends with NormalizeInPlace on every path (surface, noise, and
+  /// knowledge-base blend), so outputs are unit or zero vectors.
+  bool prenormalized() const override { return true; }
 
   const HashedModelConfig& config() const { return config_; }
 

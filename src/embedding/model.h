@@ -32,6 +32,12 @@ class EmbeddingModel {
 
   /// Display name ("Mistral", "FastText", ...).
   virtual std::string name() const = 0;
+
+  /// True when Embed() always returns a unit-norm (or all-zero) vector.
+  /// Consumers holding two such vectors may use CosineDistancePrenormalized
+  /// (a single dot product) instead of the norm-recomputing CosineDistance.
+  /// EmbeddingCache re-normalizes defensively when this is false.
+  virtual bool prenormalized() const { return false; }
 };
 
 /// Memoizing decorator: caches embeddings by exact input string. The value
@@ -46,9 +52,13 @@ class CachingModel : public EmbeddingModel {
   Vec Embed(std::string_view value) const override;
   size_t dim() const override { return inner_->dim(); }
   std::string name() const override { return inner_->name(); }
+  bool prenormalized() const override { return inner_->prenormalized(); }
 
   /// Number of cached entries (for tests / diagnostics).
   size_t CacheSize() const;
+
+  /// The wrapped model (EmbeddingCache unwraps it to avoid double-caching).
+  std::shared_ptr<const EmbeddingModel> inner() const { return inner_; }
 
  private:
   std::shared_ptr<const EmbeddingModel> inner_;

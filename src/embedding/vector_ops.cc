@@ -41,4 +41,10 @@ double CosineDistance(const Vec& a, const Vec& b) {
   return 1.0 - CosineSimilarity(a, b);
 }
 
+double DotPrenormalized(const Vec& a, const Vec& b) { return Dot(a, b); }
+
+double CosineDistancePrenormalized(const Vec& a, const Vec& b) {
+  return 1.0 - Dot(a, b);
+}
+
 }  // namespace lakefuzz

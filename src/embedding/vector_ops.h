@@ -27,6 +27,18 @@ double CosineSimilarity(const Vec& a, const Vec& b);
 /// function of the paper's Definition 2 (thresholded at θ).
 double CosineDistance(const Vec& a, const Vec& b);
 
+/// Dot product of two *unit* (or zero) vectors — equals their cosine
+/// similarity without recomputing norms. Callers must uphold the invariant
+/// (EmbeddingCache and ColumnEmbedder outputs do; see
+/// EmbeddingModel::prenormalized()). Zero vectors yield 0, matching
+/// CosineSimilarity's convention.
+double DotPrenormalized(const Vec& a, const Vec& b);
+
+/// 1 - DotPrenormalized: cosine distance when both inputs are pre-normalized.
+/// The matcher hot path uses this; the general CosineDistance stays for
+/// external callers with arbitrary vectors.
+double CosineDistancePrenormalized(const Vec& a, const Vec& b);
+
 }  // namespace lakefuzz
 
 #endif  // LAKEFUZZ_EMBEDDING_VECTOR_OPS_H_

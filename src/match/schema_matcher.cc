@@ -43,7 +43,10 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
   for (size_t i = 0; i < cols.size(); ++i) {
     for (size_t j = i + 1; j < cols.size(); ++j) {
       if (cols[i].table == cols[j].table) continue;
-      double sim = CosineSimilarity(sigs[i], sigs[j]);
+      // EmbedColumn signatures are unit (or zero) vectors, so the
+      // pre-normalized dot is the cosine similarity without the O(dim)
+      // norm recomputations of the general CosineSimilarity.
+      double sim = DotPrenormalized(sigs[i], sigs[j]);
       const std::string& ni = tables[cols[i].table].schema().field(cols[i].col).name;
       const std::string& nj = tables[cols[j].table].schema().field(cols[j].col).name;
       if (!ni.empty() && ni == nj) sim += options_.header_bonus;

@@ -1,10 +1,13 @@
 // Tests for src/text: normalization, tokenization, distances, acronyms.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "text/acronym.h"
 #include "text/distance.h"
 #include "text/normalize.h"
 #include "text/tokenize.h"
+#include "util/rng.h"
 
 namespace lakefuzz {
 namespace {
@@ -266,6 +269,103 @@ TEST(AcronymTest, AffinitySymmetric) {
   EXPECT_DOUBLE_EQ(AcronymAffinity("US", "United States"), 1.0);
   EXPECT_DOUBLE_EQ(AcronymAffinity("United States", "US"), 1.0);
   EXPECT_DOUBLE_EQ(AcronymAffinity("Berlin", "Toronto"), 0.0);
+}
+
+// --------------------------------------------- Banded / bounded Levenshtein
+
+TEST(LevenshteinBoundedTest, AgreesWithReferenceOnRandomPairs) {
+  Rng rng(0xba4d);
+  for (int i = 0; i < 2000; ++i) {
+    std::string a = rng.AlphaString(rng.Uniform(18));
+    std::string b = rng.AlphaString(rng.Uniform(18));
+    // Bias half the pairs toward similarity so the in-band branch is hit.
+    if (rng.Bernoulli(0.5)) {
+      b = a;
+      if (!b.empty()) b[rng.Uniform(b.size())] = 'z';
+    }
+    size_t reference = Levenshtein(a, b);
+    for (size_t max_dist : {size_t{0}, size_t{1}, size_t{3}, size_t{20}}) {
+      size_t banded = LevenshteinBounded(a, b, max_dist);
+      if (reference <= max_dist) {
+        EXPECT_EQ(banded, reference) << "a=" << a << " b=" << b
+                                     << " max_dist=" << max_dist;
+      } else {
+        EXPECT_GT(banded, max_dist) << "a=" << a << " b=" << b
+                                    << " max_dist=" << max_dist;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinBoundedTest, LowerBoundsNeverExceedTrueDistance) {
+  Rng rng(0x10eb);
+  for (int i = 0; i < 2000; ++i) {
+    std::string a = rng.AlphaString(rng.Uniform(14));
+    std::string b = rng.AlphaString(rng.Uniform(14));
+    size_t reference = Levenshtein(a, b);
+    EXPECT_LE(LevenshteinLengthLowerBound(a, b), reference);
+    EXPECT_LE(LevenshteinBagLowerBound(a, b), reference);
+  }
+}
+
+TEST(BoundedNormalizedLevenshteinTest, ExactBelowBudgetPrunedAbove) {
+  Rng rng(0xb0d9);
+  for (int i = 0; i < 2000; ++i) {
+    std::string a = rng.AlphaString(1 + rng.Uniform(16));
+    std::string b = rng.AlphaString(1 + rng.Uniform(16));
+    if (rng.Bernoulli(0.5)) {
+      b = a;
+      b[rng.Uniform(b.size())] = 'z';
+    }
+    double reference = NormalizedLevenshtein(a, b);
+    for (double budget : {0.2, 0.5, 0.8, 1.0}) {
+      bool pruned = false;
+      double d = BoundedNormalizedLevenshtein(a, b, budget, &pruned);
+      if (reference < budget) {
+        EXPECT_FALSE(pruned) << "a=" << a << " b=" << b;
+        EXPECT_DOUBLE_EQ(d, reference);
+      } else {
+        // Either computed exactly or pruned to 1.0 — never *under* budget.
+        EXPECT_GE(d, budget);
+        if (pruned) EXPECT_DOUBLE_EQ(d, 1.0);
+        if (!pruned) EXPECT_DOUBLE_EQ(d, reference);
+      }
+    }
+  }
+}
+
+TEST(LevenshteinBoundedTest, HugeBudgetIsClampedNotOverflowed) {
+  // SIZE_MAX as "no limit" must degrade to exact Levenshtein, not wrap
+  // kPruned/band bounds around zero.
+  EXPECT_EQ(LevenshteinBounded("abc", "xyz", SIZE_MAX), 3u);
+  EXPECT_EQ(LevenshteinBounded("abc", "abc", SIZE_MAX), 0u);
+  EXPECT_EQ(LevenshteinBounded("", "abc", SIZE_MAX), 3u);
+}
+
+TEST(BoundedNormalizedLevenshteinTest, EdgeCases) {
+  bool pruned = true;
+  EXPECT_DOUBLE_EQ(BoundedNormalizedLevenshtein("", "", 0.5, &pruned), 0.0);
+  EXPECT_FALSE(pruned);
+  EXPECT_DOUBLE_EQ(BoundedNormalizedLevenshtein("abc", "abc", 0.1, &pruned),
+                   0.0);
+  EXPECT_FALSE(pruned);
+  // Wildly different lengths: the O(1) length bound must fire.
+  EXPECT_DOUBLE_EQ(BoundedNormalizedLevenshtein(
+                       "a", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", 0.2, &pruned),
+                   1.0);
+  EXPECT_TRUE(pruned);
+  // Null pruned pointer is allowed.
+  EXPECT_DOUBLE_EQ(BoundedNormalizedLevenshtein("abc", "abd", 0.9, nullptr),
+                   NormalizedLevenshtein("abc", "abd"));
+}
+
+TEST(MakeBoundedStringDistanceTest, NonLevenshteinKindsNeverPrune) {
+  auto fn = MakeBoundedStringDistance(StringDistanceKind::kJaroWinkler);
+  auto plain = MakeStringDistance(StringDistanceKind::kJaroWinkler);
+  bool pruned = true;
+  EXPECT_DOUBLE_EQ(fn("Berlin", "Toronto", 0.1, &pruned),
+                   plain("Berlin", "Toronto"));
+  EXPECT_FALSE(pruned);
 }
 
 }  // namespace
