@@ -7,6 +7,17 @@
 // growing superlinearly to ~4000 s at 30K tuples on their Python/ALITE
 // stack. Our absolute numbers are far smaller (compiled C++ vs Python);
 // the claims under reproduction are the overlap and the growth shape.
+//
+// Performance flags:
+//   --threads=N         matcher worker threads (0 = hardware concurrency)
+//   --fd_threads=a,b,c  additionally run both executors through
+//                       ParallelFullDisjunction once per listed thread
+//                       count (default "1,2,8"; empty disables the sweep).
+//                       Output cardinality is asserted identical across all
+//                       thread counts.
+//   --json_out=PATH     machine-readable artifact with per-stage timings
+//                       (fd_index_s, fd_enum_s, subsumption_s) and the
+//                       interned-core counters.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -20,12 +31,29 @@
 
 using namespace lakefuzz;
 
+namespace {
+
+/// Per-stage extras shared by the serial rows and the sweep rows.
+void AppendFdStageExtras(std::vector<std::pair<std::string, double>>* extra,
+                         const FuzzyFdReport& report) {
+  extra->emplace_back("fd_index_s", report.fd_stats.index_seconds);
+  extra->emplace_back("fd_enum_s", report.fd_stats.enumeration_seconds);
+  extra->emplace_back("subsumption_s", report.fd_stats.subsumption_seconds);
+  extra->emplace_back("posting_lists",
+                      static_cast<double>(report.fd_stats.posting_lists));
+  extra->emplace_back("distinct_values",
+                      static_cast<double>(report.fd_stats.distinct_values));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
   size_t max_tuples = static_cast<size_t>(flags.GetInt("max-tuples", 30000));
   size_t step = static_cast<size_t>(flags.GetInt("step", 5000));
   int repetitions = static_cast<int>(flags.GetInt("reps", 3));
   size_t threads = ParseThreadsFlag(flags);
+  std::string fd_threads = flags.GetString("fd_threads", "1,2,8");
   std::string json_out = flags.GetString("json_out", "");
   BenchJsonWriter json;
 
@@ -53,7 +81,9 @@ int main(int argc, char** argv) {
     double best_fuzzy = 1e100;
     double best_overhead = 1e100;
     size_t results = 0;
+    size_t regular_results = 0;
     BenchRunStats run;
+    FuzzyFdReport best_fuzzy_report;
     for (int rep = 0; rep < repetitions; ++rep) {
       FuzzyFdReport regular_report;
       auto regular = RegularFdBaseline(bench.tables, *aligned, FdOptions(),
@@ -75,7 +105,11 @@ int main(int argc, char** argv) {
         return 1;
       }
       best_regular = std::min(best_regular, regular_report.fd_seconds);
-      best_fuzzy = std::min(best_fuzzy, fuzzy_report.total_seconds());
+      regular_results = regular->tuples.size();
+      if (fuzzy_report.total_seconds() < best_fuzzy) {
+        best_fuzzy = fuzzy_report.total_seconds();
+        best_fuzzy_report = fuzzy_report;
+      }
       best_overhead =
           std::min(best_overhead, fuzzy_report.match_seconds +
                                       fuzzy_report.rewrite_seconds);
@@ -90,16 +124,90 @@ int main(int argc, char** argv) {
       run.embedding_cache_misses =
           fuzzy_report.match_stats.embedding_cache_misses;
     }
+    std::vector<std::pair<std::string, double>> extra = {
+        {"regular_fd_s", best_regular},
+        {"fuzzy_fd_s", best_fuzzy},
+        {"fuzzy_overhead_s", best_overhead},
+        {"output_tuples", static_cast<double>(results)}};
+    AppendFdStageExtras(&extra, best_fuzzy_report);
     json.AddFromStats(StrFormat("fig3_imdb_s%zu", s), ResolveNumThreads(threads),
-                      run,
-                      {{"regular_fd_s", best_regular},
-                       {"fuzzy_fd_s", best_fuzzy},
-                       {"fuzzy_overhead_s", best_overhead},
-                       {"output_tuples", static_cast<double>(results)}});
+                      run, std::move(extra));
     table.AddRow({WithThousandsSep(static_cast<int64_t>(bench.total_tuples)),
                   FormatDouble(best_regular, 3), FormatDouble(best_fuzzy, 3),
                   FormatDouble(best_overhead, 3),
                   WithThousandsSep(static_cast<int64_t>(results))});
+
+    // --fd_threads sweep: the same workload through the component-parallel
+    // executor (index build, enumeration, and subsumption all run on its
+    // pool). Output must be identical at every thread count.
+    if (!fd_threads.empty()) {
+      for (const std::string& part : Split(fd_threads, ',')) {
+        size_t t = 0;
+        if (!ParseThreadCount(part, &t)) {
+          std::fprintf(stderr,
+                       "--fd_threads: skipping invalid entry \"%s\" "
+                       "(want an integer in [0, %zu])\n",
+                       part.c_str(), kMaxBenchThreads);
+          continue;
+        }
+        double sweep_regular = 1e100;
+        double sweep_fuzzy = 1e100;
+        size_t sweep_results = 0;
+        size_t sweep_regular_results = 0;
+        BenchRunStats sweep_run;
+        FuzzyFdReport sweep_report;
+        for (int rep = 0; rep < repetitions; ++rep) {
+          FuzzyFdReport regular_report;
+          auto regular =
+              RegularFdBaseline(bench.tables, *aligned, FdOptions(),
+                                /*parallel=*/true, t, &regular_report);
+          FuzzyFdOptions opts;
+          opts.matcher.model = model;
+          opts.matcher.num_threads = threads;
+          opts.parallel = true;
+          opts.num_threads = t;
+          FuzzyFdReport fuzzy_report;
+          auto fuzzy = FuzzyFullDisjunction(opts).RunToTuples(
+              bench.tables, *aligned, &fuzzy_report);
+          if (!regular.ok() || !fuzzy.ok()) {
+            std::fprintf(stderr, "parallel FD failed at S=%zu t=%zu\n", s, t);
+            return 1;
+          }
+          sweep_regular = std::min(sweep_regular, regular_report.fd_seconds);
+          sweep_regular_results = regular->tuples.size();
+          if (fuzzy_report.total_seconds() < sweep_fuzzy) {
+            sweep_fuzzy = fuzzy_report.total_seconds();
+            sweep_report = fuzzy_report;
+          }
+          sweep_results = fuzzy->tuples.size();
+          sweep_run.unit_ms.push_back(fuzzy_report.total_seconds() * 1e3);
+        }
+        if (sweep_results != results ||
+            sweep_regular_results != regular_results) {
+          std::fprintf(stderr,
+                       "output mismatch at S=%zu threads=%zu: fuzzy "
+                       "%zu vs serial %zu, regular %zu vs serial %zu\n",
+                       s, t, sweep_results, results, sweep_regular_results,
+                       regular_results);
+          return 1;
+        }
+        std::vector<std::pair<std::string, double>> sweep_extra = {
+            {"regular_fd_s", sweep_regular},
+            {"fuzzy_fd_s", sweep_fuzzy},
+            {"output_tuples", static_cast<double>(sweep_results)}};
+        AppendFdStageExtras(&sweep_extra, sweep_report);
+        json.AddFromStats(StrFormat("fig3_imdb_s%zu_fdt%zu", s, t),
+                          ResolveNumThreads(t), sweep_run,
+                          std::move(sweep_extra));
+        std::printf(
+            "  fd_threads=%zu: regular %.3f s, fuzzy %.3f s "
+            "(index %.3f, enum %.3f, subsume %.3f), %zu tuples\n",
+            t, sweep_regular, sweep_fuzzy,
+            sweep_report.fd_stats.index_seconds,
+            sweep_report.fd_stats.enumeration_seconds,
+            sweep_report.fd_stats.subsumption_seconds, sweep_results);
+      }
+    }
   }
   std::printf("%s", table.Render().c_str());
   if (!json.WriteFile(json_out)) return 1;

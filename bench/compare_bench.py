@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced --json_out benchmark artifact against the
+committed baseline under bench/results/ and fail on p50 regressions.
+
+Records are matched by (name, threads). Records present on only one side are
+reported but never fail the run (benchmarks gain and retire configurations
+across PRs).
+
+Baselines are committed from whatever machine produced them, so absolute
+wall-clock comparison would gate on runner speed, not code. By default the
+gate therefore self-normalizes: it computes the median candidate/baseline
+p50 ratio across all shared records (the machine-speed factor) and flags a
+record when it is slower than that median by more than the threshold:
+
+    cand_p50 > base_p50 * median_ratio * (1 + threshold) + slack_ms
+
+A code change that slows one benchmark while the rest hold moves that
+record's ratio away from the median and trips the gate on any machine; a
+uniformly slower runner moves every ratio equally and trips nothing. The
+deliberate blind spot — a change that slows *all* benchmarks by the same
+factor looks like a slow machine — can be closed with --no-normalize when
+baseline and candidate come from the same machine. The additive slack keeps
+sub-millisecond rows (where scheduler noise easily exceeds 25%) from
+producing false alarms.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
+I/O error.
+"""
+
+import argparse
+import contextlib
+import json
+import os
+import signal
+import statistics
+import sys
+
+# Die quietly when stdout is a closed pipe (e.g. piped through `head`).
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(records, list):
+        print(f"error: {path}: expected a JSON array", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for rec in records:
+        key = (rec.get("name", "?"), rec.get("threads", 1))
+        out[key] = rec
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed artifact (bench/results/*.json)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly produced --json_out artifact")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_REGRESSION_THRESHOLD", "0.25")),
+                        help="relative p50 regression tolerance "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--slack-ms", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_REGRESSION_SLACK_MS", "2.0")),
+                        help="additive tolerance for sub-millisecond rows")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare absolute p50 (same-machine baselines)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    candidate = load_records(args.candidate)
+
+    shared = [key for key in baseline if key in candidate]
+    ratios = []
+    for key in shared:
+        base_p50 = float(baseline[key].get("p50_ms", 0.0))
+        cand_p50 = float(candidate[key].get("p50_ms", 0.0))
+        if base_p50 > 0:
+            ratios.append(cand_p50 / base_p50)
+    speed = 1.0
+    if not args.no_normalize and ratios:
+        speed = statistics.median(ratios)
+    print(f"machine-speed factor (median cand/base p50 over "
+          f"{len(ratios)} records): {speed:.3f}"
+          + ("  [normalization disabled]" if args.no_normalize else ""))
+
+    regressions = []
+    improvements = 0
+    width = max([len(name) for name, _ in baseline] + [10])
+    print(f"{'record':<{width}}  {'thr':>3}  {'base p50':>10}  "
+          f"{'cand p50':>10}  {'ratio':>6}")
+    for key in sorted(baseline):
+        if key not in candidate:
+            print(f"{key[0]:<{width}}  {key[1]:>3}  "
+                  f"{baseline[key].get('p50_ms', 0.0):>10.3f}  "
+                  f"{'absent':>10}  {'-':>6}")
+            continue
+        base_p50 = float(baseline[key].get("p50_ms", 0.0))
+        cand_p50 = float(candidate[key].get("p50_ms", 0.0))
+        ratio = cand_p50 / base_p50 if base_p50 > 0 else float("inf")
+        limit = base_p50 * speed * (1.0 + args.threshold) + args.slack_ms
+        status = ""
+        if cand_p50 > limit:
+            regressions.append((key, base_p50, cand_p50))
+            status = "  REGRESSION"
+        elif cand_p50 < base_p50:
+            improvements += 1
+        print(f"{key[0]:<{width}}  {key[1]:>3}  {base_p50:>10.3f}  "
+              f"{cand_p50:>10.3f}  {ratio:>6.2f}{status}")
+    for key in sorted(set(candidate) - set(baseline)):
+        print(f"{key[0]:<{width}}  {key[1]:>3}  {'absent':>10}  "
+              f"{candidate[key].get('p50_ms', 0.0):>10.3f}  {'-':>6}  (new)")
+
+    print(f"\ncompared {len(shared)} record(s): {improvements} faster, "
+          f"{len(regressions)} regression(s) beyond "
+          f"+{args.threshold * 100:.0f}% of the speed-adjusted baseline "
+          f"(+{args.slack_ms:g} ms slack)")
+    if regressions:
+        for (name, threads), base_p50, cand_p50 in regressions:
+            print(f"  {name} (threads={threads}): "
+                  f"{base_p50:.3f} ms -> {cand_p50:.3f} ms "
+                  f"(speed-adjusted limit "
+                  f"{base_p50 * speed * (1 + args.threshold):.3f} ms)",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

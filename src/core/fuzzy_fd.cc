@@ -118,6 +118,7 @@ Result<FdResult> FuzzyFullDisjunction::RunToTuples(
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
                             FdProblem::Build(rewritten, aligned));
+  const double build_seconds = fd_watch.ElapsedSeconds();
   Result<FdResult> fd_result = Status::Internal("unreachable");
   if (options_.parallel) {
     ParallelFdOptions popts;
@@ -129,6 +130,7 @@ Result<FdResult> FuzzyFullDisjunction::RunToTuples(
   }
   if (!fd_result.ok()) return fd_result.status();
   if (report != nullptr) {
+    report->fd_build_seconds = build_seconds;
     report->fd_seconds = fd_watch.ElapsedSeconds();
     report->fd_stats = fd_result->stats;
   }
@@ -152,6 +154,7 @@ Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
                             FdProblem::Build(tables, aligned));
+  const double build_seconds = fd_watch.ElapsedSeconds();
   Result<FdResult> fd_result = Status::Internal("unreachable");
   if (parallel) {
     ParallelFdOptions popts;
@@ -163,6 +166,7 @@ Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
   }
   if (!fd_result.ok()) return fd_result.status();
   if (report != nullptr) {
+    report->fd_build_seconds = build_seconds;
     report->fd_seconds = fd_watch.ElapsedSeconds();
     report->fd_stats = fd_result->stats;
   }

@@ -30,6 +30,10 @@ struct FuzzyFdOptions {
 struct FuzzyFdReport {
   double match_seconds = 0.0;
   double rewrite_seconds = 0.0;
+  /// Outer-union construction (FdProblem::Build); also included in
+  /// fd_seconds. The index/enumeration/subsumption split inside fd_seconds
+  /// is in fd_stats.
+  double fd_build_seconds = 0.0;
   double fd_seconds = 0.0;
   size_t aligned_sets_matched = 0;
   size_t values_rewritten = 0;

@@ -3,15 +3,72 @@
 #include <cassert>
 #include <cmath>
 
-namespace lakefuzz {
+// AVX2 kernel for the matcher's hot dot product, compiled per-function via
+// target attributes (no global -mavx2, so the binary still runs on older
+// x86-64) and selected once at runtime with __builtin_cpu_supports. Scalar
+// fallback everywhere else.
+#if defined(__GNUC__) && defined(__x86_64__)
+#define LAKEFUZZ_HAVE_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
 
-double Dot(const Vec& a, const Vec& b) {
-  assert(a.size() == b.size());
+namespace lakefuzz {
+namespace {
+
+double DotScalar(const float* a, const float* b, size_t n) {
   double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
   return acc;
+}
+
+#ifdef LAKEFUZZ_HAVE_AVX2_DISPATCH
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const float* a,
+                                                   const float* b, size_t n) {
+  // Widen to double before accumulating — same precision class as the
+  // scalar loop, so the parity bound is rounding-order noise only.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 va = _mm256_loadu_ps(a + i);
+    __m256 vb = _mm256_loadu_ps(b + i);
+    __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    acc_lo = _mm256_fmadd_pd(a_lo, b_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(a_hi, b_hi, acc_hi);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, _mm256_add_pd(acc_lo, acc_hi));
+  double acc = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+#endif  // LAKEFUZZ_HAVE_AVX2_DISPATCH
+
+using DotKernel = double (*)(const float*, const float*, size_t);
+
+DotKernel ResolveDotKernel() {
+#ifdef LAKEFUZZ_HAVE_AVX2_DISPATCH
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return DotAvx2;
+  }
+#endif
+  return DotScalar;
+}
+
+}  // namespace
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  return DotScalar(a.data(), b.data(), a.size());
 }
 
 double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
@@ -41,10 +98,15 @@ double CosineDistance(const Vec& a, const Vec& b) {
   return 1.0 - CosineSimilarity(a, b);
 }
 
-double DotPrenormalized(const Vec& a, const Vec& b) { return Dot(a, b); }
+double DotPrenormalized(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  // Resolved once per process; thread-safe (magic static).
+  static const DotKernel kernel = ResolveDotKernel();
+  return kernel(a.data(), b.data(), a.size());
+}
 
 double CosineDistancePrenormalized(const Vec& a, const Vec& b) {
-  return 1.0 - Dot(a, b);
+  return 1.0 - DotPrenormalized(a, b);
 }
 
 }  // namespace lakefuzz

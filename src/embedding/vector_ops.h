@@ -32,6 +32,11 @@ double CosineDistance(const Vec& a, const Vec& b);
 /// (EmbeddingCache and ColumnEmbedder outputs do; see
 /// EmbeddingModel::prenormalized()). Zero vectors yield 0, matching
 /// CosineSimilarity's convention.
+///
+/// This is the matcher's per-cell kernel: on x86-64 an AVX2+FMA version
+/// (double accumulation, runtime-dispatched via cpuid) is used when the CPU
+/// supports it, with the scalar loop as fallback. Both accumulate in double;
+/// results agree to rounding-order noise (see the parity test).
 double DotPrenormalized(const Vec& a, const Vec& b);
 
 /// 1 - DotPrenormalized: cosine distance when both inputs are pre-normalized.

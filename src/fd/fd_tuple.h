@@ -22,6 +22,24 @@ struct FdResultTuple {
   }
 };
 
+class ValueDict;
+
+/// Interned twin of FdResultTuple: one dictionary code per universal column
+/// (ValueDict::kNullCode where null) plus the sorted member TIDs. The FD
+/// executors enumerate and subsume these flat integer rows and decode back
+/// to Values once, when the final result set is materialized.
+struct FdCodeTuple {
+  std::vector<uint32_t> codes;
+  std::vector<uint32_t> tids;
+
+  bool operator==(const FdCodeTuple& other) const {
+    return codes == other.codes && tids == other.tids;
+  }
+};
+
+/// Decodes an interned tuple through the dictionary that produced it.
+FdResultTuple DecodeCodeTuple(const FdCodeTuple& t, const ValueDict& dict);
+
 /// True if `a`'s non-null values are a subset of `b`'s (b agrees wherever a
 /// is non-null). Equal tuples subsume each other.
 bool Subsumes(const FdResultTuple& b, const FdResultTuple& a);

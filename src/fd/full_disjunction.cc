@@ -1,48 +1,43 @@
 #include "fd/full_disjunction.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "util/stopwatch.h"
 #include "util/str.h"
 
 namespace lakefuzz {
 namespace {
 
-/// Mutable enumeration state for one component.
+/// Mutable enumeration state for one component. All merge/consistency work
+/// happens on interned uint32 code rows; the scratch arrays are owned by the
+/// caller and reused across components.
 class ComponentEnumerator {
  public:
   ComponentEnumerator(const FdProblem& problem,
                       const std::vector<uint32_t>& component,
-                      std::atomic<int64_t>* budget)
+                      std::atomic<int64_t>* budget, FdScratch* scratch)
       : problem_(problem),
         component_(component),
         budget_(budget),
-        num_cols_(problem.num_columns()) {
-    merged_.assign(num_cols_, Value::Null());
-    in_set_.assign(problem.num_tuples(), 0);
-    excluded_.assign(problem.num_tuples(), 0);
-    seen_stamp_.assign(problem.num_tuples(), 0);
-    uint32_t max_table = 0;
-    for (const auto& t : problem.tuples()) {
-      max_table = std::max(max_table, t.table_id);
-    }
-    table_used_.assign(max_table + 1, 0);
-  }
+        s_(*scratch),
+        num_cols_(problem.num_columns()) {}
 
-  Result<std::vector<FdResultTuple>> Enumerate() {
+  Result<std::vector<FdCodeTuple>> Enumerate() {
     // Fast path: the whole component is a single legal set iff every column
-    // has at most one distinct non-null value across it (O(total values))
-    // and no table contributes two tuples (an FD set holds at most one
-    // tuple per relation).
+    // has at most one distinct non-null code across it (O(total cells)) and
+    // no table contributes two tuples (an FD set holds at most one tuple
+    // per relation).
     if (ComponentTablesDistinct() && ComponentFullyConsistent()) {
-      FdResultTuple t;
-      t.values = merged_;  // filled by ComponentFullyConsistent
+      FdCodeTuple t;
+      t.codes = s_.merged;  // filled by ComponentFullyConsistent
       t.tids = component_;
       ResetMerged();
-      return std::vector<FdResultTuple>{std::move(t)};
+      return std::vector<FdCodeTuple>{std::move(t)};
     }
 
-    LAKEFUZZ_RETURN_IF_ERROR(Extend());
+    // Seed extension set: with S = ∅ every component member is a
+    // consistent extension (components are already sorted).
+    LAKEFUZZ_RETURN_IF_ERROR(Extend(component_));
     return std::move(results_);
   }
 
@@ -51,29 +46,29 @@ class ComponentEnumerator {
  private:
   bool ComponentTablesDistinct() {
     for (uint32_t tid : component_) {
-      uint32_t table = problem_.tuples()[tid].table_id;
-      if (table_used_[table]) {
+      uint32_t table = problem_.table_id(tid);
+      if (s_.table_used[table]) {
         for (uint32_t seen : component_) {
-          table_used_[problem_.tuples()[seen].table_id] = 0;
+          s_.table_used[problem_.table_id(seen)] = 0;
         }
         return false;
       }
-      table_used_[table] = 1;
+      s_.table_used[table] = 1;
     }
     for (uint32_t tid : component_) {
-      table_used_[problem_.tuples()[tid].table_id] = 0;
+      s_.table_used[problem_.table_id(tid)] = 0;
     }
     return true;
   }
 
   bool ComponentFullyConsistent() {
     for (uint32_t tid : component_) {
-      const auto& vals = problem_.tuples()[tid].values;
+      const uint32_t* row = problem_.CodeRow(tid);
       for (size_t c = 0; c < num_cols_; ++c) {
-        if (vals[c].is_null()) continue;
-        if (merged_[c].is_null()) {
-          merged_[c] = vals[c];
-        } else if (!(merged_[c] == vals[c])) {
+        if (row[c] == FdProblem::kNullCode) continue;
+        if (s_.merged[c] == FdProblem::kNullCode) {
+          s_.merged[c] = row[c];
+        } else if (s_.merged[c] != row[c]) {
           ResetMerged();
           return false;
         }
@@ -83,14 +78,19 @@ class ComponentEnumerator {
   }
 
   void ResetMerged() {
-    for (auto& v : merged_) v = Value::Null();
+    std::fill(s_.merged.begin(), s_.merged.end(), FdProblem::kNullCode);
   }
 
   bool ConsistentWithMerged(uint32_t tid) const {
-    const auto& vals = problem_.tuples()[tid].values;
+    const uint32_t* row = problem_.CodeRow(tid);
+    const uint32_t* merged = s_.merged.data();
     for (size_t c = 0; c < num_cols_; ++c) {
-      if (vals[c].is_null() || merged_[c].is_null()) continue;
-      if (!(merged_[c] == vals[c])) return false;
+      const uint32_t rc = row[c];
+      if (rc == FdProblem::kNullCode ||
+          merged[c] == FdProblem::kNullCode) {
+        continue;
+      }
+      if (merged[c] != rc) return false;
     }
     return true;
   }
@@ -99,58 +99,97 @@ class ComponentEnumerator {
   /// record for backtracking).
   std::vector<size_t> Include(uint32_t tid) {
     std::vector<size_t> flipped;
-    const auto& vals = problem_.tuples()[tid].values;
+    const uint32_t* row = problem_.CodeRow(tid);
     for (size_t c = 0; c < num_cols_; ++c) {
-      if (vals[c].is_null() || !merged_[c].is_null()) continue;
-      merged_[c] = vals[c];
+      if (row[c] == FdProblem::kNullCode ||
+          s_.merged[c] != FdProblem::kNullCode) {
+        continue;
+      }
+      s_.merged[c] = row[c];
       flipped.push_back(c);
     }
-    in_set_[tid] = true;
-    table_used_[problem_.tuples()[tid].table_id] = 1;
+    s_.in_set[tid] = true;
+    s_.table_used[problem_.table_id(tid)] = 1;
     members_.push_back(tid);
     return flipped;
   }
 
   void Undo(uint32_t tid, const std::vector<size_t>& flipped) {
-    for (size_t c : flipped) merged_[c] = Value::Null();
-    in_set_[tid] = false;
-    table_used_[problem_.tuples()[tid].table_id] = 0;
+    for (size_t c : flipped) s_.merged[c] = FdProblem::kNullCode;
+    s_.in_set[tid] = false;
+    s_.table_used[problem_.table_id(tid)] = 0;
     members_.pop_back();
   }
 
-  /// Consistent join-graph extensions of the current set S. When S is empty
-  /// every component member is a candidate (seeds). `any_consistent` is set
-  /// if at least one extension exists *ignoring* exclusions — the
-  /// maximality test.
-  std::vector<uint32_t> Candidates(bool* any_consistent) {
-    std::vector<uint32_t> cand;
-    *any_consistent = false;
-    if (members_.empty()) {
-      for (uint32_t tid : component_) {
-        *any_consistent = true;
-        if (!excluded_[tid]) cand.push_back(tid);
-      }
-      return cand;
-    }
-    ++epoch_;
-    for (uint32_t m : members_) {
-      for (uint32_t nb : problem_.Neighbors(m)) {
-        if (in_set_[nb]) continue;
-        if (seen_stamp_[nb] == epoch_) continue;
-        seen_stamp_[nb] = epoch_;
-        // One tuple per relation: a tuple whose table is already represented
-        // can never extend S (neither now nor in any superset of S).
-        if (table_used_[problem_.tuples()[nb].table_id]) continue;
-        if (!ConsistentWithMerged(nb)) continue;
-        *any_consistent = true;
-        if (!excluded_[nb]) cand.push_back(nb);
-      }
-    }
-    std::sort(cand.begin(), cand.end());
-    return cand;
+  /// Extension set of the seed set S = {v}: v's join-graph neighbors,
+  /// filtered. The root's `ext` (all component members) is *not* neighbor-
+  /// derived, so it must not be carried over — connectivity starts here.
+  std::vector<uint32_t> SeedExtensions(uint32_t v) {
+    std::vector<uint32_t> child;
+    ++s_.epoch;
+    problem_.ForEachCoPosted(v, [&](uint32_t nb) {
+      if (s_.in_set[nb]) return;
+      if (s_.seen_stamp[nb] == s_.epoch) return;
+      s_.seen_stamp[nb] = s_.epoch;
+      if (s_.table_used[problem_.table_id(nb)]) return;
+      if (!ConsistentWithMerged(nb)) return;
+      child.push_back(nb);
+    });
+    std::sort(child.begin(), child.end());
+    return child;
   }
 
-  Status Extend() {
+  /// Extension set after including `v` into S (|S| ≥ 1), derived
+  /// incrementally from the parent's set `ext` (the consistent join-graph
+  /// extensions of S, ignoring exclusions). Correctness rests on
+  /// monotonicity: merged codes only gain columns and used tables only grow
+  /// as S grows, so
+  ///   ext(S ∪ {v}) = {u ∈ ext(S) : table(u) ≠ table(v), u agrees with v's
+  ///                   newly `flipped` columns}
+  ///                ∪ {u ∈ N(v) \ ext(S) : full table + consistency check}.
+  /// A neighbor of an earlier member that failed its check once can never
+  /// pass later, so re-testing only v's neighbors loses nothing. This
+  /// replaces the former per-node rescan of *every* member's posting lists
+  /// (the superlinear term on hub-heavy join graphs) with O(|ext| · |flipped|
+  /// + deg(v)). The final sort keeps exploration order — and therefore
+  /// results — identical to the materialized-adjacency implementation.
+  std::vector<uint32_t> ChildExtensions(const std::vector<uint32_t>& ext,
+                                        uint32_t v,
+                                        const std::vector<size_t>& flipped) {
+    std::vector<uint32_t> child;
+    const uint32_t v_table = problem_.table_id(v);
+    ++s_.epoch;
+    for (uint32_t u : ext) {
+      if (s_.in_set[u]) continue;  // v itself (just included)
+      s_.seen_stamp[u] = s_.epoch;
+      if (problem_.table_id(u) == v_table) continue;
+      const uint32_t* row = problem_.CodeRow(u);
+      bool ok = true;
+      for (size_t c : flipped) {
+        if (row[c] != FdProblem::kNullCode && row[c] != s_.merged[c]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) child.push_back(u);
+    }
+    problem_.ForEachCoPosted(v, [&](uint32_t nb) {
+      if (s_.in_set[nb]) return;
+      if (s_.seen_stamp[nb] == s_.epoch) return;
+      s_.seen_stamp[nb] = s_.epoch;
+      // One tuple per relation: a tuple whose table is already represented
+      // can never extend S (neither now nor in any superset of S).
+      if (s_.table_used[problem_.table_id(nb)]) return;
+      if (!ConsistentWithMerged(nb)) return;
+      child.push_back(nb);
+    });
+    std::sort(child.begin(), child.end());
+    return child;
+  }
+
+  /// `ext` = consistent join-graph extensions of the current S, ignoring
+  /// exclusions (the maximality test set), sorted ascending.
+  Status Extend(const std::vector<uint32_t>& ext) {
     ++nodes_used_;
     if ((nodes_used_ & 0x3ff) == 0 || members_.empty()) {
       // Amortized budget check: draw down in blocks.
@@ -161,89 +200,121 @@ class ComponentEnumerator {
             "(max_search_nodes); component too entangled");
       }
     }
-    bool any_consistent = false;
-    std::vector<uint32_t> cand = Candidates(&any_consistent);
-    if (!any_consistent) {
+    if (ext.empty()) {
       // S is ⊆-maximal among connected consistent sets: emit.
-      FdResultTuple t;
-      t.values = merged_;
+      FdCodeTuple t;
+      t.codes = s_.merged;
       t.tids = members_;
       std::sort(t.tids.begin(), t.tids.end());
       results_.push_back(std::move(t));
       return Status::OK();
     }
-    if (cand.empty()) {
+    bool any_candidate = false;
+    for (uint32_t u : ext) {
+      if (!s_.excluded[u]) {
+        any_candidate = true;
+        break;
+      }
+    }
+    if (!any_candidate) {
       // Extendable only by excluded tuples: every maximal superset contains
       // an excluded tuple and is enumerated in a sibling branch. Prune.
       return Status::OK();
     }
     std::vector<uint32_t> locally_excluded;
-    locally_excluded.reserve(cand.size());
-    for (uint32_t v : cand) {
+    for (uint32_t v : ext) {
       // S is identical across loop iterations (Include/Undo pairs), but the
-      // exclusion set grows — skip candidates excluded by earlier siblings.
-      if (excluded_[v]) continue;
+      // exclusion set grows — skip candidates excluded by earlier siblings
+      // (or on entry).
+      if (s_.excluded[v]) continue;
       std::vector<size_t> flipped = Include(v);
-      Status st = Extend();
+      std::vector<uint32_t> child = members_.size() == 1
+                                        ? SeedExtensions(v)
+                                        : ChildExtensions(ext, v, flipped);
+      Status st = Extend(child);
       Undo(v, flipped);
       if (!st.ok()) {
-        for (uint32_t u : locally_excluded) excluded_[u] = false;
+        for (uint32_t u : locally_excluded) s_.excluded[u] = false;
         return st;
       }
-      excluded_[v] = true;
+      s_.excluded[v] = true;
       locally_excluded.push_back(v);
     }
-    for (uint32_t u : locally_excluded) excluded_[u] = false;
+    for (uint32_t u : locally_excluded) s_.excluded[u] = false;
     return Status::OK();
   }
 
   const FdProblem& problem_;
   const std::vector<uint32_t>& component_;
   std::atomic<int64_t>* budget_;
+  FdScratch& s_;
   const size_t num_cols_;
 
-  std::vector<Value> merged_;
   std::vector<uint32_t> members_;
-  std::vector<char> in_set_;
-  std::vector<char> table_used_;
-  std::vector<char> excluded_;
-  std::vector<uint64_t> seen_stamp_;
-  uint64_t epoch_ = 0;
-  std::vector<FdResultTuple> results_;
+  std::vector<FdCodeTuple> results_;
   uint64_t nodes_used_ = 0;
 };
 
 }  // namespace
 
-Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
+Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodes(
     const FdProblem& problem, const std::vector<uint32_t>& component,
-    std::atomic<int64_t>* budget, uint64_t* nodes_used) {
-  ComponentEnumerator enumerator(problem, component, budget);
+    std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch) {
+  ComponentEnumerator enumerator(problem, component, budget, scratch);
   auto result = enumerator.Enumerate();
   if (nodes_used != nullptr) *nodes_used = enumerator.nodes_used();
   return result;
 }
 
+Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
+    const FdProblem& problem, const std::vector<uint32_t>& component,
+    std::atomic<int64_t>* budget, uint64_t* nodes_used) {
+  FdScratch scratch(problem);
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      std::vector<FdCodeTuple> codes,
+      RunComponentCodes(problem, component, budget, nodes_used, &scratch));
+  std::vector<FdResultTuple> out;
+  out.reserve(codes.size());
+  for (const auto& t : codes) out.push_back(DecodeCodeTuple(t, problem.dict()));
+  return out;
+}
+
 Result<FdResult> FullDisjunction::Run(FdProblem* problem) const {
-  problem->BuildIndex();
   FdResult out;
+  Stopwatch index_watch;
+  problem->BuildIndex();
+  out.stats.index_seconds = index_watch.ElapsedSeconds();
   out.stats.num_input_tuples = problem->num_tuples();
   out.stats.num_components = problem->Components().size();
+  out.stats.distinct_values = problem->index_stats().distinct_values;
+  out.stats.posting_lists = problem->index_stats().posting_lists;
+  out.stats.posting_entries = problem->index_stats().posting_entries;
 
+  Stopwatch enum_watch;
   std::atomic<int64_t> budget{
       static_cast<int64_t>(options_.max_search_nodes)};
+  FdScratch scratch(*problem);
+  std::vector<FdCodeTuple> code_tuples;
   for (const auto& comp : problem->Components()) {
     out.stats.largest_component =
         std::max(out.stats.largest_component, comp.size());
     uint64_t nodes = 0;
     LAKEFUZZ_ASSIGN_OR_RETURN(
-        std::vector<FdResultTuple> tuples,
-        RunComponent(*problem, comp, &budget, &nodes));
+        std::vector<FdCodeTuple> tuples,
+        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch));
     out.stats.search_nodes += nodes;
-    for (auto& t : tuples) out.tuples.push_back(std::move(t));
+    for (auto& t : tuples) code_tuples.push_back(std::move(t));
   }
-  out.stats.results_before_subsumption = out.tuples.size();
-  out.tuples = EliminateSubsumed(std::move(out.tuples));
+  out.stats.enumeration_seconds = enum_watch.ElapsedSeconds();
+  out.stats.results_before_subsumption = code_tuples.size();
+
+  Stopwatch subsume_watch;
+  code_tuples = EliminateSubsumedCodes(std::move(code_tuples));
+  out.tuples.reserve(code_tuples.size());
+  for (const auto& t : code_tuples) {
+    out.tuples.push_back(DecodeCodeTuple(t, problem->dict()));
+  }
+  out.stats.subsumption_seconds = subsume_watch.ElapsedSeconds();
   out.stats.results = out.tuples.size();
   return out;
 }

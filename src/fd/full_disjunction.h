@@ -17,6 +17,12 @@
 // Joins of non-maximal sets are subsumed by construction, so only maximal
 // sets are materialized before the final subsumption pass.
 //
+// The whole pipeline runs on dictionary-encoded tuples: FdProblem interns
+// every cell into a uint32 code, the enumerator merges and compares flat
+// integer rows, candidates stream from the CSR posting-list join graph, and
+// subsumption operates on code rows too. Values are decoded exactly once,
+// when the final FdResult is materialized.
+//
 // Equivalence with the textbook all-outer-join-orders definition is
 // property-tested against fd/oracle.h on randomized inputs.
 #ifndef LAKEFUZZ_FD_FULL_DISJUNCTION_H_
@@ -46,11 +52,41 @@ struct FdStats {
   uint64_t search_nodes = 0;
   size_t results_before_subsumption = 0;
   size_t results = 0;
+  /// Interned-core counters: dictionary size and CSR join-graph extent.
+  size_t distinct_values = 0;
+  size_t posting_lists = 0;
+  size_t posting_entries = 0;
+  /// Stage wall times: BuildIndex (dictionary + CSR + components),
+  /// per-component enumeration, and subsumption + decode.
+  double index_seconds = 0.0;
+  double enumeration_seconds = 0.0;
+  double subsumption_seconds = 0.0;
 };
 
 struct FdResult {
   std::vector<FdResultTuple> tuples;  ///< sorted by FdTupleLess
   FdStats stats;
+};
+
+/// Reusable per-worker enumeration state. Allocating and zeroing these
+/// O(num_tuples) arrays per component was an O(n · num_components) hidden
+/// cost; a scratch is allocated once per worker and stays clean between
+/// components (epoch stamps for the seen set; Include/Undo pairing restores
+/// every flag it sets).
+struct FdScratch {
+  explicit FdScratch(const FdProblem& problem)
+      : merged(problem.num_columns(), FdProblem::kNullCode),
+        in_set(problem.num_tuples(), 0),
+        excluded(problem.num_tuples(), 0),
+        seen_stamp(problem.num_tuples(), 0),
+        table_used(problem.num_tables(), 0) {}
+
+  std::vector<uint32_t> merged;  ///< current join, as dictionary codes
+  std::vector<char> in_set;
+  std::vector<char> excluded;
+  std::vector<uint64_t> seen_stamp;
+  std::vector<char> table_used;
+  uint64_t epoch = 0;
 };
 
 /// Sequential Full Disjunction executor.
@@ -68,9 +104,15 @@ class FullDisjunction {
                            bool include_provenance = false) const;
 
   /// Enumerates the joins of maximal connected consistent sets within one
-  /// component (no subsumption). `budget` is decremented per search node;
-  /// reaching zero aborts with FailedPrecondition. Exposed for the parallel
-  /// executor and for tests.
+  /// component (no subsumption), as interned code tuples. `budget` is
+  /// decremented per search node; reaching zero aborts with
+  /// FailedPrecondition. `scratch` must come from the same problem and is
+  /// reused across calls — the executors keep one per worker.
+  static Result<std::vector<FdCodeTuple>> RunComponentCodes(
+      const FdProblem& problem, const std::vector<uint32_t>& component,
+      std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch);
+
+  /// Decoded convenience wrapper around RunComponentCodes (tests).
   static Result<std::vector<FdResultTuple>> RunComponent(
       const FdProblem& problem, const std::vector<uint32_t>& component,
       std::atomic<int64_t>* budget, uint64_t* nodes_used);

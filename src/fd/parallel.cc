@@ -4,15 +4,27 @@
 #include <mutex>
 #include <thread>
 
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace lakefuzz {
 
 Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
-  problem->BuildIndex();
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(threads);
+
   FdResult out;
+  Stopwatch index_watch;
+  problem->BuildIndex(&pool);
+  out.stats.index_seconds = index_watch.ElapsedSeconds();
   out.stats.num_input_tuples = problem->num_tuples();
   out.stats.num_components = problem->Components().size();
+  out.stats.distinct_values = problem->index_stats().distinct_values;
+  out.stats.posting_lists = problem->index_stats().posting_lists;
+  out.stats.posting_entries = problem->index_stats().posting_entries;
 
   // Largest components first: they dominate runtime, so schedule them before
   // the long tail of singletons.
@@ -28,23 +40,26 @@ Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
                      return a->size() > b->size();
                    });
 
-  size_t threads = options_.num_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  ThreadPool pool(threads);
-
+  Stopwatch enum_watch;
   std::atomic<int64_t> budget{
       static_cast<int64_t>(options_.fd.max_search_nodes)};
-  std::vector<std::vector<FdResultTuple>> per_comp(comps.size());
+  std::vector<std::vector<FdCodeTuple>> per_comp(comps.size());
   std::mutex err_mu;
   Status first_error = Status::OK();
   std::atomic<uint64_t> total_nodes{0};
 
-  pool.ParallelFor(comps.size(), [&](size_t i) {
+  // One scratch per work lane: enumeration state is O(num_tuples) to zero,
+  // so it is allocated once here, not once per component.
+  const size_t lanes = std::max<size_t>(
+      1, std::min(comps.size(), pool.num_threads()));
+  std::vector<FdScratch> scratches;
+  scratches.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) scratches.emplace_back(*problem);
+
+  pool.ParallelForWithLane(comps.size(), [&](size_t lane, size_t i) {
     uint64_t nodes = 0;
-    auto res = FullDisjunction::RunComponent(*problem, *comps[i], &budget,
-                                             &nodes);
+    auto res = FullDisjunction::RunComponentCodes(*problem, *comps[i], &budget,
+                                                 &nodes, &scratches[lane]);
     total_nodes.fetch_add(nodes, std::memory_order_relaxed);
     if (!res.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
@@ -54,13 +69,22 @@ Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
     per_comp[i] = std::move(res).value();
   });
   if (!first_error.ok()) return first_error;
-
-  for (auto& tuples : per_comp) {
-    for (auto& t : tuples) out.tuples.push_back(std::move(t));
-  }
   out.stats.search_nodes = total_nodes.load();
-  out.stats.results_before_subsumption = out.tuples.size();
-  out.tuples = EliminateSubsumed(std::move(out.tuples));
+  out.stats.enumeration_seconds = enum_watch.ElapsedSeconds();
+
+  std::vector<FdCodeTuple> code_tuples;
+  for (auto& tuples : per_comp) {
+    for (auto& t : tuples) code_tuples.push_back(std::move(t));
+  }
+  out.stats.results_before_subsumption = code_tuples.size();
+
+  Stopwatch subsume_watch;
+  code_tuples = EliminateSubsumedCodes(std::move(code_tuples), &pool);
+  out.tuples.resize(code_tuples.size());
+  pool.ParallelFor(code_tuples.size(), [&](size_t i) {
+    out.tuples[i] = DecodeCodeTuple(code_tuples[i], problem->dict());
+  });
+  out.stats.subsumption_seconds = subsume_watch.ElapsedSeconds();
   out.stats.results = out.tuples.size();
   return out;
 }

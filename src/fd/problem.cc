@@ -4,8 +4,11 @@
 #include <functional>
 #include <unordered_map>
 
+#include "fd/posting_shards.h"
 #include "util/hash.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
+#include "util/union_find.h"
 
 namespace lakefuzz {
 
@@ -34,13 +37,19 @@ Status FdProblem::AddTuple(uint32_t table_id, std::vector<Value> values) {
                   values.size(), num_columns_));
   }
   tuples_.push_back(FdInputTuple{table_id, std::move(values)});
+  table_ids_.push_back(table_id);
+  num_tables_ = std::max(num_tables_, table_id + 1);
   index_built_ = false;
   return Status::OK();
 }
 
-const std::vector<uint32_t>& FdProblem::Neighbors(uint32_t tid) const {
+std::vector<uint32_t> FdProblem::Neighbors(uint32_t tid) const {
   assert(index_built_);
-  return adjacency_[tid];
+  std::vector<uint32_t> out;
+  ForEachCoPosted(tid, [&out](uint32_t other) { out.push_back(other); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 const std::vector<std::vector<uint32_t>>& FdProblem::Components() const {
@@ -48,79 +57,133 @@ const std::vector<std::vector<uint32_t>>& FdProblem::Components() const {
   return components_;
 }
 
-namespace {
-
-struct PostingKey {
-  size_t col;
-  Value value;
-  bool operator==(const PostingKey& other) const {
-    return col == other.col && value == other.value;
-  }
-};
-
-struct PostingKeyHasher {
-  size_t operator()(const PostingKey& k) const {
-    return static_cast<size_t>(
-        HashCombine(Mix64(static_cast<uint64_t>(k.col)), k.value.Hash()));
-  }
-};
-
-}  // namespace
-
-void FdProblem::BuildIndex() {
+void FdProblem::BuildIndex(ThreadPool* pool) {
   if (index_built_) return;
   const uint32_t n = static_cast<uint32_t>(tuples_.size());
+  const size_t cols = num_columns_;
+  const size_t cells = static_cast<size_t>(n) * cols;
 
-  std::unordered_map<PostingKey, std::vector<uint32_t>, PostingKeyHasher>
-      postings;
+  // ---- Phase 1: hash every non-null cell (pure per tuple → parallel).
+  std::vector<uint64_t> cell_hash(cells, 0);
+  MaybeParallelFor(pool, n, [&](size_t tid) {
+    const auto& vals = tuples_[tid].values;
+    uint64_t* out = cell_hash.data() + tid * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      if (!vals[c].is_null()) out[c] = vals[c].Hash();
+    }
+  });
+
+  // ---- Phase 2: intern cells into flat code rows. Serial on purpose: the
+  // first-occurrence order defines codes, so the dictionary is identical on
+  // every run; the string hashing already happened in phase 1.
+  dict_ = ValueDict();
+  dict_.Reserve(cells / 4 + 16);
+  codes_.assign(cells, kNullCode);
   for (uint32_t tid = 0; tid < n; ++tid) {
     const auto& vals = tuples_[tid].values;
-    for (size_t c = 0; c < num_columns_; ++c) {
-      if (vals[c].is_null()) continue;
-      postings[PostingKey{c, vals[c]}].push_back(tid);
+    const uint64_t* h = cell_hash.data() + static_cast<size_t>(tid) * cols;
+    uint32_t* out = codes_.data() + static_cast<size_t>(tid) * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      if (!vals[c].is_null()) out[c] = dict_.InternHashed(vals[c], h[c]);
     }
   }
+  cell_hash.clear();
+  cell_hash.shrink_to_fit();
 
-  adjacency_.assign(n, {});
-  // Union-find for components.
-  std::vector<uint32_t> parent(n);
-  for (uint32_t i = 0; i < n; ++i) parent[i] = i;
-  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
+  // ---- Phase 3: sharded posting maps over (column, code) integer keys
+  // (fd/posting_shards.h). Singleton lists are then dropped — they induce
+  // no join edges.
+  std::vector<PostingShard> shard = BuildPostingShards(
+      pool, n, cols,
+      [this, cols](uint32_t tid) {
+        return codes_.data() + static_cast<size_t>(tid) * cols;
+      });
+  const size_t shards = shard.size();
+  MaybeParallelFor(pool, shards, [&](size_t s) {
+    auto& lists = shard[s].lists;
+    shard[s].index.clear();
+    size_t kept = 0;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (lists[i].size() < 2) continue;
+      if (kept != i) lists[kept] = std::move(lists[i]);
+      ++kept;
     }
-    return x;
-  };
+    lists.resize(kept);
+  });
 
-  for (const auto& [key, tids] : postings) {
-    (void)key;
-    if (tids.size() < 2) continue;
-    for (size_t i = 0; i < tids.size(); ++i) {
-      for (size_t j = i + 1; j < tids.size(); ++j) {
-        adjacency_[tids[i]].push_back(tids[j]);
-        adjacency_[tids[j]].push_back(tids[i]);
+  // ---- Phase 4: CSR posting arrays + union-find component merge. Shards
+  // write disjoint ranges; the parallel path merges through a lock-free
+  // union-find, the serial path through an iterative union-by-rank one.
+  std::vector<size_t> posting_base(shards + 1, 0);
+  std::vector<size_t> entry_base(shards + 1, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    size_t entries = 0;
+    for (const auto& lst : shard[s].lists) entries += lst.size();
+    posting_base[s + 1] = posting_base[s] + shard[s].lists.size();
+    entry_base[s + 1] = entry_base[s] + entries;
+  }
+  const size_t num_postings = posting_base[shards];
+  const size_t num_entries = entry_base[shards];
+  posting_offsets_.assign(num_postings + 1, 0);
+  posting_offsets_[num_postings] = num_entries;
+  posting_tids_.assign(num_entries, 0);
+
+  auto fill_shard = [&](size_t s, auto& union_find) {
+    size_t p = posting_base[s];
+    size_t e = entry_base[s];
+    for (const auto& lst : shard[s].lists) {
+      posting_offsets_[p++] = e;
+      for (size_t i = 0; i < lst.size(); ++i) {
+        posting_tids_[e++] = lst[i];
+        if (i > 0) union_find.Union(lst[0], lst[i]);
       }
-      parent[find(tids[i])] = find(tids[0]);
+    }
+  };
+  std::vector<uint32_t> root(n);
+  if (pool != nullptr && shards > 1) {
+    AtomicUnionFind uf(n);
+    pool->ParallelFor(shards, [&](size_t s) { fill_shard(s, uf); });
+    for (uint32_t i = 0; i < n; ++i) root[i] = uf.Find(i);
+  } else {
+    UnionFind uf(n);
+    for (size_t s = 0; s < shards; ++s) fill_shard(s, uf);
+    for (uint32_t i = 0; i < n; ++i) root[i] = uf.Find(i);
+  }
+  shard.clear();
+
+  // ---- Phase 5: tuple → posting-list CSR (counting sort over the flat
+  // posting entries; deterministic and O(entries)).
+  tuple_offsets_.assign(n + 1, 0);
+  for (size_t e = 0; e < num_entries; ++e) {
+    ++tuple_offsets_[posting_tids_[e] + 1];
+  }
+  for (size_t i = 0; i < n; ++i) tuple_offsets_[i + 1] += tuple_offsets_[i];
+  tuple_postings_.assign(num_entries, 0);
+  std::vector<uint64_t> cursor(tuple_offsets_.begin(),
+                               tuple_offsets_.end() - 1);
+  for (size_t p = 0; p < num_postings; ++p) {
+    for (uint64_t e = posting_offsets_[p]; e < posting_offsets_[p + 1]; ++e) {
+      tuple_postings_[cursor[posting_tids_[e]]++] = static_cast<uint32_t>(p);
     }
   }
-  for (auto& adj : adjacency_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+
+  // ---- Phase 6: components, grouped by union-find root. Iterating TIDs in
+  // order makes every component sorted and the component list ordered by
+  // smallest member, independent of shard count or thread schedule.
+  components_.clear();
+  std::vector<uint32_t> comp_of_root(n, UINT32_MAX);
+  for (uint32_t tid = 0; tid < n; ++tid) {
+    uint32_t& slot = comp_of_root[root[tid]];
+    if (slot == UINT32_MAX) {
+      slot = static_cast<uint32_t>(components_.size());
+      components_.emplace_back();
+    }
+    components_[slot].push_back(tid);
   }
 
-  std::unordered_map<uint32_t, std::vector<uint32_t>> comp_map;
-  for (uint32_t tid = 0; tid < n; ++tid) comp_map[find(tid)].push_back(tid);
-  components_.clear();
-  components_.reserve(comp_map.size());
-  for (auto& [root, tids] : comp_map) {
-    (void)root;
-    std::sort(tids.begin(), tids.end());
-    components_.push_back(std::move(tids));
-  }
-  // Deterministic component order: by smallest member TID.
-  std::sort(components_.begin(), components_.end(),
-            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  index_stats_.distinct_values = dict_.NumDistinct();
+  index_stats_.posting_lists = num_postings;
+  index_stats_.posting_entries = num_entries;
   index_built_ = true;
 }
 

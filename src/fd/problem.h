@@ -1,21 +1,29 @@
 // FdProblem: the outer-union representation Full Disjunction operates on.
 //
 // Every input tuple is padded to the universal schema with nulls and tagged
-// with its source table and a global tuple id (TID). Posting lists over
-// (column, value) pairs induce the *join graph*: tuples sharing an equal
-// non-null value on a universal column are joinable neighbors; its connected
-// components partition the FD computation.
+// with its source table and a global tuple id (TID). BuildIndex interns all
+// cell values into a per-problem ValueDict so tuples become flat uint32 code
+// rows, then builds posting lists over (column, code) pairs. The posting
+// lists *are* the join graph, stored implicitly in CSR form: tuples sharing
+// an equal non-null value on a universal column are joinable neighbors, and
+// a posting list of k tuples represents its k·(k−1) adjacency edges in O(k)
+// space — no materialized all-pairs edge lists. Connected components of the
+// graph partition the FD computation.
 #ifndef LAKEFUZZ_FD_PROBLEM_H_
 #define LAKEFUZZ_FD_PROBLEM_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "fd/aligned_schema.h"
+#include "fd/value_dict.h"
 #include "table/table.h"
 #include "util/result.h"
 
 namespace lakefuzz {
+
+class ThreadPool;
 
 /// One null-padded input tuple.
 struct FdInputTuple {
@@ -24,9 +32,19 @@ struct FdInputTuple {
   std::vector<Value> values;
 };
 
+/// Size counters of the CSR join-graph index (reported by FdStats).
+struct FdIndexStats {
+  size_t distinct_values = 0;   ///< non-null dictionary entries
+  size_t posting_lists = 0;     ///< multi-tuple (joinable) posting lists
+  size_t posting_entries = 0;   ///< Σ posting-list lengths (CSR size)
+};
+
 /// A materialized Full Disjunction instance.
 class FdProblem {
  public:
+  /// Code of a null cell in interned rows (== ValueDict::kNullCode).
+  static constexpr uint32_t kNullCode = ValueDict::kNullCode;
+
   FdProblem(size_t num_columns, std::vector<std::string> column_names)
       : num_columns_(num_columns), column_names_(std::move(column_names)) {}
 
@@ -41,32 +59,85 @@ class FdProblem {
   const std::vector<FdInputTuple>& tuples() const { return tuples_; }
   size_t num_tuples() const { return tuples_.size(); }
 
+  /// One more than the largest table_id added (0 for an empty problem).
+  uint32_t num_tables() const { return num_tables_; }
+  uint32_t table_id(uint32_t tid) const { return table_ids_[tid]; }
+
   /// Appends a tuple (used by Build and by tests constructing instances
   /// directly). `values` must have num_columns() entries.
   Status AddTuple(uint32_t table_id, std::vector<Value> values);
 
-  /// TIDs adjacent to `tid` in the join graph: tuples sharing at least one
-  /// equal non-null (column, value). Deduplicated, excludes `tid` itself.
-  /// Requires BuildIndex() to have been called.
-  const std::vector<uint32_t>& Neighbors(uint32_t tid) const;
+  /// Builds the value dictionary, interned code rows, CSR posting lists,
+  /// and components. Idempotent. When `pool` is non-null the cell-hashing,
+  /// posting-shard, and union-find phases run on it; results are identical
+  /// to the serial build.
+  void BuildIndex(ThreadPool* pool = nullptr);
+  bool index_built() const { return index_built_; }
 
-  /// Connected components of the join graph, each a sorted TID list.
-  /// Singleton tuples (no joinable partner) form singleton components.
+  /// The interning dictionary. Requires BuildIndex().
+  const ValueDict& dict() const { return dict_; }
+
+  /// Interned row of `tid`: num_columns() codes, kNullCode where null.
   /// Requires BuildIndex().
+  const uint32_t* CodeRow(uint32_t tid) const {
+    return codes_.data() + static_cast<size_t>(tid) * num_columns_;
+  }
+
+  /// TIDs adjacent to `tid` in the join graph: tuples sharing at least one
+  /// equal non-null (column, value). Materialized on demand from the CSR
+  /// index — sorted, deduplicated, excludes `tid` itself. Requires
+  /// BuildIndex().
+  std::vector<uint32_t> Neighbors(uint32_t tid) const;
+
+  /// Streams the co-posted tuples of `tid` (every tuple sharing a posting
+  /// list with it, excluding `tid`). A tuple sharing several values with
+  /// `tid` is visited once per shared posting list — callers dedup, which
+  /// the FD enumerator does with epoch stamps anyway. This is the zero-
+  /// allocation hot-path form of Neighbors(). Requires BuildIndex().
+  template <typename F>
+  void ForEachCoPosted(uint32_t tid, F&& fn) const {
+    assert(index_built_);
+    for (uint64_t k = tuple_offsets_[tid]; k < tuple_offsets_[tid + 1]; ++k) {
+      const uint32_t p = tuple_postings_[k];
+      for (uint64_t e = posting_offsets_[p]; e < posting_offsets_[p + 1];
+           ++e) {
+        const uint32_t other = posting_tids_[e];
+        if (other != tid) fn(other);
+      }
+    }
+  }
+
+  /// Connected components of the join graph, each a sorted TID list, ordered
+  /// by smallest member. Singleton tuples (no joinable partner) form
+  /// singleton components. Requires BuildIndex().
   const std::vector<std::vector<uint32_t>>& Components() const;
 
-  /// Builds posting lists, adjacency, and components. Idempotent.
-  void BuildIndex();
-  bool index_built() const { return index_built_; }
+  /// Index size counters. Requires BuildIndex().
+  const FdIndexStats& index_stats() const { return index_stats_; }
 
  private:
   size_t num_columns_;
   std::vector<std::string> column_names_;
   std::vector<FdInputTuple> tuples_;
+  std::vector<uint32_t> table_ids_;  ///< flat copy of tuples_[i].table_id
+  uint32_t num_tables_ = 0;
 
   bool index_built_ = false;
-  std::vector<std::vector<uint32_t>> adjacency_;
+  ValueDict dict_;
+  std::vector<uint32_t> codes_;  ///< num_tuples × num_columns interned cells
+
+  // CSR join graph. Posting lists keep only multi-tuple lists (singletons
+  // induce no edges). posting_offsets_ has one extra trailing entry; the
+  // TIDs of posting p are posting_tids_[posting_offsets_[p] ..
+  // posting_offsets_[p+1]). tuple_offsets_/tuple_postings_ map each TID to
+  // the posting lists containing it.
+  std::vector<uint64_t> posting_offsets_;
+  std::vector<uint32_t> posting_tids_;
+  std::vector<uint64_t> tuple_offsets_;
+  std::vector<uint32_t> tuple_postings_;
+
   std::vector<std::vector<uint32_t>> components_;
+  FdIndexStats index_stats_;
 };
 
 }  // namespace lakefuzz

@@ -1,12 +1,24 @@
 #include "fd/subsumption.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
+#include "fd/posting_shards.h"
+#include "fd/value_dict.h"
 #include "util/hash.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace lakefuzz {
+
+FdResultTuple DecodeCodeTuple(const FdCodeTuple& t, const ValueDict& dict) {
+  FdResultTuple out;
+  out.values.reserve(t.codes.size());
+  for (uint32_t code : t.codes) out.values.push_back(dict.Decode(code));
+  out.tids = t.tids;
+  return out;
+}
 
 bool Subsumes(const FdResultTuple& b, const FdResultTuple& a) {
   assert(a.values.size() == b.values.size());
@@ -128,12 +140,16 @@ std::vector<FdResultTuple> EliminateSubsumed(
       postings[Key{c, tuples[i].values[c].Hash()}].push_back(i);
     }
   }
+  size_t live_count = 0;
+  for (size_t i = 0; i < tuples.size(); ++i) live_count += !dead[i];
   for (size_t i = 0; i < tuples.size(); ++i) {
     if (dead[i]) continue;
     size_t nn_i = NonNullCount(tuples[i]);
     if (nn_i == 0) {
-      // All-null tuple: subsumed by anything; only survives alone.
-      if (tuples.size() > 1) dead[i] = 1;
+      // All-null tuple: subsumed by any *other* tuple (vacuously); survives
+      // only when it is the sole live tuple. Pass 1 collapsed all-null
+      // duplicates to one, so live_count > 1 means a distinct tuple exists.
+      if (live_count > 1) dead[i] = 1;
       continue;
     }
     // Rarest posting for tuple i.
@@ -159,6 +175,136 @@ std::vector<FdResultTuple> EliminateSubsumed(
     if (!dead[i]) out.push_back(std::move(tuples[i]));
   }
   std::sort(out.begin(), out.end(), FdTupleLess);
+  return out;
+}
+
+namespace {
+
+uint64_t CodesSignature(const FdCodeTuple& t) {
+  uint64_t h = 0x5ca1ab1e;
+  for (size_t c = 0; c < t.codes.size(); ++c) {
+    if (t.codes[c] == ValueDict::kNullCode) continue;
+    h = HashCombine(h, HashCombine(Mix64(c), Mix64(t.codes[c])));
+  }
+  return h;
+}
+
+/// Code-row form of Subsumes: b agrees wherever a is non-null.
+bool SubsumesCodes(const FdCodeTuple& b, const FdCodeTuple& a) {
+  for (size_t c = 0; c < a.codes.size(); ++c) {
+    const uint32_t ac = a.codes[c];
+    if (ac == ValueDict::kNullCode) continue;
+    if (b.codes[c] != ac) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
+                                                ThreadPool* pool) {
+  const size_t n = tuples.size();
+  if (n == 0) return tuples;
+
+  // Signatures and non-null counts are pure per tuple → parallel.
+  std::vector<uint64_t> sig(n);
+  std::vector<uint32_t> nn(n);
+  MaybeParallelFor(pool, n, [&](size_t i) {
+    sig[i] = CodesSignature(tuples[i]);
+    uint32_t count = 0;
+    for (uint32_t code : tuples[i].codes) {
+      count += code != ValueDict::kNullCode;
+    }
+    nn[i] = count;
+  });
+
+  // Pass 1 (serial): collapse exact duplicates (same codes). The survivor —
+  // most complete provenance, then lexicographically smallest TIDs — is a
+  // running maximum under a total preference, so it does not depend on the
+  // order the executors appended results in.
+  auto prefer = [](const FdCodeTuple& a, const FdCodeTuple& b) {
+    if (a.tids.size() != b.tids.size()) {
+      return a.tids.size() > b.tids.size();
+    }
+    return a.tids < b.tids;
+  };
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_sig;
+  by_sig.reserve(n);
+  std::vector<char> dead(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& bucket = by_sig[sig[i]];
+    bool merged = false;
+    for (uint32_t j : bucket) {
+      if (tuples[j].codes == tuples[i].codes) {
+        // nn/sig depend only on codes, so the swap keeps them consistent.
+        if (prefer(tuples[i], tuples[j])) std::swap(tuples[i], tuples[j]);
+        dead[i] = 1;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) bucket.push_back(i);
+  }
+
+  // Pass 2: sharded posting lists over live tuples, keyed by (column, code)
+  // (fd/posting_shards.h).
+  const size_t cols = tuples[0].codes.size();
+  std::vector<PostingShard> shard = BuildPostingShards(
+      pool, n, cols, [&](uint32_t i) -> const uint32_t* {
+        return dead[i] ? nullptr : tuples[i].codes.data();
+      });
+  const size_t shards = shard.size();
+
+  // Pass 3: each tuple checks only the tuples sharing its rarest non-null
+  // (column, code). Runs against the pass-1 snapshot of `dead`, which gives
+  // the same survivor set as the sequential in-place version: any subsumer
+  // that is itself subsumed is subsumed by a strictly-more-complete live
+  // tuple appearing in the same posting lists, so reachability of a live
+  // subsumer is order-independent.
+  size_t live_count = 0;
+  for (size_t i = 0; i < n; ++i) live_count += !dead[i];
+  std::vector<char> dead_out = dead;
+  MaybeParallelFor(pool, n, [&](size_t i) {
+    if (dead[i]) return;
+    const uint32_t nn_i = nn[i];
+    if (nn_i == 0) {
+      // All-null tuple: subsumed by any *other* tuple (vacuously); survives
+      // only when it is the sole live tuple. Pass 1 collapsed all-null
+      // duplicates to one, so live_count > 1 means a distinct tuple exists.
+      if (live_count > 1) dead_out[i] = 1;
+      return;
+    }
+    const auto& codes = tuples[i].codes;
+    const std::vector<uint32_t>* best = nullptr;
+    for (size_t c = 0; c < codes.size(); ++c) {
+      if (codes[c] == ValueDict::kNullCode) continue;
+      const uint64_t key = PostingKey(c, codes[c]);
+      const PostingShard& sh = shard[PostingShardOf(key, shards)];
+      const auto& lst = sh.lists[sh.index.find(key)->second];
+      if (best == nullptr || lst.size() < best->size()) best = &lst;
+    }
+    for (uint32_t j : *best) {
+      if (j == i || dead[j]) continue;
+      if (nn[j] <= nn_i) continue;  // equal ⇒ duplicate, handled in pass 1
+      if (SubsumesCodes(tuples[j], tuples[i])) {
+        dead_out[i] = 1;
+        break;
+      }
+    }
+  });
+
+  // Surviving FD tuples never share a TID set (values are a function of the
+  // member set, and identical code rows were collapsed in pass 1), so TID
+  // order alone is total — and matches FdTupleLess on the decoded tuples.
+  std::vector<FdCodeTuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!dead_out[i]) out.push_back(std::move(tuples[i]));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FdCodeTuple& a, const FdCodeTuple& b) {
+              return a.tids < b.tids;
+            });
   return out;
 }
 

@@ -13,6 +13,8 @@
 
 namespace lakefuzz {
 
+class ThreadPool;
+
 /// Removes subsumed and duplicate tuples. Output is sorted by FdTupleLess.
 ///
 /// Complexity: near-linear via (column, value) posting lists — a tuple can
@@ -20,6 +22,16 @@ namespace lakefuzz {
 /// all-pairs comparison.
 std::vector<FdResultTuple> EliminateSubsumed(
     std::vector<FdResultTuple> tuples);
+
+/// Interned-code twin of EliminateSubsumed — the FD executors' hot path.
+/// Same algorithm and identical output (modulo decoding), but comparisons
+/// and posting keys are flat uint32 codes, and the posting-list bucketing
+/// plus the per-tuple subsumption scans run on `pool` when provided
+/// (results are independent of the thread count). Output is sorted by TID
+/// list, which is a total order here: distinct surviving FD tuples never
+/// share a TID set.
+std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
+                                                ThreadPool* pool = nullptr);
 
 }  // namespace lakefuzz
 

@@ -1,0 +1,59 @@
+#include "fd/value_dict.h"
+
+#include <cassert>
+
+namespace lakefuzz {
+
+uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash) {
+  assert(!v.is_null());
+  const size_t mask = slots_.size() - 1;
+  size_t s = static_cast<size_t>(hash) & mask;
+  while (true) {
+    uint32_t code = slots_[s];
+    if (code == kNullCode) break;
+    // 64-bit hash equality first: a full Value compare only runs on repeat
+    // occurrences of the same value (the common case) or true collisions.
+    if (hashes_[code] == hash && values_[code] == v) return code;
+    s = (s + 1) & mask;
+  }
+  uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  hashes_.push_back(hash);
+  slots_[s] = code;
+  // Grow at ~0.7 load to keep probe chains short.
+  if (values_.size() * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  return code;
+}
+
+uint32_t ValueDict::Find(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  const uint64_t hash = v.Hash();
+  const size_t mask = slots_.size() - 1;
+  size_t s = static_cast<size_t>(hash) & mask;
+  while (true) {
+    uint32_t code = slots_[s];
+    if (code == kNullCode) return kNullCode;
+    if (hashes_[code] == hash && values_[code] == v) return code;
+    s = (s + 1) & mask;
+  }
+}
+
+void ValueDict::Reserve(size_t expected) {
+  values_.reserve(expected + 1);
+  hashes_.reserve(expected + 1);
+  size_t want = kInitialSlots;
+  while (want * 7 < (expected + 1) * 10) want <<= 1;
+  if (want > slots_.size()) Rehash(want);
+}
+
+void ValueDict::Rehash(size_t new_slot_count) {
+  slots_.assign(new_slot_count, kNullCode);
+  const size_t mask = new_slot_count - 1;
+  for (uint32_t code = 1; code < values_.size(); ++code) {
+    size_t s = static_cast<size_t>(hashes_[code]) & mask;
+    while (slots_[s] != kNullCode) s = (s + 1) & mask;
+    slots_[s] = code;
+  }
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,70 @@
+// ValueDict: per-problem interning of cell values into dense integer codes.
+//
+// Full Disjunction only ever asks two questions of a cell: "is it null?" and
+// "is it equal to that other cell?". Both are answered by a dictionary code:
+// tuples become flat uint32 rows, the enumerator's merge/consistency loops
+// compare integers instead of heap-backed Values, and posting-list keys are
+// (column, code) integer pairs. Values are decoded back only when the final
+// result tuples are materialized.
+#ifndef LAKEFUZZ_FD_VALUE_DICT_H_
+#define LAKEFUZZ_FD_VALUE_DICT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/value.h"
+
+namespace lakefuzz {
+
+/// Interns distinct non-null Values into dense uint32 codes. Code 0 is
+/// reserved for null; non-null values get 1, 2, ... in first-intern order,
+/// so a fixed intern sequence yields identical codes on every run.
+///
+/// Internally an open-addressing table over 64-bit value hashes. Callers
+/// that already computed v.Hash() (FdProblem::BuildIndex hashes all cells in
+/// a parallel pre-pass) intern without re-hashing via InternHashed.
+class ValueDict {
+ public:
+  static constexpr uint32_t kNullCode = 0;
+
+  ValueDict() {
+    values_.emplace_back();  // code 0 = null
+    hashes_.push_back(0);
+    slots_.assign(kInitialSlots, kNullCode);
+  }
+
+  /// Interns `v`; nulls map to kNullCode without touching the table.
+  uint32_t Intern(const Value& v) {
+    if (v.is_null()) return kNullCode;
+    return InternHashed(v, v.Hash());
+  }
+
+  /// Intern with a precomputed hash; `hash` must equal v.Hash() and `v` must
+  /// be non-null.
+  uint32_t InternHashed(const Value& v, uint64_t hash);
+
+  /// Code of `v`: kNullCode when null or never interned.
+  uint32_t Find(const Value& v) const;
+
+  /// Value for a code returned by Intern; Decode(kNullCode) is null.
+  const Value& Decode(uint32_t code) const { return values_[code]; }
+
+  /// Distinct non-null values interned so far.
+  size_t NumDistinct() const { return values_.size() - 1; }
+
+  /// Pre-sizes the table for `expected` distinct non-null values.
+  void Reserve(size_t expected);
+
+ private:
+  static constexpr size_t kInitialSlots = 16;  // power of two
+
+  void Rehash(size_t new_slot_count);
+
+  std::vector<Value> values_;     ///< code → value; [0] = null
+  std::vector<uint64_t> hashes_;  ///< code → hash; [0] unused
+  std::vector<uint32_t> slots_;   ///< open-addressing table of codes; 0 = empty
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_VALUE_DICT_H_

@@ -126,23 +126,6 @@ std::string Value::ToString() const {
   return "";
 }
 
-bool Value::operator==(const Value& other) const {
-  if (type_ != other.type_) return false;
-  switch (type_) {
-    case ValueType::kNull:
-      return true;
-    case ValueType::kString:
-      return str_ == other.str_;
-    case ValueType::kInt64:
-      return int_ == other.int_;
-    case ValueType::kDouble:
-      return dbl_ == other.dbl_;
-    case ValueType::kBool:
-      return bool_ == other.bool_;
-  }
-  return false;
-}
-
 bool Value::operator<(const Value& other) const {
   if (type_ != other.type_) return type_ < other.type_;
   switch (type_) {
@@ -158,27 +141,6 @@ bool Value::operator<(const Value& other) const {
       return bool_ < other.bool_;
   }
   return false;
-}
-
-uint64_t Value::Hash() const {
-  uint64_t tag = static_cast<uint64_t>(type_);
-  switch (type_) {
-    case ValueType::kNull:
-      return Mix64(tag);
-    case ValueType::kString:
-      return HashCombine(Mix64(tag), Fnv1a64(str_));
-    case ValueType::kInt64:
-      return HashCombine(Mix64(tag), Mix64(static_cast<uint64_t>(int_)));
-    case ValueType::kDouble: {
-      uint64_t bits;
-      double d = dbl_ == 0.0 ? 0.0 : dbl_;  // collapse -0.0 and +0.0
-      std::memcpy(&bits, &d, sizeof(bits));
-      return HashCombine(Mix64(tag), Mix64(bits));
-    }
-    case ValueType::kBool:
-      return HashCombine(Mix64(tag), Mix64(bool_ ? 1 : 0));
-  }
-  return 0;
 }
 
 }  // namespace lakefuzz

@@ -8,6 +8,7 @@
 #define LAKEFUZZ_TABLE_VALUE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -79,15 +80,51 @@ class Value {
 
   /// Type-sensitive equality. Null == Null is true here — FD code treats
   /// nulls specially and never joins on them; container use (dedup, hashing)
-  /// needs reflexive equality.
-  bool operator==(const Value& other) const;
+  /// needs reflexive equality. Defined inline: dictionary interning
+  /// (fd/value_dict.h) calls this once per cell occurrence.
+  bool operator==(const Value& other) const {
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case ValueType::kNull:
+        return true;
+      case ValueType::kString:
+        return str_ == other.str_;
+      case ValueType::kInt64:
+        return int_ == other.int_;
+      case ValueType::kDouble:
+        return dbl_ == other.dbl_;
+      case ValueType::kBool:
+        return bool_ == other.bool_;
+    }
+    return false;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Total order (by type tag, then payload) for deterministic sorting.
   bool operator<(const Value& other) const;
 
-  /// Deterministic hash consistent with operator==.
-  uint64_t Hash() const;
+  /// Deterministic hash consistent with operator==. Inline for the same
+  /// reason as operator==: it is the per-cell cost of index construction.
+  uint64_t Hash() const {
+    const uint64_t tag = static_cast<uint64_t>(type_);
+    switch (type_) {
+      case ValueType::kNull:
+        return Mix64(tag);
+      case ValueType::kString:
+        return HashCombine(Mix64(tag), Fnv1a64(str_));
+      case ValueType::kInt64:
+        return HashCombine(Mix64(tag), Mix64(static_cast<uint64_t>(int_)));
+      case ValueType::kDouble: {
+        uint64_t bits;
+        double d = dbl_ == 0.0 ? 0.0 : dbl_;  // collapse -0.0 and +0.0
+        std::memcpy(&bits, &d, sizeof(bits));
+        return HashCombine(Mix64(tag), Mix64(bits));
+      }
+      case ValueType::kBool:
+        return HashCombine(Mix64(tag), Mix64(bool_ ? 1 : 0));
+    }
+    return 0;
+  }
 
  private:
   ValueType type_;

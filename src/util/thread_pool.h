@@ -44,6 +44,13 @@ class ThreadPool {
   /// `fn` must be safe to invoke concurrently for distinct i.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but passes fn(lane, i) where `lane` is a dense id in
+  /// [0, min(n, num_threads())) identifying the executing work lane — at most
+  /// one item runs per lane at a time, so lane-indexed scratch state needs no
+  /// further synchronization.
+  void ParallelForWithLane(size_t n,
+                           const std::function<void(size_t, size_t)>& fn);
+
   size_t num_threads() const { return workers_.size(); }
 
  private:
@@ -55,6 +62,18 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Runs fn(i) for i in [0, n): on `pool` when one is provided, inline
+/// otherwise. The pool-or-serial dispatch shared by stages that take an
+/// optional pool (FD index build, subsumption).
+inline void MaybeParallelFor(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    pool->ParallelFor(n, fn);
+  }
+}
 
 }  // namespace lakefuzz
 

@@ -1,6 +1,8 @@
 // Tests for src/embedding: vectors, knowledge base, hashed models, zoo.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "embedding/column_embedder.h"
 #include "embedding/hashed_model.h"
 #include "embedding/knowledge_base.h"
@@ -45,6 +47,34 @@ TEST(VectorOpsTest, CosineDistanceComplementsSimilarity) {
   Vec b{2.0f, 1.0f};
   EXPECT_NEAR(CosineDistance(a, b), 1.0 - CosineSimilarity(a, b), 1e-12);
   EXPECT_NEAR(CosineDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(VectorOpsTest, DotPrenormalizedParityWithScalarDot) {
+  // DotPrenormalized may take the AVX2+FMA kernel on capable hosts; it must
+  // agree with the scalar Dot loop to rounding-order noise on every length
+  // class (full 8-lane blocks, remainder tails, tiny and empty vectors).
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next_float = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<float>((state >> 33) % 2000) / 1000.0f - 1.0f;
+  };
+  for (size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 64u, 127u, 768u}) {
+    Vec a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = next_float();
+      b[i] = next_float();
+    }
+    double scalar = Dot(a, b);
+    double dispatched = DotPrenormalized(a, b);
+    EXPECT_NEAR(dispatched, scalar, 1e-9 * (1.0 + std::abs(scalar)))
+        << "dimension " << n;
+  }
+}
+
+TEST(VectorOpsTest, CosineDistancePrenormalizedMatchesDefinition) {
+  Vec a{0.6f, 0.8f, 0.0f};
+  Vec b{0.0f, 0.6f, 0.8f};
+  EXPECT_NEAR(CosineDistancePrenormalized(a, b), 1.0 - Dot(a, b), 1e-12);
 }
 
 TEST(VectorOpsTest, AddScaled) {

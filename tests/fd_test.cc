@@ -196,6 +196,20 @@ TEST(SubsumptionTest, OutputSortedDeterministically) {
   EXPECT_TRUE(FdTupleLess(result[1], result[2]));
 }
 
+TEST(SubsumptionTest, AllNullTuples) {
+  // An all-null tuple is (vacuously) subsumed by any other tuple — but a
+  // result set of only all-null duplicates must keep one, not vanish.
+  auto null2 = [](std::vector<uint32_t> tids) {
+    return MakeTuple({Value::Null(), Value::Null()}, std::move(tids));
+  };
+  auto only_nulls = EliminateSubsumed({null2({0}), null2({1})});
+  ASSERT_EQ(only_nulls.size(), 1u);
+  EXPECT_EQ(NonNullCount(only_nulls[0]), 0u);
+  auto mixed = EliminateSubsumed({null2({0}), MakeTuple({S("a"), Value::Null()}, {1})});
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(NonNullCount(mixed[0]), 1u);
+}
+
 TEST(SubsumptionTest, NonNullCount) {
   EXPECT_EQ(NonNullCount(MakeTuple({S("a"), Value::Null(), S("c")}, {})), 2u);
   EXPECT_EQ(NonNullCount(MakeTuple({}, {})), 0u);
