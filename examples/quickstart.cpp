@@ -1,16 +1,15 @@
-// Quickstart: the paper's Figure 1, end to end.
+// Quickstart: the paper's Figure 1, end to end, through the LakeEngine API.
 //
-// Builds the three COVID tables, runs regular (equi-join) Full Disjunction
-// and Fuzzy Full Disjunction, and prints all five tables — reproducing
-// FD(T1,T2,T3) (9 fragmented tuples) vs Fuzzy FD(T1,T2,T3) (5 integrated
-// tuples) from the paper.
+// Registers the three COVID tables into an engine session, runs regular
+// (equi-join) Full Disjunction and Fuzzy Full Disjunction over them, and
+// prints all five tables — reproducing FD(T1,T2,T3) (9 fragmented tuples)
+// vs Fuzzy FD(T1,T2,T3) (5 integrated tuples) from the paper. Both
+// requests share the session's embedding cache.
 //
 //   ./quickstart [--theta=0.7]
 #include <cstdio>
 
-#include "core/fuzzy_fd.h"
-#include "embedding/model_zoo.h"
-#include "fd/aligned_schema.h"
+#include "core/engine.h"
 #include "table/print.h"
 #include "util/flags.h"
 
@@ -56,45 +55,56 @@ int main(int argc, char** argv) {
   std::printf("Input tables (Fig. 1 of the paper):\n\n");
   for (const auto& t : tables) std::printf("%s\n", RenderTable(t).c_str());
 
-  auto aligned = AlignByName(tables);
-  if (!aligned.ok()) {
-    std::fprintf(stderr, "alignment failed: %s\n",
-                 aligned.status().ToString().c_str());
+  // One engine session serves both integration requests. The Mistral
+  // profile embeds values for the fuzzy matcher; the regular-FD request
+  // never touches it.
+  auto engine = LakeEngine::Create(
+      EngineOptions().SetModel(ModelKind::kMistral));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine setup failed: %s\n",
+                 engine.status().ToString().c_str());
     return 1;
+  }
+  std::vector<std::string> names;
+  for (auto& t : tables) {
+    std::string name = t.name();  // read before the move below
+    names.push_back(name);
+    Status s = (*engine)->RegisterTable(std::move(name), std::move(t));
+    if (!s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
 
   // Regular (equi-join) Full Disjunction — the ALITE baseline. Tuples with
   // inconsistent join values (Berlinn/Berlin, CA/Canada, barcelona/
   // Barcelona) stay fragmented.
-  FuzzyFdReport regular_report;
-  auto regular = RegularFdBaseline(tables, *aligned, FdOptions(),
-                                   /*parallel=*/false, 0, &regular_report);
+  RequestOptions req;
+  req.holistic_alignment = false;  // Fig. 1 headers are trustworthy
+  req.include_provenance = true;
+  req.fuzzy = false;
+  auto regular = (*engine)->Integrate(names, req);
   if (!regular.ok()) {
     std::fprintf(stderr, "FD failed: %s\n",
                  regular.status().ToString().c_str());
     return 1;
   }
-  Table regular_table =
-      FdResultsToTable(regular->tuples, aligned->universal_names,
-                       "FD(T1,T2,T3)  [equi-join]", /*include_provenance=*/true);
+  Table regular_table = regular->integrated;
+  regular_table.set_name("FD(T1,T2,T3)  [equi-join]");
   std::printf("%s\n", RenderTable(regular_table).c_str());
 
-  // Fuzzy Full Disjunction: embed values with the Mistral profile, match
+  // Fuzzy Full Disjunction: embed values with the session model, match
   // them across aligning columns with optimal bipartite assignment under
   // threshold θ, rewrite to representatives, then run the same FD.
-  FuzzyFdOptions opts;
-  opts.matcher.model = MakeModel(ModelKind::kMistral);
-  opts.matcher.threshold = theta;
-  opts.include_provenance = true;
-  FuzzyFdReport fuzzy_report;
-  auto fuzzy =
-      FuzzyFullDisjunction(opts).Run(tables, *aligned, &fuzzy_report);
+  req.fuzzy = true;
+  req.fuzzy_fd.matcher.threshold = theta;
+  auto fuzzy = (*engine)->Integrate(names, req);
   if (!fuzzy.ok()) {
     std::fprintf(stderr, "fuzzy FD failed: %s\n",
                  fuzzy.status().ToString().c_str());
     return 1;
   }
-  Table fuzzy_table = *fuzzy;
+  Table fuzzy_table = fuzzy->integrated;
   fuzzy_table.set_name("Fuzzy FD(T1,T2,T3)  [this paper]");
   std::printf("%s\n", RenderTable(fuzzy_table).c_str());
 
@@ -102,6 +112,6 @@ int main(int argc, char** argv) {
       "Summary: equi-join FD produced %zu tuples; fuzzy FD produced %zu "
       "(θ=%.2f,\n%zu cell values rewritten in %.1f ms of matching).\n",
       regular_table.NumRows(), fuzzy_table.NumRows(), theta,
-      fuzzy_report.values_rewritten, fuzzy_report.match_seconds * 1e3);
+      fuzzy->report.values_rewritten, fuzzy->report.match_seconds * 1e3);
   return 0;
 }

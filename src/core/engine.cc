@@ -1,0 +1,205 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "assignment/parallel_cost.h"
+#include "match/schema_matcher.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+#include "util/thread_pool.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Ceiling on SetNumThreads — a typo must not try to spawn 2^62 workers.
+constexpr size_t kMaxEngineThreads = 4096;
+/// Ceiling on cache shard counts (each shard is a mutex + map).
+constexpr size_t kMaxCacheShards = size_t{1} << 20;
+
+}  // namespace
+
+Status EngineOptions::Validate() const {
+  if (num_threads > kMaxEngineThreads) {
+    return Status::InvalidArgument(
+        StrFormat("num_threads=%zu exceeds the engine ceiling of %zu",
+                  num_threads, kMaxEngineThreads));
+  }
+  if (embedding_cache.shards == 0) {
+    return Status::InvalidArgument(
+        "embedding_cache.shards must be at least 1");
+  }
+  if (embedding_cache.shards > kMaxCacheShards) {
+    return Status::InvalidArgument(
+        StrFormat("embedding_cache.shards=%zu exceeds the ceiling of %zu",
+                  embedding_cache.shards, kMaxCacheShards));
+  }
+  return Status::OK();
+}
+
+LakeEngine::~LakeEngine() = default;
+
+LakeEngine::LakeEngine(EngineOptions options,
+                       std::shared_ptr<const EmbeddingModel> model,
+                       std::shared_ptr<EmbeddingCache> cache,
+                       std::unique_ptr<ThreadPool> pool)
+    : options_(std::move(options)),
+      model_(std::move(model)),
+      cache_(std::move(cache)),
+      pool_(std::move(pool)) {}
+
+Result<std::unique_ptr<LakeEngine>> LakeEngine::Create(
+    EngineOptions options) {
+  LAKEFUZZ_RETURN_IF_ERROR(options.Validate());
+  std::shared_ptr<const EmbeddingModel> model = MakeModel(options.model);
+  auto cache =
+      std::make_shared<EmbeddingCache>(model, options.embedding_cache);
+  // num_threads == 1 keeps the engine poolless: requests run serially and a
+  // shim-style throwaway engine costs no thread spawns.
+  std::unique_ptr<ThreadPool> pool;
+  const size_t threads = ResolveNumThreads(options.num_threads);
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  return std::unique_ptr<LakeEngine>(
+      new LakeEngine(std::move(options), std::move(model), std::move(cache),
+                     std::move(pool)));
+}
+
+Status LakeEngine::RegisterTable(std::string name, Table table) {
+  return registry_.Register(std::move(name), std::move(table));
+}
+
+Status LakeEngine::RegisterTable(std::string name,
+                                 std::shared_ptr<const Table> table) {
+  return registry_.Register(std::move(name), std::move(table));
+}
+
+Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
+                               const CsvOptions& csv) {
+  Result<Table> table = ReadCsvFile(path, csv);
+  if (!table.ok()) return table.status();
+  table->set_name(name);
+  return registry_.Register(std::move(name), std::move(table).value());
+}
+
+bool LakeEngine::UnregisterTable(const std::string& name) {
+  return registry_.Remove(name);
+}
+
+std::vector<std::string> LakeEngine::TableNames() const {
+  return registry_.Names();
+}
+
+size_t LakeEngine::NumTables() const { return registry_.size(); }
+
+Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
+    const std::vector<std::string>& names,
+    const RequestOptions& request) const {
+  if (names.empty()) {
+    return Status::InvalidArgument("integration set is empty");
+  }
+  if (request.cancel.cancelled()) {
+    return Status::Cancelled("request cancelled before it started");
+  }
+  PreparedRequest prep;
+  LAKEFUZZ_ASSIGN_OR_RETURN(prep.pinned, registry_.GetMany(names));
+  prep.tables.reserve(prep.pinned.size());
+  for (const auto& t : prep.pinned) prep.tables.push_back(t.get());
+
+  ReportProgress(request.progress, Stage::kAlign, 0, 1);
+  Stopwatch align_watch;
+  Result<AlignedSchema> aligned = Status::Internal("unreachable");
+  if (request.holistic_alignment) {
+    aligned = HolisticSchemaMatcher(model_).Align(prep.tables);
+  } else {
+    aligned = AlignByName(prep.tables);
+  }
+  if (!aligned.ok()) return aligned.status();
+  prep.aligned = std::move(aligned).value();
+  prep.align_seconds = align_watch.ElapsedSeconds();
+  ReportProgress(request.progress, Stage::kAlign, 1, 1);
+
+  // Session resources override the per-request knobs they replace; the
+  // remaining matcher/FD knobs pass through untouched.
+  FuzzyFdOptions eff = request.fuzzy_fd;
+  eff.matcher.model = model_;
+  eff.matcher.shared_cache = cache_;
+  eff.include_provenance = request.include_provenance;
+  eff.cancel = request.cancel;
+  eff.progress = request.progress;
+  if (pool_ != nullptr) {
+    eff.pool = pool_.get();
+    eff.matcher.pool = pool_.get();
+    eff.matcher.num_threads = pool_->num_threads();
+    // parallel_fd is authoritative on pooled engines: it also clears a
+    // caller-supplied fuzzy_fd.parallel, so "force the serial executor"
+    // means what it says.
+    eff.parallel = request.parallel_fd;
+    if (request.parallel_fd) eff.num_threads = pool_->num_threads();
+  }
+  prep.effective = std::move(eff);
+  return prep;
+}
+
+Result<PipelineResult> LakeEngine::Integrate(
+    const std::vector<std::string>& names,
+    const RequestOptions& request) const {
+  LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep, Prepare(names, request));
+  FuzzyFdReport report;
+  Result<FdResult> fd = Status::Internal("unreachable");
+  if (request.fuzzy) {
+    fd = FuzzyFullDisjunction(prep.effective)
+             .RunToTuples(prep.tables, prep.aligned, &report);
+  } else {
+    fd = RegularFdBaseline(prep.tables, prep.aligned, prep.effective.fd,
+                           prep.effective.parallel,
+                           prep.effective.num_threads, &report,
+                           prep.effective.pool, prep.effective.cancel,
+                           prep.effective.progress);
+  }
+  if (!fd.ok()) return fd.status();
+  report.align_seconds = prep.align_seconds;
+
+  ReportProgress(request.progress, Stage::kEmit, 0, 1);
+  Table integrated = FdResultsToTable(
+      fd->tuples, prep.aligned.universal_names,
+      request.fuzzy ? "fuzzy_full_disjunction" : "full_disjunction",
+      request.include_provenance);
+  ReportProgress(request.progress, Stage::kEmit, 1, 1);
+  return PipelineResult{std::move(integrated), std::move(prep.aligned),
+                        report, prep.align_seconds};
+}
+
+Result<FuzzyFdReport> LakeEngine::IntegrateToSink(
+    const std::vector<std::string>& names, RowSink* sink,
+    const RequestOptions& request) const {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("IntegrateToSink requires a sink");
+  }
+  if (request.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep, Prepare(names, request));
+  LAKEFUZZ_RETURN_IF_ERROR(sink->Begin(prep.aligned.universal_names));
+
+  FuzzyFdReport report;
+  FdBatchFn emit = [sink](const std::vector<FdResultTuple>& batch) {
+    return sink->OnBatch(batch);
+  };
+  Result<size_t> emitted = Status::Internal("unreachable");
+  if (request.fuzzy) {
+    emitted = FuzzyFullDisjunction(prep.effective)
+                  .RunToBatches(prep.tables, prep.aligned,
+                                request.batch_rows, emit, &report);
+  } else {
+    emitted = RegularFdToBatches(
+        prep.tables, prep.aligned, prep.effective.fd,
+        prep.effective.parallel, prep.effective.num_threads,
+        prep.effective.pool, prep.effective.cancel, prep.effective.progress,
+        request.batch_rows, emit, &report);
+  }
+  if (!emitted.ok()) return emitted.status();
+  report.align_seconds = prep.align_seconds;
+  LAKEFUZZ_RETURN_IF_ERROR(sink->End(report));
+  return report;
+}
+
+}  // namespace lakefuzz

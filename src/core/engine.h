@@ -1,0 +1,224 @@
+// LakeEngine: the session-oriented public API of lakefuzz.
+//
+// The paper's operator is one-shot, but real workloads (Gen-T style table
+// reclamation, query-time integration) issue *many* integrate calls over
+// the same lake. A LakeEngine is constructed once from validated
+// EngineOptions and owns the process-wide resources every call used to
+// rebuild: the embedding model, a cross-call EmbeddingCache (values
+// embedded by one request are hits for every later one), and one session
+// ThreadPool. Tables register once into a TableRegistry and are borrowed —
+// never copied — per request.
+//
+//   auto engine = LakeEngine::Create(
+//       EngineOptions().SetModel(ModelKind::kMistral).SetNumThreads(8));
+//   (*engine)->RegisterCsv("cities", "cities.csv");
+//   (*engine)->RegisterTable("rates", std::move(rates_table));
+//   auto result = (*engine)->Integrate({"cities", "rates"});
+//
+// Requests take per-call RequestOptions carrying matcher/FD knobs, a
+// CancelToken (cooperative abort → ErrorCode::kCancelled), and a
+// ProgressFn. IntegrateToSink streams result tuples to a RowSink in
+// batches without materializing the integrated table. One engine serves
+// concurrent Integrate calls; the registry, cache, and pool are all
+// thread-safe.
+//
+// The former free functions IntegrateTables / IntegrateCsvFiles
+// (core/pipeline.h) remain as deprecated shims over a temporary engine.
+#ifndef LAKEFUZZ_CORE_ENGINE_H_
+#define LAKEFUZZ_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine_registry.h"
+#include "core/fuzzy_fd.h"
+#include "embedding/embedding_cache.h"
+#include "embedding/model_zoo.h"
+#include "table/csv.h"
+#include "util/cancellation.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+class ThreadPool;
+
+/// Engine construction knobs, builder-style:
+///
+///   EngineOptions().SetModel(ModelKind::kMistral).SetNumThreads(8)
+///
+/// Validate() is called by LakeEngine::Create; invalid options surface as
+/// ErrorCode::kInvalidArgument before any resource is allocated.
+struct EngineOptions {
+  /// Embedding model backing alignment, value matching, and the shared
+  /// cache. Built once per engine.
+  ModelKind model = ModelKind::kMistral;
+  /// Session worker threads: 1 = serial (no pool is created), 0 = hardware
+  /// concurrency, N = exactly N. With a pool, requests run the
+  /// component-parallel FD executor and parallel matcher fills on it;
+  /// results are identical at every setting.
+  size_t num_threads = 1;
+  /// Sizing of the cross-call embedding cache (max_entries 0 = unbounded).
+  EmbeddingCacheOptions embedding_cache;
+
+  EngineOptions& SetModel(ModelKind kind) {
+    model = kind;
+    return *this;
+  }
+  EngineOptions& SetNumThreads(size_t n) {
+    num_threads = n;
+    return *this;
+  }
+  EngineOptions& SetEmbeddingCache(EmbeddingCacheOptions options) {
+    embedding_cache = options;
+    return *this;
+  }
+
+  /// Checks the option combination without allocating anything.
+  Status Validate() const;
+};
+
+/// Per-request knobs. The engine fills in everything session-owned
+/// (model, shared cache, pool) on top of these.
+struct RequestOptions {
+  /// Align columns by content (holistic schema matching); when false,
+  /// columns align by equal header names.
+  bool holistic_alignment = true;
+  /// Fuzzy matching on/off — off degrades to the regular-FD baseline.
+  bool fuzzy = true;
+  /// Add the "TIDs" provenance column to the output table.
+  bool include_provenance = false;
+  /// Matcher/FD knobs. The engine overwrites the session-owned fields:
+  /// matcher.model, matcher.shared_cache, pool/matcher.pool, cancel,
+  /// progress, include_provenance — and, on a pooled engine with
+  /// `parallel_fd` left true, also `parallel`/`num_threads` (both point at
+  /// the session pool). The remaining knobs pass through untouched.
+  FuzzyFdOptions fuzzy_fd;
+  /// On a pooled engine, run the FD stage on the component-parallel
+  /// executor (the default; output is identical to serial). Set false to
+  /// force the serial executor for this request — profiling, bug
+  /// isolation — while matcher fills still use the session pool.
+  bool parallel_fd = true;
+  /// Cooperative cancellation (CancelToken::Create(); fire from any
+  /// thread). A cancelled request returns ErrorCode::kCancelled.
+  CancelToken cancel;
+  /// Stage progress, invoked on the request thread.
+  ProgressFn progress;
+  /// Sink mode: decoded tuples per OnBatch call (bounds peak memory).
+  size_t batch_rows = 1024;
+};
+
+/// Streaming consumer for IntegrateToSink. Methods are invoked on the
+/// request thread, in order: Begin, then OnBatch zero or more times, then
+/// End exactly once on success (not after an error/cancellation). Any
+/// non-OK return aborts the request with that status.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Announces the universal schema before the first batch.
+  virtual Status Begin(const std::vector<std::string>& universal_names) {
+    (void)universal_names;
+    return Status::OK();
+  }
+
+  /// One window of result tuples in FdTupleLess order. The vector is
+  /// reused between calls — copy what outlives the call.
+  virtual Status OnBatch(const std::vector<FdResultTuple>& batch) = 0;
+
+  /// Final stage report after the last batch.
+  virtual Status End(const FuzzyFdReport& report) {
+    (void)report;
+    return Status::OK();
+  }
+};
+
+/// End-to-end result of LakeEngine::Integrate (and the legacy
+/// IntegrateTables shim).
+struct PipelineResult {
+  Table integrated;
+  AlignedSchema aligned;
+  FuzzyFdReport report;
+  /// Deprecated: duplicate of report.align_seconds, kept for existing
+  /// callers; report.total_seconds() now covers alignment too.
+  double align_seconds = 0.0;
+};
+
+/// A long-lived integration session over one data lake. Create once, serve
+/// many requests; safe for concurrent use.
+class LakeEngine {
+ public:
+  /// Validates `options`, then builds the session resources (model, shared
+  /// embedding cache, worker pool when num_threads != 1).
+  static Result<std::unique_ptr<LakeEngine>> Create(
+      EngineOptions options = EngineOptions());
+
+  ~LakeEngine();  // out of line: ThreadPool is incomplete here
+
+  // ------------------------------------------------------------ registry
+  /// Registers an in-memory table under `name`
+  /// (ErrorCode::kAlreadyExists on duplicates).
+  Status RegisterTable(std::string name, Table table);
+  /// Shared-ownership form (no copy); the snapshot must stay immutable.
+  Status RegisterTable(std::string name, std::shared_ptr<const Table> table);
+  /// Reads `path` as CSV and registers it under `name` (the table is
+  /// renamed to `name` so diagnostics match the registry).
+  Status RegisterCsv(std::string name, const std::string& path,
+                     const CsvOptions& csv = CsvOptions());
+  /// Removes a name; false when absent. In-flight requests are unaffected.
+  bool UnregisterTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const;
+
+  // ------------------------------------------------------------ requests
+  /// Integrates the named tables (registry lookup order = `names` order,
+  /// which defines TID numbering) into one table, with stage report.
+  Result<PipelineResult> Integrate(
+      const std::vector<std::string>& names,
+      const RequestOptions& request = RequestOptions()) const;
+
+  /// Streaming form: emits result tuples to `sink` in batches of at most
+  /// request.batch_rows without materializing the integrated table.
+  /// Returns the final stage report (fd_stats.results = emitted tuples).
+  Result<FuzzyFdReport> IntegrateToSink(
+      const std::vector<std::string>& names, RowSink* sink,
+      const RequestOptions& request = RequestOptions()) const;
+
+  // ------------------------------------------------------------ session
+  const EngineOptions& options() const { return options_; }
+  /// The cross-call cache (inspect hits()/misses() to observe reuse).
+  const EmbeddingCache& embedding_cache() const { return *cache_; }
+  const std::shared_ptr<const EmbeddingModel>& model() const {
+    return model_;
+  }
+
+ private:
+  struct PreparedRequest {
+    std::vector<std::shared_ptr<const Table>> pinned;  ///< lifetime anchors
+    TableList tables;
+    AlignedSchema aligned;
+    double align_seconds = 0.0;
+    FuzzyFdOptions effective;  ///< request knobs + session resources
+  };
+
+  LakeEngine(EngineOptions options,
+             std::shared_ptr<const EmbeddingModel> model,
+             std::shared_ptr<EmbeddingCache> cache,
+             std::unique_ptr<ThreadPool> pool);
+
+  /// Resolves names, aligns, and merges session resources into the
+  /// request's FuzzyFdOptions — the shared front half of both request
+  /// forms.
+  Result<PreparedRequest> Prepare(const std::vector<std::string>& names,
+                                  const RequestOptions& request) const;
+
+  EngineOptions options_;
+  std::shared_ptr<const EmbeddingModel> model_;
+  std::shared_ptr<EmbeddingCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  TableRegistry registry_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CORE_ENGINE_H_

@@ -1,0 +1,80 @@
+#include "core/engine_registry.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace lakefuzz {
+
+Status TableRegistry::Register(std::string name, Table table) {
+  return Register(std::move(name),
+                  std::make_shared<const Table>(std::move(table)));
+}
+
+Status TableRegistry::Register(std::string name,
+                               std::shared_ptr<const Table> table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry table name must be non-empty");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot register null table '%s'", name.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists(StrFormat(
+        "table '%s' is already registered", it->first.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Table>> TableRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(
+        StrFormat("table '%s' is not registered", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::vector<std::shared_ptr<const Table>>> TableRegistry::GetMany(
+    const std::vector<std::string>& names) const {
+  std::vector<std::shared_ptr<const Table>> out;
+  out.reserve(names.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& name : names) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound(
+          StrFormat("table '%s' is not registered", name.c_str()));
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+bool TableRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.erase(name) > 0;
+}
+
+std::vector<std::string> TableRegistry::Names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t TableRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,60 @@
+// TableRegistry: the named-table store behind a LakeEngine session.
+//
+// A long-lived engine serves many Integrate calls over one lake, so tables
+// are registered once under a unique name and borrowed per request instead
+// of being re-read / re-copied per call. Entries are immutable
+// shared_ptr<const Table>: a request pins the snapshot it resolved even if
+// another thread replaces or removes the name mid-flight, so there is no
+// torn read and no lifetime coupling between requests.
+#ifndef LAKEFUZZ_CORE_ENGINE_REGISTRY_H_
+#define LAKEFUZZ_CORE_ENGINE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+/// Thread-safe name → table map. All methods may be called concurrently.
+class TableRegistry {
+ public:
+  /// Registers a table under `name`. ErrorCode::kAlreadyExists when the
+  /// name is taken, kInvalidArgument on an empty name.
+  Status Register(std::string name, Table table);
+
+  /// Shared-ownership form: registers an externally owned snapshot without
+  /// copying (the shims wrap caller-owned tables in non-owning aliases;
+  /// callers sharing real ownership just pass their shared_ptr).
+  Status Register(std::string name, std::shared_ptr<const Table> table);
+
+  /// The snapshot registered under `name`, or ErrorCode::kNotFound.
+  Result<std::shared_ptr<const Table>> Get(const std::string& name) const;
+
+  /// Resolves every name (in the given order) under one lock acquisition,
+  /// so an Integrate request sees a consistent snapshot of the registry.
+  /// Fails with kNotFound naming the first missing table.
+  Result<std::vector<std::shared_ptr<const Table>>> GetMany(
+      const std::vector<std::string>& names) const;
+
+  /// Removes `name`; false when absent. In-flight requests holding the
+  /// snapshot are unaffected.
+  bool Remove(const std::string& name);
+
+  /// Registered names, sorted (deterministic listing for CLIs and tests).
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CORE_ENGINE_REGISTRY_H_

@@ -1,8 +1,12 @@
 #include "core/fuzzy_fd.h"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "assignment/parallel_cost.h"
+#include "fd/value_dict.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace lakefuzz {
 namespace {
@@ -12,27 +16,190 @@ namespace {
 /// collisions only affect which typed twin survives the rewrite).
 using StringToValue = std::unordered_map<std::string, Value>;
 
+/// Output of the FD stage proper: the problem (owning the decode
+/// dictionary) plus the post-subsumption interned result rows. Keeping
+/// results interned here is what lets RunToBatches stream decoded tuples
+/// without ever materializing the full result set.
+struct FdStage {
+  FdProblem problem;
+  std::vector<FdCodeTuple> codes;
+  FdStats stats;
+  /// Pool the stage ran on, alive for the caller's decode: the session
+  /// pool, a stage-owned one (parallel executor without a session), or
+  /// null in serial mode.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+};
+
+/// Shared FD stage of the fuzzy pipeline and the regular-FD baseline:
+/// outer-union build + executor run to interned codes. Also fills
+/// `report->fd_build_seconds` / `report->fd_stats` when a report is given;
+/// the caller owns the fd_seconds watch (decode time differs per
+/// consumer).
+Result<FdStage> RunFdStage(const TableList& tables,
+                           const AlignedSchema& aligned,
+                           const FdOptions& fd_options, bool parallel,
+                           size_t num_threads, ThreadPool* pool,
+                           const CancelToken& cancel,
+                           const ProgressFn& progress,
+                           FuzzyFdReport* report) {
+  ReportProgress(progress, Stage::kFdBuild, 0, 1);
+  Stopwatch build_watch;
+  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
+                            FdProblem::Build(tables, aligned));
+  const double build_seconds = build_watch.ElapsedSeconds();
+  ReportProgress(progress, Stage::kFdBuild, 1, 1);
+  if (cancel.cancelled()) {
+    return Status::Cancelled("full disjunction cancelled");
+  }
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* stage_pool = pool;
+  if (parallel && stage_pool == nullptr) {
+    // Poolless parallel caller (the legacy executor path): one stage pool
+    // shared by the executor and the caller's decode, so decode stays
+    // parallel as it was before the RunCodes split.
+    owned_pool = std::make_unique<ThreadPool>(ResolveNumThreads(num_threads));
+    stage_pool = owned_pool.get();
+  }
+  FdStats stats;
+  Result<std::vector<FdCodeTuple>> codes = Status::Internal("unreachable");
+  if (parallel) {
+    ParallelFdOptions popts;
+    popts.fd = fd_options;
+    popts.num_threads = num_threads;
+    popts.pool = stage_pool;
+    codes = ParallelFullDisjunction(popts).RunCodes(&problem, &stats, cancel,
+                                                    progress);
+  } else {
+    codes = FullDisjunction(fd_options).RunCodes(&problem, &stats, cancel,
+                                                 progress);
+  }
+  if (!codes.ok()) return codes.status();
+
+  if (report != nullptr) {
+    report->fd_build_seconds = build_seconds;
+    report->fd_stats = stats;
+  }
+  return FdStage{std::move(problem), std::move(codes).value(), stats,
+                 std::move(owned_pool), stage_pool};
+}
+
+/// Decodes an FD stage's full code set into an FdResult (the
+/// materializing consumers' shared epilogue).
+FdResult DecodeStage(const FdStage& stage, ThreadPool* pool) {
+  FdResult result;
+  result.stats = stage.stats;
+  result.tuples.resize(stage.codes.size());
+  MaybeParallelFor(pool, stage.codes.size(), [&](size_t i) {
+    result.tuples[i] = DecodeCodeTuple(stage.codes[i], stage.problem.dict());
+  });
+  return result;
+}
+
+/// Shared argument guard of the streaming entry points, cheap enough to
+/// run before any pipeline work.
+Status ValidateStreamArgs(size_t batch_rows, const FdBatchFn& emit) {
+  if (batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  if (emit == nullptr) {
+    return Status::InvalidArgument("streaming requires an emit callback");
+  }
+  return Status::OK();
+}
+
+/// Shared back half of the streaming entry points: FD stage over
+/// already-consistent tables, then batched decode + emission.
+Result<size_t> StreamFdStage(const TableList& tables,
+                             const AlignedSchema& aligned,
+                             const FdOptions& fd_options, bool parallel,
+                             size_t num_threads, ThreadPool* pool,
+                             const CancelToken& cancel,
+                             const ProgressFn& progress, size_t batch_rows,
+                             const FdBatchFn& emit, FuzzyFdReport* report);
+
+/// Decodes `codes` in windows of `batch_rows` and hands each window to
+/// `emit` (reusing one batch buffer). Returns the number of tuples emitted.
+Result<size_t> EmitCodeBatches(const FdProblem& problem,
+                               const std::vector<FdCodeTuple>& codes,
+                               size_t batch_rows, const FdBatchFn& emit,
+                               const CancelToken& cancel,
+                               const ProgressFn& progress) {
+  std::vector<FdResultTuple> batch;
+  batch.reserve(std::min(batch_rows, codes.size()));
+  size_t emitted = 0;
+  for (size_t start = 0; start < codes.size(); start += batch_rows) {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("result emission cancelled");
+    }
+    const size_t end = std::min(codes.size(), start + batch_rows);
+    batch.clear();
+    for (size_t i = start; i < end; ++i) {
+      batch.push_back(DecodeCodeTuple(codes[i], problem.dict()));
+    }
+    LAKEFUZZ_RETURN_IF_ERROR(emit(batch));
+    emitted += batch.size();
+    ReportProgress(progress, Stage::kEmit, emitted, codes.size());
+  }
+  if (codes.empty()) ReportProgress(progress, Stage::kEmit, 0, 0);
+  return emitted;
+}
+
+Result<size_t> StreamFdStage(const TableList& tables,
+                             const AlignedSchema& aligned,
+                             const FdOptions& fd_options, bool parallel,
+                             size_t num_threads, ThreadPool* pool,
+                             const CancelToken& cancel,
+                             const ProgressFn& progress, size_t batch_rows,
+                             const FdBatchFn& emit, FuzzyFdReport* report) {
+  Stopwatch fd_watch;
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      FdStage stage, RunFdStage(tables, aligned, fd_options, parallel,
+                                num_threads, pool, cancel, progress, report));
+  Result<size_t> emitted = EmitCodeBatches(stage.problem, stage.codes,
+                                           batch_rows, emit, cancel, progress);
+  // fd_seconds covers batch decode + sink emission, mirroring the
+  // materializing path where decode sits inside the fd watch.
+  if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
+  return emitted;
+}
+
 }  // namespace
 
 Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
-    const std::vector<Table>& tables, const AlignedSchema& aligned,
+    const TableList& tables, const AlignedSchema& aligned,
     FuzzyFdReport* report) const {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
   Stopwatch match_watch;
-  ValueMatcher matcher(options_.matcher);
+  ValueMatcherOptions matcher_options = options_.matcher;
+  // Session plumbing: the request's token and pool reach the matcher
+  // unless the caller already set matcher-specific ones.
+  if (!matcher_options.cancel.can_cancel()) {
+    matcher_options.cancel = options_.cancel;
+  }
+  if (matcher_options.pool == nullptr) {
+    matcher_options.pool = options_.pool;
+  }
+  ValueMatcher matcher(matcher_options);
 
   // Per (table, column): value-string → replacement Value.
   std::vector<std::vector<std::unordered_map<std::string, Value>>> rewrites(
       tables.size());
   for (size_t l = 0; l < tables.size(); ++l) {
-    rewrites[l].resize(tables[l].NumColumns());
+    rewrites[l].resize(tables[l]->NumColumns());
   }
 
   double match_seconds = 0.0;
   size_t sets_matched = 0;
   ValueMatchStats agg_stats;
 
-  for (size_t u = 0; u < aligned.NumUniversal(); ++u) {
+  const size_t num_universal = aligned.NumUniversal();
+  for (size_t u = 0; u < num_universal; ++u) {
+    ReportProgress(options_.progress, Stage::kMatch, u, num_universal);
+    if (options_.cancel.cancelled()) {
+      return Status::Cancelled("fuzzy value matching cancelled");
+    }
     auto sources = aligned.SourcesOf(u);
     if (sources.size() < 2) continue;  // nothing to make consistent
 
@@ -41,7 +208,7 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
     std::vector<StringToValue> originals(sources.size());
     for (size_t s = 0; s < sources.size(); ++s) {
       auto [l, c] = sources[s];
-      for (const Value& v : tables[l].DistinctNonNull(c)) {
+      for (const Value& v : tables[l]->DistinctNonNull(c)) {
         std::string str = v.ToString();
         if (originals[s].emplace(str, v).second) {
           columns[s].push_back(std::move(str));
@@ -76,29 +243,46 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
       }
     }
   }
+  ReportProgress(options_.progress, Stage::kMatch, num_universal,
+                 num_universal);
   match_seconds = match_watch.ElapsedSeconds();
 
   Stopwatch rewrite_watch;
+  ReportProgress(options_.progress, Stage::kRewrite, 0, tables.size());
   std::vector<Table> out;
   out.reserve(tables.size());
   size_t values_rewritten = 0;
   for (size_t l = 0; l < tables.size(); ++l) {
-    Table t = tables[l];
+    Table t = *tables[l];
     for (size_t c = 0; c < t.NumColumns(); ++c) {
       const auto& map = rewrites[l][c];
       if (map.empty()) continue;
+      // Interned scan (ROADMAP PR-2 follow-up): cells are interned into a
+      // per-column ValueDict, so the string key is materialized and hashed
+      // once per *distinct* value; every repeat of a value hits the flat
+      // code-indexed replacement table instead of re-running ToString +
+      // string hashing per cell. Codes are dense, so the table grows by
+      // exactly one slot per new value; slot 0 is the (unused) null code.
+      ValueDict dict;
+      std::vector<const Value*> replacement(1, nullptr);
       for (size_t r = 0; r < t.NumRows(); ++r) {
         const Value& v = t.At(r, c);
         if (v.is_null()) continue;
-        auto it = map.find(v.ToString());
-        if (it != map.end()) {
-          t.Set(r, c, it->second);
+        const uint32_t code = dict.Intern(v);
+        if (code >= replacement.size()) {
+          auto it = map.find(v.ToString());
+          replacement.push_back(it != map.end() ? &it->second : nullptr);
+        }
+        if (replacement[code] != nullptr) {
+          t.Set(r, c, *replacement[code]);
           ++values_rewritten;
         }
       }
     }
     out.push_back(std::move(t));
   }
+  ReportProgress(options_.progress, Stage::kRewrite, tables.size(),
+                 tables.size());
 
   if (report != nullptr) {
     report->match_seconds = match_seconds;
@@ -110,34 +294,35 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
   return out;
 }
 
-Result<FdResult> FuzzyFullDisjunction::RunToTuples(
+Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
     const std::vector<Table>& tables, const AlignedSchema& aligned,
+    FuzzyFdReport* report) const {
+  return RewriteTables(BorrowTables(tables), aligned, report);
+}
+
+Result<FdResult> FuzzyFullDisjunction::RunToTuples(
+    const TableList& tables, const AlignedSchema& aligned,
     FuzzyFdReport* report) const {
   LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<Table> rewritten,
                             RewriteTables(tables, aligned, report));
   Stopwatch fd_watch;
-  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
-                            FdProblem::Build(rewritten, aligned));
-  const double build_seconds = fd_watch.ElapsedSeconds();
-  Result<FdResult> fd_result = Status::Internal("unreachable");
-  if (options_.parallel) {
-    ParallelFdOptions popts;
-    popts.fd = options_.fd;
-    popts.num_threads = options_.num_threads;
-    fd_result = ParallelFullDisjunction(popts).Run(&problem);
-  } else {
-    fd_result = FullDisjunction(options_.fd).Run(&problem);
-  }
-  if (!fd_result.ok()) return fd_result.status();
-  if (report != nullptr) {
-    report->fd_build_seconds = build_seconds;
-    report->fd_seconds = fd_watch.ElapsedSeconds();
-    report->fd_stats = fd_result->stats;
-  }
-  return fd_result;
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      FdStage stage,
+      RunFdStage(BorrowTables(rewritten), aligned, options_.fd,
+                 options_.parallel, options_.num_threads, options_.pool,
+                 options_.cancel, options_.progress, report));
+  FdResult result = DecodeStage(stage, stage.pool);
+  if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
+  return result;
 }
 
-Result<Table> FuzzyFullDisjunction::Run(const std::vector<Table>& tables,
+Result<FdResult> FuzzyFullDisjunction::RunToTuples(
+    const std::vector<Table>& tables, const AlignedSchema& aligned,
+    FuzzyFdReport* report) const {
+  return RunToTuples(BorrowTables(tables), aligned, report);
+}
+
+Result<Table> FuzzyFullDisjunction::Run(const TableList& tables,
                                         const AlignedSchema& aligned,
                                         FuzzyFdReport* report) const {
   LAKEFUZZ_ASSIGN_OR_RETURN(FdResult result,
@@ -147,30 +332,59 @@ Result<Table> FuzzyFullDisjunction::Run(const std::vector<Table>& tables,
                           options_.include_provenance);
 }
 
+Result<Table> FuzzyFullDisjunction::Run(const std::vector<Table>& tables,
+                                        const AlignedSchema& aligned,
+                                        FuzzyFdReport* report) const {
+  return Run(BorrowTables(tables), aligned, report);
+}
+
+Result<size_t> FuzzyFullDisjunction::RunToBatches(
+    const TableList& tables, const AlignedSchema& aligned, size_t batch_rows,
+    const FdBatchFn& emit, FuzzyFdReport* report) const {
+  LAKEFUZZ_RETURN_IF_ERROR(ValidateStreamArgs(batch_rows, emit));
+  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<Table> rewritten,
+                            RewriteTables(tables, aligned, report));
+  return StreamFdStage(BorrowTables(rewritten), aligned, options_.fd,
+                       options_.parallel, options_.num_threads, options_.pool,
+                       options_.cancel, options_.progress, batch_rows, emit,
+                       report);
+}
+
+Result<FdResult> RegularFdBaseline(const TableList& tables,
+                                   const AlignedSchema& aligned,
+                                   const FdOptions& fd_options, bool parallel,
+                                   size_t num_threads, FuzzyFdReport* report,
+                                   ThreadPool* pool,
+                                   const CancelToken& cancel,
+                                   const ProgressFn& progress) {
+  Stopwatch fd_watch;
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      FdStage stage, RunFdStage(tables, aligned, fd_options, parallel,
+                                num_threads, pool, cancel, progress, report));
+  FdResult result = DecodeStage(stage, stage.pool);
+  if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
+  return result;
+}
+
 Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
                                    const AlignedSchema& aligned,
                                    const FdOptions& fd_options, bool parallel,
                                    size_t num_threads, FuzzyFdReport* report) {
-  Stopwatch fd_watch;
-  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
-                            FdProblem::Build(tables, aligned));
-  const double build_seconds = fd_watch.ElapsedSeconds();
-  Result<FdResult> fd_result = Status::Internal("unreachable");
-  if (parallel) {
-    ParallelFdOptions popts;
-    popts.fd = fd_options;
-    popts.num_threads = num_threads;
-    fd_result = ParallelFullDisjunction(popts).Run(&problem);
-  } else {
-    fd_result = FullDisjunction(fd_options).Run(&problem);
-  }
-  if (!fd_result.ok()) return fd_result.status();
-  if (report != nullptr) {
-    report->fd_build_seconds = build_seconds;
-    report->fd_seconds = fd_watch.ElapsedSeconds();
-    report->fd_stats = fd_result->stats;
-  }
-  return fd_result;
+  return RegularFdBaseline(BorrowTables(tables), aligned, fd_options,
+                           parallel, num_threads, report);
+}
+
+Result<size_t> RegularFdToBatches(const TableList& tables,
+                                  const AlignedSchema& aligned,
+                                  const FdOptions& fd_options, bool parallel,
+                                  size_t num_threads, ThreadPool* pool,
+                                  const CancelToken& cancel,
+                                  const ProgressFn& progress,
+                                  size_t batch_rows, const FdBatchFn& emit,
+                                  FuzzyFdReport* report) {
+  LAKEFUZZ_RETURN_IF_ERROR(ValidateStreamArgs(batch_rows, emit));
+  return StreamFdStage(tables, aligned, fd_options, parallel, num_threads,
+                       pool, cancel, progress, batch_rows, emit, report);
 }
 
 }  // namespace lakefuzz

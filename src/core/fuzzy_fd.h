@@ -6,12 +6,21 @@
 // equi-join Full Disjunction over the rewritten tables. With matching
 // disabled this degenerates to regular FD (the ALITE baseline), so both
 // sides of the paper's comparisons share one code path.
+//
+// Session integration: every entry point has a TableList (borrowed
+// pointers) form so a LakeEngine can serve requests over registry-owned
+// tables without copying; options carry an optional session ThreadPool,
+// a CancelToken (honored at matcher merge rounds, per FD component, and
+// inside the enumerator), and a ProgressFn fired at stage boundaries.
 #ifndef LAKEFUZZ_CORE_FUZZY_FD_H_
 #define LAKEFUZZ_CORE_FUZZY_FD_H_
+
+#include <functional>
 
 #include "core/value_matcher.h"
 #include "fd/full_disjunction.h"
 #include "fd/parallel.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -24,10 +33,27 @@ struct FuzzyFdOptions {
   size_t num_threads = 0;
   /// Add the "TIDs" provenance column to the output table (Fig. 1 style).
   bool include_provenance = false;
+  /// Externally owned session pool (LakeEngine). Used by the parallel FD
+  /// executor and result decode; also handed to the matcher unless
+  /// `matcher.pool` is already set. Not owned.
+  ThreadPool* pool = nullptr;
+  /// Request cancellation; also threaded into `matcher.cancel` when that
+  /// one is inert. A fired token surfaces as Status::Cancelled from the
+  /// nearest checkpoint.
+  CancelToken cancel;
+  /// Stage-boundary progress (see util/cancellation.h). Invoked on the
+  /// calling thread: kMatch counts universal columns, the FD stages report
+  /// (0,1) on entry and (1,1) on completion.
+  ProgressFn progress;
 };
 
-/// Stage timings and counters for the efficiency experiments (Fig. 3).
+/// Stage timings and counters for the efficiency experiments (Fig. 3) and
+/// engine observability. One report covers every stage of a request, so
+/// total_seconds() is the end-to-end pipeline time.
 struct FuzzyFdReport {
+  /// Column alignment (filled by the pipeline/engine layer that ran it;
+  /// zero when the caller aligned out of band).
+  double align_seconds = 0.0;
   double match_seconds = 0.0;
   double rewrite_seconds = 0.0;
   /// Outer-union construction (FdProblem::Build); also included in
@@ -40,10 +66,15 @@ struct FuzzyFdReport {
   ValueMatchStats match_stats;
   FdStats fd_stats;
 
+  /// End-to-end wall time across all stages (align + match + rewrite + FD).
   double total_seconds() const {
-    return match_seconds + rewrite_seconds + fd_seconds;
+    return align_seconds + match_seconds + rewrite_seconds + fd_seconds;
   }
 };
+
+/// Receives one decoded result batch in streaming mode. Returning a non-OK
+/// status aborts the run and propagates the status to the caller.
+using FdBatchFn = std::function<Status(const std::vector<FdResultTuple>&)>;
 
 class FuzzyFullDisjunction {
  public:
@@ -52,32 +83,72 @@ class FuzzyFullDisjunction {
 
   /// Value matching + value rewriting only (no FD); exposed for tests and
   /// for inspecting the consistent tables (Fig. 2 bottom-left).
+  Result<std::vector<Table>> RewriteTables(const TableList& tables,
+                                           const AlignedSchema& aligned,
+                                           FuzzyFdReport* report) const;
   Result<std::vector<Table>> RewriteTables(const std::vector<Table>& tables,
                                            const AlignedSchema& aligned,
                                            FuzzyFdReport* report) const;
 
   /// Full pipeline; returns the integrated table.
+  Result<Table> Run(const TableList& tables, const AlignedSchema& aligned,
+                    FuzzyFdReport* report = nullptr) const;
   Result<Table> Run(const std::vector<Table>& tables,
                     const AlignedSchema& aligned,
                     FuzzyFdReport* report = nullptr) const;
 
   /// Full pipeline, returning raw FD tuples (provenance TIDs are global
   /// outer-union ids: table order, then row order).
+  Result<FdResult> RunToTuples(const TableList& tables,
+                               const AlignedSchema& aligned,
+                               FuzzyFdReport* report = nullptr) const;
   Result<FdResult> RunToTuples(const std::vector<Table>& tables,
                                const AlignedSchema& aligned,
                                FuzzyFdReport* report = nullptr) const;
+
+  /// Streaming form: runs the full pipeline but never materializes the
+  /// decoded result set. Result tuples are decoded in windows of at most
+  /// `batch_rows` (the final batch may be smaller) and handed to `emit` in
+  /// FdTupleLess order; the batch vector is reused, so `emit` must copy
+  /// what it keeps. Returns the number of tuples emitted. Cancellation is
+  /// additionally polled between batches.
+  Result<size_t> RunToBatches(const TableList& tables,
+                              const AlignedSchema& aligned, size_t batch_rows,
+                              const FdBatchFn& emit,
+                              FuzzyFdReport* report = nullptr) const;
 
  private:
   FuzzyFdOptions options_;
 };
 
 /// Regular (equi-join) Full Disjunction with the same reporting interface —
-/// the ALITE baseline in the paper's experiments.
+/// the ALITE baseline in the paper's experiments. The TableList form takes
+/// the session extras (pool / cancel / progress); the vector<Table>
+/// overload keeps the historical signature.
+Result<FdResult> RegularFdBaseline(const TableList& tables,
+                                   const AlignedSchema& aligned,
+                                   const FdOptions& fd_options,
+                                   bool parallel, size_t num_threads,
+                                   FuzzyFdReport* report,
+                                   ThreadPool* pool = nullptr,
+                                   const CancelToken& cancel = CancelToken(),
+                                   const ProgressFn& progress = ProgressFn());
 Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
                                    const AlignedSchema& aligned,
                                    const FdOptions& fd_options,
                                    bool parallel, size_t num_threads,
                                    FuzzyFdReport* report);
+
+/// Streaming twin of RegularFdBaseline (see RunToBatches for the batch
+/// contract). Returns the number of tuples emitted.
+Result<size_t> RegularFdToBatches(const TableList& tables,
+                                  const AlignedSchema& aligned,
+                                  const FdOptions& fd_options, bool parallel,
+                                  size_t num_threads, ThreadPool* pool,
+                                  const CancelToken& cancel,
+                                  const ProgressFn& progress,
+                                  size_t batch_rows, const FdBatchFn& emit,
+                                  FuzzyFdReport* report);
 
 }  // namespace lakefuzz
 

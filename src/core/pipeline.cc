@@ -1,51 +1,50 @@
 #include "core/pipeline.h"
 
-#include "match/schema_matcher.h"
 #include "table/csv.h"
-#include "util/stopwatch.h"
+#include "util/str.h"
 
 namespace lakefuzz {
+namespace {
+
+/// Maps the legacy one-shot knobs onto a per-request options struct.
+RequestOptions ToRequestOptions(const PipelineOptions& options) {
+  RequestOptions request;
+  request.holistic_alignment = options.holistic_alignment;
+  request.fuzzy = options.fuzzy;
+  request.include_provenance = options.include_provenance;
+  request.fuzzy_fd = options.fuzzy_fd;
+  return request;
+}
+
+}  // namespace
 
 Result<PipelineResult> IntegrateTables(const std::vector<Table>& tables,
                                        const PipelineOptions& options) {
   if (tables.empty()) {
     return Status::InvalidArgument("integration set is empty");
   }
-  auto model = MakeModel(options.model);
-
-  Stopwatch align_watch;
-  Result<AlignedSchema> aligned = Status::Internal("unreachable");
-  if (options.holistic_alignment) {
-    aligned = HolisticSchemaMatcher(model).Align(tables);
-  } else {
-    aligned = AlignByName(tables);
+  // Throwaway single-call session: serial (num_threads=1 spawns no pool),
+  // with the caller's model choice. The caller's per-call cache sizing
+  // becomes the session cache sizing — same bound, one call. Outputs are
+  // identical to the historical inline implementation — the engine runs
+  // the same alignment, matcher, and FD code paths.
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      std::unique_ptr<LakeEngine> engine,
+      LakeEngine::Create(
+          EngineOptions()
+              .SetModel(options.model)
+              .SetEmbeddingCache(options.fuzzy_fd.matcher.embedding_cache)));
+  std::vector<std::string> names;
+  names.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    // Positional registry names: input table names may collide or be empty.
+    // The tables are borrowed, not copied — the engine dies before they do.
+    names.push_back(StrFormat("__t%zu", i));
+    LAKEFUZZ_RETURN_IF_ERROR(engine->RegisterTable(
+        names.back(),
+        std::shared_ptr<const Table>(&tables[i], [](const Table*) {})));
   }
-  if (!aligned.ok()) return aligned.status();
-  double align_seconds = align_watch.ElapsedSeconds();
-
-  FuzzyFdOptions fd_opts = options.fuzzy_fd;
-  fd_opts.matcher.model = model;
-  fd_opts.include_provenance = options.include_provenance;
-  FuzzyFdReport report;
-
-  Result<Table> integrated = Status::Internal("unreachable");
-  if (options.fuzzy) {
-    integrated =
-        FuzzyFullDisjunction(fd_opts).Run(tables, *aligned, &report);
-  } else {
-    LAKEFUZZ_ASSIGN_OR_RETURN(
-        FdResult fd, RegularFdBaseline(tables, *aligned, fd_opts.fd,
-                                       fd_opts.parallel, fd_opts.num_threads,
-                                       &report));
-    integrated =
-        FdResultsToTable(fd.tuples, aligned->universal_names,
-                         "full_disjunction", options.include_provenance);
-  }
-  if (!integrated.ok()) return integrated.status();
-
-  PipelineResult out{std::move(integrated).value(),
-                     std::move(aligned).value(), report, align_seconds};
-  return out;
+  return engine->Integrate(names, ToRequestOptions(options));
 }
 
 Result<PipelineResult> IntegrateCsvFiles(const std::vector<std::string>& paths,

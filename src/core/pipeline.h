@@ -1,21 +1,25 @@
-// IntegrationPipeline: the one-call facade for the full ALITE + Fuzzy FD
-// flow — the API a downstream user actually adopts.
+// DEPRECATED one-shot facade over core/engine.h.
 //
-//   load CSVs → align columns (holistic or by-name) → fuzzy value matching
-//   → Full Disjunction → integrated table + stage report.
+// IntegrateTables / IntegrateCsvFiles predate LakeEngine and pay full
+// session setup (model build, empty embedding cache) on every call. They
+// are kept as thin shims over a temporary engine so existing code and the
+// published examples keep working, but new code should construct a
+// LakeEngine once and call Integrate per request — see the README's
+// migration table. These shims will be removed once the benchmarks and
+// examples no longer reference them.
 #ifndef LAKEFUZZ_CORE_PIPELINE_H_
 #define LAKEFUZZ_CORE_PIPELINE_H_
 
 #include <string>
 #include <vector>
 
-#include "core/fuzzy_fd.h"
-#include "embedding/model_zoo.h"
-#include "fd/aligned_schema.h"
+#include "core/engine.h"
 #include "util/result.h"
 
 namespace lakefuzz {
 
+/// One-shot knobs; the session-oriented twin is RequestOptions +
+/// EngineOptions (engine.h).
 struct PipelineOptions {
   /// Embedding model used for alignment, value matching, and (optionally)
   /// downstream EM.
@@ -29,19 +33,14 @@ struct PipelineOptions {
   bool include_provenance = false;
 };
 
-struct PipelineResult {
-  Table integrated;
-  AlignedSchema aligned;
-  FuzzyFdReport report;
-  double align_seconds = 0.0;
-};
-
-/// End-to-end integration of a set of in-memory tables.
+/// DEPRECATED: end-to-end integration of a set of in-memory tables through
+/// a throwaway LakeEngine. Prefer a long-lived engine.
 Result<PipelineResult> IntegrateTables(const std::vector<Table>& tables,
                                        const PipelineOptions& options =
                                            PipelineOptions());
 
-/// Convenience: reads every path as CSV, then IntegrateTables.
+/// DEPRECATED: reads every path as CSV, then IntegrateTables. Prefer
+/// LakeEngine::RegisterCsv + Integrate.
 Result<PipelineResult> IntegrateCsvFiles(const std::vector<std::string>& paths,
                                          const PipelineOptions& options =
                                              PipelineOptions());

@@ -77,23 +77,35 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
   ValueMatchResult result;
   if (columns.empty()) return result;
 
-  // Scoring substrate: one embedding cache per match call (representatives
-  // recur across merge rounds; values recur across columns) and one thread
-  // pool shared by every fill below. The pool is created lazily on the
-  // first fill large enough to use it — the many small residual problems
-  // left after the exact-match prepass run serially either way and must
-  // not pay N thread spawns per column. Output is identical at any thread
-  // count because each cost cell is a pure function of its (group, value)
-  // pair.
-  std::unique_ptr<EmbeddingCache> cache;
+  // Scoring substrate: an embedding cache (representatives recur across
+  // merge rounds; values recur across columns — and, with a session-shared
+  // cache, across MatchColumns calls) and one thread pool shared by every
+  // fill below. A session (LakeEngine) may supply both; otherwise the
+  // cache is per-call and the pool is created lazily on the first fill
+  // large enough to use it — the many small residual problems left after
+  // the exact-match prepass run serially either way and must not pay N
+  // thread spawns per column. Output is identical at any thread count and
+  // any cache state because each cost cell is a pure function of its
+  // (group, value) pair.
+  std::unique_ptr<EmbeddingCache> local_cache;
+  EmbeddingCache* cache = nullptr;
   if (use_embeddings) {
-    cache = std::make_unique<EmbeddingCache>(options_.model,
-                                             options_.embedding_cache);
+    if (options_.shared_cache != nullptr) {
+      cache = options_.shared_cache.get();
+    } else {
+      local_cache = std::make_unique<EmbeddingCache>(
+          options_.model, options_.embedding_cache);
+      cache = local_cache.get();
+    }
   }
+  const EmbeddingCache::Counters counters_before =
+      cache != nullptr ? cache->counters() : EmbeddingCache::Counters{};
   const size_t num_threads = ResolveNumThreads(options_.num_threads);
   std::unique_ptr<ThreadPool> pool;
   auto pool_for = [&](size_t work_items, size_t min_work) -> ThreadPool* {
-    if (num_threads <= 1 || work_items < min_work) return nullptr;
+    if (work_items < min_work) return nullptr;
+    if (options_.pool != nullptr) return options_.pool;
+    if (num_threads <= 1) return nullptr;
     if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
     return pool.get();
   };
@@ -155,6 +167,11 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
   }
 
   for (size_t c = 1; c < columns.size(); ++c) {
+    // Cooperative cancellation between merge rounds — the unit after which
+    // no partial state escapes.
+    if (options_.cancel.cancelled()) {
+      return Status::Cancelled("value matching cancelled");
+    }
     const auto& values = columns[c];
     std::vector<char> value_matched(values.size(), 0);
 
@@ -321,8 +338,13 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
   result.stats.pruned_evaluations =
       pruned_evaluations.load(std::memory_order_relaxed);
   if (cache != nullptr) {
-    result.stats.embedding_cache_hits = cache->hits();
-    result.stats.embedding_cache_misses = cache->misses();
+    // Delta against the call-start snapshot: identical to the absolute
+    // counters for a per-call cache, and the per-call share for a
+    // session-shared one.
+    const EmbeddingCache::Counters after = cache->counters();
+    result.stats.embedding_cache_hits = after.hits - counters_before.hits;
+    result.stats.embedding_cache_misses =
+        after.misses - counters_before.misses;
   }
   result.groups.reserve(combined.size());
   for (auto& g : combined) result.groups.push_back(std::move(g.group));

@@ -34,9 +34,12 @@
 #include "embedding/embedding_cache.h"
 #include "embedding/model.h"
 #include "text/distance.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 
 namespace lakefuzz {
+
+class ThreadPool;
 
 struct ValueMatcherOptions {
   /// Matching threshold θ (paper default 0.7 — their best setting).
@@ -78,8 +81,25 @@ struct ValueMatcherOptions {
   /// embedding: 0 = hardware concurrency, 1 = serial (no pool is created).
   /// Results are deterministic regardless of the setting.
   size_t num_threads = 1;
-  /// Sizing of the per-MatchColumns embedding cache (embedding mode only).
+  /// Sizing of the per-MatchColumns embedding cache (embedding mode only;
+  /// ignored when `shared_cache` is set).
   EmbeddingCacheOptions embedding_cache;
+  /// Cross-call embedding cache owned by a long-lived session (LakeEngine).
+  /// When set, MatchColumns memoizes into it instead of a fresh per-call
+  /// cache, so values and representatives embedded by one call are hits for
+  /// every later call over the same lake. Must wrap the same model as
+  /// `model`. stats.embedding_cache_{hits,misses} then report this call's
+  /// delta of the cache's counters. Match results are unaffected — the
+  /// cache memoizes a pure function.
+  std::shared_ptr<EmbeddingCache> shared_cache;
+  /// Externally owned worker pool (a LakeEngine's session pool). Takes
+  /// precedence over the lazily created per-call pool; `num_threads` then
+  /// only matters as documentation. Not owned. Work below the
+  /// parallelization thresholds still runs serially.
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, polled between merge rounds (once per
+  /// aligning column). A fired token returns Status::Cancelled.
+  CancelToken cancel;
 };
 
 /// One disjoint set of matched values.

@@ -57,6 +57,17 @@ class EmbeddingCache {
   size_t hits() const { return hits_.load(std::memory_order_relaxed); }
   size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Hit/miss counters read as one pair — the unit of per-request deltas
+  /// when a LakeEngine shares this cache across Integrate calls (the
+  /// matcher snapshots counters() before and after a call and reports the
+  /// difference). With concurrent requests on one engine the attribution
+  /// between requests is approximate; totals are exact.
+  struct Counters {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+  Counters counters() const { return Counters{hits(), misses()}; }
+
  private:
   struct Shard {
     mutable std::mutex mu;

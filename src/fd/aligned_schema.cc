@@ -18,18 +18,18 @@ std::vector<std::pair<size_t, size_t>> AlignedSchema::SourcesOf(
   return out;
 }
 
-Result<AlignedSchema> AlignByName(const std::vector<Table>& tables) {
+Result<AlignedSchema> AlignByName(const TableList& tables) {
   AlignedSchema out;
   std::unordered_map<std::string, size_t> name_to_universal;
   out.column_map.resize(tables.size());
   for (size_t l = 0; l < tables.size(); ++l) {
     std::unordered_set<std::string> seen_in_table;
-    for (size_t c = 0; c < tables[l].NumColumns(); ++c) {
-      const std::string& name = tables[l].schema().field(c).name;
+    for (size_t c = 0; c < tables[l]->NumColumns(); ++c) {
+      const std::string& name = tables[l]->schema().field(c).name;
       if (!seen_in_table.insert(name).second) {
         return Status::InvalidArgument(
             StrFormat("table '%s' repeats column name '%s'",
-                      tables[l].name().c_str(), name.c_str()));
+                      tables[l]->name().c_str(), name.c_str()));
       }
       auto [it, inserted] =
           name_to_universal.emplace(name, out.universal_names.size());
@@ -40,19 +40,23 @@ Result<AlignedSchema> AlignByName(const std::vector<Table>& tables) {
   return out;
 }
 
+Result<AlignedSchema> AlignByName(const std::vector<Table>& tables) {
+  return AlignByName(BorrowTables(tables));
+}
+
 Status ValidateAlignedSchema(const AlignedSchema& aligned,
-                             const std::vector<Table>& tables) {
+                             const TableList& tables) {
   if (aligned.column_map.size() != tables.size()) {
     return Status::InvalidArgument(
         StrFormat("column_map covers %zu tables, input has %zu",
                   aligned.column_map.size(), tables.size()));
   }
   for (size_t l = 0; l < tables.size(); ++l) {
-    if (aligned.column_map[l].size() != tables[l].NumColumns()) {
+    if (aligned.column_map[l].size() != tables[l]->NumColumns()) {
       return Status::InvalidArgument(
           StrFormat("column_map[%zu] has %zu entries, table has %zu columns",
                     l, aligned.column_map[l].size(),
-                    tables[l].NumColumns()));
+                    tables[l]->NumColumns()));
     }
     std::unordered_set<size_t> used;
     for (size_t u : aligned.column_map[l]) {
@@ -68,6 +72,11 @@ Status ValidateAlignedSchema(const AlignedSchema& aligned,
     }
   }
   return Status::OK();
+}
+
+Status ValidateAlignedSchema(const AlignedSchema& aligned,
+                             const std::vector<Table>& tables) {
+  return ValidateAlignedSchema(aligned, BorrowTables(tables));
 }
 
 }  // namespace lakefuzz

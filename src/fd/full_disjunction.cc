@@ -15,10 +15,12 @@ class ComponentEnumerator {
  public:
   ComponentEnumerator(const FdProblem& problem,
                       const std::vector<uint32_t>& component,
-                      std::atomic<int64_t>* budget, FdScratch* scratch)
+                      std::atomic<int64_t>* budget, FdScratch* scratch,
+                      const CancelToken* cancel)
       : problem_(problem),
         component_(component),
         budget_(budget),
+        cancel_(cancel),
         s_(*scratch),
         num_cols_(problem.num_columns()) {}
 
@@ -192,7 +194,13 @@ class ComponentEnumerator {
   Status Extend(const std::vector<uint32_t>& ext) {
     ++nodes_used_;
     if ((nodes_used_ & 0x3ff) == 0 || members_.empty()) {
-      // Amortized budget check: draw down in blocks.
+      // Amortized budget check: draw down in blocks. The cancellation
+      // checkpoint shares the amortization so a live token costs one atomic
+      // load per 1024 search nodes, not per node.
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        return Status::Cancelled(
+            "full disjunction cancelled mid-enumeration");
+      }
       if (budget_ != nullptr &&
           budget_->fetch_sub(1024, std::memory_order_relaxed) <= 0) {
         return Status::FailedPrecondition(
@@ -247,6 +255,7 @@ class ComponentEnumerator {
   const FdProblem& problem_;
   const std::vector<uint32_t>& component_;
   std::atomic<int64_t>* budget_;
+  const CancelToken* cancel_;
   FdScratch& s_;
   const size_t num_cols_;
 
@@ -259,8 +268,9 @@ class ComponentEnumerator {
 
 Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodes(
     const FdProblem& problem, const std::vector<uint32_t>& component,
-    std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch) {
-  ComponentEnumerator enumerator(problem, component, budget, scratch);
+    std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch,
+    const CancelToken* cancel) {
+  ComponentEnumerator enumerator(problem, component, budget, scratch, cancel);
   auto result = enumerator.Enumerate();
   if (nodes_used != nullptr) *nodes_used = enumerator.nodes_used();
   return result;
@@ -279,43 +289,66 @@ Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
   return out;
 }
 
-Result<FdResult> FullDisjunction::Run(FdProblem* problem) const {
-  FdResult out;
+Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
+    FdProblem* problem, FdStats* stats, const CancelToken& cancel,
+    const ProgressFn& progress) const {
   Stopwatch index_watch;
   problem->BuildIndex();
-  out.stats.index_seconds = index_watch.ElapsedSeconds();
-  out.stats.num_input_tuples = problem->num_tuples();
-  out.stats.num_components = problem->Components().size();
-  out.stats.distinct_values = problem->index_stats().distinct_values;
-  out.stats.posting_lists = problem->index_stats().posting_lists;
-  out.stats.posting_entries = problem->index_stats().posting_entries;
+  stats->index_seconds = index_watch.ElapsedSeconds();
+  stats->num_input_tuples = problem->num_tuples();
+  stats->num_components = problem->Components().size();
+  stats->distinct_values = problem->index_stats().distinct_values;
+  stats->posting_lists = problem->index_stats().posting_lists;
+  stats->posting_entries = problem->index_stats().posting_entries;
 
+  ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
   Stopwatch enum_watch;
   std::atomic<int64_t> budget{
       static_cast<int64_t>(options_.max_search_nodes)};
   FdScratch scratch(*problem);
   std::vector<FdCodeTuple> code_tuples;
   for (const auto& comp : problem->Components()) {
-    out.stats.largest_component =
-        std::max(out.stats.largest_component, comp.size());
+    if (cancel.cancelled()) {
+      return Status::Cancelled("full disjunction cancelled");
+    }
+    stats->largest_component =
+        std::max(stats->largest_component, comp.size());
     uint64_t nodes = 0;
     LAKEFUZZ_ASSIGN_OR_RETURN(
         std::vector<FdCodeTuple> tuples,
-        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch));
-    out.stats.search_nodes += nodes;
+        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch,
+                          &cancel));
+    stats->search_nodes += nodes;
     for (auto& t : tuples) code_tuples.push_back(std::move(t));
   }
-  out.stats.enumeration_seconds = enum_watch.ElapsedSeconds();
-  out.stats.results_before_subsumption = code_tuples.size();
+  stats->enumeration_seconds = enum_watch.ElapsedSeconds();
+  stats->results_before_subsumption = code_tuples.size();
+  ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
 
+  if (cancel.cancelled()) {
+    return Status::Cancelled("full disjunction cancelled");
+  }
+  ReportProgress(progress, Stage::kFdSubsume, 0, 1);
   Stopwatch subsume_watch;
   code_tuples = EliminateSubsumedCodes(std::move(code_tuples));
+  stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
+  stats->results = code_tuples.size();
+  ReportProgress(progress, Stage::kFdSubsume, 1, 1);
+  return code_tuples;
+}
+
+Result<FdResult> FullDisjunction::Run(FdProblem* problem) const {
+  FdResult out;
+  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<FdCodeTuple> code_tuples,
+                            RunCodes(problem, &out.stats));
+  // Decode wall time stays folded into subsumption_seconds, as before the
+  // RunCodes split.
+  Stopwatch decode_watch;
   out.tuples.reserve(code_tuples.size());
   for (const auto& t : code_tuples) {
     out.tuples.push_back(DecodeCodeTuple(t, problem->dict()));
   }
-  out.stats.subsumption_seconds = subsume_watch.ElapsedSeconds();
-  out.stats.results = out.tuples.size();
+  out.stats.subsumption_seconds += decode_watch.ElapsedSeconds();
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include "fd/fd_tuple.h"
 #include "fd/problem.h"
 #include "fd/subsumption.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -98,6 +99,19 @@ class FullDisjunction {
   /// Computes FD over a prepared problem (builds its index if needed).
   Result<FdResult> Run(FdProblem* problem) const;
 
+  /// The decode-free core of Run: post-subsumption interned result rows in
+  /// final (TID-sorted) order. Fills `stats` (results counts the surviving
+  /// code tuples; decode wall time is the caller's). `cancel` is polled per
+  /// component and inside the enumerator's amortized budget check; a fired
+  /// token returns Status::Cancelled. `progress` receives
+  /// kFdEnumerate/kFdSubsume boundary events ((0,1) entry, (1,1)
+  /// completion). Streaming consumers (LakeEngine row sinks) decode these
+  /// in batches instead of materializing the full FdResult.
+  Result<std::vector<FdCodeTuple>> RunCodes(
+      FdProblem* problem, FdStats* stats,
+      const CancelToken& cancel = CancelToken(),
+      const ProgressFn& progress = ProgressFn()) const;
+
   /// Convenience: outer-union + FD + table materialization.
   Result<Table> RunToTable(const std::vector<Table>& tables,
                            const AlignedSchema& aligned,
@@ -107,10 +121,13 @@ class FullDisjunction {
   /// component (no subsumption), as interned code tuples. `budget` is
   /// decremented per search node; reaching zero aborts with
   /// FailedPrecondition. `scratch` must come from the same problem and is
-  /// reused across calls — the executors keep one per worker.
+  /// reused across calls — the executors keep one per worker. When `cancel`
+  /// is non-null it is polled alongside the budget; a fired token aborts
+  /// with Status::Cancelled.
   static Result<std::vector<FdCodeTuple>> RunComponentCodes(
       const FdProblem& problem, const std::vector<uint32_t>& component,
-      std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch);
+      std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch,
+      const CancelToken* cancel = nullptr);
 
   /// Decoded convenience wrapper around RunComponentCodes (tests).
   static Result<std::vector<FdResultTuple>> RunComponent(

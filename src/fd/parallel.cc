@@ -1,6 +1,7 @@
 #include "fd/parallel.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -8,23 +9,37 @@
 #include "util/thread_pool.h"
 
 namespace lakefuzz {
+namespace {
 
-Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
-  size_t threads = options_.num_threads;
+/// Session pools (LakeEngine) are reused across calls; otherwise spawn a
+/// pool for this run. The one pool-resolution rule for RunCodes and Run.
+ThreadPool* ResolvePool(const ParallelFdOptions& options,
+                        std::unique_ptr<ThreadPool>* owned) {
+  if (options.pool != nullptr) return options.pool;
+  size_t threads = options.num_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  ThreadPool pool(threads);
+  *owned = std::make_unique<ThreadPool>(threads);
+  return owned->get();
+}
 
-  FdResult out;
+}  // namespace
+
+Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
+    FdProblem* problem, FdStats* stats, const CancelToken& cancel,
+    const ProgressFn& progress) const {
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = ResolvePool(options_, &owned_pool);
+
   Stopwatch index_watch;
-  problem->BuildIndex(&pool);
-  out.stats.index_seconds = index_watch.ElapsedSeconds();
-  out.stats.num_input_tuples = problem->num_tuples();
-  out.stats.num_components = problem->Components().size();
-  out.stats.distinct_values = problem->index_stats().distinct_values;
-  out.stats.posting_lists = problem->index_stats().posting_lists;
-  out.stats.posting_entries = problem->index_stats().posting_entries;
+  problem->BuildIndex(pool);
+  stats->index_seconds = index_watch.ElapsedSeconds();
+  stats->num_input_tuples = problem->num_tuples();
+  stats->num_components = problem->Components().size();
+  stats->distinct_values = problem->index_stats().distinct_values;
+  stats->posting_lists = problem->index_stats().posting_lists;
+  stats->posting_entries = problem->index_stats().posting_entries;
 
   // Largest components first: they dominate runtime, so schedule them before
   // the long tail of singletons.
@@ -32,14 +47,15 @@ Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
   comps.reserve(problem->Components().size());
   for (const auto& c : problem->Components()) {
     comps.push_back(&c);
-    out.stats.largest_component =
-        std::max(out.stats.largest_component, c.size());
+    stats->largest_component =
+        std::max(stats->largest_component, c.size());
   }
   std::stable_sort(comps.begin(), comps.end(),
                    [](const auto* a, const auto* b) {
                      return a->size() > b->size();
                    });
 
+  ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
   Stopwatch enum_watch;
   std::atomic<int64_t> budget{
       static_cast<int64_t>(options_.fd.max_search_nodes)};
@@ -51,15 +67,25 @@ Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
   // One scratch per work lane: enumeration state is O(num_tuples) to zero,
   // so it is allocated once here, not once per component.
   const size_t lanes = std::max<size_t>(
-      1, std::min(comps.size(), pool.num_threads()));
+      1, std::min(comps.size(), pool->num_threads()));
   std::vector<FdScratch> scratches;
   scratches.reserve(lanes);
   for (size_t i = 0; i < lanes; ++i) scratches.emplace_back(*problem);
 
-  pool.ParallelForWithLane(comps.size(), [&](size_t lane, size_t i) {
+  pool->ParallelForWithLane(comps.size(), [&](size_t lane, size_t i) {
+    // Per-component cancellation checkpoint: once the token fires, the
+    // remaining scheduled components become no-ops instead of enumerating.
+    if (cancel.cancelled()) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) {
+        first_error = Status::Cancelled("full disjunction cancelled");
+      }
+      return;
+    }
     uint64_t nodes = 0;
     auto res = FullDisjunction::RunComponentCodes(*problem, *comps[i], &budget,
-                                                 &nodes, &scratches[lane]);
+                                                 &nodes, &scratches[lane],
+                                                 &cancel);
     total_nodes.fetch_add(nodes, std::memory_order_relaxed);
     if (!res.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
@@ -69,23 +95,46 @@ Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
     per_comp[i] = std::move(res).value();
   });
   if (!first_error.ok()) return first_error;
-  out.stats.search_nodes = total_nodes.load();
-  out.stats.enumeration_seconds = enum_watch.ElapsedSeconds();
+  stats->search_nodes = total_nodes.load();
+  stats->enumeration_seconds = enum_watch.ElapsedSeconds();
+  ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
 
   std::vector<FdCodeTuple> code_tuples;
   for (auto& tuples : per_comp) {
     for (auto& t : tuples) code_tuples.push_back(std::move(t));
   }
-  out.stats.results_before_subsumption = code_tuples.size();
+  stats->results_before_subsumption = code_tuples.size();
 
+  if (cancel.cancelled()) {
+    return Status::Cancelled("full disjunction cancelled");
+  }
+  ReportProgress(progress, Stage::kFdSubsume, 0, 1);
   Stopwatch subsume_watch;
-  code_tuples = EliminateSubsumedCodes(std::move(code_tuples), &pool);
+  code_tuples = EliminateSubsumedCodes(std::move(code_tuples), pool);
+  stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
+  stats->results = code_tuples.size();
+  ReportProgress(progress, Stage::kFdSubsume, 1, 1);
+  return code_tuples;
+}
+
+Result<FdResult> ParallelFullDisjunction::Run(FdProblem* problem) const {
+  // One pool for both RunCodes and the decode below (RunCodes would
+  // otherwise spawn and join its own).
+  std::unique_ptr<ThreadPool> owned_pool;
+  ParallelFdOptions opts = options_;
+  opts.pool = ResolvePool(options_, &owned_pool);
+  FdResult out;
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      std::vector<FdCodeTuple> code_tuples,
+      ParallelFullDisjunction(opts).RunCodes(problem, &out.stats));
+  // Decode on the pool, timed into subsumption_seconds as before the
+  // RunCodes split.
+  Stopwatch decode_watch;
   out.tuples.resize(code_tuples.size());
-  pool.ParallelFor(code_tuples.size(), [&](size_t i) {
+  opts.pool->ParallelFor(code_tuples.size(), [&](size_t i) {
     out.tuples[i] = DecodeCodeTuple(code_tuples[i], problem->dict());
   });
-  out.stats.subsumption_seconds = subsume_watch.ElapsedSeconds();
-  out.stats.results = out.tuples.size();
+  out.stats.subsumption_seconds += decode_watch.ElapsedSeconds();
   return out;
 }
 

@@ -13,10 +13,16 @@
 
 namespace lakefuzz {
 
+class ThreadPool;
+
 struct ParallelFdOptions {
   FdOptions fd;
-  /// 0 → hardware concurrency.
+  /// 0 → hardware concurrency. Ignored when `pool` is set.
   size_t num_threads = 0;
+  /// Externally owned worker pool (a LakeEngine's session pool). When set,
+  /// the executor runs on it instead of spawning its own — repeated
+  /// requests stop paying thread start-up per call. Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Thread-pool FD executor. Results are identical (same order) to the
@@ -29,6 +35,15 @@ class ParallelFullDisjunction {
       : options_(options) {}
 
   Result<FdResult> Run(FdProblem* problem) const;
+
+  /// Post-subsumption interned result rows (see FullDisjunction::RunCodes).
+  /// `cancel` is polled per scheduled component and inside the enumerator;
+  /// `progress` events fire from the coordinating thread only (never from
+  /// pool workers).
+  Result<std::vector<FdCodeTuple>> RunCodes(
+      FdProblem* problem, FdStats* stats,
+      const CancelToken& cancel = CancelToken(),
+      const ProgressFn& progress = ProgressFn()) const;
 
  private:
   ParallelFdOptions options_;

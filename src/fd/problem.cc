@@ -12,12 +12,12 @@
 
 namespace lakefuzz {
 
-Result<FdProblem> FdProblem::Build(const std::vector<Table>& tables,
+Result<FdProblem> FdProblem::Build(const TableList& tables,
                                    const AlignedSchema& aligned) {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
   FdProblem problem(aligned.NumUniversal(), aligned.universal_names);
   for (size_t l = 0; l < tables.size(); ++l) {
-    const Table& t = tables[l];
+    const Table& t = *tables[l];
     for (size_t r = 0; r < t.NumRows(); ++r) {
       std::vector<Value> padded(aligned.NumUniversal());
       for (size_t c = 0; c < t.NumColumns(); ++c) {
@@ -28,6 +28,11 @@ Result<FdProblem> FdProblem::Build(const std::vector<Table>& tables,
     }
   }
   return problem;
+}
+
+Result<FdProblem> FdProblem::Build(const std::vector<Table>& tables,
+                                   const AlignedSchema& aligned) {
+  return Build(BorrowTables(tables), aligned);
 }
 
 Status FdProblem::AddTuple(uint32_t table_id, std::vector<Value> values) {

@@ -48,7 +48,11 @@ class FdProblem {
   FdProblem(size_t num_columns, std::vector<std::string> column_names)
       : num_columns_(num_columns), column_names_(std::move(column_names)) {}
 
-  /// Outer-unions `tables` under `aligned` (validated first).
+  /// Outer-unions `tables` under `aligned` (validated first). The TableList
+  /// form borrows (the engine request path); the vector<Table> overload
+  /// forwards.
+  static Result<FdProblem> Build(const TableList& tables,
+                                 const AlignedSchema& aligned);
   static Result<FdProblem> Build(const std::vector<Table>& tables,
                                  const AlignedSchema& aligned);
 

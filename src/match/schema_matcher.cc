@@ -15,14 +15,14 @@ HolisticSchemaMatcher::HolisticSchemaMatcher(
     : model_(std::move(model)), options_(options) {}
 
 Result<AlignedSchema> HolisticSchemaMatcher::Align(
-    const std::vector<Table>& tables) const {
+    const TableList& tables) const {
   struct ColRef {
     size_t table;
     size_t col;
   };
   std::vector<ColRef> cols;
   for (size_t l = 0; l < tables.size(); ++l) {
-    for (size_t c = 0; c < tables[l].NumColumns(); ++c) {
+    for (size_t c = 0; c < tables[l]->NumColumns(); ++c) {
       cols.push_back(ColRef{l, c});
     }
   }
@@ -30,7 +30,7 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
   ColumnEmbedder embedder(model_, options_.embedder);
   std::vector<Vec> sigs(cols.size());
   for (size_t i = 0; i < cols.size(); ++i) {
-    sigs[i] = embedder.EmbedColumn(tables[cols[i].table], cols[i].col);
+    sigs[i] = embedder.EmbedColumn(*tables[cols[i].table], cols[i].col);
   }
 
   // Candidate edges between columns of different tables, best-first.
@@ -47,8 +47,10 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
       // pre-normalized dot is the cosine similarity without the O(dim)
       // norm recomputations of the general CosineSimilarity.
       double sim = DotPrenormalized(sigs[i], sigs[j]);
-      const std::string& ni = tables[cols[i].table].schema().field(cols[i].col).name;
-      const std::string& nj = tables[cols[j].table].schema().field(cols[j].col).name;
+      const std::string& ni =
+          tables[cols[i].table]->schema().field(cols[i].col).name;
+      const std::string& nj =
+          tables[cols[j].table]->schema().field(cols[j].col).name;
       if (!ni.empty() && ni == nj) sim += options_.header_bonus;
       if (sim >= options_.similarity_threshold) {
         edges.push_back(Edge{sim, i, j});
@@ -101,7 +103,7 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
   AlignedSchema out;
   out.column_map.resize(tables.size());
   for (size_t l = 0; l < tables.size(); ++l) {
-    out.column_map[l].resize(tables[l].NumColumns());
+    out.column_map[l].resize(tables[l]->NumColumns());
   }
   std::unordered_map<std::string, size_t> name_uses;
   // Iterate clusters ordered by their smallest member index.
@@ -115,13 +117,13 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
     // Universal name: most frequent header, ties → earliest member.
     std::map<std::string, size_t> counts;
     for (size_t i : *mem) {
-      ++counts[tables[cols[i].table].schema().field(cols[i].col).name];
+      ++counts[tables[cols[i].table]->schema().field(cols[i].col).name];
     }
     std::string best;
     size_t best_count = 0;
     for (size_t i : *mem) {
       const std::string& name =
-          tables[cols[i].table].schema().field(cols[i].col).name;
+          tables[cols[i].table]->schema().field(cols[i].col).name;
       if (counts[name] > best_count) {
         best_count = counts[name];
         best = name;
@@ -138,6 +140,11 @@ Result<AlignedSchema> HolisticSchemaMatcher::Align(
   }
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(out, tables));
   return out;
+}
+
+Result<AlignedSchema> HolisticSchemaMatcher::Align(
+    const std::vector<Table>& tables) const {
+  return Align(BorrowTables(tables));
 }
 
 }  // namespace lakefuzz

@@ -40,6 +40,9 @@ class HolisticSchemaMatcher {
   /// Aligns the integration set into an AlignedSchema. Universal column
   /// names are the most frequent header among each cluster's members
   /// (ties → first by table order), uniquified with numeric suffixes.
+  /// The TableList form is the engine's non-copying request path; the
+  /// vector<Table> overload borrows and forwards.
+  Result<AlignedSchema> Align(const TableList& tables) const;
   Result<AlignedSchema> Align(const std::vector<Table>& tables) const;
 
  private:

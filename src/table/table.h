@@ -64,6 +64,21 @@ class Table {
   size_t num_rows_ = 0;
 };
 
+/// Non-owning view of an integration set — the currency of the pipeline
+/// internals, so a LakeEngine can serve requests over registry-owned tables
+/// without copying them per call. Callers guarantee the pointed-to tables
+/// outlive the operation.
+using TableList = std::vector<const Table*>;
+
+/// Borrows every table of an owning vector (adapter for the value-based
+/// convenience overloads).
+inline TableList BorrowTables(const std::vector<Table>& tables) {
+  TableList out;
+  out.reserve(tables.size());
+  for (const Table& t : tables) out.push_back(&t);
+  return out;
+}
+
 }  // namespace lakefuzz
 
 #endif  // LAKEFUZZ_TABLE_TABLE_H_

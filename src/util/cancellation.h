@@ -1,0 +1,113 @@
+// Request-scoped cancellation and progress plumbing.
+//
+// A LakeEngine request may run for minutes on a large lake; callers need to
+// abort it (client disconnected, deadline passed) and to observe where it
+// is. Both travel *down* the pipeline as plain option fields: CancelToken is
+// polled at cooperative checkpoints (between matcher merge rounds, per FD
+// component, inside the enumerator's amortized budget check), and
+// ProgressFn is invoked at stage boundaries. Neither interrupts a running
+// kernel; a fired token surfaces as Status::Cancelled (ErrorCode::kCancelled)
+// from the nearest checkpoint, with all partial work discarded.
+#ifndef LAKEFUZZ_UTIL_CANCELLATION_H_
+#define LAKEFUZZ_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace lakefuzz {
+
+/// Shared cancellation flag for one request. Copies are cheap and observe
+/// the same flag, so the caller keeps one copy to fire and the pipeline
+/// carries another through its option structs.
+///
+/// A default-constructed token is *inert*: it can never be cancelled and
+/// costs nothing to copy — the natural "no cancellation requested" value.
+/// Cancellable tokens come from CancelToken::Create().
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A live token whose Cancel() is observed by all copies.
+  static CancelToken Create() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Requests cancellation. Thread-safe; no-op on an inert token.
+  void Cancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+  }
+
+  /// True once Cancel() was called on any copy. Thread-safe.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// True for tokens from Create() (inert default-constructed ones return
+  /// false).
+  bool can_cancel() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Pipeline stages that emit progress events and honor cancellation.
+enum class Stage {
+  kAlign,        ///< column alignment (holistic or by-name)
+  kMatch,        ///< fuzzy value matching, one unit per universal column
+  kRewrite,      ///< rewriting matched values to representatives
+  kFdBuild,      ///< outer-union construction (FdProblem::Build)
+  kFdEnumerate,  ///< join-graph index + component enumeration
+  kFdSubsume,    ///< subsumption elimination
+  kEmit,         ///< result materialization / sink batches
+};
+
+inline std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAlign:
+      return "align";
+    case Stage::kMatch:
+      return "match";
+    case Stage::kRewrite:
+      return "rewrite";
+    case Stage::kFdBuild:
+      return "fd_build";
+    case Stage::kFdEnumerate:
+      return "fd_enumerate";
+    case Stage::kFdSubsume:
+      return "fd_subsume";
+    case Stage::kEmit:
+      return "emit";
+  }
+  return "unknown";
+}
+
+/// One progress observation. Stages with internal units report
+/// done ∈ [0, total]; stages without report (0, 1) on entry and (1, 1) on
+/// completion.
+struct ProgressEvent {
+  Stage stage = Stage::kAlign;
+  size_t done = 0;
+  size_t total = 0;
+};
+
+/// Invoked synchronously on the thread driving the request — never
+/// concurrently for one request — so an implementation may fire the
+/// request's CancelToken or touch request-local state without locking.
+/// Keep it cheap; it sits on stage boundaries of the hot path.
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+/// Emits an event when `progress` is set — the one-liner used at every
+/// reporting site.
+inline void ReportProgress(const ProgressFn& progress, Stage stage,
+                           size_t done, size_t total) {
+  if (progress) progress(ProgressEvent{stage, done, total});
+}
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_CANCELLATION_H_

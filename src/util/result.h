@@ -36,6 +36,13 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
+  /// The error taxonomy entry: ErrorCode::kOk when a value is held,
+  /// otherwise the failure's code. Lets callers branch on the typed code
+  /// (`r.code() == ErrorCode::kCancelled`) without going through status().
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : status_.code();
+  }
+
   const T& value() const& {
     assert(ok());
     return *value_;

@@ -2,24 +2,28 @@
 
 namespace lakefuzz {
 
-std::string_view StatusCodeToString(StatusCode code) {
+std::string_view ErrorCodeToString(ErrorCode code) {
   switch (code) {
-    case StatusCode::kOk:
+    case ErrorCode::kOk:
       return "OK";
-    case StatusCode::kInvalidArgument:
+    case ErrorCode::kInvalidArgument:
       return "InvalidArgument";
-    case StatusCode::kNotFound:
+    case ErrorCode::kNotFound:
       return "NotFound";
-    case StatusCode::kOutOfRange:
+    case ErrorCode::kOutOfRange:
       return "OutOfRange";
-    case StatusCode::kFailedPrecondition:
+    case ErrorCode::kFailedPrecondition:
       return "FailedPrecondition";
-    case StatusCode::kInternal:
+    case ErrorCode::kInternal:
       return "Internal";
-    case StatusCode::kUnimplemented:
+    case ErrorCode::kUnimplemented:
       return "Unimplemented";
-    case StatusCode::kIoError:
+    case ErrorCode::kIoError:
       return "IoError";
+    case ErrorCode::kCancelled:
+      return "Cancelled";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -11,8 +11,11 @@
 
 namespace lakefuzz {
 
-/// Error categories used across the library.
-enum class StatusCode {
+/// The library's typed error taxonomy. Every fallible operation reports one
+/// of these through Status / Result<T>, so callers branch on codes instead
+/// of parsing message strings (e.g. a server maps kCancelled to "request
+/// aborted" and kAlreadyExists to HTTP 409 without string matching).
+enum class ErrorCode {
   kOk = 0,
   kInvalidArgument,
   kNotFound,
@@ -21,10 +24,23 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// A cooperative CancelToken fired; the operation stopped at a
+  /// checkpoint. The partial work is discarded and the request can be
+  /// retried.
+  kCancelled,
+  /// A unique-name constraint was violated (e.g. duplicate table name in a
+  /// LakeEngine registry).
+  kAlreadyExists,
 };
 
-/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
-std::string_view StatusCodeToString(StatusCode code);
+/// Historical name of the taxonomy, kept for existing call sites.
+using StatusCode = ErrorCode;
+
+/// Human-readable name of an ErrorCode (e.g. "InvalidArgument").
+std::string_view ErrorCodeToString(ErrorCode code);
+inline std::string_view StatusCodeToString(ErrorCode code) {
+  return ErrorCodeToString(code);
+}
 
 /// Result of a fallible operation: a code plus an optional message.
 ///
@@ -57,6 +73,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -429,6 +429,48 @@ TEST(FuzzyFdTest, ReportTimingsPopulated) {
   EXPECT_EQ(report.fd_stats.results, 5u);
 }
 
+TEST(FuzzyFdTest, InternedRewriteMatchesStringKeyedSemantics) {
+  // Parity test for the ValueDict-interned rewrite scan: the historical
+  // implementation looked every cell up by ToString, so (1) repeated cells
+  // are all rewritten and (2) typed twins — distinct Values sharing one
+  // string rendering, like Int(5) and String("5") — are both rewritten by
+  // a map entry for that string. The interned scan must preserve both
+  // behaviors while doing the string lookup once per distinct Value.
+  auto a = Table::FromRows("A", {"k"}, {{S("05")}});
+  auto b = Table::FromRows("B", {"k"},
+                           {{S("5")},
+                            {Value::Int(5)},
+                            {S("5")},
+                            {Value::Int(5)},
+                            {S("other")}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<Table> tables{*a, *b};
+  auto aligned = AlignByName(tables);
+  ASSERT_TRUE(aligned.ok());
+
+  FuzzyFdOptions opts;
+  // Deterministic toy distance: "05" ~ "5" are near, everything else far,
+  // so the assignment merges exactly that pair. Tie on global frequency →
+  // the earlier column's "05" is elected representative, producing the
+  // rewrite map {"5" → S("05")} on B.k.
+  opts.matcher.string_distance = [](std::string_view x, std::string_view y) {
+    return (x == "05" && y == "5") || (x == "5" && y == "05") ? 0.1 : 1.0;
+  };
+  FuzzyFdReport report;
+  auto rewritten =
+      FuzzyFullDisjunction(opts).RewriteTables(tables, *aligned, &report);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+
+  // All four "5"-rendering cells rewrote — both String twins and both Int
+  // twins — and the unrelated value did not.
+  EXPECT_EQ(report.values_rewritten, 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ((*rewritten)[1].At(r, 0), S("05")) << "row " << r;
+  }
+  EXPECT_EQ((*rewritten)[1].At(4, 0), S("other"));
+  EXPECT_EQ((*rewritten)[0].At(0, 0), S("05"));  // representative untouched
+}
+
 TEST(FuzzyFdTest, TypedValuesSurviveRewrite) {
   // Numeric join columns: equal ints match in the exact pre-pass and must
   // remain Int64 after rewriting (no stringification).

@@ -1,0 +1,498 @@
+// Tests for the session-oriented public API: LakeEngine, TableRegistry,
+// request cancellation, streaming sinks, and parity with the legacy
+// one-shot facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "table/csv.h"
+
+namespace lakefuzz {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+std::vector<Table> SmallIntegrationSet() {
+  auto t1 = Table::FromRows("a", {"City", "Country"},
+                            {{S("Berlinn"), S("Germany")},
+                             {S("Toronto"), S("Canada")}});
+  auto t2 = Table::FromRows("b", {"City", "VacRate"},
+                            {{S("Berlin"), S("63%")},
+                             {S("Lima"), S("71%")}});
+  EXPECT_TRUE(t1.ok() && t2.ok());
+  return {std::move(t1).value(), std::move(t2).value()};
+}
+
+std::unique_ptr<LakeEngine> MakeEngineWithSmallSet() {
+  auto engine = LakeEngine::Create();
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto tables = SmallIntegrationSet();
+  EXPECT_TRUE((*engine)->RegisterTable("a", tables[0]).ok());
+  EXPECT_TRUE((*engine)->RegisterTable("b", tables[1]).ok());
+  return std::move(engine).value();
+}
+
+/// Bit-level table equality: same shape, same column names, same cells.
+/// (Table intentionally has no operator==; results are compared where it
+/// matters, here.)
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.schema().field(c).name, b.schema().field(c).name);
+  }
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (size_t c = 0; c < a.NumColumns(); ++c) {
+      EXPECT_TRUE(a.At(r, c) == b.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  std::string dir = testing::TempDir() + "/lakefuzz_engine";
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.close();
+  return path;
+}
+
+// ----------------------------------------------------------- EngineOptions
+
+TEST(EngineOptionsTest, BuilderChainsAndValidates) {
+  EngineOptions opts =
+      EngineOptions().SetModel(ModelKind::kBert).SetNumThreads(4);
+  EXPECT_EQ(opts.model, ModelKind::kBert);
+  EXPECT_EQ(opts.num_threads, 4u);
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(EngineOptionsTest, RejectsAbsurdThreadCount) {
+  EngineOptions opts = EngineOptions().SetNumThreads(size_t{1} << 40);
+  EXPECT_EQ(opts.Validate().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(LakeEngine::Create(opts).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(EngineOptionsTest, RejectsZeroCacheShards) {
+  EngineOptions opts;
+  opts.embedding_cache.shards = 0;
+  EXPECT_EQ(opts.Validate().code(), ErrorCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- ErrorCode
+
+TEST(ErrorCodeTest, NewTaxonomyEntries) {
+  EXPECT_EQ(Status::Cancelled("x").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(Status::Cancelled("x").ToString(), "Cancelled: x");
+  EXPECT_EQ(Status::AlreadyExists("x").ToString(), "AlreadyExists: x");
+  Result<int> r = Status::Cancelled("stop");
+  EXPECT_EQ(r.code(), ErrorCode::kCancelled);
+  Result<int> ok = 3;
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(TableRegistryTest, DuplicateNameRejected) {
+  auto engine = MakeEngineWithSmallSet();
+  auto tables = SmallIntegrationSet();
+  Status dup = engine->RegisterTable("a", tables[0]);
+  EXPECT_EQ(dup.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(engine->NumTables(), 2u);
+}
+
+TEST(TableRegistryTest, EmptyNameRejected) {
+  auto engine = MakeEngineWithSmallSet();
+  auto tables = SmallIntegrationSet();
+  EXPECT_EQ(engine->RegisterTable("", tables[0]).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(TableRegistryTest, UnknownNameIsNotFound) {
+  auto engine = MakeEngineWithSmallSet();
+  auto result = engine->Integrate({"a", "missing"});
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+}
+
+TEST(TableRegistryTest, NamesSortedAndUnregister) {
+  auto engine = MakeEngineWithSmallSet();
+  EXPECT_EQ(engine->TableNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(engine->UnregisterTable("a"));
+  EXPECT_FALSE(engine->UnregisterTable("a"));
+  EXPECT_EQ(engine->NumTables(), 1u);
+}
+
+// ----------------------------------------------------------- RegisterCsv
+
+TEST(RegisterCsvTest, QuotedFieldsWithDelimitersAndNewlines) {
+  std::string path = WriteTempFile(
+      "quoted.csv",
+      "City,Note\n\"Berlin, DE\",\"first line\nsecond line\"\n"
+      "Lima,\"say \"\"hi\"\"\"\n");
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterCsv("quoted", path).ok());
+
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto result = (*engine)->Integrate({"quoted"}, req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->integrated.NumRows(), 2u);
+  // Embedded delimiter and newline survive the trip into the registry.
+  EXPECT_EQ(result->integrated.At(0, 0).ToString(), "Berlin, DE");
+  EXPECT_EQ(result->integrated.At(0, 1).ToString(),
+            "first line\nsecond line");
+  EXPECT_EQ(result->integrated.At(1, 1).ToString(), "say \"hi\"");
+}
+
+TEST(RegisterCsvTest, EmptyFileRegistersEmptyTable) {
+  std::string path = WriteTempFile("empty.csv", "");
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterCsv("empty", path).ok());
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto result = (*engine)->Integrate({"empty"}, req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->integrated.NumRows(), 0u);
+  EXPECT_EQ(result->integrated.NumColumns(), 0u);
+}
+
+TEST(RegisterCsvTest, HeaderOnlyTableHasColumnsButNoRows) {
+  std::string path = WriteTempFile("header_only.csv", "City,Country\n");
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterCsv("header_only", path).ok());
+  // A header-only table still aligns by name against a populated one.
+  auto tables = SmallIntegrationSet();
+  ASSERT_TRUE((*engine)->RegisterTable("a", tables[0]).ok());
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto result = (*engine)->Integrate({"header_only", "a"}, req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->integrated.NumRows(), 2u);  // only table a's tuples
+  EXPECT_EQ(result->integrated.NumColumns(), 2u);
+}
+
+TEST(RegisterCsvTest, DuplicateRegistryNameRejected) {
+  std::string path = WriteTempFile("dup.csv", "X\n1\n");
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterCsv("t", path).ok());
+  EXPECT_EQ((*engine)->RegisterCsv("t", path).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(RegisterCsvTest, MissingFileSurfacesIoError) {
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->RegisterCsv("x", "/nonexistent/x.csv").code(),
+            ErrorCode::kIoError);
+}
+
+TEST(RegisterCsvTest, RegisteredTableIsRenamedToRegistryName) {
+  std::string path = WriteTempFile("stem_name.csv", "X\n1\n2\n");
+  auto engine = LakeEngine::Create();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->RegisterCsv("renamed", path).ok());
+  EXPECT_EQ((*engine)->TableNames(), (std::vector<std::string>{"renamed"}));
+}
+
+// ----------------------------------------------------------- requests
+
+// Acceptance: two Integrate calls on one engine are (a) bit-identical to
+// the one-shot IntegrateTables path and (b) the second call reports
+// embedding-cache hits with zero misses (full cross-call reuse).
+TEST(LakeEngineTest, RepeatedIntegrateMatchesOneShotAndReusesCache) {
+  auto tables = SmallIntegrationSet();
+  PipelineOptions one_shot_opts;
+  one_shot_opts.holistic_alignment = false;
+  auto one_shot = IntegrateTables(tables, one_shot_opts);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status().ToString();
+
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto first = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // (a) Bit-identical outputs across the engine and the legacy facade.
+  ExpectTablesIdentical(first->integrated, one_shot->integrated);
+  ExpectTablesIdentical(second->integrated, one_shot->integrated);
+  EXPECT_EQ(first->aligned.universal_names,
+            one_shot->aligned.universal_names);
+
+  // (b) Cross-call cache reuse: the second call re-embeds nothing.
+  const auto& stats2 = second->report.match_stats;
+  EXPECT_GT(stats2.embedding_cache_hits, 0u);
+  EXPECT_EQ(stats2.embedding_cache_misses, 0u);
+  // The first call populated the session cache (misses = distinct strings).
+  EXPECT_GT(first->report.match_stats.embedding_cache_misses, 0u);
+  EXPECT_EQ(engine->embedding_cache().misses(),
+            first->report.match_stats.embedding_cache_misses);
+}
+
+TEST(LakeEngineTest, EmptyNameListRejected) {
+  auto engine = MakeEngineWithSmallSet();
+  EXPECT_EQ(engine->Integrate({}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(LakeEngineTest, ParallelEngineMatchesSerialEngine) {
+  auto serial = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto serial_result = serial->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(serial_result.ok());
+
+  auto parallel = LakeEngine::Create(EngineOptions().SetNumThreads(4));
+  ASSERT_TRUE(parallel.ok());
+  auto tables = SmallIntegrationSet();
+  ASSERT_TRUE((*parallel)->RegisterTable("a", tables[0]).ok());
+  ASSERT_TRUE((*parallel)->RegisterTable("b", tables[1]).ok());
+  auto parallel_result = (*parallel)->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(parallel_result.ok());
+  ExpectTablesIdentical(parallel_result->integrated, serial_result->integrated);
+
+  // parallel_fd=false forces the serial FD executor on a pooled engine;
+  // output is identical either way.
+  RequestOptions serial_fd = req;
+  serial_fd.parallel_fd = false;
+  auto forced_serial = (*parallel)->Integrate({"a", "b"}, serial_fd);
+  ASSERT_TRUE(forced_serial.ok());
+  ExpectTablesIdentical(forced_serial->integrated, serial_result->integrated);
+}
+
+TEST(LakeEngineTest, RegularFdMode) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;
+  auto result = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->integrated.NumRows(), 4u);  // Berlinn stays fragmented
+}
+
+TEST(LakeEngineTest, ReportCoversAllStages) {
+  auto engine = MakeEngineWithSmallSet();
+  auto result = engine->Integrate({"a", "b"});  // holistic → align work > 0
+  ASSERT_TRUE(result.ok());
+  const FuzzyFdReport& report = result->report;
+  EXPECT_GT(report.align_seconds, 0.0);
+  EXPECT_GE(report.match_seconds, 0.0);
+  // The single total now folds alignment in (satellite: no orphan stage).
+  EXPECT_GE(report.total_seconds(),
+            report.align_seconds + report.match_seconds +
+                report.rewrite_seconds + report.fd_seconds);
+  EXPECT_DOUBLE_EQ(result->align_seconds, report.align_seconds);
+}
+
+TEST(LakeEngineTest, TidOrderFollowsNameOrder) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.include_provenance = true;
+  auto ab = engine->Integrate({"a", "b"}, req);
+  auto ba = engine->Integrate({"b", "a"}, req);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  // Same integration either way, but TID numbering follows request order.
+  EXPECT_EQ(ab->integrated.NumRows(), ba->integrated.NumRows());
+  EXPECT_EQ(ab->integrated.schema().field(0).name, "TIDs");
+}
+
+// ----------------------------------------------------------- progress
+
+TEST(LakeEngineTest, ProgressEventsCoverStages) {
+  auto engine = MakeEngineWithSmallSet();
+  std::vector<Stage> seen;
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.progress = [&seen](const ProgressEvent& e) {
+    if (seen.empty() || seen.back() != e.stage) seen.push_back(e.stage);
+  };
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, req).ok());
+  // Stage order: align, match, rewrite, fd_build, fd_enumerate, fd_subsume,
+  // emit.
+  ASSERT_GE(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), Stage::kAlign);
+  EXPECT_EQ(seen.back(), Stage::kEmit);
+  EXPECT_NE(std::find(seen.begin(), seen.end(), Stage::kMatch), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), Stage::kFdEnumerate),
+            seen.end());
+}
+
+// ----------------------------------------------------------- cancellation
+
+// Acceptance: a CancelToken fired mid-FD (from the progress callback at
+// the FD stage boundary) surfaces ErrorCode::kCancelled without crashing.
+TEST(LakeEngineTest, CancelTokenFiredMidFdReturnsCancelled) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.cancel = CancelToken::Create();
+  CancelToken token = req.cancel;  // copies share the flag
+  req.progress = [token](const ProgressEvent& e) {
+    if (e.stage == Stage::kFdEnumerate) token.Cancel();
+  };
+  auto result = engine->Integrate({"a", "b"}, req);
+  EXPECT_EQ(result.code(), ErrorCode::kCancelled);
+
+  // The session survives a cancelled request: the same call succeeds next
+  // time without the trigger-happy callback.
+  RequestOptions clean;
+  clean.holistic_alignment = false;
+  EXPECT_TRUE(engine->Integrate({"a", "b"}, clean).ok());
+}
+
+TEST(LakeEngineTest, PreCancelledTokenShortCircuits) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.cancel = CancelToken::Create();
+  req.cancel.Cancel();
+  auto result = engine->Integrate({"a", "b"}, req);
+  EXPECT_EQ(result.code(), ErrorCode::kCancelled);
+}
+
+TEST(LakeEngineTest, CancelDuringMatchReturnsCancelled) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.cancel = CancelToken::Create();
+  CancelToken token = req.cancel;
+  req.progress = [token](const ProgressEvent& e) {
+    if (e.stage == Stage::kMatch) token.Cancel();
+  };
+  auto result = engine->Integrate({"a", "b"}, req);
+  EXPECT_EQ(result.code(), ErrorCode::kCancelled);
+}
+
+TEST(CancelTokenTest, InertAndLiveSemantics) {
+  CancelToken inert;
+  EXPECT_FALSE(inert.can_cancel());
+  inert.Cancel();  // no-op, no crash
+  EXPECT_FALSE(inert.cancelled());
+
+  CancelToken live = CancelToken::Create();
+  CancelToken copy = live;
+  EXPECT_TRUE(live.can_cancel());
+  EXPECT_FALSE(live.cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(live.cancelled());  // shared flag
+}
+
+// ----------------------------------------------------------- streaming
+
+class CollectingSink : public RowSink {
+ public:
+  Status Begin(const std::vector<std::string>& universal_names) override {
+    universal_names_ = universal_names;
+    return Status::OK();
+  }
+  Status OnBatch(const std::vector<FdResultTuple>& batch) override {
+    batch_sizes_.push_back(batch.size());
+    tuples_.insert(tuples_.end(), batch.begin(), batch.end());
+    return Status::OK();
+  }
+  Status End(const FuzzyFdReport& report) override {
+    (void)report;
+    ended_ = true;
+    return Status::OK();
+  }
+
+  std::vector<std::string> universal_names_;
+  std::vector<FdResultTuple> tuples_;
+  std::vector<size_t> batch_sizes_;
+  bool ended_ = false;
+};
+
+TEST(IntegrateToSinkTest, StreamsSameTuplesAsIntegrate) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto full = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(full.ok());
+
+  CollectingSink sink;
+  req.batch_rows = 2;  // 3 result rows → 2 batches
+  auto report = engine->IntegrateToSink({"a", "b"}, &sink, req);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_TRUE(sink.ended_);
+  EXPECT_EQ(sink.universal_names_, full->aligned.universal_names);
+  ASSERT_EQ(sink.tuples_.size(), full->integrated.NumRows());
+  EXPECT_EQ(sink.batch_sizes_, (std::vector<size_t>{2, 1}));
+  EXPECT_EQ(report->fd_stats.results, sink.tuples_.size());
+  EXPECT_GE(report->align_seconds, 0.0);
+  // Tuples decode to the same cells the materialized table holds.
+  Table streamed = FdResultsToTable(sink.tuples_,
+                                    sink.universal_names_, "streamed");
+  for (size_t r = 0; r < streamed.NumRows(); ++r) {
+    for (size_t c = 0; c < streamed.NumColumns(); ++c) {
+      EXPECT_TRUE(streamed.At(r, c) == full->integrated.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(IntegrateToSinkTest, SinkErrorAbortsRequest) {
+  class FailingSink : public RowSink {
+   public:
+    Status OnBatch(const std::vector<FdResultTuple>&) override {
+      return Status::Internal("sink full");
+    }
+  };
+  auto engine = MakeEngineWithSmallSet();
+  FailingSink sink;
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto report = engine->IntegrateToSink({"a", "b"}, &sink, req);
+  EXPECT_EQ(report.code(), ErrorCode::kInternal);
+}
+
+TEST(IntegrateToSinkTest, RejectsNullSinkAndZeroBatch) {
+  auto engine = MakeEngineWithSmallSet();
+  EXPECT_EQ(engine->IntegrateToSink({"a", "b"}, nullptr).code(),
+            ErrorCode::kInvalidArgument);
+  CollectingSink sink;
+  RequestOptions req;
+  req.batch_rows = 0;
+  EXPECT_EQ(engine->IntegrateToSink({"a", "b"}, &sink, req).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(IntegrateToSinkTest, RegularFdStreamsToo) {
+  auto engine = MakeEngineWithSmallSet();
+  CollectingSink sink;
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;
+  req.batch_rows = 3;
+  auto report = engine->IntegrateToSink({"a", "b"}, &sink, req);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(sink.tuples_.size(), 4u);  // regular FD keeps Berlinn apart
+}
+
+// ----------------------------------------------------------- shims
+
+TEST(PipelineShimTest, FacadeStillWorksOverTemporaryEngine) {
+  PipelineOptions opts;
+  opts.holistic_alignment = false;
+  auto result = IntegrateTables(SmallIntegrationSet(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->integrated.NumRows(), 3u);
+  EXPECT_GT(result->report.values_rewritten, 0u);
+  // The deprecated top-level field mirrors the report's stage accounting.
+  EXPECT_DOUBLE_EQ(result->align_seconds, result->report.align_seconds);
+}
+
+}  // namespace
+}  // namespace lakefuzz
