@@ -9,12 +9,17 @@ namespace {
 
 constexpr size_t kNone = static_cast<size_t>(-1);
 
-/// Core solver; requires nr <= nc and all costs finite.
-/// Returns col4row: for each row, its assigned column.
+/// Core solver; requires nr <= nc, all costs finite, and (*u, *v) a
+/// dual-feasible starting potential (u[i] + v[j] <= cost[i][j] — zeros work
+/// for non-negative costs, clamped warm starts in general). Returns
+/// col4row: for each row, its assigned column; (*u, *v) become the final
+/// duals.
 std::vector<size_t> SolveCore(size_t nr, size_t nc,
-                              const std::vector<double>& cost) {
-  std::vector<double> u(nr, 0.0);
-  std::vector<double> v(nc, 0.0);
+                              const std::vector<double>& cost,
+                              std::vector<double>* u_inout,
+                              std::vector<double>* v_inout) {
+  std::vector<double>& u = *u_inout;
+  std::vector<double>& v = *v_inout;
   std::vector<size_t> col4row(nr, kNone);
   std::vector<size_t> row4col(nc, kNone);
 
@@ -89,7 +94,7 @@ std::vector<size_t> SolveCore(size_t nr, size_t nc,
 
 }  // namespace
 
-Result<Assignment> SolveAssignment(const CostMatrix& cost) {
+Result<Assignment> SolveAssignment(const CostMatrix& cost, JvDuals* duals) {
   const size_t rows = cost.rows();
   const size_t cols = cost.cols();
   Assignment out;
@@ -121,7 +126,30 @@ Result<Assignment> SolveAssignment(const CostMatrix& cost) {
     }
   }
 
-  std::vector<size_t> col4row = SolveCore(nr, nc, data);
+  std::vector<double> u(nr, 0.0);
+  std::vector<double> v(nc, 0.0);
+  if (duals != nullptr && duals->col.size() == nc && nr == nc) {
+    // Warm start from the previous solve's column potentials, clamped to
+    // dual feasibility for THIS matrix (v[j] <= min_i cost[i][j] with
+    // u = 0). Square problems only: there every column ends up matched, so
+    // termination feasibility + complementary slackness is a complete
+    // optimality certificate under ANY feasible start. In the rectangular
+    // case the sink choice compares shortest[] across free columns, which
+    // is only meaningful while free columns share one potential — the
+    // zero-init invariant — so non-square solves deliberately start cold.
+    for (size_t c = 0; c < nc; ++c) {
+      double col_min = data[c];
+      for (size_t r = 1; r < nr; ++r) {
+        col_min = std::min(col_min, data[r * nc + c]);
+      }
+      v[c] = std::min(duals->col[c], col_min);
+    }
+  }
+  std::vector<size_t> col4row = SolveCore(nr, nc, data, &u, &v);
+  if (duals != nullptr) {
+    duals->row = std::move(u);
+    duals->col = std::move(v);
+  }
   for (size_t r = 0; r < nr; ++r) {
     size_t c = col4row[r];
     if (c == kNone) continue;

@@ -8,15 +8,41 @@
 #ifndef LAKEFUZZ_ASSIGNMENT_JONKER_VOLGENANT_H_
 #define LAKEFUZZ_ASSIGNMENT_JONKER_VOLGENANT_H_
 
+#include <vector>
+
 #include "assignment/cost_matrix.h"
 #include "util/result.h"
 
 namespace lakefuzz {
 
+/// Dual variables of a solved assignment, in the solver's internal
+/// orientation (the matrix is transposed when rows > cols, so `row` has
+/// min(rows, cols) entries and `col` the other dimension). Feeding the
+/// duals of one solve into a related one warm-starts the shortest-
+/// augmenting-path search: auto_threshold's probe loop re-solves similar
+/// matrices every merge round, and a good starting potential shrinks every
+/// Dijkstra pass. Warm duals are clamped to dual feasibility
+/// (v[j] <= min_i cost[i][j], u = 0) before use — the invariant the classic
+/// LAPJV column reduction establishes — and are applied only to square
+/// problems, where termination feasibility + complementary slackness
+/// certifies optimality under any feasible start (rectangular instances
+/// additionally rely on free columns sharing one potential, so they start
+/// cold; see the comment in SolveAssignment). Any input is therefore safe:
+/// the result is always an optimal assignment.
+struct JvDuals {
+  std::vector<double> row;  ///< u
+  std::vector<double> col;  ///< v
+};
+
 /// Solves min-cost assignment over a dense cost matrix. Every row (when
 /// rows <= cols; otherwise every column) is matched unless all its pairs are
 /// forbidden. Costs must be finite or kForbidden; NaN is rejected.
-Result<Assignment> SolveAssignment(const CostMatrix& cost);
+///
+/// `duals`, when non-null, is both a warm start (col potentials from a
+/// previous related solve; ignored when the size does not match) and an
+/// output (the final duals of this solve).
+Result<Assignment> SolveAssignment(const CostMatrix& cost,
+                                   JvDuals* duals = nullptr);
 
 }  // namespace lakefuzz
 

@@ -10,10 +10,11 @@ namespace lakefuzz {
 namespace {
 
 Result<Assignment> SolveWith(const CostMatrix& cost,
-                             AssignmentAlgorithm algorithm) {
+                             AssignmentAlgorithm algorithm,
+                             JvDuals* duals = nullptr) {
   switch (algorithm) {
     case AssignmentAlgorithm::kOptimal:
-      return SolveAssignment(cost);
+      return SolveAssignment(cost, duals);
     case AssignmentAlgorithm::kGreedy:
       return SolveGreedy(cost);
   }
@@ -50,7 +51,8 @@ class DisjointSets {
 }  // namespace
 
 Result<Assignment> SolveThresholded(const CostMatrix& cost,
-                                    const ThresholdedOptions& options) {
+                                    const ThresholdedOptions& options,
+                                    JvDuals* duals) {
   Result<Assignment> solved = Status::Internal("unreachable");
   if (options.mask_before_solve) {
     CostMatrix masked(cost.rows(), cost.cols());
@@ -61,9 +63,9 @@ Result<Assignment> SolveThresholded(const CostMatrix& cost,
                    v >= options.threshold ? CostMatrix::kForbidden : v);
       }
     }
-    solved = SolveWith(masked, options.algorithm);
+    solved = SolveWith(masked, options.algorithm, duals);
   } else {
-    solved = SolveWith(cost, options.algorithm);
+    solved = SolveWith(cost, options.algorithm, duals);
   }
   if (!solved.ok()) return solved.status();
 

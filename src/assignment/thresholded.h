@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "assignment/cost_matrix.h"
+#include "assignment/jonker_volgenant.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -31,9 +32,12 @@ struct ThresholdedOptions {
   bool mask_before_solve = false;
 };
 
-/// Solves and returns only pairs with cost < options.threshold.
+/// Solves and returns only pairs with cost < options.threshold. `duals`
+/// (optimal algorithm only) warm-starts the solver and receives the final
+/// dual variables — see JvDuals.
 Result<Assignment> SolveThresholded(const CostMatrix& cost,
-                                    const ThresholdedOptions& options);
+                                    const ThresholdedOptions& options,
+                                    JvDuals* duals = nullptr);
 
 /// One sparse candidate edge for SolveSparseThresholded.
 struct SparseEdge {

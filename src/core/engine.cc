@@ -45,7 +45,8 @@ LakeEngine::LakeEngine(EngineOptions options,
     : options_(std::move(options)),
       model_(std::move(model)),
       cache_(std::move(cache)),
-      pool_(std::move(pool)) {}
+      pool_(std::move(pool)),
+      session_dict_(std::make_unique<SessionDict>()) {}
 
 Result<std::unique_ptr<LakeEngine>> LakeEngine::Create(
     EngineOptions options) {
@@ -64,12 +65,17 @@ Result<std::unique_ptr<LakeEngine>> LakeEngine::Create(
 }
 
 Status LakeEngine::RegisterTable(std::string name, Table table) {
-  return registry_.Register(std::move(name), std::move(table));
+  return RegisterTable(std::move(name),
+                       std::make_shared<const Table>(std::move(table)));
 }
 
 Status LakeEngine::RegisterTable(std::string name,
                                  std::shared_ptr<const Table> table) {
-  return registry_.Register(std::move(name), std::move(table));
+  LAKEFUZZ_RETURN_IF_ERROR(registry_.Register(std::move(name), table));
+  // Pin the snapshot in the session dictionary so its interned column codes
+  // are memoized across requests (released again by UnregisterTable).
+  session_dict_->PinTable(std::move(table));
+  return Status::OK();
 }
 
 Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
@@ -77,11 +83,23 @@ Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
   Result<Table> table = ReadCsvFile(path, csv);
   if (!table.ok()) return table.status();
   table->set_name(name);
-  return registry_.Register(std::move(name), std::move(table).value());
+  return RegisterTable(std::move(name), std::move(table).value());
 }
 
 bool LakeEngine::UnregisterTable(const std::string& name) {
-  return registry_.Remove(name);
+  // Atomically take exactly the snapshot being removed, THEN unpin it from
+  // the session dictionary. A non-atomic get/drop/remove could race a
+  // concurrent unregister + re-register of the same name and drop (or
+  // leak) the replacement's pin.
+  std::shared_ptr<const Table> removed = registry_.Take(name);
+  if (removed == nullptr) return false;
+  session_dict_->DropTable(removed.get());
+  return true;
+}
+
+uint64_t LakeEngine::schema_cache_hits() const {
+  std::lock_guard<std::mutex> lock(schema_mu_);
+  return schema_cache_hits_;
 }
 
 std::vector<std::string> LakeEngine::TableNames() const {
@@ -100,20 +118,58 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
     return Status::Cancelled("request cancelled before it started");
   }
   PreparedRequest prep;
-  LAKEFUZZ_ASSIGN_OR_RETURN(prep.pinned, registry_.GetMany(names));
+  uint64_t registry_version = 0;
+  LAKEFUZZ_ASSIGN_OR_RETURN(prep.pinned,
+                            registry_.GetMany(names, &registry_version));
   prep.tables.reserve(prep.pinned.size());
   for (const auto& t : prep.pinned) prep.tables.push_back(t.get());
 
   ReportProgress(request.progress, Stage::kAlign, 0, 1);
   Stopwatch align_watch;
-  Result<AlignedSchema> aligned = Status::Internal("unreachable");
-  if (request.holistic_alignment) {
-    aligned = HolisticSchemaMatcher(model_).Align(prep.tables);
-  } else {
-    aligned = AlignByName(prep.tables);
+  // Alignment cache: keyed by (mode, ordered name set) and valid only at
+  // the registry version the snapshot was resolved at — any Register /
+  // Unregister bumps the version, so a cached alignment can never outlive
+  // the tables it was computed from. Cached repeated Integrate calls skip
+  // holistic re-alignment entirely (ROADMAP PR 3 follow-up).
+  std::string schema_key = request.holistic_alignment ? "h" : "n";
+  for (const auto& name : names) {
+    schema_key.push_back('\x1f');
+    schema_key += name;
   }
-  if (!aligned.ok()) return aligned.status();
-  prep.aligned = std::move(aligned).value();
+  bool cached = false;
+  {
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    auto it = schema_cache_.find(schema_key);
+    if (it != schema_cache_.end() &&
+        it->second.version == registry_version) {
+      prep.aligned = it->second.aligned;
+      ++schema_cache_hits_;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    Result<AlignedSchema> aligned = Status::Internal("unreachable");
+    if (request.holistic_alignment) {
+      aligned = HolisticSchemaMatcher(model_).Align(prep.tables);
+    } else {
+      aligned = AlignByName(prep.tables);
+    }
+    if (!aligned.ok()) return aligned.status();
+    prep.aligned = std::move(aligned).value();
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    // Entries from older registry versions can never validate again (the
+    // version only grows); sweep them on insert so a long-lived engine
+    // with a churning registry stays bounded by its live name sets.
+    for (auto it = schema_cache_.begin(); it != schema_cache_.end();) {
+      if (it->second.version != registry_version) {
+        it = schema_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    schema_cache_[schema_key] =
+        CachedSchema{registry_version, prep.aligned};
+  }
   prep.align_seconds = align_watch.ElapsedSeconds();
   ReportProgress(request.progress, Stage::kAlign, 1, 1);
 
@@ -122,6 +178,7 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
   FuzzyFdOptions eff = request.fuzzy_fd;
   eff.matcher.model = model_;
   eff.matcher.shared_cache = cache_;
+  eff.session_dict = session_dict_.get();
   eff.include_provenance = request.include_provenance;
   eff.cancel = request.cancel;
   eff.progress = request.progress;
@@ -153,7 +210,8 @@ Result<PipelineResult> LakeEngine::Integrate(
                            prep.effective.parallel,
                            prep.effective.num_threads, &report,
                            prep.effective.pool, prep.effective.cancel,
-                           prep.effective.progress);
+                           prep.effective.progress,
+                           prep.effective.session_dict);
   }
   if (!fd.ok()) return fd.status();
   report.align_seconds = prep.align_seconds;
@@ -194,7 +252,7 @@ Result<FuzzyFdReport> LakeEngine::IntegrateToSink(
         prep.tables, prep.aligned, prep.effective.fd,
         prep.effective.parallel, prep.effective.num_threads,
         prep.effective.pool, prep.effective.cancel, prep.effective.progress,
-        request.batch_rows, emit, &report);
+        request.batch_rows, emit, &report, prep.effective.session_dict);
   }
   if (!emitted.ok()) return emitted.status();
   report.align_seconds = prep.align_seconds;

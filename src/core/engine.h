@@ -28,13 +28,16 @@
 #define LAKEFUZZ_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine_registry.h"
 #include "core/fuzzy_fd.h"
 #include "embedding/embedding_cache.h"
 #include "embedding/model_zoo.h"
+#include "fd/session_dict.h"
 #include "table/csv.h"
 #include "util/cancellation.h"
 #include "util/result.h"
@@ -191,6 +194,12 @@ class LakeEngine {
   const std::shared_ptr<const EmbeddingModel>& model() const {
     return model_;
   }
+  /// The session interning dictionary (inspect stats() to observe column-
+  /// cache reuse across Integrate calls).
+  const SessionDict& session_dict() const { return *session_dict_; }
+  /// AlignedSchema cache traffic: requests that skipped re-alignment
+  /// because the same name set was aligned at the same registry version.
+  uint64_t schema_cache_hits() const;
 
  private:
   struct PreparedRequest {
@@ -199,6 +208,13 @@ class LakeEngine {
     AlignedSchema aligned;
     double align_seconds = 0.0;
     FuzzyFdOptions effective;  ///< request knobs + session resources
+  };
+
+  /// One memoized alignment: valid while the registry still is at
+  /// `version` (any mutation bumps it, so stale snapshots never resolve).
+  struct CachedSchema {
+    uint64_t version = 0;
+    AlignedSchema aligned;
   };
 
   LakeEngine(EngineOptions options,
@@ -216,7 +232,14 @@ class LakeEngine {
   std::shared_ptr<const EmbeddingModel> model_;
   std::shared_ptr<EmbeddingCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SessionDict> session_dict_;
   TableRegistry registry_;
+
+  /// AlignedSchema per (alignment mode, ordered name set), validated
+  /// against the registry version its snapshot was taken at.
+  mutable std::mutex schema_mu_;
+  mutable std::unordered_map<std::string, CachedSchema> schema_cache_;
+  mutable uint64_t schema_cache_hits_ = 0;
 };
 
 }  // namespace lakefuzz

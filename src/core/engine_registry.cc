@@ -26,6 +26,7 @@ Status TableRegistry::Register(std::string name,
     return Status::AlreadyExists(StrFormat(
         "table '%s' is already registered", it->first.c_str()));
   }
+  ++version_;
   return Status::OK();
 }
 
@@ -41,7 +42,7 @@ Result<std::shared_ptr<const Table>> TableRegistry::Get(
 }
 
 Result<std::vector<std::shared_ptr<const Table>>> TableRegistry::GetMany(
-    const std::vector<std::string>& names) const {
+    const std::vector<std::string>& names, uint64_t* version) const {
   std::vector<std::shared_ptr<const Table>> out;
   out.reserve(names.size());
   std::lock_guard<std::mutex> lock(mu_);
@@ -53,12 +54,30 @@ Result<std::vector<std::shared_ptr<const Table>>> TableRegistry::GetMany(
     }
     out.push_back(it->second);
   }
+  if (version != nullptr) *version = version_;
   return out;
 }
 
 bool TableRegistry::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return tables_.erase(name) > 0;
+  if (tables_.erase(name) == 0) return false;
+  ++version_;
+  return true;
+}
+
+std::shared_ptr<const Table> TableRegistry::Take(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return nullptr;
+  std::shared_ptr<const Table> out = std::move(it->second);
+  tables_.erase(it);
+  ++version_;
+  return out;
+}
+
+uint64_t TableRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
 }
 
 std::vector<std::string> TableRegistry::Names() const {

@@ -37,13 +37,27 @@ class TableRegistry {
 
   /// Resolves every name (in the given order) under one lock acquisition,
   /// so an Integrate request sees a consistent snapshot of the registry.
-  /// Fails with kNotFound naming the first missing table.
+  /// Fails with kNotFound naming the first missing table. When `version` is
+  /// non-null it receives the registry version the snapshot was taken at
+  /// (same lock hold), the key derived caches — the engine's AlignedSchema
+  /// cache — validate against.
   Result<std::vector<std::shared_ptr<const Table>>> GetMany(
-      const std::vector<std::string>& names) const;
+      const std::vector<std::string>& names,
+      uint64_t* version = nullptr) const;
 
   /// Removes `name`; false when absent. In-flight requests holding the
   /// snapshot are unaffected.
   bool Remove(const std::string& name);
+
+  /// Atomic remove-and-return: the snapshot that was registered under
+  /// `name`, or null when absent. Lets a caller release exactly the
+  /// registration it removed (LakeEngine unpins it from the session
+  /// dictionary) without racing a concurrent re-registration of the name.
+  std::shared_ptr<const Table> Take(const std::string& name);
+
+  /// Mutation counter: bumped by every successful Register and Remove.
+  /// Equal versions ⇒ identical name → snapshot mapping.
+  uint64_t version() const;
 
   /// Registered names, sorted (deterministic listing for CLIs and tests).
   std::vector<std::string> Names() const;
@@ -53,6 +67,7 @@ class TableRegistry {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace lakefuzz

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "assignment/parallel_cost.h"
+#include "fd/session_dict.h"
 #include "fd/value_dict.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -32,7 +33,10 @@ struct FdStage {
 };
 
 /// Shared FD stage of the fuzzy pipeline and the regular-FD baseline:
-/// outer-union build + executor run to interned codes. Also fills
+/// outer-union build + executor run to interned codes. With a session
+/// dictionary the build interns codes straight from the source tables
+/// (tables pinned in the dictionary scatter memoized column codes);
+/// otherwise the legacy padded-row Build runs. Also fills
 /// `report->fd_build_seconds` / `report->fd_stats` when a report is given;
 /// the caller owns the fd_seconds watch (decode time differs per
 /// consumer).
@@ -40,13 +44,18 @@ Result<FdStage> RunFdStage(const TableList& tables,
                            const AlignedSchema& aligned,
                            const FdOptions& fd_options, bool parallel,
                            size_t num_threads, ThreadPool* pool,
+                           SessionDict* session_dict,
                            const CancelToken& cancel,
                            const ProgressFn& progress,
                            FuzzyFdReport* report) {
   ReportProgress(progress, Stage::kFdBuild, 0, 1);
   Stopwatch build_watch;
-  LAKEFUZZ_ASSIGN_OR_RETURN(FdProblem problem,
-                            FdProblem::Build(tables, aligned));
+  Result<FdProblem> built =
+      session_dict != nullptr
+          ? FdProblem::BuildInterned(tables, aligned, session_dict)
+          : FdProblem::Build(tables, aligned);
+  if (!built.ok()) return built.status();
+  FdProblem problem = std::move(built).value();
   const double build_seconds = build_watch.ElapsedSeconds();
   ReportProgress(progress, Stage::kFdBuild, 1, 1);
   if (cancel.cancelled()) {
@@ -115,6 +124,7 @@ Result<size_t> StreamFdStage(const TableList& tables,
                              const AlignedSchema& aligned,
                              const FdOptions& fd_options, bool parallel,
                              size_t num_threads, ThreadPool* pool,
+                             SessionDict* session_dict,
                              const CancelToken& cancel,
                              const ProgressFn& progress, size_t batch_rows,
                              const FdBatchFn& emit, FuzzyFdReport* report);
@@ -150,13 +160,15 @@ Result<size_t> StreamFdStage(const TableList& tables,
                              const AlignedSchema& aligned,
                              const FdOptions& fd_options, bool parallel,
                              size_t num_threads, ThreadPool* pool,
+                             SessionDict* session_dict,
                              const CancelToken& cancel,
                              const ProgressFn& progress, size_t batch_rows,
                              const FdBatchFn& emit, FuzzyFdReport* report) {
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
-      FdStage stage, RunFdStage(tables, aligned, fd_options, parallel,
-                                num_threads, pool, cancel, progress, report));
+      FdStage stage,
+      RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
+                 session_dict, cancel, progress, report));
   Result<size_t> emitted = EmitCodeBatches(stage.problem, stage.codes,
                                            batch_rows, emit, cancel, progress);
   // fd_seconds covers batch decode + sink emission, mirroring the
@@ -165,21 +177,31 @@ Result<size_t> StreamFdStage(const TableList& tables,
   return emitted;
 }
 
-}  // namespace
+/// Match + rewrite output in borrowed form: tables the rewrite stage never
+/// touched stay caller-owned pointers (so a session dictionary can serve
+/// their memoized column codes), only modified tables are materialized.
+struct RewrittenSet {
+  std::vector<Table> storage;  ///< rewritten copies, in input order
+  TableList list;              ///< per input: original pointer or &storage[k]
+  std::vector<char> borrowed;  ///< list[l] points at the caller's table
+};
 
-Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
-    const TableList& tables, const AlignedSchema& aligned,
-    FuzzyFdReport* report) const {
+/// The match + rewrite stages (paper Sec 2.2): shared core of the public
+/// copying RewriteTables and the borrowing pipeline entry points.
+Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
+                                 const TableList& tables,
+                                 const AlignedSchema& aligned,
+                                 FuzzyFdReport* report) {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
   Stopwatch match_watch;
-  ValueMatcherOptions matcher_options = options_.matcher;
+  ValueMatcherOptions matcher_options = options.matcher;
   // Session plumbing: the request's token and pool reach the matcher
   // unless the caller already set matcher-specific ones.
   if (!matcher_options.cancel.can_cancel()) {
-    matcher_options.cancel = options_.cancel;
+    matcher_options.cancel = options.cancel;
   }
   if (matcher_options.pool == nullptr) {
-    matcher_options.pool = options_.pool;
+    matcher_options.pool = options.pool;
   }
   ValueMatcher matcher(matcher_options);
 
@@ -196,8 +218,8 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
 
   const size_t num_universal = aligned.NumUniversal();
   for (size_t u = 0; u < num_universal; ++u) {
-    ReportProgress(options_.progress, Stage::kMatch, u, num_universal);
-    if (options_.cancel.cancelled()) {
+    ReportProgress(options.progress, Stage::kMatch, u, num_universal);
+    if (options.cancel.cancelled()) {
       return Status::Cancelled("fuzzy value matching cancelled");
     }
     auto sources = aligned.SourcesOf(u);
@@ -243,16 +265,36 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
       }
     }
   }
-  ReportProgress(options_.progress, Stage::kMatch, num_universal,
+  ReportProgress(options.progress, Stage::kMatch, num_universal,
                  num_universal);
   match_seconds = match_watch.ElapsedSeconds();
 
   Stopwatch rewrite_watch;
-  ReportProgress(options_.progress, Stage::kRewrite, 0, tables.size());
-  std::vector<Table> out;
-  out.reserve(tables.size());
+  ReportProgress(options.progress, Stage::kRewrite, 0, tables.size());
+  RewrittenSet out;
+  // Reserve up front: list holds pointers into storage, which must not
+  // reallocate as modified tables are appended.
+  out.storage.reserve(tables.size());
+  out.list.reserve(tables.size());
+  out.borrowed.assign(tables.size(), 0);
   size_t values_rewritten = 0;
   for (size_t l = 0; l < tables.size(); ++l) {
+    bool touched = false;
+    for (const auto& map : rewrites[l]) {
+      if (!map.empty()) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) {
+      // No value of this table matched anything fuzzily: borrow the
+      // caller's table instead of copying it. On the engine path this keeps
+      // the registry snapshot's identity, so its interned column codes stay
+      // cache hits.
+      out.borrowed[l] = 1;
+      out.list.push_back(tables[l]);
+      continue;
+    }
     Table t = *tables[l];
     for (size_t c = 0; c < t.NumColumns(); ++c) {
       const auto& map = rewrites[l][c];
@@ -279,9 +321,10 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
         }
       }
     }
-    out.push_back(std::move(t));
+    out.storage.push_back(std::move(t));
+    out.list.push_back(&out.storage.back());
   }
-  ReportProgress(options_.progress, Stage::kRewrite, tables.size(),
+  ReportProgress(options.progress, Stage::kRewrite, tables.size(),
                  tables.size());
 
   if (report != nullptr) {
@@ -290,6 +333,26 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
     report->aligned_sets_matched = sets_matched;
     report->values_rewritten = values_rewritten;
     report->match_stats = agg_stats;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
+    const TableList& tables, const AlignedSchema& aligned,
+    FuzzyFdReport* report) const {
+  LAKEFUZZ_ASSIGN_OR_RETURN(RewrittenSet set,
+                            RewriteCore(options_, tables, aligned, report));
+  std::vector<Table> out;
+  out.reserve(tables.size());
+  size_t k = 0;
+  for (size_t l = 0; l < tables.size(); ++l) {
+    if (set.borrowed[l]) {
+      out.push_back(*tables[l]);
+    } else {
+      out.push_back(std::move(set.storage[k++]));
+    }
   }
   return out;
 }
@@ -303,13 +366,13 @@ Result<std::vector<Table>> FuzzyFullDisjunction::RewriteTables(
 Result<FdResult> FuzzyFullDisjunction::RunToTuples(
     const TableList& tables, const AlignedSchema& aligned,
     FuzzyFdReport* report) const {
-  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<Table> rewritten,
-                            RewriteTables(tables, aligned, report));
+  LAKEFUZZ_ASSIGN_OR_RETURN(RewrittenSet set,
+                            RewriteCore(options_, tables, aligned, report));
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
-      RunFdStage(BorrowTables(rewritten), aligned, options_.fd,
-                 options_.parallel, options_.num_threads, options_.pool,
+      RunFdStage(set.list, aligned, options_.fd, options_.parallel,
+                 options_.num_threads, options_.pool, options_.session_dict,
                  options_.cancel, options_.progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
@@ -342,12 +405,12 @@ Result<size_t> FuzzyFullDisjunction::RunToBatches(
     const TableList& tables, const AlignedSchema& aligned, size_t batch_rows,
     const FdBatchFn& emit, FuzzyFdReport* report) const {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateStreamArgs(batch_rows, emit));
-  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<Table> rewritten,
-                            RewriteTables(tables, aligned, report));
-  return StreamFdStage(BorrowTables(rewritten), aligned, options_.fd,
-                       options_.parallel, options_.num_threads, options_.pool,
-                       options_.cancel, options_.progress, batch_rows, emit,
-                       report);
+  LAKEFUZZ_ASSIGN_OR_RETURN(RewrittenSet set,
+                            RewriteCore(options_, tables, aligned, report));
+  return StreamFdStage(set.list, aligned, options_.fd, options_.parallel,
+                       options_.num_threads, options_.pool,
+                       options_.session_dict, options_.cancel,
+                       options_.progress, batch_rows, emit, report);
 }
 
 Result<FdResult> RegularFdBaseline(const TableList& tables,
@@ -356,11 +419,13 @@ Result<FdResult> RegularFdBaseline(const TableList& tables,
                                    size_t num_threads, FuzzyFdReport* report,
                                    ThreadPool* pool,
                                    const CancelToken& cancel,
-                                   const ProgressFn& progress) {
+                                   const ProgressFn& progress,
+                                   SessionDict* session_dict) {
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
-      FdStage stage, RunFdStage(tables, aligned, fd_options, parallel,
-                                num_threads, pool, cancel, progress, report));
+      FdStage stage,
+      RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
+                 session_dict, cancel, progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
   return result;
@@ -381,10 +446,12 @@ Result<size_t> RegularFdToBatches(const TableList& tables,
                                   const CancelToken& cancel,
                                   const ProgressFn& progress,
                                   size_t batch_rows, const FdBatchFn& emit,
-                                  FuzzyFdReport* report) {
+                                  FuzzyFdReport* report,
+                                  SessionDict* session_dict) {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateStreamArgs(batch_rows, emit));
   return StreamFdStage(tables, aligned, fd_options, parallel, num_threads,
-                       pool, cancel, progress, batch_rows, emit, report);
+                       pool, session_dict, cancel, progress, batch_rows, emit,
+                       report);
 }
 
 }  // namespace lakefuzz

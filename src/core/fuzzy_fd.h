@@ -25,6 +25,8 @@
 
 namespace lakefuzz {
 
+class SessionDict;
+
 struct FuzzyFdOptions {
   ValueMatcherOptions matcher;
   FdOptions fd;
@@ -37,6 +39,14 @@ struct FuzzyFdOptions {
   /// executor and result decode; also handed to the matcher unless
   /// `matcher.pool` is already set. Not owned.
   ThreadPool* pool = nullptr;
+  /// Session-lived interning dictionary (LakeEngine). When set, the FD
+  /// problem is built with FdProblem::BuildInterned — codes scatter straight
+  /// from source-table cells, no padded Value rows — and input tables the
+  /// rewrite stage left untouched are interned through the per-column code
+  /// cache (they must be session-owned snapshots; see fd/session_dict.h for
+  /// the invalidation contract). Not owned; must outlive every result
+  /// decoded against it.
+  SessionDict* session_dict = nullptr;
   /// Request cancellation; also threaded into `matcher.cancel` when that
   /// one is inert. A fired token surfaces as Status::Cancelled from the
   /// nearest checkpoint.
@@ -125,6 +135,9 @@ class FuzzyFullDisjunction {
 /// the ALITE baseline in the paper's experiments. The TableList form takes
 /// the session extras (pool / cancel / progress); the vector<Table>
 /// overload keeps the historical signature.
+/// `session_dict`, when set, builds the problem with BuildInterned and
+/// treats every input table as a session-cached snapshot (the engine only
+/// passes registry-owned tables here).
 Result<FdResult> RegularFdBaseline(const TableList& tables,
                                    const AlignedSchema& aligned,
                                    const FdOptions& fd_options,
@@ -132,7 +145,8 @@ Result<FdResult> RegularFdBaseline(const TableList& tables,
                                    FuzzyFdReport* report,
                                    ThreadPool* pool = nullptr,
                                    const CancelToken& cancel = CancelToken(),
-                                   const ProgressFn& progress = ProgressFn());
+                                   const ProgressFn& progress = ProgressFn(),
+                                   SessionDict* session_dict = nullptr);
 Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
                                    const AlignedSchema& aligned,
                                    const FdOptions& fd_options,
@@ -148,7 +162,8 @@ Result<size_t> RegularFdToBatches(const TableList& tables,
                                   const CancelToken& cancel,
                                   const ProgressFn& progress,
                                   size_t batch_rows, const FdBatchFn& emit,
-                                  FuzzyFdReport* report);
+                                  FuzzyFdReport* report,
+                                  SessionDict* session_dict = nullptr);
 
 }  // namespace lakefuzz
 

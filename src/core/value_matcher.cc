@@ -166,6 +166,13 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
     combined.push_back(std::move(g));
   }
 
+  // auto_threshold's dense probe solves one unconstrained assignment per
+  // merge round over closely related matrices (the group side only grows).
+  // The duals of each probe warm-start the next (ROADMAP PR 1 follow-up) —
+  // clamped to feasibility inside the solver, so every solve stays exactly
+  // optimal.
+  JvDuals probe_duals;
+
   for (size_t c = 1; c < columns.size(); ++c) {
     // Cooperative cancellation between merge rounds — the unit after which
     // no partial state escapes.
@@ -267,17 +274,41 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
         if (options_.auto_threshold) {
           // Probe solve without a threshold: the optimal pairing's distance
           // distribution is bimodal (matches vs forced non-matches); the
-          // widest gap locates this instance's θ.
-          LAKEFUZZ_ASSIGN_OR_RETURN(Assignment probe, SolveAssignment(cost));
+          // widest gap locates this instance's θ. The probe is warm-started
+          // from the previous round's duals.
+          LAKEFUZZ_ASSIGN_OR_RETURN(Assignment probe,
+                                    SolveAssignment(cost, &probe_duals));
           std::vector<double> dists;
           dists.reserve(probe.pairs.size());
           for (auto [r, k] : probe.pairs) dists.push_back(cost.at(r, k));
           AutoThresholdOptions ato = options_.auto_threshold_options;
           ato.fallback = options_.threshold;
           topts.threshold = SelectThresholdByGap(std::move(dists), ato);
+          result.stats.thresholds_used.push_back(topts.threshold);
+          if (!topts.mask_before_solve &&
+              topts.algorithm == AssignmentAlgorithm::kOptimal) {
+            // Solve-then-filter over the unchanged matrix would re-run the
+            // exact solve the probe just did — filter the probe instead.
+            // This halves the O(n³) work of every auto-threshold round.
+            assignment = Assignment{};
+            for (auto [r, k] : probe.pairs) {
+              const double d = cost.at(r, k);
+              if (d < topts.threshold) {
+                assignment.pairs.emplace_back(r, k);
+                assignment.total_cost += d;
+              }
+            }
+          } else {
+            // Masked (or greedy) final solve: a different matrix, but the
+            // probe duals still warm-start it.
+            LAKEFUZZ_ASSIGN_OR_RETURN(
+                assignment, SolveThresholded(cost, topts, &probe_duals));
+          }
+        } else {
+          result.stats.thresholds_used.push_back(topts.threshold);
+          LAKEFUZZ_ASSIGN_OR_RETURN(assignment,
+                                    SolveThresholded(cost, topts));
         }
-        result.stats.thresholds_used.push_back(topts.threshold);
-        LAKEFUZZ_ASSIGN_OR_RETURN(assignment, SolveThresholded(cost, topts));
         ++result.stats.dense_solves;
       } else {
         std::vector<std::string> reps;

@@ -1,51 +1,196 @@
 #include "fd/full_disjunction.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
 
 #include "util/stopwatch.h"
 #include "util/str.h"
+#include "util/thread_pool.h"
 
 namespace lakefuzz {
 namespace {
 
-/// Mutable enumeration state for one component. All merge/consistency work
-/// happens on interned uint32 code rows; the scratch arrays are owned by the
-/// caller and reused across components.
+/// One independent subtree of the branch-and-exclude tree, fully described
+/// by data (no live enumerator state): the ordinal path identifying the
+/// subtree root (for the deterministic merge), the TIDs included along that
+/// path (replayed onto a clean scratch), and the exclusion set as a short
+/// chain of shared prefix views (exclude tids[0..prefix) of each link).
+struct ExcludeLink {
+  std::shared_ptr<const ExcludeLink> parent;
+  std::shared_ptr<const std::vector<uint32_t>> tids;
+  size_t prefix = 0;
+};
+
+struct SubtreeTask {
+  std::vector<uint32_t> ordinals;
+  std::vector<uint32_t> includes;
+  std::shared_ptr<const ExcludeLink> excludes;
+  /// Branch range [begin, end) of the node reached by `includes` that this
+  /// task owns (chunking keeps task bookkeeping amortized over many
+  /// branches). begin == end marks the whole-node root task, which also
+  /// runs the node prelude (fast path, budget, pruning).
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+
+/// Result tuples of one contiguous DFS run, tagged with the (depth-bounded)
+/// ordinal path of the subtree that produced them. Tasks emit segments; the
+/// runner sorts all segments lexicographically by path, which reproduces
+/// the sequential DFS emission order exactly (each bounded path is
+/// enumerated inline by exactly one task, and splitting only happens at
+/// depths below the bound).
+struct ResultSegment {
+  std::vector<uint32_t> path;
+  std::vector<FdCodeTuple> tuples;
+};
+
+/// Shared split policy + spawn hook handed to enumerators running inside
+/// the intra-component runner. Null context = plain sequential enumeration.
+struct SplitContext {
+  size_t max_depth = 0;  ///< split nodes with |S| < max_depth
+  size_t min_ext = 2;    ///< only split nodes with >= this many live branches
+  size_t workers = 1;    ///< sizes the branch chunks of each split
+  /// Backpressure gate: split only while fewer than this many tasks are
+  /// queued (idle workers want food; a full queue means inline is cheaper).
+  size_t queue_low_water = 0;
+  std::atomic<size_t>* queued = nullptr;
+  std::atomic<uint64_t>* spawned = nullptr;
+  uint64_t spawn_cap = 0;
+  std::function<void(SubtreeTask&&)> spawn;
+};
+
+/// Mutable enumeration state for one component (or one subtree task of a
+/// component). All merge/consistency work happens on interned uint32 code
+/// rows; the scratch arrays are owned by the caller and reused across
+/// components and tasks.
 class ComponentEnumerator {
  public:
   ComponentEnumerator(const FdProblem& problem,
                       const std::vector<uint32_t>& component,
                       std::atomic<int64_t>* budget, FdScratch* scratch,
-                      const CancelToken* cancel)
+                      const CancelToken* cancel,
+                      SplitContext* split = nullptr)
       : problem_(problem),
         component_(component),
         budget_(budget),
         cancel_(cancel),
+        split_(split),
         s_(*scratch),
         num_cols_(problem.num_columns()) {}
 
+  /// Sequential whole-component enumeration (classic entry point).
   Result<std::vector<FdCodeTuple>> Enumerate() {
-    // Fast path: the whole component is a single legal set iff every column
-    // has at most one distinct non-null code across it (O(total cells)) and
-    // no table contributes two tuples (an FD set holds at most one tuple
-    // per relation).
-    if (ComponentTablesDistinct() && ComponentFullyConsistent()) {
-      FdCodeTuple t;
-      t.codes = s_.merged;  // filled by ComponentFullyConsistent
-      t.tids = component_;
-      ResetMerged();
-      return std::vector<FdCodeTuple>{std::move(t)};
+    SubtreeTask root;
+    LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<ResultSegment> segments,
+                              EnumerateTask(root));
+    std::vector<FdCodeTuple> out;
+    for (auto& seg : segments) {
+      for (auto& t : seg.tuples) out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  /// Settles the shared budget to exact node counts: block draws are
+  /// amortized permission for 1024 nodes each; the unused remainder is
+  /// refunded (or the never-drawn tail charged) when the enumeration unit
+  /// finishes. Keeps many small subtree tasks — which rarely hit a block
+  /// boundary of their own — collectively accountable to one budget.
+  void SettleBudget() {
+    if (budget_ == nullptr) return;
+    const int64_t drawn = static_cast<int64_t>(blocks_drawn_) * 1024;
+    budget_->fetch_sub(static_cast<int64_t>(nodes_used_) - drawn,
+                       std::memory_order_relaxed);
+  }
+
+  /// Runs one subtree task: replays the include path and exclusion chain
+  /// onto the (clean) scratch, enumerates its branch range — spawning
+  /// further tasks when the split context says so — and restores the
+  /// scratch before returning, even on error. The root task (empty range)
+  /// also owns the component fast path and the root-node prelude.
+  Result<std::vector<ResultSegment>> EnumerateTask(const SubtreeTask& task) {
+    if (task.includes.empty() && task.begin == task.end) {
+      // Fast path: the whole component is a single legal set iff every
+      // column has at most one distinct non-null code across it (O(total
+      // cells)) and no table contributes two tuples (an FD set holds at
+      // most one tuple per relation).
+      if (ComponentTablesDistinct() && ComponentFullyConsistent()) {
+        FdCodeTuple t;
+        t.codes = s_.merged;  // filled by ComponentFullyConsistent
+        t.tids = component_;
+        ResetMerged();
+        std::vector<ResultSegment> out(1);
+        out[0].tuples.push_back(std::move(t));
+        return out;
+      }
+      // Seed extension set: with S = ∅ every component member is a
+      // consistent extension (components are already sorted).
+      Status st = Extend(component_);
+      ClearEntryExclusions();
+      SettleBudget();
+      if (!st.ok()) return st;
+      return std::move(segments_);
     }
 
-    // Seed extension set: with S = ∅ every component member is a
-    // consistent extension (components are already sorted).
-    LAKEFUZZ_RETURN_IF_ERROR(Extend(component_));
-    return std::move(results_);
+    // Mark the exclusion chain (check-before-set so the clearing log stays
+    // exact even when a TID appears in several links).
+    for (const ExcludeLink* link = task.excludes.get(); link != nullptr;
+         link = link->parent.get()) {
+      const auto& tids = *link->tids;
+      for (size_t i = 0; i < link->prefix; ++i) SetExcluded(tids[i]);
+    }
+    // Replay the include path, rebuilding the extension set exactly as the
+    // sequential descent did (SeedExtensions for |S| = 1, then the
+    // incremental ChildExtensions chain). Extensions ignore exclusions, so
+    // marking the chain first cannot perturb the replay.
+    ordinals_ = task.ordinals;
+    std::vector<uint32_t> ext;
+    std::vector<std::vector<size_t>> flips;
+    flips.reserve(task.includes.size());
+    for (uint32_t v : task.includes) {
+      std::vector<size_t> flipped = Include(v);
+      ext = members_.size() == 1 ? SeedExtensions(v)
+                                 : ChildExtensions(ext, v, flipped);
+      flips.push_back(std::move(flipped));
+    }
+    // The node prelude (node count, budget, pruning) ran in the task that
+    // split this node; range tasks enumerate their branch slice directly.
+    const std::vector<uint32_t>& node_ext =
+        task.includes.empty() ? component_ : ext;
+    Status st = RunBranchRange(node_ext, task.begin, task.end);
+    for (size_t k = task.includes.size(); k-- > 0;) {
+      Undo(task.includes[k], flips[k]);
+    }
+    ClearEntryExclusions();
+    SettleBudget();
+    if (!st.ok()) return st;
+    return std::move(segments_);
   }
 
   uint64_t nodes_used() const { return nodes_used_; }
 
  private:
+  void SetExcluded(uint32_t tid) {
+    if (s_.excluded[tid]) return;
+    s_.excluded[tid] = 1;
+    if (split_ != nullptr) excluded_log_.push_back(tid);
+  }
+
+  void ClearExcluded(uint32_t tid) {
+    s_.excluded[tid] = 0;
+    if (split_ != nullptr) excluded_log_.pop_back();
+  }
+
+  /// Clears whatever exclusion marks remain logged (after Extend balanced
+  /// its own, exactly the task-entry chain marks).
+  void ClearEntryExclusions() {
+    for (uint32_t tid : excluded_log_) s_.excluded[tid] = 0;
+    excluded_log_.clear();
+  }
+
   bool ComponentTablesDistinct() {
     for (uint32_t tid : component_) {
       uint32_t table = problem_.table_id(tid);
@@ -189,6 +334,84 @@ class ComponentEnumerator {
     return child;
   }
 
+  void EmitResult() {
+    FdCodeTuple t;
+    t.codes = s_.merged;
+    t.tids = members_;
+    std::sort(t.tids.begin(), t.tids.end());
+    if (segments_.empty() || segments_.back().path != ordinals_) {
+      segments_.emplace_back();
+      segments_.back().path = ordinals_;
+    }
+    segments_.back().tuples.push_back(std::move(t));
+  }
+
+  /// True when this node should hand its branches to the work queue
+  /// instead of recursing: shallow enough to re-split, enough live
+  /// branches, idle workers waiting, and the global task cap not reached.
+  bool ShouldSplit(const std::vector<uint32_t>& ext) {
+    if (split_ == nullptr || members_.size() >= split_->max_depth) {
+      return false;
+    }
+    if (split_->queued->load(std::memory_order_relaxed) >=
+        split_->queue_low_water) {
+      return false;
+    }
+    if (split_->spawned->load(std::memory_order_relaxed) >=
+        split_->spawn_cap) {
+      return false;
+    }
+    size_t live = 0;
+    for (uint32_t u : ext) {
+      if (!s_.excluded[u] && ++live >= split_->min_ext) return true;
+    }
+    return false;
+  }
+
+  /// Splits the current node's branch list into range tasks — a few
+  /// branches per worker rather than one task per branch, so the replay +
+  /// queue bookkeeping amortizes over a whole chunk. Chunk k's exclusion
+  /// set = every TID currently excluded here (snapshot of the log) plus the
+  /// ext prefix before the chunk — exactly what the sequential loop would
+  /// have accumulated on entry to its first branch; within the chunk the
+  /// range loop grows exclusions normally.
+  void SpawnChildren(const std::vector<uint32_t>& ext) {
+    auto snapshot =
+        std::make_shared<const std::vector<uint32_t>>(excluded_log_);
+    auto shared_ext = std::make_shared<const std::vector<uint32_t>>(ext);
+    std::shared_ptr<const ExcludeLink> base;
+    if (!snapshot->empty()) {
+      base = std::make_shared<const ExcludeLink>(
+          ExcludeLink{nullptr, snapshot, snapshot->size()});
+    }
+    constexpr size_t kChunksPerWorker = 8;
+    const size_t chunk = std::max<size_t>(
+        1, ext.size() / std::max<size_t>(1, split_->workers *
+                                                kChunksPerWorker));
+    uint64_t count = 0;
+    for (size_t start = 0; start < ext.size(); start += chunk) {
+      const size_t end = std::min(ext.size(), start + chunk);
+      bool any_live = false;
+      for (size_t i = start; i < end; ++i) {
+        if (!s_.excluded[ext[i]]) {
+          any_live = true;
+          break;
+        }
+      }
+      if (!any_live) continue;
+      SubtreeTask child;
+      child.ordinals = ordinals_;
+      child.includes = members_;
+      child.begin = static_cast<uint32_t>(start);
+      child.end = static_cast<uint32_t>(end);
+      child.excludes = std::make_shared<const ExcludeLink>(
+          ExcludeLink{base, shared_ext, start});
+      ++count;
+      split_->spawn(std::move(child));
+    }
+    split_->spawned->fetch_add(count, std::memory_order_relaxed);
+  }
+
   /// `ext` = consistent join-graph extensions of the current S, ignoring
   /// exclusions (the maximality test set), sorted ascending.
   Status Extend(const std::vector<uint32_t>& ext) {
@@ -201,20 +424,18 @@ class ComponentEnumerator {
         return Status::Cancelled(
             "full disjunction cancelled mid-enumeration");
       }
-      if (budget_ != nullptr &&
-          budget_->fetch_sub(1024, std::memory_order_relaxed) <= 0) {
-        return Status::FailedPrecondition(
-            "full disjunction search budget exhausted "
-            "(max_search_nodes); component too entangled");
+      if (budget_ != nullptr) {
+        ++blocks_drawn_;
+        if (budget_->fetch_sub(1024, std::memory_order_relaxed) <= 0) {
+          return Status::FailedPrecondition(
+              "full disjunction search budget exhausted "
+              "(max_search_nodes); component too entangled");
+        }
       }
     }
     if (ext.empty()) {
       // S is ⊆-maximal among connected consistent sets: emit.
-      FdCodeTuple t;
-      t.codes = s_.merged;
-      t.tids = members_;
-      std::sort(t.tids.begin(), t.tids.end());
-      results_.push_back(std::move(t));
+      EmitResult();
       return Status::OK();
     }
     bool any_candidate = false;
@@ -229,26 +450,47 @@ class ComponentEnumerator {
       // an excluded tuple and is enumerated in a sibling branch. Prune.
       return Status::OK();
     }
+    if (ShouldSplit(ext)) {
+      SpawnChildren(ext);
+      return Status::OK();
+    }
+    return RunBranchRange(ext, 0, ext.size());
+  }
+
+  /// The branch loop of one node, restricted to ext[begin, end): the unit
+  /// both Extend (whole node) and spawned range tasks execute. S is
+  /// identical across iterations (Include/Undo pairs), but the exclusion
+  /// set grows — candidates excluded by earlier siblings (or on task
+  /// entry) are skipped.
+  Status RunBranchRange(const std::vector<uint32_t>& ext, size_t begin,
+                        size_t end) {
+    end = std::min(end, ext.size());
+    const bool track_ordinals =
+        split_ != nullptr && members_.size() < split_->max_depth;
     std::vector<uint32_t> locally_excluded;
-    for (uint32_t v : ext) {
-      // S is identical across loop iterations (Include/Undo pairs), but the
-      // exclusion set grows — skip candidates excluded by earlier siblings
-      // (or on entry).
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t v = ext[i];
       if (s_.excluded[v]) continue;
+      if (track_ordinals) ordinals_.push_back(static_cast<uint32_t>(i));
       std::vector<size_t> flipped = Include(v);
       std::vector<uint32_t> child = members_.size() == 1
                                         ? SeedExtensions(v)
                                         : ChildExtensions(ext, v, flipped);
       Status st = Extend(child);
       Undo(v, flipped);
+      if (track_ordinals) ordinals_.pop_back();
       if (!st.ok()) {
-        for (uint32_t u : locally_excluded) s_.excluded[u] = false;
+        for (size_t k = locally_excluded.size(); k-- > 0;) {
+          ClearExcluded(locally_excluded[k]);
+        }
         return st;
       }
-      s_.excluded[v] = true;
+      SetExcluded(v);
       locally_excluded.push_back(v);
     }
-    for (uint32_t u : locally_excluded) s_.excluded[u] = false;
+    for (size_t k = locally_excluded.size(); k-- > 0;) {
+      ClearExcluded(locally_excluded[k]);
+    }
     return Status::OK();
   }
 
@@ -256,12 +498,183 @@ class ComponentEnumerator {
   const std::vector<uint32_t>& component_;
   std::atomic<int64_t>* budget_;
   const CancelToken* cancel_;
+  SplitContext* split_;
   FdScratch& s_;
   const size_t num_cols_;
 
   std::vector<uint32_t> members_;
-  std::vector<FdCodeTuple> results_;
+  /// Branch-ordinal path from the component root to the current node,
+  /// tracked only below the split depth bound (split mode only).
+  std::vector<uint32_t> ordinals_;
+  /// Every TID currently flagged excluded by this task, in set order
+  /// (task-entry chain marks + live sibling exclusions). Split mode only.
+  std::vector<uint32_t> excluded_log_;
+  std::vector<ResultSegment> segments_;
   uint64_t nodes_used_ = 0;
+  uint64_t blocks_drawn_ = 0;
+};
+
+/// Work queue + worker loops behind RunComponentCodesParallel. Tasks spawn
+/// tasks; workers drain until nothing is queued or running. The first error
+/// wins and flushes the queue.
+class IntraComponentRunner {
+ public:
+  IntraComponentRunner(const FdProblem& problem,
+                       const std::vector<uint32_t>& component,
+                       const FdOptions& options, size_t workers,
+                       std::atomic<int64_t>* budget,
+                       const CancelToken* cancel)
+      : problem_(problem),
+        component_(component),
+        budget_(budget),
+        cancel_(cancel),
+        workers_(workers) {
+    split_template_.max_depth = std::max<size_t>(1, options.intra_split_depth);
+    split_template_.min_ext = 2;
+    split_template_.workers = workers;
+    split_template_.queue_low_water = workers * 4;
+    split_template_.queued = &queued_;
+    split_template_.spawned = &spawned_;
+    // Hard cap on total tasks: descriptor bookkeeping must stay a rounding
+    // error next to enumeration even on adversarial fan-out.
+    split_template_.spawn_cap = std::max<uint64_t>(4096, workers * 1024);
+  }
+
+  Result<std::vector<FdCodeTuple>> Run(ThreadPool* pool,
+                                       std::vector<FdScratch>* scratches,
+                                       uint64_t* nodes_used,
+                                       uint64_t* tasks_spawned) {
+    Enqueue(SubtreeTask{});
+    if (pool == nullptr || workers_ <= 1) {
+      WorkerLoop(&(*scratches)[0]);
+    } else {
+      std::vector<std::future<void>> futures;
+      futures.reserve(workers_);
+      for (size_t w = 0; w < workers_; ++w) {
+        FdScratch* scratch = &(*scratches)[w];
+        futures.push_back(pool->Submit([this, scratch] {
+          WorkerLoop(scratch);
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+    if (nodes_used != nullptr) *nodes_used += total_nodes_;
+    if (tasks_spawned != nullptr) {
+      *tasks_spawned += spawned_.load(std::memory_order_relaxed);
+    }
+    if (!first_error_.ok()) return first_error_;
+
+    // Deterministic merge: segments sorted by their bounded ordinal path
+    // reproduce the sequential DFS emission order (ties are impossible —
+    // each bounded path is owned by exactly one task).
+    std::sort(segments_.begin(), segments_.end(),
+              [](const ResultSegment& a, const ResultSegment& b) {
+                return a.path < b.path;
+              });
+    std::vector<FdCodeTuple> out;
+    size_t total = 0;
+    for (const auto& seg : segments_) total += seg.tuples.size();
+    out.reserve(total);
+    for (auto& seg : segments_) {
+      for (auto& t : seg.tuples) out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+ private:
+  void Enqueue(SubtreeTask&& task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_one();
+  }
+
+  void RecordError(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) first_error_ = status;
+    // Flush pending work: queued tasks become no-ops so workers wind down
+    // at task granularity instead of enumerating doomed subtrees.
+    unfinished_ -= queue_.size();
+    queue_.clear();
+    queued_.store(0, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  void WorkerLoop(FdScratch* scratch) {
+    SplitContext split = split_template_;
+    split.spawn = [this](SubtreeTask&& t) { Enqueue(std::move(t)); };
+    while (true) {
+      SubtreeTask task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty() || unfinished_ == 0; });
+        if (queue_.empty()) return;  // unfinished_ == 0: all work done
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+
+      Status st = Status::OK();
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        st = Status::Cancelled("full disjunction cancelled mid-subtree");
+      } else if (budget_ != nullptr &&
+                 budget_->load(std::memory_order_relaxed) <= 0) {
+        // Per-task budget gate: small subtrees rarely reach the in-tree
+        // amortized check, so exhaustion is also enforced at task
+        // granularity against the settled shared counter.
+        st = Status::FailedPrecondition(
+            "full disjunction search budget exhausted "
+            "(max_search_nodes); component too entangled");
+      } else if (first_error_ok()) {
+        ComponentEnumerator enumerator(problem_, component_, budget_, scratch,
+                                       cancel_, &split);
+        auto result = enumerator.EnumerateTask(task);
+        total_nodes_.fetch_add(enumerator.nodes_used(),
+                               std::memory_order_relaxed);
+        if (result.ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          for (auto& seg : *result) {
+            if (!seg.tuples.empty()) segments_.push_back(std::move(seg));
+          }
+        } else {
+          st = result.status();
+        }
+      }
+      if (!st.ok()) RecordError(st);
+
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        done = --unfinished_ == 0;
+      }
+      if (done) cv_.notify_all();
+    }
+  }
+
+  bool first_error_ok() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_.ok();
+  }
+
+  const FdProblem& problem_;
+  const std::vector<uint32_t>& component_;
+  std::atomic<int64_t>* budget_;
+  const CancelToken* cancel_;
+  const size_t workers_;
+  SplitContext split_template_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SubtreeTask> queue_;
+  size_t unfinished_ = 0;
+  Status first_error_ = Status::OK();
+  std::vector<ResultSegment> segments_;
+  std::atomic<size_t> queued_{0};
+  std::atomic<uint64_t> spawned_{0};
+  std::atomic<uint64_t> total_nodes_{0};
 };
 
 }  // namespace
@@ -274,6 +687,17 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodes(
   auto result = enumerator.Enumerate();
   if (nodes_used != nullptr) *nodes_used = enumerator.nodes_used();
   return result;
+}
+
+Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodesParallel(
+    const FdProblem& problem, const std::vector<uint32_t>& component,
+    const FdOptions& options, ThreadPool* pool, size_t workers,
+    std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
+    uint64_t* nodes_used, uint64_t* tasks_spawned, const CancelToken* cancel) {
+  workers = std::max<size_t>(1, std::min(workers, scratches->size()));
+  IntraComponentRunner runner(problem, component, options, workers, budget,
+                              cancel);
+  return runner.Run(pool, scratches, nodes_used, tasks_spawned);
 }
 
 Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
@@ -300,6 +724,7 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
   stats->distinct_values = problem->index_stats().distinct_values;
   stats->posting_lists = problem->index_stats().posting_lists;
   stats->posting_entries = problem->index_stats().posting_entries;
+  stats->value_copies = problem->index_stats().value_copies;
 
   ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
   Stopwatch enum_watch;

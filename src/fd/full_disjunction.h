@@ -39,10 +39,26 @@
 
 namespace lakefuzz {
 
+class ThreadPool;
+
 struct FdOptions {
   /// Upper bound on enumeration nodes across the whole run; exceeded →
   /// FailedPrecondition (the instance is adversarially entangled).
   uint64_t max_search_nodes = 200'000'000;
+  /// Worker cap for *intra*-component parallelism (parallel executor only):
+  /// a component of at least `intra_component_min_size` tuples has its
+  /// branch-and-exclude tree split into independent subtree tasks — one per
+  /// top-level branch (root tuple + its exclude prefix) — run on the
+  /// executor pool with depth-bounded re-splitting for skew. Output is
+  /// byte-identical at every setting. 0 = all pool workers, 1 = disable
+  /// splitting (components enumerate serially, as before PR 4).
+  size_t intra_component_threads = 0;
+  /// Components smaller than this enumerate serially on one worker (task
+  /// bookkeeping would cost more than it buys).
+  size_t intra_component_min_size = 256;
+  /// Subtree tasks re-split while their root depth is below this bound, so
+  /// one dominant branch fans out again instead of serializing a worker.
+  size_t intra_split_depth = 3;
 };
 
 /// Run diagnostics (reported by benchmarks).
@@ -51,12 +67,18 @@ struct FdStats {
   size_t num_components = 0;
   size_t largest_component = 0;
   uint64_t search_nodes = 0;
+  /// Subtree tasks spawned by intra-component splitting (0 when every
+  /// component ran serially). Scheduling-dependent; results never are.
+  uint64_t intra_tasks = 0;
   size_t results_before_subsumption = 0;
   size_t results = 0;
   /// Interned-core counters: dictionary size and CSR join-graph extent.
   size_t distinct_values = 0;
   size_t posting_lists = 0;
   size_t posting_entries = 0;
+  /// Value copies paid building the problem (see FdIndexStats::value_copies;
+  /// near zero on the BuildInterned path with a warm session dictionary).
+  size_t value_copies = 0;
   /// Stage wall times: BuildIndex (dictionary + CSR + components),
   /// per-component enumeration, and subsumption + decode.
   double index_seconds = 0.0;
@@ -127,6 +149,23 @@ class FullDisjunction {
   static Result<std::vector<FdCodeTuple>> RunComponentCodes(
       const FdProblem& problem, const std::vector<uint32_t>& component,
       std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch,
+      const CancelToken* cancel = nullptr);
+
+  /// Intra-component parallel twin of RunComponentCodes: the component's
+  /// branch-and-exclude tree is split into independent subtree tasks (one
+  /// per top-level branch; depth-bounded re-splitting under skew, see
+  /// FdOptions::intra_split_depth) executed by `workers` loops on `pool`
+  /// via a shared work queue. Results merge in deterministic branch order,
+  /// so output is byte-identical to RunComponentCodes at any worker count
+  /// and schedule. `scratches` supplies one FdScratch per worker (size >=
+  /// workers, same problem). When `pool` is null the whole tree runs inline
+  /// on scratches[0]. Node totals are added to *nodes_used, spawned-task
+  /// counts to *tasks_spawned.
+  static Result<std::vector<FdCodeTuple>> RunComponentCodesParallel(
+      const FdProblem& problem, const std::vector<uint32_t>& component,
+      const FdOptions& options, ThreadPool* pool, size_t workers,
+      std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
+      uint64_t* nodes_used, uint64_t* tasks_spawned,
       const CancelToken* cancel = nullptr);
 
   /// Decoded convenience wrapper around RunComponentCodes (tests).

@@ -40,6 +40,7 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   stats->distinct_values = problem->index_stats().distinct_values;
   stats->posting_lists = problem->index_stats().posting_lists;
   stats->posting_entries = problem->index_stats().posting_entries;
+  stats->value_copies = problem->index_stats().value_copies;
 
   // Largest components first: they dominate runtime, so schedule them before
   // the long tail of singletons.
@@ -64,15 +65,65 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   Status first_error = Status::OK();
   std::atomic<uint64_t> total_nodes{0};
 
+  // Intra-component parallelism: with a multi-worker pool, the biggest
+  // components (a skewed lake often collapses into one giant component)
+  // have their branch-and-exclude trees split across the whole pool instead
+  // of serializing one worker. They sit at the front of the size-sorted
+  // order, so the giants run first — one at a time, all workers inside —
+  // and the long tail then fans out component-per-worker as before. Output
+  // is byte-identical either way.
+  size_t intra_workers =
+      options_.fd.intra_component_threads == 0
+          ? pool->num_threads()
+          : std::min(options_.fd.intra_component_threads,
+                     pool->num_threads());
+  if (pool->num_threads() <= 1) intra_workers = 1;
+
   // One scratch per work lane: enumeration state is O(num_tuples) to zero,
-  // so it is allocated once here, not once per component.
+  // so it is allocated once here, not once per component. The intra phase
+  // reuses the same scratches (the two phases never overlap).
   const size_t lanes = std::max<size_t>(
-      1, std::min(comps.size(), pool->num_threads()));
+      1, std::min(std::max(comps.size(), intra_workers),
+                  pool->num_threads()));
   std::vector<FdScratch> scratches;
   scratches.reserve(lanes);
   for (size_t i = 0; i < lanes; ++i) scratches.emplace_back(*problem);
 
-  pool->ParallelForWithLane(comps.size(), [&](size_t lane, size_t i) {
+  // A component is "giant" when it is both absolutely large and a big
+  // enough share of the total that component-level parallelism would starve
+  // — at least 1/(2·workers) of all tuples. Lakes of many mid-size
+  // components keep the cheaper component-per-worker path, where subtree
+  // bookkeeping would only add overhead.
+  size_t num_intra = 0;
+  if (intra_workers > 1) {
+    const size_t total = problem->num_tuples();
+    while (num_intra < comps.size()) {
+      const size_t size = comps[num_intra]->size();
+      if (size < options_.fd.intra_component_min_size ||
+          size * 2 * intra_workers < total) {
+        break;
+      }
+      ++num_intra;
+    }
+  }
+  uint64_t intra_tasks = 0;
+  for (size_t i = 0; i < num_intra; ++i) {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("full disjunction cancelled");
+    }
+    uint64_t nodes = 0;
+    auto res = FullDisjunction::RunComponentCodesParallel(
+        *problem, *comps[i], options_.fd, pool, intra_workers, &scratches,
+        &budget, &nodes, &intra_tasks, &cancel);
+    total_nodes.fetch_add(nodes, std::memory_order_relaxed);
+    if (!res.ok()) return res.status();
+    per_comp[i] = std::move(res).value();
+  }
+  stats->intra_tasks = intra_tasks;
+
+  pool->ParallelForWithLane(comps.size() - num_intra, [&](size_t lane,
+                                                          size_t idx) {
+    const size_t i = num_intra + idx;
     // Per-component cancellation checkpoint: once the token fires, the
     // remaining scheduled components become no-ops instead of enumerating.
     if (cancel.cancelled()) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "fd/posting_shards.h"
+#include "fd/session_dict.h"
 #include "util/hash.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
@@ -23,6 +24,7 @@ Result<FdProblem> FdProblem::Build(const TableList& tables,
       for (size_t c = 0; c < t.NumColumns(); ++c) {
         padded[aligned.column_map[l][c]] = t.At(r, c);
       }
+      problem.value_copies_ += t.NumColumns();
       LAKEFUZZ_RETURN_IF_ERROR(
           problem.AddTuple(static_cast<uint32_t>(l), std::move(padded)));
     }
@@ -35,7 +37,50 @@ Result<FdProblem> FdProblem::Build(const std::vector<Table>& tables,
   return Build(BorrowTables(tables), aligned);
 }
 
+Result<FdProblem> FdProblem::BuildInterned(const TableList& tables,
+                                           const AlignedSchema& aligned,
+                                           SessionDict* dict) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("BuildInterned requires a SessionDict");
+  }
+  LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
+  FdProblem problem(aligned.NumUniversal(), aligned.universal_names);
+  const size_t cols = aligned.NumUniversal();
+  size_t total_rows = 0;
+  for (const Table* t : tables) total_rows += t->NumRows();
+  problem.codes_.assign(total_rows * cols, kNullCode);
+  problem.table_ids_.reserve(total_rows);
+
+  const uint64_t interned_before = dict->stats().values_interned;
+  size_t base = 0;
+  for (size_t l = 0; l < tables.size(); ++l) {
+    const Table& t = *tables[l];
+    const size_t rows = t.NumRows();
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      auto column = dict->ColumnCodes(t, c);
+      const uint32_t* src = column->data();
+      uint32_t* dst = problem.codes_.data() + base * cols +
+                      aligned.column_map[l][c];
+      for (size_t r = 0; r < rows; ++r) dst[r * cols] = src[r];
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      problem.table_ids_.push_back(static_cast<uint32_t>(l));
+    }
+    problem.num_tables_ =
+        std::max(problem.num_tables_, static_cast<uint32_t>(l) + 1);
+    base += rows;
+  }
+  problem.value_copies_ = dict->stats().values_interned - interned_before;
+  problem.external_dict_ = &dict->dict();
+  problem.codes_ready_ = true;
+  return problem;
+}
+
 Status FdProblem::AddTuple(uint32_t table_id, std::vector<Value> values) {
+  if (external_dict_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot AddTuple into a BuildInterned problem");
+  }
   if (values.size() != num_columns_) {
     return Status::InvalidArgument(
         StrFormat("tuple has %zu values, problem has %zu columns",
@@ -45,6 +90,7 @@ Status FdProblem::AddTuple(uint32_t table_id, std::vector<Value> values) {
   table_ids_.push_back(table_id);
   num_tables_ = std::max(num_tables_, table_id + 1);
   index_built_ = false;
+  codes_ready_ = false;
   return Status::OK();
 }
 
@@ -64,36 +110,38 @@ const std::vector<std::vector<uint32_t>>& FdProblem::Components() const {
 
 void FdProblem::BuildIndex(ThreadPool* pool) {
   if (index_built_) return;
-  const uint32_t n = static_cast<uint32_t>(tuples_.size());
+  const uint32_t n = static_cast<uint32_t>(num_tuples());
   const size_t cols = num_columns_;
   const size_t cells = static_cast<size_t>(n) * cols;
 
-  // ---- Phase 1: hash every non-null cell (pure per tuple → parallel).
-  std::vector<uint64_t> cell_hash(cells, 0);
-  MaybeParallelFor(pool, n, [&](size_t tid) {
-    const auto& vals = tuples_[tid].values;
-    uint64_t* out = cell_hash.data() + tid * cols;
-    for (size_t c = 0; c < cols; ++c) {
-      if (!vals[c].is_null()) out[c] = vals[c].Hash();
-    }
-  });
+  if (!codes_ready_) {
+    // ---- Phase 1: hash every non-null cell (pure per tuple → parallel).
+    std::vector<uint64_t> cell_hash(cells, 0);
+    MaybeParallelFor(pool, n, [&](size_t tid) {
+      const auto& vals = tuples_[tid].values;
+      uint64_t* out = cell_hash.data() + tid * cols;
+      for (size_t c = 0; c < cols; ++c) {
+        if (!vals[c].is_null()) out[c] = vals[c].Hash();
+      }
+    });
 
-  // ---- Phase 2: intern cells into flat code rows. Serial on purpose: the
-  // first-occurrence order defines codes, so the dictionary is identical on
-  // every run; the string hashing already happened in phase 1.
-  dict_ = ValueDict();
-  dict_.Reserve(cells / 4 + 16);
-  codes_.assign(cells, kNullCode);
-  for (uint32_t tid = 0; tid < n; ++tid) {
-    const auto& vals = tuples_[tid].values;
-    const uint64_t* h = cell_hash.data() + static_cast<size_t>(tid) * cols;
-    uint32_t* out = codes_.data() + static_cast<size_t>(tid) * cols;
-    for (size_t c = 0; c < cols; ++c) {
-      if (!vals[c].is_null()) out[c] = dict_.InternHashed(vals[c], h[c]);
+    // ---- Phase 2: intern cells into flat code rows. Serial on purpose: the
+    // first-occurrence order defines codes, so the dictionary is identical on
+    // every run; the string hashing already happened in phase 1.
+    dict_ = ValueDict();
+    dict_.Reserve(cells / 4 + 16);
+    codes_.assign(cells, kNullCode);
+    for (uint32_t tid = 0; tid < n; ++tid) {
+      const auto& vals = tuples_[tid].values;
+      const uint64_t* h = cell_hash.data() + static_cast<size_t>(tid) * cols;
+      uint32_t* out = codes_.data() + static_cast<size_t>(tid) * cols;
+      for (size_t c = 0; c < cols; ++c) {
+        if (!vals[c].is_null()) out[c] = dict_.InternHashed(vals[c], h[c]);
+      }
     }
+    value_copies_ += dict_.NumDistinct();
+    codes_ready_ = true;
   }
-  cell_hash.clear();
-  cell_hash.shrink_to_fit();
 
   // ---- Phase 3: sharded posting maps over (column, code) integer keys
   // (fd/posting_shards.h). Singleton lists are then dropped — they induce
@@ -186,9 +234,24 @@ void FdProblem::BuildIndex(ThreadPool* pool) {
     components_[slot].push_back(tid);
   }
 
-  index_stats_.distinct_values = dict_.NumDistinct();
+  if (external_dict_ == nullptr) {
+    index_stats_.distinct_values = dict_.NumDistinct();
+  } else {
+    // Session dictionary: its size covers the whole session, not this
+    // problem. Count the codes actually present so the stat keeps
+    // describing the problem it is attached to.
+    std::vector<char> seen(external_dict_->NumDistinct() + 1, 0);
+    size_t distinct = 0;
+    for (uint32_t code : codes_) {
+      if (code == kNullCode || seen[code]) continue;
+      seen[code] = 1;
+      ++distinct;
+    }
+    index_stats_.distinct_values = distinct;
+  }
   index_stats_.posting_lists = num_postings;
   index_stats_.posting_entries = num_entries;
+  index_stats_.value_copies = value_copies_;
   index_built_ = true;
 }
 

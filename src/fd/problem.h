@@ -23,6 +23,7 @@
 
 namespace lakefuzz {
 
+class SessionDict;
 class ThreadPool;
 
 /// One null-padded input tuple.
@@ -37,6 +38,11 @@ struct FdIndexStats {
   size_t distinct_values = 0;   ///< non-null dictionary entries
   size_t posting_lists = 0;     ///< multi-tuple (joinable) posting lists
   size_t posting_entries = 0;   ///< Σ posting-list lengths (CSR size)
+  /// Value objects copied while constructing + interning the problem. The
+  /// legacy Build path pays O(rows × columns) (padded outer-union rows) plus
+  /// one copy per distinct value; BuildInterned pays only the distinct
+  /// values *new to the session dictionary* — zero on a warm cache.
+  size_t value_copies = 0;
 };
 
 /// A materialized Full Disjunction instance.
@@ -56,12 +62,26 @@ class FdProblem {
   static Result<FdProblem> Build(const std::vector<Table>& tables,
                                  const AlignedSchema& aligned);
 
+  /// Zero-copy outer union: interns codes directly from source-table cells
+  /// into the flat uint32 rows — no padded std::vector<Value> per tuple, no
+  /// AddTuple copy. `dict` (not owned; must outlive the problem) supplies
+  /// and keeps the codes, so repeated builds over the same tables only pay
+  /// dictionary lookups — or, for tables pinned in the session dictionary,
+  /// a flat scatter of memoized column codes with zero hashing. Problems
+  /// built this way have no materialized tuples(): all downstream work runs
+  /// on code rows and decodes through dict().
+  static Result<FdProblem> BuildInterned(const TableList& tables,
+                                         const AlignedSchema& aligned,
+                                         SessionDict* dict);
+
   size_t num_columns() const { return num_columns_; }
   const std::vector<std::string>& column_names() const {
     return column_names_;
   }
+  /// Padded input tuples (legacy Build/AddTuple path only; empty for
+  /// BuildInterned problems, which never materialize per-tuple Values).
   const std::vector<FdInputTuple>& tuples() const { return tuples_; }
-  size_t num_tuples() const { return tuples_.size(); }
+  size_t num_tuples() const { return table_ids_.size(); }
 
   /// One more than the largest table_id added (0 for an empty problem).
   uint32_t num_tables() const { return num_tables_; }
@@ -74,12 +94,17 @@ class FdProblem {
   /// Builds the value dictionary, interned code rows, CSR posting lists,
   /// and components. Idempotent. When `pool` is non-null the cell-hashing,
   /// posting-shard, and union-find phases run on it; results are identical
-  /// to the serial build.
+  /// to the serial build. BuildInterned problems skip the hash + intern
+  /// phases entirely (their code rows already exist).
   void BuildIndex(ThreadPool* pool = nullptr);
   bool index_built() const { return index_built_; }
 
-  /// The interning dictionary. Requires BuildIndex().
-  const ValueDict& dict() const { return dict_; }
+  /// The interning dictionary: the problem-owned one (legacy Build), or the
+  /// session dictionary a BuildInterned problem was encoded against.
+  /// Requires BuildIndex() on the legacy path.
+  const ValueDict& dict() const {
+    return external_dict_ != nullptr ? *external_dict_ : dict_;
+  }
 
   /// Interned row of `tid`: num_columns() codes, kNullCode where null.
   /// Requires BuildIndex().
@@ -122,12 +147,19 @@ class FdProblem {
  private:
   size_t num_columns_;
   std::vector<std::string> column_names_;
-  std::vector<FdInputTuple> tuples_;
-  std::vector<uint32_t> table_ids_;  ///< flat copy of tuples_[i].table_id
+  std::vector<FdInputTuple> tuples_;  ///< legacy Build path only
+  std::vector<uint32_t> table_ids_;   ///< table id per TID (both paths)
   uint32_t num_tables_ = 0;
 
   bool index_built_ = false;
+  /// True once codes_ holds the interned rows (set by BuildInterned, or by
+  /// BuildIndex phases 1–2 on the legacy path).
+  bool codes_ready_ = false;
   ValueDict dict_;
+  /// Session dictionary the rows were encoded against (BuildInterned); not
+  /// owned, must outlive the problem. Null on the legacy path.
+  const ValueDict* external_dict_ = nullptr;
+  size_t value_copies_ = 0;      ///< see FdIndexStats::value_copies
   std::vector<uint32_t> codes_;  ///< num_tuples × num_columns interned cells
 
   // CSR join graph. Posting lists keep only multi-tuple lists (singletons

@@ -1,0 +1,63 @@
+#include "fd/session_dict.h"
+
+namespace lakefuzz {
+
+std::shared_ptr<const std::vector<uint32_t>> SessionDict::InternColumnLocked(
+    const Table& table, size_t col) {
+  const std::vector<Value>& values = table.ColumnValues(col);
+  auto codes = std::make_shared<std::vector<uint32_t>>();
+  codes->reserve(values.size());
+  const size_t before = dict_.NumDistinct();
+  for (const Value& v : values) codes->push_back(dict_.Intern(v));
+  stats_.values_interned += dict_.NumDistinct() - before;
+  return codes;
+}
+
+void SessionDict::PinTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TableEntry& entry = cache_[table.get()];
+  if (entry.pin == nullptr) entry.pin = std::move(table);
+}
+
+std::shared_ptr<const std::vector<uint32_t>> SessionDict::ColumnCodes(
+    const Table& table, size_t col) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.column_requests;
+  auto it = cache_.find(&table);
+  if (it == cache_.end()) return InternColumnLocked(table, col);
+  auto& columns = it->second.columns;
+  if (columns.size() < table.NumColumns()) columns.resize(table.NumColumns());
+  if (columns[col] != nullptr) {
+    ++stats_.column_hits;
+    return columns[col];
+  }
+  columns[col] = InternColumnLocked(table, col);
+  return columns[col];
+}
+
+uint32_t SessionDict::InternValue(const Value& v) {
+  if (v.is_null()) return ValueDict::kNullCode;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = dict_.NumDistinct();
+  const uint32_t code = dict_.Intern(v);
+  stats_.values_interned += dict_.NumDistinct() - before;
+  return code;
+}
+
+void SessionDict::DropTable(const Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(table);
+}
+
+size_t SessionDict::NumDistinct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dict_.NumDistinct();
+}
+
+SessionDict::Stats SessionDict::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,93 @@
+// SessionDict: a ValueDict whose lifetime spans an engine session, plus a
+// per-registered-column code cache.
+//
+// FdProblem::Build used to copy every cell of every input table into padded
+// outer-union rows and re-intern the whole lake on *each* request. A
+// SessionDict removes both costs: the dictionary is owned by the LakeEngine
+// (codes are stable for the session, so values interned by one request are
+// free for every later one), and the interned code column of a registered
+// table is memoized keyed by (table address, column) — a warm
+// FdProblem::BuildInterned is a flat uint32 scatter with zero hashing and
+// zero Value copies.
+//
+// Thread safety: all interning goes through one mutex (concurrent requests
+// serialize on dictionary growth, which is only paid for values never seen
+// before). Decode is deliberately NOT behind the mutex: ValueDict's bucketed
+// storage keeps decoded references stable under growth, so a request may
+// stream-decode its result set while another request is still interning.
+//
+// Cache safety: only tables pinned via PinTable are ever memoized, and the
+// pin is a shared_ptr — a cached table cannot be destroyed (and its address
+// cannot be reused by an aliasing table) while its entry exists. Tables
+// never pinned (rewrite-stage temporaries, ad-hoc callers) intern through
+// the same dictionary but are recomputed per call. The engine pins every
+// registration and calls DropTable when it is released.
+#ifndef LAKEFUZZ_FD_SESSION_DICT_H_
+#define LAKEFUZZ_FD_SESSION_DICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/value_dict.h"
+#include "table/table.h"
+
+namespace lakefuzz {
+
+class SessionDict {
+ public:
+  /// Cumulative traffic counters (observability; see LakeEngine accessors).
+  struct Stats {
+    uint64_t column_requests = 0;  ///< ColumnCodes calls
+    uint64_t column_hits = 0;      ///< answered from the per-column cache
+    uint64_t values_interned = 0;  ///< distinct values appended to the dict
+  };
+
+  /// The backing dictionary. Decode on the returned reference is safe
+  /// concurrently with interning (see file comment); Intern must go through
+  /// ColumnCodes / InternValue.
+  const ValueDict& dict() const { return dict_; }
+
+  /// Marks `table` as a session-owned snapshot whose interned column codes
+  /// may be memoized, pinning it alive for as long as the entry exists.
+  void PinTable(std::shared_ptr<const Table> table);
+
+  /// Interned codes for column `col` of `table`, length table.NumRows()
+  /// (kNullCode for nulls). Memoized iff the table is pinned; otherwise
+  /// computed per call (the dictionary still deduplicates values).
+  std::shared_ptr<const std::vector<uint32_t>> ColumnCodes(const Table& table,
+                                                           size_t col);
+
+  /// Interns one value (thread-safe; nulls map to kNullCode).
+  uint32_t InternValue(const Value& v);
+
+  /// Unpins `table` and drops its cached column codes. Codes already handed
+  /// out stay valid (shared ownership); the dictionary never shrinks.
+  void DropTable(const Table* table);
+
+  /// Distinct non-null values interned so far.
+  size_t NumDistinct() const;
+
+  Stats stats() const;
+
+ private:
+  struct TableEntry {
+    std::shared_ptr<const Table> pin;
+    /// Per-column cached code vectors (null until first use).
+    std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns;
+  };
+
+  std::shared_ptr<const std::vector<uint32_t>> InternColumnLocked(
+      const Table& table, size_t col);
+
+  mutable std::mutex mu_;
+  ValueDict dict_;
+  std::unordered_map<const Table*, TableEntry> cache_;
+  Stats stats_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FD_SESSION_DICT_H_

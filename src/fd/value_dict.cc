@@ -4,6 +4,85 @@
 
 namespace lakefuzz {
 
+ValueDict::ValueDict() {
+  for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
+  Append(Value::Null());  // code 0 = null
+  hashes_.push_back(0);
+  slots_.assign(kInitialSlots, kNullCode);
+}
+
+ValueDict::~ValueDict() { FreeBuckets(); }
+
+void ValueDict::FreeBuckets() {
+  for (auto& b : buckets_) {
+    delete[] b.load(std::memory_order_relaxed);
+    b.store(nullptr, std::memory_order_relaxed);
+  }
+  size_ = 0;
+}
+
+void ValueDict::CopyFrom(const ValueDict& other) {
+  hashes_ = other.hashes_;
+  slots_ = other.slots_;
+  for (size_t code = 0; code < other.size_; ++code) {
+    Append(other.Decode(static_cast<uint32_t>(code)));
+  }
+}
+
+ValueDict::ValueDict(const ValueDict& other) {
+  for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
+  CopyFrom(other);
+}
+
+ValueDict& ValueDict::operator=(const ValueDict& other) {
+  if (this == &other) return *this;
+  FreeBuckets();
+  CopyFrom(other);
+  return *this;
+}
+
+ValueDict::ValueDict(ValueDict&& other) noexcept
+    : size_(other.size_),
+      hashes_(std::move(other.hashes_)),
+      slots_(std::move(other.slots_)) {
+  for (size_t b = 0; b < kMaxBuckets; ++b) {
+    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.buckets_[b].store(nullptr, std::memory_order_relaxed);
+  }
+  other.size_ = 0;
+}
+
+ValueDict& ValueDict::operator=(ValueDict&& other) noexcept {
+  if (this == &other) return *this;
+  FreeBuckets();
+  size_ = other.size_;
+  hashes_ = std::move(other.hashes_);
+  slots_ = std::move(other.slots_);
+  for (size_t b = 0; b < kMaxBuckets; ++b) {
+    buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.buckets_[b].store(nullptr, std::memory_order_relaxed);
+  }
+  other.size_ = 0;
+  return *this;
+}
+
+void ValueDict::Append(const Value& v) {
+  const uint32_t code = static_cast<uint32_t>(size_);
+  const size_t b = BucketOf(code);
+  Value* bucket = buckets_[b].load(std::memory_order_relaxed);
+  if (bucket == nullptr) {
+    bucket = new Value[BucketCapacity(b)];
+    // Release-publish so a concurrent Decode that reads the pointer sees
+    // fully constructed (null) slots; the slot written below is only read
+    // by threads that obtained `code` with its own happens-before edge.
+    buckets_[b].store(bucket, std::memory_order_release);
+  }
+  bucket[code - BucketBase(b)] = v;
+  ++size_;
+}
+
 uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash) {
   assert(!v.is_null());
   const size_t mask = slots_.size() - 1;
@@ -13,15 +92,15 @@ uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash) {
     if (code == kNullCode) break;
     // 64-bit hash equality first: a full Value compare only runs on repeat
     // occurrences of the same value (the common case) or true collisions.
-    if (hashes_[code] == hash && values_[code] == v) return code;
+    if (hashes_[code] == hash && Decode(code) == v) return code;
     s = (s + 1) & mask;
   }
-  uint32_t code = static_cast<uint32_t>(values_.size());
-  values_.push_back(v);
+  uint32_t code = static_cast<uint32_t>(size_);
+  Append(v);
   hashes_.push_back(hash);
   slots_[s] = code;
   // Grow at ~0.7 load to keep probe chains short.
-  if (values_.size() * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  if (size_ * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
   return code;
 }
 
@@ -33,13 +112,12 @@ uint32_t ValueDict::Find(const Value& v) const {
   while (true) {
     uint32_t code = slots_[s];
     if (code == kNullCode) return kNullCode;
-    if (hashes_[code] == hash && values_[code] == v) return code;
+    if (hashes_[code] == hash && Decode(code) == v) return code;
     s = (s + 1) & mask;
   }
 }
 
 void ValueDict::Reserve(size_t expected) {
-  values_.reserve(expected + 1);
   hashes_.reserve(expected + 1);
   size_t want = kInitialSlots;
   while (want * 7 < (expected + 1) * 10) want <<= 1;
@@ -49,7 +127,7 @@ void ValueDict::Reserve(size_t expected) {
 void ValueDict::Rehash(size_t new_slot_count) {
   slots_.assign(new_slot_count, kNullCode);
   const size_t mask = new_slot_count - 1;
-  for (uint32_t code = 1; code < values_.size(); ++code) {
+  for (uint32_t code = 1; code < size_; ++code) {
     size_t s = static_cast<size_t>(hashes_[code]) & mask;
     while (slots_[s] != kNullCode) s = (s + 1) & mask;
     slots_[s] = code;

@@ -1,4 +1,4 @@
-// ValueDict: per-problem interning of cell values into dense integer codes.
+// ValueDict: interning of cell values into dense integer codes.
 //
 // Full Disjunction only ever asks two questions of a cell: "is it null?" and
 // "is it equal to that other cell?". Both are answered by a dictionary code:
@@ -9,6 +9,7 @@
 #ifndef LAKEFUZZ_FD_VALUE_DICT_H_
 #define LAKEFUZZ_FD_VALUE_DICT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -23,15 +24,26 @@ namespace lakefuzz {
 /// Internally an open-addressing table over 64-bit value hashes. Callers
 /// that already computed v.Hash() (FdProblem::BuildIndex hashes all cells in
 /// a parallel pre-pass) intern without re-hashing via InternHashed.
+///
+/// Decoded values live in append-only geometric buckets (bucket b holds
+/// 1024·2^b slots), so a `const Value&` returned by Decode stays valid for
+/// the dictionary's lifetime no matter how much it grows afterwards. This is
+/// what lets a session-lived dictionary (fd/session_dict.h) serve Decode to
+/// one request while another request is still interning: Intern calls must
+/// be externally serialized (SessionDict holds a mutex), but any thread may
+/// Decode codes it obtained under that serialization concurrently with
+/// further growth.
 class ValueDict {
  public:
   static constexpr uint32_t kNullCode = 0;
 
-  ValueDict() {
-    values_.emplace_back();  // code 0 = null
-    hashes_.push_back(0);
-    slots_.assign(kInitialSlots, kNullCode);
-  }
+  ValueDict();
+  ~ValueDict();
+
+  ValueDict(const ValueDict& other);
+  ValueDict& operator=(const ValueDict& other);
+  ValueDict(ValueDict&& other) noexcept;
+  ValueDict& operator=(ValueDict&& other) noexcept;
 
   /// Interns `v`; nulls map to kNullCode without touching the table.
   uint32_t Intern(const Value& v) {
@@ -46,21 +58,48 @@ class ValueDict {
   /// Code of `v`: kNullCode when null or never interned.
   uint32_t Find(const Value& v) const;
 
-  /// Value for a code returned by Intern; Decode(kNullCode) is null.
-  const Value& Decode(uint32_t code) const { return values_[code]; }
+  /// Value for a code returned by Intern; Decode(kNullCode) is null. The
+  /// reference is stable across later Intern calls.
+  const Value& Decode(uint32_t code) const {
+    const size_t b = BucketOf(code);
+    return buckets_[b].load(std::memory_order_acquire)[code - BucketBase(b)];
+  }
 
   /// Distinct non-null values interned so far.
-  size_t NumDistinct() const { return values_.size() - 1; }
+  size_t NumDistinct() const { return size_ - 1; }
 
   /// Pre-sizes the table for `expected` distinct non-null values.
   void Reserve(size_t expected);
 
  private:
+  // Bucket 0 holds 2^kBaseBits slots; bucket b holds 2^(kBaseBits+b). 22
+  // buckets cover the full uint32 code space.
+  static constexpr size_t kBaseBits = 10;
+  static constexpr size_t kMaxBuckets = 33 - kBaseBits;
   static constexpr size_t kInitialSlots = 16;  // power of two
+
+  static size_t BucketOf(uint32_t code) {
+    return 63 - static_cast<size_t>(
+                    __builtin_clzll((static_cast<uint64_t>(code) >> kBaseBits) +
+                                    1));
+  }
+  static size_t BucketBase(size_t b) {
+    return ((size_t{1} << b) - 1) << kBaseBits;
+  }
+  static size_t BucketCapacity(size_t b) { return size_t{1} << (kBaseBits + b); }
+
+  /// Appends `v` at code `size_`, allocating the bucket on first touch.
+  void Append(const Value& v);
+  void CopyFrom(const ValueDict& other);
+  void FreeBuckets();
 
   void Rehash(size_t new_slot_count);
 
-  std::vector<Value> values_;     ///< code → value; [0] = null
+  /// code → value, in geometric buckets; slot 0 = null. Pointers are
+  /// published with release stores so concurrent Decode never observes a
+  /// half-initialized bucket.
+  std::atomic<Value*> buckets_[kMaxBuckets];
+  size_t size_ = 0;               ///< values stored, including the null slot
   std::vector<uint64_t> hashes_;  ///< code → hash; [0] unused
   std::vector<uint32_t> slots_;   ///< open-addressing table of codes; 0 = empty
 };

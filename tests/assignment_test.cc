@@ -129,6 +129,57 @@ TEST(JonkerVolgenantTest, PairsSortedByRow) {
   }
 }
 
+// ------------------------------------------------------- dual warm start
+
+TEST(JonkerVolgenantTest, WarmStartPreservesOptimumOnRandomMatrices) {
+  // Property: any warm duals (here: the previous round's, over matrices
+  // that keep changing shape and content — the auto_threshold probe-loop
+  // pattern) are clamped to feasibility, so the optimal VALUE must equal
+  // the cold solve's on every instance.
+  Rng rng(20260731);
+  JvDuals duals;
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t rows = 1 + rng.Uniform(6);
+    const size_t cols = 1 + rng.Uniform(6);
+    CostMatrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        // Mix of signs: feasibility clamping must not assume cost >= 0.
+        m.set(r, c, rng.UniformReal(-1.0, 2.0));
+      }
+    }
+    auto cold = SolveAssignment(m);
+    auto warm = SolveAssignment(m, &duals);  // duals carried across trials
+    ASSERT_TRUE(cold.ok() && warm.ok()) << trial;
+    EXPECT_NEAR(cold->total_cost, warm->total_cost, 1e-9) << trial;
+    EXPECT_EQ(cold->pairs.size(), warm->pairs.size()) << trial;
+  }
+}
+
+TEST(JonkerVolgenantTest, WarmStartFromOwnDualsReproducesAssignment) {
+  // Re-solving the same matrix warm-started from its own duals is the
+  // probe → thresholded-solve pattern; with continuous random costs the
+  // optimum is unique, so the pairs must match exactly.
+  Rng rng(555);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.Uniform(6);
+    CostMatrix m(n, n);  // square: the case warm duals actually apply to
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        m.set(r, c, rng.UniformReal());
+      }
+    }
+    JvDuals duals;
+    auto first = SolveAssignment(m, &duals);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(duals.col.size(), m.cols());
+    auto second = SolveAssignment(m, &duals);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first->pairs, second->pairs) << trial;
+    EXPECT_NEAR(first->total_cost, second->total_cost, 1e-9) << trial;
+  }
+}
+
 // ------------------------------------------------- JV vs brute force (P)
 
 struct RandomCase {

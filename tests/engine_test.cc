@@ -247,6 +247,76 @@ TEST(LakeEngineTest, EmptyNameListRejected) {
   EXPECT_EQ(engine->Integrate({}).code(), ErrorCode::kInvalidArgument);
 }
 
+TEST(LakeEngineTest, AlignedSchemaCachedPerNameSetAndInvalidated) {
+  auto engine = MakeEngineWithSmallSet();
+  ASSERT_TRUE(engine->Integrate({"a", "b"}).ok());  // holistic alignment
+  EXPECT_EQ(engine->schema_cache_hits(), 0u);
+  ASSERT_TRUE(engine->Integrate({"a", "b"}).ok());
+  EXPECT_EQ(engine->schema_cache_hits(), 1u);
+  // A different mode over the same names is its own entry.
+  RequestOptions by_name;
+  by_name.holistic_alignment = false;
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, by_name).ok());
+  EXPECT_EQ(engine->schema_cache_hits(), 1u);
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, by_name).ok());
+  EXPECT_EQ(engine->schema_cache_hits(), 2u);
+
+  // Registry mutation invalidates: re-registering a changed "b" must
+  // re-align (and the new table must actually be used).
+  ASSERT_TRUE(engine->UnregisterTable("b"));
+  auto t2 = Table::FromRows("b", {"City", "VacRate", "Mayor"},
+                            {{S("Berlin"), S("63%"), S("Kai")},
+                             {S("Lima"), S("71%"), S("Rafael")}});
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(engine->RegisterTable("b", std::move(t2).value()).ok());
+  auto after = engine->Integrate({"a", "b"}, by_name);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(engine->schema_cache_hits(), 2u);  // recomputed, not served stale
+  EXPECT_EQ(after->aligned.NumUniversal(), 4u);  // Mayor joined the schema
+}
+
+TEST(LakeEngineTest, SessionDictColumnCodesReusedAcrossCalls) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;  // regular FD: registered snapshots reach the FD build
+  auto first = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(first.ok());
+  // Cold call interned the lake once (one copy per distinct value)...
+  EXPECT_GT(first->report.fd_stats.value_copies, 0u);
+  const auto cold = engine->session_dict().stats();
+  EXPECT_GT(cold.values_interned, 0u);
+
+  auto second = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(second.ok());
+  // ... and the warm call is zero-copy: every column a memo hit, no new
+  // values interned (the acceptance criterion for BuildInterned).
+  EXPECT_EQ(second->report.fd_stats.value_copies, 0u);
+  const auto warm = engine->session_dict().stats();
+  EXPECT_EQ(warm.values_interned, cold.values_interned);
+  EXPECT_GT(warm.column_hits, cold.column_hits);
+  ExpectTablesIdentical(first->integrated, second->integrated);
+}
+
+TEST(LakeEngineTest, FuzzyPathBorrowsUntouchedTablesIntoSessionDict) {
+  // In the fuzzy pipeline only tables the rewrite stage modified are
+  // copied; untouched ones keep their registry identity, so their interned
+  // column codes become cache hits on repeat calls.
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, req).ok());
+  const auto cold = engine->session_dict().stats();
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, req).ok());
+  const auto warm = engine->session_dict().stats();
+  // "Berlinn" → "Berlin" rewrites table a, so table b (untouched) is the
+  // one that must hit the memo on the second call.
+  EXPECT_GT(warm.column_hits, cold.column_hits);
+  // Rewritten temporaries never pollute the dictionary cache with new
+  // values on the second pass: the rewrite is deterministic.
+  EXPECT_EQ(warm.values_interned, cold.values_interned);
+}
+
 TEST(LakeEngineTest, ParallelEngineMatchesSerialEngine) {
   auto serial = MakeEngineWithSmallSet();
   RequestOptions req;
