@@ -7,8 +7,13 @@
 //   4. Stream the result through a RowSink in fixed-size batches.
 //   5. Fire a CancelToken from a progress callback mid-FD and observe the
 //      request fail fast with ErrorCode::kCancelled.
+//   6. Discovery: ask the session which registered tables are unionable
+//      with one of them (DiscoverUnionable), and — when --discover=<csv>
+//      names a query file — register it, discover its top-k partners, and
+//      stream the integrated result (DiscoverAndIntegrate).
 //
 //   ./engine_service [--tuples=3000] [--calls=3] [--threads=2]
+//                    [--discover=query.csv] [--discover_k=3]
 #include <cstdio>
 
 #include "core/engine.h"
@@ -124,6 +129,51 @@ int main(int argc, char** argv) {
                      ? "a successful result"
                      : cancelled.status().ToString().c_str());
     return 1;
+  }
+
+  // 6. Discovery: which registered tables union with this one? The index
+  //    was built incrementally at registration; queries touch sketches
+  //    only.
+  const size_t discover_k =
+      static_cast<size_t>(flags.GetInt("discover_k", 3));
+  auto unionable = (*engine)->DiscoverUnionable(names.front(), discover_k);
+  if (!unionable.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 unionable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  top-%zu unionable with '%s':\n", discover_k,
+              names.front().c_str());
+  for (const auto& c : *unionable) {
+    std::printf("    %-20s score %.3f (overlap %.3f, schema %.3f, %zu cols)\n",
+                c.name.c_str(), c.score, c.overlap, c.compat,
+                c.matched_columns);
+  }
+
+  // Optional: discover partners for an external CSV and integrate the
+  // discovered set in one call.
+  const std::string discover_csv = flags.GetString("discover", "");
+  if (!discover_csv.empty()) {
+    Status reg = (*engine)->RegisterCsv("query", discover_csv);
+    if (!reg.ok()) {
+      std::fprintf(stderr, "discover: register failed: %s\n",
+                   reg.ToString().c_str());
+      return 1;
+    }
+    CountingSink discover_sink;
+    std::vector<DiscoveryCandidate> discovered;
+    auto dreport = (*engine)->DiscoverAndIntegrate(
+        "query", discover_k, &discover_sink, req, &discovered);
+    if (!dreport.ok()) {
+      std::fprintf(stderr, "discover+integrate failed: %s\n",
+                   dreport.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "  discover '%s' k=%zu: %zu candidates, integrated %zu rows in %zu "
+        "batches\n",
+        discover_csv.c_str(), discover_k, discovered.size(),
+        discover_sink.rows(), discover_sink.batches());
   }
   return 0;
 }

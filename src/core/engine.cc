@@ -33,6 +33,7 @@ Status EngineOptions::Validate() const {
         StrFormat("embedding_cache.shards=%zu exceeds the ceiling of %zu",
                   embedding_cache.shards, kMaxCacheShards));
   }
+  LAKEFUZZ_RETURN_IF_ERROR(discovery.Validate());
   return Status::OK();
 }
 
@@ -46,7 +47,9 @@ LakeEngine::LakeEngine(EngineOptions options,
       model_(std::move(model)),
       cache_(std::move(cache)),
       pool_(std::move(pool)),
-      session_dict_(std::make_unique<SessionDict>()) {}
+      session_dict_(std::make_unique<SessionDict>()),
+      discovery_(std::make_unique<DiscoveryIndex>(
+          options_.discovery, session_dict_.get(), pool_.get())) {}
 
 Result<std::unique_ptr<LakeEngine>> LakeEngine::Create(
     EngineOptions options) {
@@ -71,10 +74,20 @@ Status LakeEngine::RegisterTable(std::string name, Table table) {
 
 Status LakeEngine::RegisterTable(std::string name,
                                  std::shared_ptr<const Table> table) {
-  LAKEFUZZ_RETURN_IF_ERROR(registry_.Register(std::move(name), table));
+  uint64_t version = 0;
+  LAKEFUZZ_RETURN_IF_ERROR(registry_.Register(name, table, &version));
   // Pin the snapshot in the session dictionary so its interned column codes
-  // are memoized across requests (released again by UnregisterTable).
-  session_dict_->PinTable(std::move(table));
+  // are memoized across requests (released again by Unregister).
+  session_dict_->PinTable(table);
+  // Incremental discovery build: sketch the new table (column-parallel on
+  // the session pool). `version` was captured under the registry lock, so
+  // the index attributes exactly this mutation (and refuses to fast-forward
+  // past concurrent ones it has not seen). With build_at_register off, the
+  // index simply falls behind the registry version and the first discovery
+  // call bulk-syncs it.
+  if (options_.discovery.build_at_register) {
+    discovery_->AddTable(name, std::move(table), version);
+  }
   return Status::OK();
 }
 
@@ -86,15 +99,77 @@ Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
   return RegisterTable(std::move(name), std::move(table).value());
 }
 
-bool LakeEngine::UnregisterTable(const std::string& name) {
+Status LakeEngine::Unregister(const std::string& name) {
   // Atomically take exactly the snapshot being removed, THEN unpin it from
   // the session dictionary. A non-atomic get/drop/remove could race a
   // concurrent unregister + re-register of the same name and drop (or
   // leak) the replacement's pin.
-  std::shared_ptr<const Table> removed = registry_.Take(name);
-  if (removed == nullptr) return false;
+  uint64_t version = 0;
+  std::shared_ptr<const Table> removed = registry_.Take(name, &version);
+  if (removed == nullptr) {
+    return Status::NotFound(
+        StrFormat("table '%s' is not registered", name.c_str()));
+  }
   session_dict_->DropTable(removed.get());
-  return true;
+  // `version` is exactly this removal's registry version; a discovery
+  // query racing in between sees a version mismatch and re-syncs.
+  discovery_->RemoveTable(name, version);
+  return Status::OK();
+}
+
+Status LakeEngine::EnsureDiscoverySynced(const CancelToken& cancel) const {
+  // Cheap fast path: versions match means the index reflects exactly the
+  // current name → snapshot mapping (TableRegistry::version() invariant).
+  if (discovery_->version() == registry_.version()) return Status::OK();
+  uint64_t version = 0;
+  auto snapshot = registry_.Snapshot(&version);
+  return discovery_->Resync(snapshot, version, cancel);
+}
+
+Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
+    const std::string& name, size_t k, const CancelToken& cancel) const {
+  if (k == 0) {
+    return Status::InvalidArgument("discovery k must be positive");
+  }
+  if (cancel.cancelled()) {
+    return Status::Cancelled("discovery cancelled before it started");
+  }
+  LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(cancel));
+  return discovery_->TopKByName(name, k, cancel);
+}
+
+Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
+    const Table& query, size_t k, const CancelToken& cancel) const {
+  if (k == 0) {
+    return Status::InvalidArgument("discovery k must be positive");
+  }
+  if (cancel.cancelled()) {
+    return Status::Cancelled("discovery cancelled before it started");
+  }
+  LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(cancel));
+  // SketchQuery hashes the cells directly — an ad-hoc query never grows
+  // the session dictionary.
+  std::vector<ColumnSketch> sketches = discovery_->SketchQuery(query);
+  return discovery_->TopK(sketches, k, cancel);
+}
+
+Result<FuzzyFdReport> LakeEngine::DiscoverAndIntegrate(
+    const std::string& query_name, size_t k, RowSink* sink,
+    const RequestOptions& request,
+    std::vector<DiscoveryCandidate>* discovered) const {
+  ReportProgress(request.progress, Stage::kDiscover, 0, 1);
+  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<DiscoveryCandidate> candidates,
+                            DiscoverUnionable(query_name, k, request.cancel));
+  ReportProgress(request.progress, Stage::kDiscover, 1, 1);
+  // Query first, then candidates in rank order: the name list defines TID
+  // numbering, so the discovered integration is reproducible from the
+  // candidate list alone (and bit-identical to IntegrateToSink on it).
+  std::vector<std::string> names;
+  names.reserve(candidates.size() + 1);
+  names.push_back(query_name);
+  for (const DiscoveryCandidate& c : candidates) names.push_back(c.name);
+  if (discovered != nullptr) *discovered = std::move(candidates);
+  return IntegrateToSink(names, sink, request);
 }
 
 uint64_t LakeEngine::schema_cache_hits() const {

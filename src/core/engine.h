@@ -31,10 +31,12 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine_registry.h"
 #include "core/fuzzy_fd.h"
+#include "discovery/discovery.h"
 #include "embedding/embedding_cache.h"
 #include "embedding/model_zoo.h"
 #include "fd/session_dict.h"
@@ -63,6 +65,9 @@ struct EngineOptions {
   size_t num_threads = 1;
   /// Sizing of the cross-call embedding cache (max_entries 0 = unbounded).
   EmbeddingCacheOptions embedding_cache;
+  /// Discovery-index knobs (signature size, LSH banding, score weights,
+  /// eager vs bulk build — see discovery/discovery.h).
+  DiscoveryOptions discovery;
 
   EngineOptions& SetModel(ModelKind kind) {
     model = kind;
@@ -74,6 +79,10 @@ struct EngineOptions {
   }
   EngineOptions& SetEmbeddingCache(EmbeddingCacheOptions options) {
     embedding_cache = options;
+    return *this;
+  }
+  EngineOptions& SetDiscovery(DiscoveryOptions options) {
+    discovery = std::move(options);
     return *this;
   }
 
@@ -168,8 +177,15 @@ class LakeEngine {
   /// renamed to `name` so diagnostics match the registry).
   Status RegisterCsv(std::string name, const std::string& path,
                      const CsvOptions& csv = CsvOptions());
-  /// Removes a name; false when absent. In-flight requests are unaffected.
-  bool UnregisterTable(const std::string& name);
+  /// Typed removal: ErrorCode::kNotFound when absent. Drops the name from
+  /// the registry, the session dictionary's column memo, and the discovery
+  /// index; in-flight requests holding the snapshot are unaffected, and any
+  /// cached alignment involving the name stops validating (version bump).
+  Status Unregister(const std::string& name);
+  /// Legacy boolean form of Unregister.
+  bool UnregisterTable(const std::string& name) {
+    return Unregister(name).ok();
+  }
   std::vector<std::string> TableNames() const;
   size_t NumTables() const;
 
@@ -187,6 +203,37 @@ class LakeEngine {
       const std::vector<std::string>& names, RowSink* sink,
       const RequestOptions& request = RequestOptions()) const;
 
+  // ----------------------------------------------------------- discovery
+  /// Top-k tables unionable with the registered table `name` (itself
+  /// excluded), ranked by sketch-estimated column overlap + schema
+  /// compatibility with deterministic (score desc, name asc) order.
+  /// ErrorCode::kNotFound for unknown names, kCancelled when `cancel`
+  /// fires mid-search. The discovery index is brought up to date with the
+  /// registry (TableRegistry::version()) before the search.
+  Result<std::vector<DiscoveryCandidate>> DiscoverUnionable(
+      const std::string& name, size_t k,
+      const CancelToken& cancel = CancelToken()) const;
+
+  /// Ad-hoc form: sketches `query` in place (not registered; the session
+  /// dictionary is untouched — sketches hash cell content directly) and
+  /// searches the lake with it.
+  Result<std::vector<DiscoveryCandidate>> DiscoverUnionable(
+      const Table& query, size_t k,
+      const CancelToken& cancel = CancelToken()) const;
+
+  /// Discovery feeding integration: finds the top-k unionable partners of
+  /// registered table `query_name`, then streams the integration of
+  /// {query_name} ∪ partners (in rank order — that order defines TID
+  /// numbering) through the align → match → fuzzy-FD pipeline into `sink`.
+  /// Output is bit-identical to IntegrateToSink on the same name list.
+  /// `request.cancel` / `request.progress` cover the discovery stage too
+  /// (Stage::kDiscover). When `discovered` is non-null it receives the
+  /// candidate list that was integrated.
+  Result<FuzzyFdReport> DiscoverAndIntegrate(
+      const std::string& query_name, size_t k, RowSink* sink,
+      const RequestOptions& request = RequestOptions(),
+      std::vector<DiscoveryCandidate>* discovered = nullptr) const;
+
   // ------------------------------------------------------------ session
   const EngineOptions& options() const { return options_; }
   /// The cross-call cache (inspect hits()/misses() to observe reuse).
@@ -200,6 +247,11 @@ class LakeEngine {
   /// AlignedSchema cache traffic: requests that skipped re-alignment
   /// because the same name set was aligned at the same registry version.
   uint64_t schema_cache_hits() const;
+  /// The discovery index (sketch + LSH state; num_tables/num_columns for
+  /// observability). Kept in sync with the registry by Register/Unregister
+  /// when discovery.build_at_register is set, and by the version-mismatch
+  /// resync in every discovery call either way.
+  const DiscoveryIndex& discovery_index() const { return *discovery_; }
 
  private:
   struct PreparedRequest {
@@ -228,11 +280,17 @@ class LakeEngine {
   Result<PreparedRequest> Prepare(const std::vector<std::string>& names,
                                   const RequestOptions& request) const;
 
+  /// Brings the discovery index to the current registry version (resync on
+  /// mismatch) — the invalidation contract every discovery query runs
+  /// behind. The bulk sketch honors `cancel` (ErrorCode::kCancelled).
+  Status EnsureDiscoverySynced(const CancelToken& cancel) const;
+
   EngineOptions options_;
   std::shared_ptr<const EmbeddingModel> model_;
   std::shared_ptr<EmbeddingCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SessionDict> session_dict_;
+  std::unique_ptr<DiscoveryIndex> discovery_;
   TableRegistry registry_;
 
   /// AlignedSchema per (alignment mode, ordered name set), validated

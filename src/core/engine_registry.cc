@@ -12,7 +12,8 @@ Status TableRegistry::Register(std::string name, Table table) {
 }
 
 Status TableRegistry::Register(std::string name,
-                               std::shared_ptr<const Table> table) {
+                               std::shared_ptr<const Table> table,
+                               uint64_t* version) {
   if (name.empty()) {
     return Status::InvalidArgument("registry table name must be non-empty");
   }
@@ -27,6 +28,7 @@ Status TableRegistry::Register(std::string name,
         "table '%s' is already registered", it->first.c_str()));
   }
   ++version_;
+  if (version != nullptr) *version = version_;
   return Status::OK();
 }
 
@@ -65,13 +67,23 @@ bool TableRegistry::Remove(const std::string& name) {
   return true;
 }
 
-std::shared_ptr<const Table> TableRegistry::Take(const std::string& name) {
+Status TableRegistry::Unregister(const std::string& name) {
+  if (!Remove(name)) {
+    return Status::NotFound(
+        StrFormat("table '%s' is not registered", name.c_str()));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const Table> TableRegistry::Take(const std::string& name,
+                                                 uint64_t* version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return nullptr;
   std::shared_ptr<const Table> out = std::move(it->second);
   tables_.erase(it);
   ++version_;
+  if (version != nullptr) *version = version_;
   return out;
 }
 
@@ -88,6 +100,20 @@ std::vector<std::string> TableRegistry::Names() const {
     for (const auto& [name, table] : tables_) out.push_back(name);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const Table>>>
+TableRegistry::Snapshot(uint64_t* version) const {
+  std::vector<std::pair<std::string, std::shared_ptr<const Table>>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) out.emplace_back(name, table);
+    if (version != nullptr) *version = version_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

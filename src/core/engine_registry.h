@@ -29,8 +29,12 @@ class TableRegistry {
 
   /// Shared-ownership form: registers an externally owned snapshot without
   /// copying (the shims wrap caller-owned tables in non-owning aliases;
-  /// callers sharing real ownership just pass their shared_ptr).
-  Status Register(std::string name, std::shared_ptr<const Table> table);
+  /// callers sharing real ownership just pass their shared_ptr). On
+  /// success, a non-null `version` receives the registry version this
+  /// registration produced — read under the same lock, so derived indexes
+  /// can attribute the mutation exactly even under concurrent writers.
+  Status Register(std::string name, std::shared_ptr<const Table> table,
+                  uint64_t* version = nullptr);
 
   /// The snapshot registered under `name`, or ErrorCode::kNotFound.
   Result<std::shared_ptr<const Table>> Get(const std::string& name) const;
@@ -49,11 +53,19 @@ class TableRegistry {
   /// snapshot are unaffected.
   bool Remove(const std::string& name);
 
+  /// Typed removal: ErrorCode::kNotFound when `name` is absent (so callers
+  /// branch on codes, matching Register's kAlreadyExists), version bump on
+  /// success. In-flight requests holding the snapshot are unaffected.
+  Status Unregister(const std::string& name);
+
   /// Atomic remove-and-return: the snapshot that was registered under
   /// `name`, or null when absent. Lets a caller release exactly the
   /// registration it removed (LakeEngine unpins it from the session
   /// dictionary) without racing a concurrent re-registration of the name.
-  std::shared_ptr<const Table> Take(const std::string& name);
+  /// On removal, a non-null `version` receives the resulting registry
+  /// version (same lock hold, like Register).
+  std::shared_ptr<const Table> Take(const std::string& name,
+                                    uint64_t* version = nullptr);
 
   /// Mutation counter: bumped by every successful Register and Remove.
   /// Equal versions ⇒ identical name → snapshot mapping.
@@ -61,6 +73,12 @@ class TableRegistry {
 
   /// Registered names, sorted (deterministic listing for CLIs and tests).
   std::vector<std::string> Names() const;
+
+  /// Every (name, snapshot) pair sorted by name, resolved in one lock hold
+  /// together with the registry version — the consistent view derived
+  /// indexes (the engine's discovery index) resync against.
+  std::vector<std::pair<std::string, std::shared_ptr<const Table>>> Snapshot(
+      uint64_t* version = nullptr) const;
 
   size_t size() const;
 

@@ -1,0 +1,107 @@
+#include "datagen/lake.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+/// Pool value i of (group, column): disjoint namespaces per group keep the
+/// planted structure the only unionable signal.
+std::string PoolValue(size_t group, size_t col, size_t i) {
+  return StrFormat("g%zu_c%zu_v%05zu", group, col, i);
+}
+
+std::string NoiseValue(size_t table, size_t col, size_t i) {
+  return StrFormat("n%zu_c%zu_v%05zu", table, col, i);
+}
+
+}  // namespace
+
+GeneratedLake GenerateLake(const LakeOptions& options) {
+  assert(options.num_tables >= options.num_groups * options.group_size);
+  assert(options.value_overlap > 0.0 && options.value_overlap <= 1.0);
+  GeneratedLake lake;
+  Rng rng(options.seed);
+  const size_t cols = options.columns_per_table;
+  const size_t rows = options.rows_per_table;
+  // Pool size per (group, column): members sample `rows` of these, hitting
+  // the requested overlap fraction.
+  const size_t pool =
+      std::max<size_t>(rows, static_cast<size_t>(
+                                 static_cast<double>(rows) /
+                                 options.value_overlap));
+
+  size_t table_idx = 0;
+  auto next_name = [&table_idx] {
+    return StrFormat("lake_%04zu", table_idx++);
+  };
+
+  for (size_t g = 0; g < options.num_groups; ++g) {
+    std::vector<std::string> members;
+    // Shared headers within the group: by-name alignment of a discovered
+    // group reproduces the planted union schema.
+    std::vector<std::string> headers;
+    for (size_t c = 0; c < cols; ++c) {
+      headers.push_back(StrFormat("g%zu_col%zu", g, c));
+    }
+    for (size_t m = 0; m < options.group_size; ++m) {
+      Table t(next_name(), Schema::FromNames(headers));
+      // Per-column independent samples of the group pool.
+      std::vector<std::vector<size_t>> picks(cols);
+      for (size_t c = 0; c < cols; ++c) picks[c] = rng.Sample(pool, rows);
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<Value> row;
+        row.reserve(cols);
+        for (size_t c = 0; c < cols; ++c) {
+          if (rng.Bernoulli(options.null_p)) {
+            row.push_back(Value::Null());
+          } else {
+            row.push_back(Value::String(PoolValue(g, c, picks[c][r])));
+          }
+        }
+        Status s = t.AppendRow(std::move(row));
+        assert(s.ok());
+        (void)s;
+      }
+      lake.total_cells += rows * cols;
+      members.push_back(t.name());
+      lake.tables.push_back(std::move(t));
+    }
+    lake.groups.push_back(std::move(members));
+  }
+
+  // Noise tables: private value universes, private headers — they should
+  // never outrank a planted member.
+  while (lake.tables.size() < options.num_tables) {
+    const size_t n = lake.tables.size();
+    std::vector<std::string> headers;
+    for (size_t c = 0; c < cols; ++c) {
+      headers.push_back(StrFormat("n%zu_col%zu", n, c));
+    }
+    Table t(next_name(), Schema::FromNames(headers));
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        if (rng.Bernoulli(options.null_p)) {
+          row.push_back(Value::Null());
+        } else {
+          row.push_back(Value::String(
+              NoiseValue(n, c, static_cast<size_t>(rng.Uniform(pool * 4)))));
+        }
+      }
+      Status s = t.AppendRow(std::move(row));
+      assert(s.ok());
+      (void)s;
+    }
+    lake.total_cells += rows * cols;
+    lake.tables.push_back(std::move(t));
+  }
+  return lake;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,57 @@
+// Synthetic data-lake generator with planted unionable groups — the ground
+// truth behind discovery recall tests and bench_discovery.
+//
+// A generated lake is num_tables small tables: num_groups planted groups of
+// group_size members each, padded with noise tables. Members of one group
+// draw their rows from shared per-column value pools (each member samples a
+// `value_overlap` fraction of its column's pool), so any two members have
+// expected pairwise value Jaccard ≈ overlap / (2 − overlap) per shared
+// column — discoverable by MinHash, non-trivial for exact matching. Value
+// pools are disjoint across groups and noise tables draw from their own
+// private pools, so the planted grouping is the unique unionable structure.
+//
+// Generation is fully deterministic in LakeOptions::seed (Rng is
+// platform-stable), so recall numbers and benchmark artifacts reproduce.
+#ifndef LAKEFUZZ_DATAGEN_LAKE_H_
+#define LAKEFUZZ_DATAGEN_LAKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace lakefuzz {
+
+struct LakeOptions {
+  /// Total tables; must be >= num_groups * group_size (the rest are noise).
+  size_t num_tables = 200;
+  size_t num_groups = 24;
+  size_t group_size = 5;
+  size_t rows_per_table = 40;
+  /// Columns shared by the members of one group (and width of noise
+  /// tables).
+  size_t columns_per_table = 4;
+  /// Fraction of a group's per-column value pool each member samples;
+  /// pairwise member Jaccard ≈ overlap / (2 − overlap).
+  double value_overlap = 0.8;
+  /// Probability that a cell is nulled out (exercises null handling in
+  /// sketches; keep small so overlap stays near nominal).
+  double null_p = 0.02;
+  uint64_t seed = 20260730;
+};
+
+struct GeneratedLake {
+  /// Tables named "lake_0000" ... in generation order: group members first
+  /// (group g member m at index g * group_size + m), then noise tables.
+  std::vector<Table> tables;
+  /// Planted ground truth: groups[g] lists the member table names.
+  std::vector<std::vector<std::string>> groups;
+  size_t total_cells = 0;
+};
+
+GeneratedLake GenerateLake(const LakeOptions& options);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DATAGEN_LAKE_H_

@@ -1,0 +1,60 @@
+#include "discovery/lsh_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace lakefuzz {
+
+LshIndex::LshIndex(size_t bands, size_t rows)
+    : bands_(bands), rows_(rows), tables_(bands) {}
+
+uint64_t LshIndex::BandKey(size_t band,
+                           const std::vector<uint64_t>& signature) const {
+  assert(signature.size() >= bands_ * rows_);
+  // FNV over the band's slice, salted by the band index so identical slices
+  // in different bands land in independent buckets.
+  uint64_t h = Mix64(0x15b1ab1e + band);
+  for (size_t r = 0; r < rows_; ++r) {
+    h = HashCombine(h, signature[band * rows_ + r]);
+  }
+  return h;
+}
+
+void LshIndex::Add(uint32_t id, const std::vector<uint64_t>& signature) {
+  for (size_t band = 0; band < bands_; ++band) {
+    tables_[band][BandKey(band, signature)].push_back(id);
+  }
+  ++num_entries_;
+}
+
+void LshIndex::Remove(uint32_t id, const std::vector<uint64_t>& signature) {
+  for (size_t band = 0; band < bands_; ++band) {
+    auto it = tables_[band].find(BandKey(band, signature));
+    if (it == tables_[band].end()) continue;
+    auto& bucket = it->second;
+    auto pos = std::find(bucket.begin(), bucket.end(), id);
+    if (pos == bucket.end()) continue;
+    // Swap-erase: bucket order is never observable (Query sorts).
+    *pos = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) tables_[band].erase(it);
+  }
+  if (num_entries_ > 0) --num_entries_;
+}
+
+std::vector<uint32_t> LshIndex::Query(
+    const std::vector<uint64_t>& signature) const {
+  std::vector<uint32_t> out;
+  for (size_t band = 0; band < bands_; ++band) {
+    auto it = tables_[band].find(BandKey(band, signature));
+    if (it == tables_[band].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,60 @@
+// LshIndex: MinHash banding index over column signatures.
+//
+// The classic LSH construction: a signature of b·r minima is cut into b
+// bands of r rows; each band hashes to a bucket, and two columns collide in
+// a band with probability j^r (j = their Jaccard similarity), hence in at
+// least one band with probability 1 - (1 - j^r)^b — a sharp S-curve that
+// passes similar columns and drops dissimilar ones. Candidate generation is
+// therefore O(bands) hash lookups per query column, independent of lake
+// size; exact scoring runs only on the survivors.
+//
+// The index stores opaque uint32 column ids assigned by the caller
+// (DiscoveryIndex maps them back to (table, column)). Not internally
+// synchronized: the owner serializes access.
+#ifndef LAKEFUZZ_DISCOVERY_LSH_INDEX_H_
+#define LAKEFUZZ_DISCOVERY_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lakefuzz {
+
+class LshIndex {
+ public:
+  /// `bands` bands of `rows` signature slots each; signatures passed to
+  /// Add/Remove/Query must hold at least bands·rows entries (validated by
+  /// DiscoveryOptions).
+  LshIndex(size_t bands, size_t rows);
+
+  size_t bands() const { return bands_; }
+  size_t rows() const { return rows_; }
+  size_t num_entries() const { return num_entries_; }
+
+  /// Inserts `id` into one bucket per band.
+  void Add(uint32_t id, const std::vector<uint64_t>& signature);
+
+  /// Removes `id` from every bucket Add(id, signature) put it in. The
+  /// signature must be the one it was added with (sketches are immutable,
+  /// so the owner always has it).
+  void Remove(uint32_t id, const std::vector<uint64_t>& signature);
+
+  /// All ids sharing at least one band bucket with `signature` — sorted and
+  /// deduplicated, so the result is independent of insertion order (and
+  /// therefore of index-build thread count).
+  std::vector<uint32_t> Query(const std::vector<uint64_t>& signature) const;
+
+ private:
+  uint64_t BandKey(size_t band, const std::vector<uint64_t>& signature) const;
+
+  size_t bands_;
+  size_t rows_;
+  size_t num_entries_ = 0;
+  /// One bucket map per band: band key → ids (unsorted; Query sorts).
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_DISCOVERY_LSH_INDEX_H_

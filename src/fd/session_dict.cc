@@ -2,14 +2,18 @@
 
 namespace lakefuzz {
 
-std::shared_ptr<const std::vector<uint32_t>> SessionDict::InternColumnLocked(
+std::shared_ptr<const std::vector<uint32_t>> SessionDict::InternColumn(
     const Table& table, size_t col) {
   const std::vector<Value>& values = table.ColumnValues(col);
   auto codes = std::make_shared<std::vector<uint32_t>>();
   codes->reserve(values.size());
-  const size_t before = dict_.NumDistinct();
-  for (const Value& v : values) codes->push_back(dict_.Intern(v));
-  stats_.values_interned += dict_.NumDistinct() - before;
+  uint64_t appended = 0;
+  bool inserted = false;
+  for (const Value& v : values) {
+    codes->push_back(dict_.Intern(v, &inserted));
+    appended += inserted ? 1 : 0;
+  }
+  values_interned_.fetch_add(appended, std::memory_order_relaxed);
   return codes;
 }
 
@@ -22,26 +26,42 @@ void SessionDict::PinTable(std::shared_ptr<const Table> table) {
 
 std::shared_ptr<const std::vector<uint32_t>> SessionDict::ColumnCodes(
     const Table& table, size_t col) {
+  column_requests_.fetch_add(1, std::memory_order_relaxed);
+  bool pinned = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(&table);
+    if (it != cache_.end()) {
+      pinned = true;
+      auto& columns = it->second.columns;
+      if (columns.size() < table.NumColumns()) {
+        columns.resize(table.NumColumns());
+      }
+      if (columns[col] != nullptr) {
+        column_hits_.fetch_add(1, std::memory_order_relaxed);
+        return columns[col];
+      }
+    }
+  }
+  // Cold column: intern outside the memo lock so concurrent registrations /
+  // sketch builds only contend inside the dictionary's hash shards. A racing
+  // thread computing the same column produces an identical span (the dict
+  // deduplicates); first store wins below.
+  auto codes = InternColumn(table, col);
+  if (!pinned) return codes;
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.column_requests;
   auto it = cache_.find(&table);
-  if (it == cache_.end()) return InternColumnLocked(table, col);
+  if (it == cache_.end()) return codes;  // dropped while interning
   auto& columns = it->second.columns;
   if (columns.size() < table.NumColumns()) columns.resize(table.NumColumns());
-  if (columns[col] != nullptr) {
-    ++stats_.column_hits;
-    return columns[col];
-  }
-  columns[col] = InternColumnLocked(table, col);
+  if (columns[col] == nullptr) columns[col] = std::move(codes);
   return columns[col];
 }
 
 uint32_t SessionDict::InternValue(const Value& v) {
-  if (v.is_null()) return ValueDict::kNullCode;
-  std::lock_guard<std::mutex> lock(mu_);
-  const size_t before = dict_.NumDistinct();
-  const uint32_t code = dict_.Intern(v);
-  stats_.values_interned += dict_.NumDistinct() - before;
+  bool inserted = false;
+  const uint32_t code = dict_.Intern(v, &inserted);
+  if (inserted) values_interned_.fetch_add(1, std::memory_order_relaxed);
   return code;
 }
 
@@ -50,14 +70,12 @@ void SessionDict::DropTable(const Table* table) {
   cache_.erase(table);
 }
 
-size_t SessionDict::NumDistinct() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dict_.NumDistinct();
-}
-
 SessionDict::Stats SessionDict::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  out.column_requests = column_requests_.load(std::memory_order_relaxed);
+  out.column_hits = column_hits_.load(std::memory_order_relaxed);
+  out.values_interned = values_interned_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace lakefuzz

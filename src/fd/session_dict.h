@@ -8,13 +8,22 @@
 // free for every later one), and the interned code column of a registered
 // table is memoized keyed by (table address, column) — a warm
 // FdProblem::BuildInterned is a flat uint32 scatter with zero hashing and
-// zero Value copies.
+// zero Value copies. The memoized code spans double as the input of
+// discovery sketching (src/discovery/): ColumnCodes hands out the span and
+// dict().HashOf supplies the content hash MinHash signatures are built
+// over, so sketching a registered table re-hashes no strings.
 //
-// Thread safety: all interning goes through one mutex (concurrent requests
-// serialize on dictionary growth, which is only paid for values never seen
-// before). Decode is deliberately NOT behind the mutex: ValueDict's bucketed
-// storage keeps decoded references stable under growth, so a request may
-// stream-decode its result set while another request is still interning.
+// Thread safety: the underlying ValueDict is internally sharded
+// (fd/value_dict.h), so concurrent cold interning — several tables
+// registering or being sketched at once — contends per hash shard instead
+// of serializing on one dictionary mutex. The SessionDict mutex only guards
+// the per-table column memo; a memo miss computes its codes OUTSIDE that
+// lock. Two threads racing on the same cold column both intern it (the
+// dictionary deduplicates, so they produce identical spans) and one result
+// is memoized. Decode / HashOf are deliberately lock-free: ValueDict's
+// bucketed storage keeps decoded references stable under growth, so a
+// request may stream-decode its result set while another request is still
+// interning.
 //
 // Cache safety: only tables pinned via PinTable are ever memoized, and the
 // pin is a shared_ptr — a cached table cannot be destroyed (and its address
@@ -25,6 +34,7 @@
 #ifndef LAKEFUZZ_FD_SESSION_DICT_H_
 #define LAKEFUZZ_FD_SESSION_DICT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -45,9 +55,9 @@ class SessionDict {
     uint64_t values_interned = 0;  ///< distinct values appended to the dict
   };
 
-  /// The backing dictionary. Decode on the returned reference is safe
-  /// concurrently with interning (see file comment); Intern must go through
-  /// ColumnCodes / InternValue.
+  /// The backing dictionary. Decode / HashOf on the returned reference are
+  /// safe concurrently with interning (see file comment); Intern must go
+  /// through ColumnCodes / InternValue.
   const ValueDict& dict() const { return dict_; }
 
   /// Marks `table` as a session-owned snapshot whose interned column codes
@@ -57,6 +67,7 @@ class SessionDict {
   /// Interned codes for column `col` of `table`, length table.NumRows()
   /// (kNullCode for nulls). Memoized iff the table is pinned; otherwise
   /// computed per call (the dictionary still deduplicates values).
+  /// Thread-safe; cold columns intern concurrently on the sharded dict.
   std::shared_ptr<const std::vector<uint32_t>> ColumnCodes(const Table& table,
                                                            size_t col);
 
@@ -68,7 +79,7 @@ class SessionDict {
   void DropTable(const Table* table);
 
   /// Distinct non-null values interned so far.
-  size_t NumDistinct() const;
+  size_t NumDistinct() const { return dict_.NumDistinct(); }
 
   Stats stats() const;
 
@@ -79,13 +90,17 @@ class SessionDict {
     std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns;
   };
 
-  std::shared_ptr<const std::vector<uint32_t>> InternColumnLocked(
+  /// Interns one whole column; called outside mu_ (the dictionary is
+  /// internally synchronized).
+  std::shared_ptr<const std::vector<uint32_t>> InternColumn(
       const Table& table, size_t col);
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  ///< guards cache_ only
   ValueDict dict_;
   std::unordered_map<const Table*, TableEntry> cache_;
-  Stats stats_;
+  std::atomic<uint64_t> column_requests_{0};
+  std::atomic<uint64_t> column_hits_{0};
+  std::atomic<uint64_t> values_interned_{0};
 };
 
 }  // namespace lakefuzz

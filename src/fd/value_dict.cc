@@ -6,9 +6,12 @@ namespace lakefuzz {
 
 ValueDict::ValueDict() {
   for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
-  Append(Value::Null());  // code 0 = null
-  hashes_.push_back(0);
-  slots_.assign(kInitialSlots, kNullCode);
+  for (auto& b : hash_buckets_) b.store(nullptr, std::memory_order_relaxed);
+  // Code 0 = null: bucket 0 is allocated eagerly so Decode(kNullCode) /
+  // HashOf(kNullCode) work on a fresh dictionary (default Value is null,
+  // zero-initialized hash is 0).
+  EnsureBucket(0);
+  for (auto& sh : shards_) sh.slots.assign(kInitialSlots, kNullCode);
 }
 
 ValueDict::~ValueDict() { FreeBuckets(); }
@@ -18,19 +21,35 @@ void ValueDict::FreeBuckets() {
     delete[] b.load(std::memory_order_relaxed);
     b.store(nullptr, std::memory_order_relaxed);
   }
-  size_ = 0;
+  for (auto& b : hash_buckets_) {
+    delete[] b.load(std::memory_order_relaxed);
+    b.store(nullptr, std::memory_order_relaxed);
+  }
+  size_.store(1, std::memory_order_relaxed);
 }
 
 void ValueDict::CopyFrom(const ValueDict& other) {
-  hashes_ = other.hashes_;
-  slots_ = other.slots_;
-  for (size_t code = 0; code < other.size_; ++code) {
-    Append(other.Decode(static_cast<uint32_t>(code)));
+  // Copy/assignment are documented as non-concurrent: `other` is quiescent.
+  const uint32_t n = other.size_.load(std::memory_order_relaxed);
+  EnsureBucket(0);
+  for (uint32_t code = 1; code < n; ++code) {
+    const size_t b = BucketOf(code);
+    EnsureBucket(b);
+    const size_t off = code - BucketBase(b);
+    buckets_[b].load(std::memory_order_relaxed)[off] = other.Decode(code);
+    hash_buckets_[b].load(std::memory_order_relaxed)[off] =
+        other.HashOf(code);
+  }
+  size_.store(n, std::memory_order_relaxed);
+  for (size_t s = 0; s < kShards; ++s) {
+    shards_[s].slots = other.shards_[s].slots;
+    shards_[s].used = other.shards_[s].used;
   }
 }
 
 ValueDict::ValueDict(const ValueDict& other) {
   for (auto& b : buckets_) b.store(nullptr, std::memory_order_relaxed);
+  for (auto& b : hash_buckets_) b.store(nullptr, std::memory_order_relaxed);
   CopyFrom(other);
 }
 
@@ -41,96 +60,137 @@ ValueDict& ValueDict::operator=(const ValueDict& other) {
   return *this;
 }
 
-ValueDict::ValueDict(ValueDict&& other) noexcept
-    : size_(other.size_),
-      hashes_(std::move(other.hashes_)),
-      slots_(std::move(other.slots_)) {
+ValueDict::ValueDict(ValueDict&& other) noexcept {
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
   for (size_t b = 0; b < kMaxBuckets; ++b) {
     buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     other.buckets_[b].store(nullptr, std::memory_order_relaxed);
+    hash_buckets_[b].store(
+        other.hash_buckets_[b].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.hash_buckets_[b].store(nullptr, std::memory_order_relaxed);
   }
-  other.size_ = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    shards_[s].slots = std::move(other.shards_[s].slots);
+    shards_[s].used = other.shards_[s].used;
+    other.shards_[s].used = 0;
+  }
+  other.size_.store(1, std::memory_order_relaxed);
 }
 
 ValueDict& ValueDict::operator=(ValueDict&& other) noexcept {
   if (this == &other) return *this;
   FreeBuckets();
-  size_ = other.size_;
-  hashes_ = std::move(other.hashes_);
-  slots_ = std::move(other.slots_);
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
   for (size_t b = 0; b < kMaxBuckets; ++b) {
     buckets_[b].store(other.buckets_[b].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     other.buckets_[b].store(nullptr, std::memory_order_relaxed);
+    hash_buckets_[b].store(
+        other.hash_buckets_[b].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.hash_buckets_[b].store(nullptr, std::memory_order_relaxed);
   }
-  other.size_ = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    shards_[s].slots = std::move(other.shards_[s].slots);
+    shards_[s].used = other.shards_[s].used;
+    other.shards_[s].used = 0;
+  }
+  other.size_.store(1, std::memory_order_relaxed);
   return *this;
 }
 
-void ValueDict::Append(const Value& v) {
-  const uint32_t code = static_cast<uint32_t>(size_);
-  const size_t b = BucketOf(code);
-  Value* bucket = buckets_[b].load(std::memory_order_relaxed);
-  if (bucket == nullptr) {
-    bucket = new Value[BucketCapacity(b)];
-    // Release-publish so a concurrent Decode that reads the pointer sees
-    // fully constructed (null) slots; the slot written below is only read
-    // by threads that obtained `code` with its own happens-before edge.
-    buckets_[b].store(bucket, std::memory_order_release);
-  }
-  bucket[code - BucketBase(b)] = v;
-  ++size_;
+void ValueDict::EnsureBucket(size_t b) {
+  if (buckets_[b].load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  if (buckets_[b].load(std::memory_order_relaxed) != nullptr) return;
+  // Value-initialize both arrays (null Values, zero hashes) BEFORE the
+  // release publish, so a concurrent reader that wins the pointer race
+  // never observes uninitialized slots.
+  auto* hashes = new uint64_t[BucketCapacity(b)]();
+  auto* values = new Value[BucketCapacity(b)];
+  hash_buckets_[b].store(hashes, std::memory_order_release);
+  buckets_[b].store(values, std::memory_order_release);
 }
 
-uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash) {
+uint32_t ValueDict::Append(const Value& v, uint64_t hash) {
+  const uint32_t code = size_.fetch_add(1, std::memory_order_acq_rel);
+  assert(code != UINT32_MAX && "ValueDict code space exhausted");
+  const size_t b = BucketOf(code);
+  EnsureBucket(b);
+  const size_t off = code - BucketBase(b);
+  buckets_[b].load(std::memory_order_relaxed)[off] = v;
+  hash_buckets_[b].load(std::memory_order_relaxed)[off] = hash;
+  return code;
+}
+
+uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash,
+                                 bool* inserted) {
   assert(!v.is_null());
-  const size_t mask = slots_.size() - 1;
+  Shard& sh = shards_[ShardOf(hash)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const size_t mask = sh.slots.size() - 1;
   size_t s = static_cast<size_t>(hash) & mask;
   while (true) {
-    uint32_t code = slots_[s];
+    uint32_t code = sh.slots[s];
     if (code == kNullCode) break;
     // 64-bit hash equality first: a full Value compare only runs on repeat
     // occurrences of the same value (the common case) or true collisions.
-    if (hashes_[code] == hash && Decode(code) == v) return code;
+    if (HashOf(code) == hash && Decode(code) == v) {
+      if (inserted != nullptr) *inserted = false;
+      return code;
+    }
     s = (s + 1) & mask;
   }
-  uint32_t code = static_cast<uint32_t>(size_);
-  Append(v);
-  hashes_.push_back(hash);
-  slots_[s] = code;
+  const uint32_t code = Append(v, hash);
+  sh.slots[s] = code;
+  ++sh.used;
   // Grow at ~0.7 load to keep probe chains short.
-  if (size_ * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  if (sh.used * 10 >= sh.slots.size() * 7) {
+    RehashShard(sh, sh.slots.size() * 2);
+  }
+  if (inserted != nullptr) *inserted = true;
   return code;
 }
 
 uint32_t ValueDict::Find(const Value& v) const {
   if (v.is_null()) return kNullCode;
   const uint64_t hash = v.Hash();
-  const size_t mask = slots_.size() - 1;
+  const Shard& sh = shards_[ShardOf(hash)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const size_t mask = sh.slots.size() - 1;
   size_t s = static_cast<size_t>(hash) & mask;
   while (true) {
-    uint32_t code = slots_[s];
+    uint32_t code = sh.slots[s];
     if (code == kNullCode) return kNullCode;
-    if (hashes_[code] == hash && Decode(code) == v) return code;
+    if (HashOf(code) == hash && Decode(code) == v) return code;
     s = (s + 1) & mask;
   }
 }
 
 void ValueDict::Reserve(size_t expected) {
-  hashes_.reserve(expected + 1);
+  // Assume an even hash spread; each shard takes its slice.
+  const size_t per_shard = expected / kShards + 1;
   size_t want = kInitialSlots;
-  while (want * 7 < (expected + 1) * 10) want <<= 1;
-  if (want > slots_.size()) Rehash(want);
+  while (want * 7 < per_shard * 10) want <<= 1;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (want > sh.slots.size()) RehashShard(sh, want);
+  }
 }
 
-void ValueDict::Rehash(size_t new_slot_count) {
-  slots_.assign(new_slot_count, kNullCode);
+void ValueDict::RehashShard(Shard& shard, size_t new_slot_count) const {
+  std::vector<uint32_t> old = std::move(shard.slots);
+  shard.slots.assign(new_slot_count, kNullCode);
   const size_t mask = new_slot_count - 1;
-  for (uint32_t code = 1; code < size_; ++code) {
-    size_t s = static_cast<size_t>(hashes_[code]) & mask;
-    while (slots_[s] != kNullCode) s = (s + 1) & mask;
-    slots_[s] = code;
+  for (uint32_t code : old) {
+    if (code == kNullCode) continue;
+    size_t s = static_cast<size_t>(HashOf(code)) & mask;
+    while (shard.slots[s] != kNullCode) s = (s + 1) & mask;
+    shard.slots[s] = code;
   }
 }
 

@@ -11,28 +11,36 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "table/value.h"
 
 namespace lakefuzz {
 
-/// Interns distinct non-null Values into dense uint32 codes. Code 0 is
-/// reserved for null; non-null values get 1, 2, ... in first-intern order,
-/// so a fixed intern sequence yields identical codes on every run.
+/// Interns distinct non-null Values into uint32 codes. Code 0 is reserved
+/// for null; non-null values get 1, 2, ... in first-intern order, so a fixed
+/// intern sequence yields identical codes on every run. (Concurrent
+/// interners — see below — may interleave allocations; codes stay dense and
+/// session-consistent, but their numeric order then depends on scheduling.
+/// Nothing downstream orders by code value: the FD core uses codes as
+/// equality keys only and sorts results by TID sets / decoded Values.)
 ///
-/// Internally an open-addressing table over 64-bit value hashes. Callers
-/// that already computed v.Hash() (FdProblem::BuildIndex hashes all cells in
-/// a parallel pre-pass) intern without re-hashing via InternHashed.
+/// Thread safety: Intern / InternHashed / Find are safe to call
+/// concurrently. The hash index is bucketed into independently locked
+/// shards (selected by value hash), so concurrent cold interning — e.g.
+/// several tables registering into one engine session while discovery
+/// sketches them — contends only within a shard instead of serializing on
+/// one dictionary mutex. Copy/move/Reserve are NOT thread-safe; callers
+/// quiesce the dictionary first.
 ///
 /// Decoded values live in append-only geometric buckets (bucket b holds
-/// 1024·2^b slots), so a `const Value&` returned by Decode stays valid for
-/// the dictionary's lifetime no matter how much it grows afterwards. This is
-/// what lets a session-lived dictionary (fd/session_dict.h) serve Decode to
-/// one request while another request is still interning: Intern calls must
-/// be externally serialized (SessionDict holds a mutex), but any thread may
-/// Decode codes it obtained under that serialization concurrently with
-/// further growth.
+/// 1024·2^b slots), so the `const Value&` returned by Decode — and the
+/// 64-bit content hash returned by HashOf — stay valid and lock-free no
+/// matter how much the dictionary grows afterwards. Any thread may Decode /
+/// HashOf codes it obtained through a happens-before edge (a completed
+/// Intern on this thread, or codes handed over under a lock) concurrently
+/// with further interning.
 class ValueDict {
  public:
   static constexpr uint32_t kNullCode = 0;
@@ -45,15 +53,21 @@ class ValueDict {
   ValueDict(ValueDict&& other) noexcept;
   ValueDict& operator=(ValueDict&& other) noexcept;
 
-  /// Interns `v`; nulls map to kNullCode without touching the table.
-  uint32_t Intern(const Value& v) {
-    if (v.is_null()) return kNullCode;
-    return InternHashed(v, v.Hash());
+  /// Interns `v`; nulls map to kNullCode without touching the table. When
+  /// `inserted` is non-null it receives whether this call appended a new
+  /// dictionary entry (false for nulls and repeat values).
+  uint32_t Intern(const Value& v, bool* inserted = nullptr) {
+    if (v.is_null()) {
+      if (inserted != nullptr) *inserted = false;
+      return kNullCode;
+    }
+    return InternHashed(v, v.Hash(), inserted);
   }
 
   /// Intern with a precomputed hash; `hash` must equal v.Hash() and `v` must
   /// be non-null.
-  uint32_t InternHashed(const Value& v, uint64_t hash);
+  uint32_t InternHashed(const Value& v, uint64_t hash,
+                        bool* inserted = nullptr);
 
   /// Code of `v`: kNullCode when null or never interned.
   uint32_t Find(const Value& v) const;
@@ -65,10 +79,24 @@ class ValueDict {
     return buckets_[b].load(std::memory_order_acquire)[code - BucketBase(b)];
   }
 
-  /// Distinct non-null values interned so far.
-  size_t NumDistinct() const { return size_ - 1; }
+  /// Content hash (== Decode(code).Hash()) of an interned code, read from
+  /// the stable side table — no value re-hashing. HashOf(kNullCode) is 0.
+  /// Same lock-free validity rules as Decode. This is what discovery
+  /// MinHash sketches are built over: the hash depends only on the value's
+  /// content, never on code assignment order, so sketches are deterministic
+  /// across intern interleavings and thread counts.
+  uint64_t HashOf(uint32_t code) const {
+    const size_t b = BucketOf(code);
+    return hash_buckets_[b].load(
+        std::memory_order_acquire)[code - BucketBase(b)];
+  }
 
-  /// Pre-sizes the table for `expected` distinct non-null values.
+  /// Distinct non-null values interned so far.
+  size_t NumDistinct() const {
+    return size_.load(std::memory_order_acquire) - 1;
+  }
+
+  /// Pre-sizes the hash shards for `expected` distinct non-null values.
   void Reserve(size_t expected);
 
  private:
@@ -76,8 +104,20 @@ class ValueDict {
   // buckets cover the full uint32 code space.
   static constexpr size_t kBaseBits = 10;
   static constexpr size_t kMaxBuckets = 33 - kBaseBits;
-  static constexpr size_t kInitialSlots = 16;  // power of two
+  // Independently locked hash-index shards (power of two, like
+  // EmbeddingCache). Selected by high hash bits; in-shard probing uses the
+  // low bits, so the two choices stay independent.
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kInitialSlots = 16;  // per shard, power of two
 
+  struct Shard {
+    mutable std::mutex mu;
+    /// Open-addressing table of codes; kNullCode = empty slot.
+    std::vector<uint32_t> slots;
+    size_t used = 0;  ///< codes stored in this shard
+  };
+
+  static size_t ShardOf(uint64_t hash) { return (hash >> 57) & (kShards - 1); }
   static size_t BucketOf(uint32_t code) {
     return 63 - static_cast<size_t>(
                     __builtin_clzll((static_cast<uint64_t>(code) >> kBaseBits) +
@@ -88,20 +128,27 @@ class ValueDict {
   }
   static size_t BucketCapacity(size_t b) { return size_t{1} << (kBaseBits + b); }
 
-  /// Appends `v` at code `size_`, allocating the bucket on first touch.
-  void Append(const Value& v);
+  /// Allocates the next code and stores `v` + `hash` at it. Thread-safe
+  /// against appends to other codes; the caller publishes the code through
+  /// its shard table (or another happens-before edge) before readers use it.
+  uint32_t Append(const Value& v, uint64_t hash);
+  /// Ensures the storage bucket holding `code` exists (double-checked
+  /// against alloc_mu_).
+  void EnsureBucket(size_t b);
   void CopyFrom(const ValueDict& other);
   void FreeBuckets();
 
-  void Rehash(size_t new_slot_count);
+  void RehashShard(Shard& shard, size_t new_slot_count) const;
 
-  /// code → value, in geometric buckets; slot 0 = null. Pointers are
-  /// published with release stores so concurrent Decode never observes a
-  /// half-initialized bucket.
+  /// code → value / hash, in geometric buckets; slot 0 = null. Pointers are
+  /// published with release stores so concurrent Decode / HashOf never
+  /// observe a half-initialized bucket.
   std::atomic<Value*> buckets_[kMaxBuckets];
-  size_t size_ = 0;               ///< values stored, including the null slot
-  std::vector<uint64_t> hashes_;  ///< code → hash; [0] unused
-  std::vector<uint32_t> slots_;   ///< open-addressing table of codes; 0 = empty
+  std::atomic<uint64_t*> hash_buckets_[kMaxBuckets];
+  /// Values stored, including the null slot. fetch_add allocates codes.
+  std::atomic<uint32_t> size_{1};
+  std::mutex alloc_mu_;  ///< storage-bucket allocation
+  Shard shards_[kShards];
 };
 
 }  // namespace lakefuzz

@@ -57,6 +57,7 @@ class CancelToken {
 
 /// Pipeline stages that emit progress events and honor cancellation.
 enum class Stage {
+  kDiscover,     ///< unionable-candidate search over the discovery index
   kAlign,        ///< column alignment (holistic or by-name)
   kMatch,        ///< fuzzy value matching, one unit per universal column
   kRewrite,      ///< rewriting matched values to representatives
@@ -68,6 +69,8 @@ enum class Stage {
 
 inline std::string_view StageName(Stage stage) {
   switch (stage) {
+    case Stage::kDiscover:
+      return "discover";
     case Stage::kAlign:
       return "align";
     case Stage::kMatch:

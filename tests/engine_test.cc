@@ -130,6 +130,51 @@ TEST(TableRegistryTest, NamesSortedAndUnregister) {
   EXPECT_EQ(engine->NumTables(), 1u);
 }
 
+TEST(TableRegistryTest, UnregisterIsTypedAndBumpsVersion) {
+  // Registry-level contract: typed kNotFound on a miss, version bump on a
+  // hit (so derived caches keyed on the version stop validating).
+  TableRegistry registry;
+  auto tables = SmallIntegrationSet();
+  ASSERT_TRUE(registry.Register("a", std::move(tables[0])).ok());
+  const uint64_t before = registry.version();
+  EXPECT_EQ(registry.Unregister("missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(registry.version(), before);  // a miss mutates nothing
+  EXPECT_TRUE(registry.Unregister("a").ok());
+  EXPECT_GT(registry.version(), before);
+  EXPECT_EQ(registry.Unregister("a").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+
+  // Engine-level twin of the same taxonomy.
+  auto engine = MakeEngineWithSmallSet();
+  EXPECT_TRUE(engine->Unregister("a").ok());
+  EXPECT_EQ(engine->Unregister("a").code(), ErrorCode::kNotFound);
+}
+
+TEST(TableRegistryTest, SchemaCacheInvalidatedOnUnregister) {
+  // An alignment cached for {a, b} must stop validating once b is
+  // unregistered — even when a table named "b" is registered again with a
+  // different schema.
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;  // holistic alignment: the cacheable mode
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, req).ok());
+  ASSERT_TRUE(engine->Integrate({"a", "b"}, req).ok());
+  EXPECT_EQ(engine->schema_cache_hits(), 1u);
+
+  ASSERT_TRUE(engine->Unregister("b").ok());
+  auto t2 = Table::FromRows("b", {"City", "Mayor"},
+                            {{S("Berlin"), S("Kai")},
+                             {S("Toronto"), S("Olivia")}});
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(engine->RegisterTable("b", std::move(t2).value()).ok());
+  auto after = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(after.ok());
+  // Recomputed, not served stale: no new hit, and the new column joined
+  // the universal schema.
+  EXPECT_EQ(engine->schema_cache_hits(), 1u);
+  const auto& names = after->aligned.universal_names;
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "Mayor") != names.end());
+}
+
 // ----------------------------------------------------------- RegisterCsv
 
 TEST(RegisterCsvTest, QuotedFieldsWithDelimitersAndNewlines) {
@@ -276,23 +321,33 @@ TEST(LakeEngineTest, AlignedSchemaCachedPerNameSetAndInvalidated) {
 }
 
 TEST(LakeEngineTest, SessionDictColumnCodesReusedAcrossCalls) {
-  auto engine = MakeEngineWithSmallSet();
+  // Defer discovery sketching: this test observes the *request-driven*
+  // cold → warm transition, which register-time sketching would pre-warm
+  // (that eager path is covered by discovery_test).
+  auto engine = LakeEngine::Create(EngineOptions().SetDiscovery(
+      DiscoveryOptions().SetBuildAtRegister(false)));
+  ASSERT_TRUE(engine.ok());
+  {
+    auto tables = SmallIntegrationSet();
+    ASSERT_TRUE((*engine)->RegisterTable("a", tables[0]).ok());
+    ASSERT_TRUE((*engine)->RegisterTable("b", tables[1]).ok());
+  }
   RequestOptions req;
   req.holistic_alignment = false;
   req.fuzzy = false;  // regular FD: registered snapshots reach the FD build
-  auto first = engine->Integrate({"a", "b"}, req);
+  auto first = (*engine)->Integrate({"a", "b"}, req);
   ASSERT_TRUE(first.ok());
   // Cold call interned the lake once (one copy per distinct value)...
   EXPECT_GT(first->report.fd_stats.value_copies, 0u);
-  const auto cold = engine->session_dict().stats();
+  const auto cold = (*engine)->session_dict().stats();
   EXPECT_GT(cold.values_interned, 0u);
 
-  auto second = engine->Integrate({"a", "b"}, req);
+  auto second = (*engine)->Integrate({"a", "b"}, req);
   ASSERT_TRUE(second.ok());
   // ... and the warm call is zero-copy: every column a memo hit, no new
   // values interned (the acceptance criterion for BuildInterned).
   EXPECT_EQ(second->report.fd_stats.value_copies, 0u);
-  const auto warm = engine->session_dict().stats();
+  const auto warm = (*engine)->session_dict().stats();
   EXPECT_EQ(warm.values_interned, cold.values_interned);
   EXPECT_GT(warm.column_hits, cold.column_hits);
   ExpectTablesIdentical(first->integrated, second->integrated);
