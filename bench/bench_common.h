@@ -6,7 +6,12 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "assignment/parallel_cost.h"
 #include "core/value_matcher.h"
@@ -93,6 +98,30 @@ inline size_t ParseThreadsFlag(const Flags& flags, size_t def = 1) {
   return threads;
 }
 
+/// Hardware context of a benchmark run, recorded into every artifact so a
+/// flat speedup curve is attributable: a sweep to 8 threads on a container
+/// granted 1 core *cannot* show speedups, and the artifact now says so
+/// instead of looking like a regression. `cores_granted` is the scheduler
+/// affinity count (cgroup/taskset-aware on Linux), which on shared CI
+/// runners is often far below `hardware_concurrency`.
+struct HardwareInfo {
+  size_t hardware_concurrency = 0;
+  size_t cores_granted = 0;
+};
+
+inline HardwareInfo QueryHardware() {
+  HardwareInfo hw;
+  hw.hardware_concurrency = std::thread::hardware_concurrency();
+  hw.cores_granted = hw.hardware_concurrency;
+#if defined(__linux__)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    hw.cores_granted = static_cast<size_t>(CPU_COUNT(&mask));
+  }
+#endif
+  return hw;
+}
+
 /// q-th percentile (q in [0,1]) by linear interpolation; 0 when empty.
 inline double Percentile(std::vector<double> samples, double q) {
   if (samples.empty()) return 0.0;
@@ -105,15 +134,22 @@ inline double Percentile(std::vector<double> samples, double q) {
 }
 
 /// Collects per-configuration benchmark records and renders them as a JSON
-/// array — the machine-readable artifact (--json_out) that tracks the perf
-/// trajectory across PRs.
+/// object `{"hardware": {...}, "records": [...]}` — the machine-readable
+/// artifact (--json_out) that tracks the perf trajectory across PRs. The
+/// hardware block makes scaling numbers interpretable (bench/compare_bench.py
+/// refuses to enforce speedup gates recorded on a core-starved machine);
+/// `samples` per record makes total_s interpretable (it sums that many timed
+/// units, so rep-count changes can't masquerade as regressions).
 class BenchJsonWriter {
  public:
   struct Record {
     std::string name;
     size_t threads = 1;
+    /// Number of timed units behind the percentiles (and summed in total_s).
+    size_t samples = 0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
+    double mean_ms = 0.0;
     double total_s = 0.0;
     size_t cost_evaluations = 0;
     size_t pruned_evaluations = 0;
@@ -123,6 +159,8 @@ class BenchJsonWriter {
     std::vector<std::pair<std::string, double>> extra;
   };
 
+  BenchJsonWriter() : hardware_(QueryHardware()) {}
+
   void Add(Record record) { records_.push_back(std::move(record)); }
 
   void AddFromStats(const std::string& name, size_t threads,
@@ -131,9 +169,13 @@ class BenchJsonWriter {
     Record rec;
     rec.name = name;
     rec.threads = threads;
+    rec.samples = stats.unit_ms.size();
     rec.p50_ms = Percentile(stats.unit_ms, 0.50);
     rec.p95_ms = Percentile(stats.unit_ms, 0.95);
     for (double ms : stats.unit_ms) rec.total_s += ms / 1e3;
+    if (rec.samples > 0) {
+      rec.mean_ms = rec.total_s * 1e3 / static_cast<double>(rec.samples);
+    }
     rec.cost_evaluations = stats.cost_evaluations;
     rec.pruned_evaluations = stats.pruned_evaluations;
     rec.embedding_cache_hits = stats.embedding_cache_hits;
@@ -143,23 +185,27 @@ class BenchJsonWriter {
   }
 
   std::string Render() const {
-    std::string out = "[\n";
+    std::string out = StrFormat(
+        "{\n\"hardware\": {\"hardware_concurrency\": %zu, "
+        "\"cores_granted\": %zu},\n\"records\": [\n",
+        hardware_.hardware_concurrency, hardware_.cores_granted);
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out += StrFormat(
-          "  {\"name\": \"%s\", \"threads\": %zu, \"p50_ms\": %.4f, "
-          "\"p95_ms\": %.4f, \"total_s\": %.4f, \"cost_evaluations\": %zu, "
+          "  {\"name\": \"%s\", \"threads\": %zu, \"samples\": %zu, "
+          "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"mean_ms\": %.4f, "
+          "\"total_s\": %.4f, \"cost_evaluations\": %zu, "
           "\"pruned_evaluations\": %zu, \"embedding_cache_hits\": %zu, "
           "\"embedding_cache_misses\": %zu",
-          r.name.c_str(), r.threads, r.p50_ms, r.p95_ms, r.total_s,
-          r.cost_evaluations, r.pruned_evaluations, r.embedding_cache_hits,
-          r.embedding_cache_misses);
+          r.name.c_str(), r.threads, r.samples, r.p50_ms, r.p95_ms, r.mean_ms,
+          r.total_s, r.cost_evaluations, r.pruned_evaluations,
+          r.embedding_cache_hits, r.embedding_cache_misses);
       for (const auto& [key, value] : r.extra) {
         out += StrFormat(", \"%s\": %.6f", key.c_str(), value);
       }
       out += i + 1 < records_.size() ? "},\n" : "}\n";
     }
-    out += "]\n";
+    out += "]\n}\n";
     return out;
   }
 
@@ -185,6 +231,7 @@ class BenchJsonWriter {
   }
 
  private:
+  HardwareInfo hardware_;
   std::vector<Record> records_;
 };
 

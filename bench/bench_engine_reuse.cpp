@@ -16,6 +16,13 @@
 // engine_reuse_warm (calls 2..N), oneshot_facade (IntegrateTables per
 // call). The warm record's match_ms_avg < cold's is the acceptance signal
 // for cross-call cache reuse.
+//
+// The three buckets hold different sample counts (cold: one per session,
+// warm: calls-1 per session), so total_s is NOT comparable across records —
+// warm's total once read as "slower than cold" purely because it summed 4x
+// the calls. Every record therefore carries samples/mean_ms (writer fields)
+// plus explicit reps/calls extras; compare mean_ms or p50_ms, never raw
+// total_s.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -138,12 +145,18 @@ int main(int argc, char** argv) {
   BenchJsonWriter json;
   json.AddFromStats("engine_reuse_cold", threads, cold_stats,
                     {{"match_ms_avg", cold_match_avg},
+                     {"reps", static_cast<double>(reps)},
+                     {"calls_per_rep", 1.0},
                      {"rows", static_cast<double>(result_rows)}});
   json.AddFromStats("engine_reuse_warm", threads, warm_stats,
                     {{"match_ms_avg", warm_match_avg},
+                     {"reps", static_cast<double>(reps)},
+                     {"calls_per_rep", static_cast<double>(calls - 1)},
                      {"rows", static_cast<double>(result_rows)}});
   json.AddFromStats("oneshot_facade", threads, oneshot_stats,
                     {{"match_ms_avg", oneshot_match_avg},
+                     {"reps", 1.0},
+                     {"calls_per_rep", static_cast<double>(calls)},
                      {"rows", static_cast<double>(result_rows)}});
   if (!json.WriteFile(json_out)) return 1;
   return 0;

@@ -144,6 +144,7 @@ int main(int argc, char** argv) {
     }
     double best_enum = 1e100;
     uint64_t intra_tasks = 0;
+    FdStats best_stats;
     BenchRunStats run;
     for (int rep = 0; rep < reps; ++rep) {
       FuzzyFdReport report;
@@ -158,6 +159,7 @@ int main(int argc, char** argv) {
       if (report.fd_stats.enumeration_seconds < best_enum) {
         best_enum = report.fd_stats.enumeration_seconds;
         intra_tasks = report.fd_stats.intra_tasks;
+        best_stats = report.fd_stats;
       }
       // Byte-identity against the serial reference, every rep.
       if (result->tuples.size() != reference.tuples.size()) {
@@ -171,17 +173,39 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Task-grain evidence from the best rep: mean/min/max nodes per task,
+    // where the workers' time went (busy vs. dequeue wait vs. replay), and
+    // pool-level busy vs. wall — enough to tell "tasks too fine" from "not
+    // enough cores" straight from the committed artifact.
+    const FdTaskProfile& prof = best_stats.task_profile;
+    const double tasks_d = prof.tasks > 0 ? static_cast<double>(prof.tasks)
+                                          : 1.0;
     json.AddFromStats(
         StrFormat("fd_skew_giant_t%zu", t), ResolveNumThreads(t), run,
         {{"enum_s", best_enum},
          {"speedup_vs_serial", serial_enum / best_enum},
          {"intra_tasks", static_cast<double>(intra_tasks)},
-         {"output_tuples", static_cast<double>(reference.tuples.size())}});
+         {"output_tuples", static_cast<double>(reference.tuples.size())},
+         {"merge_s", best_stats.merge_seconds},
+         {"task_nodes_mean", static_cast<double>(prof.nodes_sum) / tasks_d},
+         {"task_nodes_min", static_cast<double>(prof.nodes_min)},
+         {"task_nodes_max", static_cast<double>(prof.nodes_max)},
+         {"task_busy_s", static_cast<double>(prof.busy_ns) * 1e-9},
+         {"task_replay_s", static_cast<double>(prof.replay_ns) * 1e-9},
+         {"worker_wait_s", static_cast<double>(prof.wait_ns) * 1e-9},
+         {"pool_tasks", static_cast<double>(best_stats.pool_tasks)},
+         {"pool_busy_s", best_stats.pool_busy_seconds},
+         {"pool_wait_s", best_stats.pool_wait_seconds},
+         {"arena_peak_bytes",
+          static_cast<double>(best_stats.arena_peak_bytes)}});
     std::printf(
-        "threads=%zu: enum %.3f s (%.2fx vs serial), %llu subtree tasks, "
-        "output identical\n",
+        "threads=%zu: enum %.3f s (%.2fx vs serial), %llu subtree tasks "
+        "(mean %.0f nodes), busy %.3f s / wait %.3f s, output identical\n",
         t, best_enum, serial_enum / best_enum,
-        static_cast<unsigned long long>(intra_tasks));
+        static_cast<unsigned long long>(intra_tasks),
+        static_cast<double>(prof.nodes_sum) / tasks_d,
+        static_cast<double>(prof.busy_ns) * 1e-9,
+        static_cast<double>(prof.wait_ns) * 1e-9);
   }
 
   if (!json.WriteFile(json_out)) return 1;

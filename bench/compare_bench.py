@@ -23,8 +23,23 @@ baseline and candidate come from the same machine. The additive slack keeps
 sub-millisecond rows (where scheduler noise easily exceeds 25%) from
 producing false alarms.
 
-Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
-I/O error.
+Artifacts come in two shapes: the legacy bare JSON array of records, and
+the current object {"hardware": {...}, "records": [...]} whose hardware
+block records what the producing machine could actually run
+(hardware_concurrency and, on Linux, the affinity-mask core count actually
+granted to the process). Both load transparently.
+
+--speedup-gate NAME:MIN (repeatable) additionally requires the candidate
+record NAME (any thread count) to carry speedup_vs_serial >= MIN. The gate
+is hardware-aware rather than silently green: when the candidate's
+hardware block shows fewer granted cores than the record's thread count,
+the gate cannot be demonstrated on that machine, so it prints SKIPPED with
+the recorded core counts and does not fail; when the artifact predates the
+hardware block, the gate is also skipped, flagged as such. It only fails
+when the machine demonstrably had the cores and the speedup still missed.
+
+Exit status: 0 = no regressions, 1 = at least one regression or failed
+speedup gate, 2 = usage or I/O error.
 """
 
 import argparse
@@ -40,21 +55,84 @@ with contextlib.suppress(AttributeError, ValueError):
     signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 
-def load_records(path):
+def load_artifact(path):
+    """Returns (records dict keyed by (name, threads), hardware dict or None).
+
+    Accepts both artifact shapes: the legacy bare array (hardware None) and
+    the current {"hardware": ..., "records": [...]} object.
+    """
     try:
         with open(path, "r", encoding="utf-8") as f:
-            records = json.load(f)
+            doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot load {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if not isinstance(records, list):
-        print(f"error: {path}: expected a JSON array", file=sys.stderr)
+    hardware = None
+    if isinstance(doc, dict):
+        hardware = doc.get("hardware")
+        records = doc.get("records")
+        if not isinstance(records, list):
+            print(f"error: {path}: object artifact lacks a 'records' array",
+                  file=sys.stderr)
+            sys.exit(2)
+    elif isinstance(doc, list):
+        records = doc
+    else:
+        print(f"error: {path}: expected a JSON array or object",
+              file=sys.stderr)
         sys.exit(2)
     out = {}
     for rec in records:
         key = (rec.get("name", "?"), rec.get("threads", 1))
         out[key] = rec
-    return out
+    return out, hardware
+
+
+def check_speedup_gates(gates, candidate, hardware):
+    """Returns the number of FAILED gates (skips are reported, not failed)."""
+    failures = 0
+    for spec in gates:
+        name, _, min_str = spec.partition(":")
+        try:
+            min_speedup = float(min_str)
+        except ValueError:
+            print(f"error: --speedup-gate {spec!r}: want NAME:MIN",
+                  file=sys.stderr)
+            sys.exit(2)
+        rows = [(threads, rec) for (n, threads), rec in candidate.items()
+                if n == name]
+        if not rows:
+            print(f"speedup gate {name}: SKIPPED (record absent from "
+                  f"candidate)")
+            continue
+        for threads, rec in sorted(rows):
+            speedup = rec.get("speedup_vs_serial")
+            if speedup is None:
+                print(f"speedup gate {name} (threads={threads}): SKIPPED "
+                      f"(record carries no speedup_vs_serial)")
+                continue
+            cores = None if hardware is None else hardware.get("cores_granted")
+            if cores is None:
+                print(f"speedup gate {name} (threads={threads}): SKIPPED "
+                      f"(artifact has no hardware block; cannot tell "
+                      f"starvation from regression)")
+                continue
+            if cores < threads:
+                print(f"speedup gate {name} (threads={threads}): SKIPPED "
+                      f"(machine granted {cores} core(s) < {threads} "
+                      f"threads; speedup {speedup:.2f}x recorded, not "
+                      f"gated)")
+                continue
+            if speedup >= min_speedup:
+                print(f"speedup gate {name} (threads={threads}): OK "
+                      f"({speedup:.2f}x >= {min_speedup:.2f}x on "
+                      f"{cores} cores)")
+            else:
+                print(f"speedup gate {name} (threads={threads}): FAILED "
+                      f"({speedup:.2f}x < {min_speedup:.2f}x despite "
+                      f"{cores} granted cores)", file=sys.stderr)
+                failures += 1
+    return failures
 
 
 def main():
@@ -76,10 +154,24 @@ def main():
                         help="additive tolerance for sub-millisecond rows")
     parser.add_argument("--no-normalize", action="store_true",
                         help="compare absolute p50 (same-machine baselines)")
+    parser.add_argument("--speedup-gate", action="append", default=[],
+                        metavar="NAME:MIN",
+                        help="require candidate record NAME to carry "
+                             "speedup_vs_serial >= MIN; skipped (with a "
+                             "note) when the recording machine was granted "
+                             "fewer cores than the record's thread count")
     args = parser.parse_args()
 
-    baseline = load_records(args.baseline)
-    candidate = load_records(args.candidate)
+    baseline, base_hw = load_artifact(args.baseline)
+    candidate, cand_hw = load_artifact(args.candidate)
+    for label, hw in (("baseline", base_hw), ("candidate", cand_hw)):
+        if hw is None:
+            print(f"note: {label} artifact has no hardware block "
+                  f"(pre-hardware format)")
+        else:
+            print(f"{label} hardware: {hw.get('cores_granted', '?')} core(s) "
+                  f"granted of {hw.get('hardware_concurrency', '?')} "
+                  f"advertised")
 
     shared = [key for key in baseline if key in candidate]
     ratios = []
@@ -126,6 +218,10 @@ def main():
           f"{len(regressions)} regression(s) beyond "
           f"+{args.threshold * 100:.0f}% of the speed-adjusted baseline "
           f"(+{args.slack_ms:g} ms slack)")
+    gate_failures = 0
+    if args.speedup_gate:
+        gate_failures = check_speedup_gates(args.speedup_gate, candidate,
+                                            cand_hw)
     if regressions:
         for (name, threads), base_p50, cand_p50 in regressions:
             print(f"  {name} (threads={threads}): "
@@ -134,7 +230,7 @@ def main():
                   f"{base_p50 * speed * (1 + args.threshold):.3f} ms)",
                   file=sys.stderr)
         return 1
-    return 0
+    return 1 if gate_failures else 0
 
 
 if __name__ == "__main__":

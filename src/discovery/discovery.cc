@@ -48,10 +48,16 @@ std::vector<ColumnSketch> DiscoveryIndex::SketchTable(
   // Column-parallel: each worker interns its column through the sharded
   // session dictionary and sketches the returned code span. Results land in
   // distinct slots, so no synchronization beyond the ParallelFor barrier.
-  MaybeParallelFor(pool_, table.NumColumns(), [&](size_t c) {
+  // Lane-indexed scratches carry the salt table and dedup arena across the
+  // columns a worker sketches.
+  std::vector<SketchScratch> scratches(
+      MaxLanes(pool_, table.NumColumns()));
+  MaybeParallelForWithLane(pool_, table.NumColumns(), [&](size_t lane,
+                                                          size_t c) {
     auto codes = dict_->ColumnCodes(table, c);
     sketches[c] = BuildColumnSketch(table.schema().field(c).name, *codes,
-                                    dict_->dict(), sketch_options_);
+                                    dict_->dict(), sketch_options_,
+                                    &scratches[lane]);
   });
   return sketches;
 }
@@ -59,10 +65,13 @@ std::vector<ColumnSketch> DiscoveryIndex::SketchTable(
 std::vector<ColumnSketch> DiscoveryIndex::SketchQuery(
     const Table& table) const {
   std::vector<ColumnSketch> sketches(table.NumColumns());
-  MaybeParallelFor(pool_, table.NumColumns(), [&](size_t c) {
-    sketches[c] =
-        BuildColumnSketchFromValues(table.schema().field(c).name,
-                                    table.ColumnValues(c), sketch_options_);
+  std::vector<SketchScratch> scratches(
+      MaxLanes(pool_, table.NumColumns()));
+  MaybeParallelForWithLane(pool_, table.NumColumns(), [&](size_t lane,
+                                                          size_t c) {
+    sketches[c] = BuildColumnSketchFromValues(
+        table.schema().field(c).name, table.ColumnValues(c), sketch_options_,
+        &scratches[lane]);
   });
   return sketches;
 }
@@ -185,7 +194,8 @@ Status DiscoveryIndex::Resync(
       tasks.emplace_back(t, c);
     }
   }
-  MaybeParallelFor(pool_, tasks.size(), [&](size_t i) {
+  std::vector<SketchScratch> scratches(MaxLanes(pool_, tasks.size()));
+  MaybeParallelForWithLane(pool_, tasks.size(), [&](size_t lane, size_t i) {
     // Cooperative cancel checkpoint per sketch task: remaining tasks
     // degrade to no-ops so a fired token drains the bulk build quickly.
     if (cancel.cancelled()) return;
@@ -193,7 +203,8 @@ Status DiscoveryIndex::Resync(
     const Table& table = *to_add[t].second;
     auto codes = dict_->ColumnCodes(table, c);
     built[t][c] = BuildColumnSketch(table.schema().field(c).name, *codes,
-                                    dict_->dict(), sketch_options_);
+                                    dict_->dict(), sketch_options_,
+                                    &scratches[lane]);
   });
   if (cancel.cancelled()) {
     // Nothing is inserted and the version stays behind: the index remains

@@ -6,7 +6,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <numeric>
 
+#include "util/arena.h"
 #include "util/stopwatch.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
@@ -60,8 +62,24 @@ struct SplitContext {
   std::atomic<size_t>* queued = nullptr;
   std::atomic<uint64_t>* spawned = nullptr;
   uint64_t spawn_cap = 0;
+  /// Adaptive grain gate (FdOptions::intra_split_overhead_multiple; 0 =
+  /// static gate). Until `calibration_tasks` tasks have finished, splits are
+  /// free — the first round is how grain gets measured. Afterwards a node
+  /// may split only while the finished tasks' mean execution time exceeds
+  /// overhead_multiple × their mean split overhead (replay time, floored by
+  /// a fixed per-task queue-bookkeeping estimate).
+  double overhead_multiple = 0.0;
+  uint64_t calibration_tasks = 0;
+  std::atomic<uint64_t>* done_tasks = nullptr;
+  std::atomic<uint64_t>* done_busy_ns = nullptr;
+  std::atomic<uint64_t>* done_replay_ns = nullptr;
   std::function<void(SubtreeTask&&)> spawn;
 };
+
+/// Floor for the per-task split-overhead estimate: enqueue + dequeue +
+/// descriptor construction cost real time even when the include-path replay
+/// is trivially short, and that cost never shows up in replay_ns.
+constexpr double kMinTaskOverheadNs = 2000.0;
 
 /// Mutable enumeration state for one component (or one subtree task of a
 /// component). All merge/consistency work happens on interned uint32 code
@@ -88,6 +106,9 @@ class ComponentEnumerator {
     LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<ResultSegment> segments,
                               EnumerateTask(root));
     std::vector<FdCodeTuple> out;
+    size_t total = 0;
+    for (const auto& seg : segments) total += seg.tuples.size();
+    out.reserve(total);
     for (auto& seg : segments) {
       for (auto& t : seg.tuples) out.push_back(std::move(t));
     }
@@ -128,13 +149,17 @@ class ComponentEnumerator {
       }
       // Seed extension set: with S = ∅ every component member is a
       // consistent extension (components are already sorted).
-      Status st = Extend(component_);
+      Status st = Extend(component_.data(), component_.size());
       ClearEntryExclusions();
       SettleBudget();
       if (!st.ok()) return st;
       return std::move(segments_);
     }
 
+    // Everything up to the branch loop is split overhead — the price paid
+    // for making this subtree a task instead of an inline recursion. The
+    // adaptive gate compares it against measured task grain.
+    const uint64_t replay_start = ThreadPool::NowNs();
     // Mark the exclusion chain (check-before-set so the clearing log stays
     // exact even when a TID appears in several links).
     for (const ExcludeLink* link = task.excludes.get(); link != nullptr;
@@ -148,21 +173,30 @@ class ComponentEnumerator {
     // marking the chain first cannot perturb the replay.
     ordinals_ = task.ordinals;
     std::vector<uint32_t> ext;
-    std::vector<std::vector<size_t>> flips;
+    std::vector<std::vector<uint32_t>> flips;
     flips.reserve(task.includes.size());
     for (uint32_t v : task.includes) {
-      std::vector<size_t> flipped = Include(v);
-      ext = members_.size() == 1 ? SeedExtensions(v)
-                                 : ChildExtensions(ext, v, flipped);
+      std::vector<uint32_t> flipped;
+      Include(v, &flipped);
+      std::vector<uint32_t> next;
+      if (members_.size() == 1) {
+        SeedExtensions(v, &next);
+      } else {
+        ChildExtensions(ext.data(), ext.size(), v, flipped.data(),
+                        flipped.size(), &next);
+      }
+      ext = std::move(next);
       flips.push_back(std::move(flipped));
     }
+    replay_ns_ = ThreadPool::NowNs() - replay_start;
     // The node prelude (node count, budget, pruning) ran in the task that
     // split this node; range tasks enumerate their branch slice directly.
     const std::vector<uint32_t>& node_ext =
         task.includes.empty() ? component_ : ext;
-    Status st = RunBranchRange(node_ext, task.begin, task.end);
+    Status st =
+        RunBranchRange(node_ext.data(), node_ext.size(), task.begin, task.end);
     for (size_t k = task.includes.size(); k-- > 0;) {
-      Undo(task.includes[k], flips[k]);
+      Undo(task.includes[k], flips[k].data(), flips[k].size());
     }
     ClearEntryExclusions();
     SettleBudget();
@@ -171,6 +205,10 @@ class ComponentEnumerator {
   }
 
   uint64_t nodes_used() const { return nodes_used_; }
+
+  /// Split-overhead time of this task (include-path replay + exclusion-chain
+  /// marking); 0 for root tasks.
+  uint64_t replay_ns() const { return replay_ns_; }
 
  private:
   void SetExcluded(uint32_t tid) {
@@ -242,10 +280,18 @@ class ComponentEnumerator {
     return true;
   }
 
-  /// Adds `tid` to S; returns the columns that flipped null→non-null (undo
-  /// record for backtracking).
-  std::vector<size_t> Include(uint32_t tid) {
-    std::vector<size_t> flipped;
+  /// The arena backing per-node temporaries, or null when disabled (the
+  /// ArenaVector/ArenaFrame call sites then fall back to the heap — one
+  /// code path, two allocators, byte-identical output).
+  ArenaAllocator* arena() {
+    return s_.arena_enabled ? &s_.arena : nullptr;
+  }
+
+  /// Adds `tid` to S; appends the columns that flipped null→non-null to
+  /// *flipped (undo record for backtracking). Vec = any push_back(uint32_t)
+  /// container — ArenaVector on the hot path, std::vector in task replay.
+  template <typename Vec>
+  void Include(uint32_t tid, Vec* flipped) {
     const uint32_t* row = problem_.CodeRow(tid);
     for (size_t c = 0; c < num_cols_; ++c) {
       if (row[c] == FdProblem::kNullCode ||
@@ -253,16 +299,17 @@ class ComponentEnumerator {
         continue;
       }
       s_.merged[c] = row[c];
-      flipped.push_back(c);
+      flipped->push_back(static_cast<uint32_t>(c));
     }
     s_.in_set[tid] = true;
     s_.table_used[problem_.table_id(tid)] = 1;
     members_.push_back(tid);
-    return flipped;
   }
 
-  void Undo(uint32_t tid, const std::vector<size_t>& flipped) {
-    for (size_t c : flipped) s_.merged[c] = FdProblem::kNullCode;
+  void Undo(uint32_t tid, const uint32_t* flipped, size_t num_flipped) {
+    for (size_t k = 0; k < num_flipped; ++k) {
+      s_.merged[flipped[k]] = FdProblem::kNullCode;
+    }
     s_.in_set[tid] = false;
     s_.table_used[problem_.table_id(tid)] = 0;
     members_.pop_back();
@@ -271,8 +318,8 @@ class ComponentEnumerator {
   /// Extension set of the seed set S = {v}: v's join-graph neighbors,
   /// filtered. The root's `ext` (all component members) is *not* neighbor-
   /// derived, so it must not be carried over — connectivity starts here.
-  std::vector<uint32_t> SeedExtensions(uint32_t v) {
-    std::vector<uint32_t> child;
+  template <typename Vec>
+  void SeedExtensions(uint32_t v, Vec* child) {
     ++s_.epoch;
     problem_.ForEachCoPosted(v, [&](uint32_t nb) {
       if (s_.in_set[nb]) return;
@@ -280,10 +327,9 @@ class ComponentEnumerator {
       s_.seen_stamp[nb] = s_.epoch;
       if (s_.table_used[problem_.table_id(nb)]) return;
       if (!ConsistentWithMerged(nb)) return;
-      child.push_back(nb);
+      child->push_back(nb);
     });
-    std::sort(child.begin(), child.end());
-    return child;
+    std::sort(child->begin(), child->end());
   }
 
   /// Extension set after including `v` into S (|S| ≥ 1), derived
@@ -300,25 +346,27 @@ class ComponentEnumerator {
   /// (the superlinear term on hub-heavy join graphs) with O(|ext| · |flipped|
   /// + deg(v)). The final sort keeps exploration order — and therefore
   /// results — identical to the materialized-adjacency implementation.
-  std::vector<uint32_t> ChildExtensions(const std::vector<uint32_t>& ext,
-                                        uint32_t v,
-                                        const std::vector<size_t>& flipped) {
-    std::vector<uint32_t> child;
+  template <typename Vec>
+  void ChildExtensions(const uint32_t* ext, size_t ext_size, uint32_t v,
+                       const uint32_t* flipped, size_t num_flipped,
+                       Vec* child) {
     const uint32_t v_table = problem_.table_id(v);
     ++s_.epoch;
-    for (uint32_t u : ext) {
+    for (size_t i = 0; i < ext_size; ++i) {
+      const uint32_t u = ext[i];
       if (s_.in_set[u]) continue;  // v itself (just included)
       s_.seen_stamp[u] = s_.epoch;
       if (problem_.table_id(u) == v_table) continue;
       const uint32_t* row = problem_.CodeRow(u);
       bool ok = true;
-      for (size_t c : flipped) {
+      for (size_t k = 0; k < num_flipped; ++k) {
+        const uint32_t c = flipped[k];
         if (row[c] != FdProblem::kNullCode && row[c] != s_.merged[c]) {
           ok = false;
           break;
         }
       }
-      if (ok) child.push_back(u);
+      if (ok) child->push_back(u);
     }
     problem_.ForEachCoPosted(v, [&](uint32_t nb) {
       if (s_.in_set[nb]) return;
@@ -328,10 +376,9 @@ class ComponentEnumerator {
       // can never extend S (neither now nor in any superset of S).
       if (s_.table_used[problem_.table_id(nb)]) return;
       if (!ConsistentWithMerged(nb)) return;
-      child.push_back(nb);
+      child->push_back(nb);
     });
-    std::sort(child.begin(), child.end());
-    return child;
+    std::sort(child->begin(), child->end());
   }
 
   void EmitResult() {
@@ -346,10 +393,32 @@ class ComponentEnumerator {
     segments_.back().tuples.push_back(std::move(t));
   }
 
+  /// Adaptive grain gate (see SplitContext): is the measured per-task
+  /// execution time still worth a split's measured overhead?
+  bool GrainAllowsSplit() const {
+    if (split_->overhead_multiple <= 0.0 || split_->done_tasks == nullptr) {
+      return true;  // static gate
+    }
+    const uint64_t tasks =
+        split_->done_tasks->load(std::memory_order_relaxed);
+    if (tasks < split_->calibration_tasks) return true;
+    const uint64_t busy =
+        split_->done_busy_ns->load(std::memory_order_relaxed);
+    const uint64_t replay =
+        split_->done_replay_ns->load(std::memory_order_relaxed);
+    // Mean busy ≥ multiple × mean overhead, compared as totals (same task
+    // denominator on both sides, so no division).
+    const double overhead =
+        std::max(static_cast<double>(replay),
+                 static_cast<double>(tasks) * kMinTaskOverheadNs);
+    return static_cast<double>(busy) >= split_->overhead_multiple * overhead;
+  }
+
   /// True when this node should hand its branches to the work queue
   /// instead of recursing: shallow enough to re-split, enough live
-  /// branches, idle workers waiting, and the global task cap not reached.
-  bool ShouldSplit(const std::vector<uint32_t>& ext) {
+  /// branches, idle workers waiting, the global task cap not reached, and
+  /// observed task grain coarse enough to pay for a split.
+  bool ShouldSplit(const uint32_t* ext, size_t ext_size) {
     if (split_ == nullptr || members_.size() >= split_->max_depth) {
       return false;
     }
@@ -361,9 +430,10 @@ class ComponentEnumerator {
         split_->spawn_cap) {
       return false;
     }
+    if (!GrainAllowsSplit()) return false;
     size_t live = 0;
-    for (uint32_t u : ext) {
-      if (!s_.excluded[u] && ++live >= split_->min_ext) return true;
+    for (size_t i = 0; i < ext_size; ++i) {
+      if (!s_.excluded[ext[i]] && ++live >= split_->min_ext) return true;
     }
     return false;
   }
@@ -375,10 +445,11 @@ class ComponentEnumerator {
   /// ext prefix before the chunk — exactly what the sequential loop would
   /// have accumulated on entry to its first branch; within the chunk the
   /// range loop grows exclusions normally.
-  void SpawnChildren(const std::vector<uint32_t>& ext) {
+  void SpawnChildren(const uint32_t* ext, size_t ext_size) {
     auto snapshot =
         std::make_shared<const std::vector<uint32_t>>(excluded_log_);
-    auto shared_ext = std::make_shared<const std::vector<uint32_t>>(ext);
+    auto shared_ext =
+        std::make_shared<const std::vector<uint32_t>>(ext, ext + ext_size);
     std::shared_ptr<const ExcludeLink> base;
     if (!snapshot->empty()) {
       base = std::make_shared<const ExcludeLink>(
@@ -386,11 +457,11 @@ class ComponentEnumerator {
     }
     constexpr size_t kChunksPerWorker = 8;
     const size_t chunk = std::max<size_t>(
-        1, ext.size() / std::max<size_t>(1, split_->workers *
-                                                kChunksPerWorker));
+        1, ext_size / std::max<size_t>(1, split_->workers *
+                                              kChunksPerWorker));
     uint64_t count = 0;
-    for (size_t start = 0; start < ext.size(); start += chunk) {
-      const size_t end = std::min(ext.size(), start + chunk);
+    for (size_t start = 0; start < ext_size; start += chunk) {
+      const size_t end = std::min(ext_size, start + chunk);
       bool any_live = false;
       for (size_t i = start; i < end; ++i) {
         if (!s_.excluded[ext[i]]) {
@@ -414,7 +485,7 @@ class ComponentEnumerator {
 
   /// `ext` = consistent join-graph extensions of the current S, ignoring
   /// exclusions (the maximality test set), sorted ascending.
-  Status Extend(const std::vector<uint32_t>& ext) {
+  Status Extend(const uint32_t* ext, size_t ext_size) {
     ++nodes_used_;
     if ((nodes_used_ & 0x3ff) == 0 || members_.empty()) {
       // Amortized budget check: draw down in blocks. The cancellation
@@ -433,14 +504,14 @@ class ComponentEnumerator {
         }
       }
     }
-    if (ext.empty()) {
+    if (ext_size == 0) {
       // S is ⊆-maximal among connected consistent sets: emit.
       EmitResult();
       return Status::OK();
     }
     bool any_candidate = false;
-    for (uint32_t u : ext) {
-      if (!s_.excluded[u]) {
+    for (size_t i = 0; i < ext_size; ++i) {
+      if (!s_.excluded[ext[i]]) {
         any_candidate = true;
         break;
       }
@@ -450,11 +521,11 @@ class ComponentEnumerator {
       // an excluded tuple and is enumerated in a sibling branch. Prune.
       return Status::OK();
     }
-    if (ShouldSplit(ext)) {
-      SpawnChildren(ext);
+    if (ShouldSplit(ext, ext_size)) {
+      SpawnChildren(ext, ext_size);
       return Status::OK();
     }
-    return RunBranchRange(ext, 0, ext.size());
+    return RunBranchRange(ext, ext_size, 0, ext_size);
   }
 
   /// The branch loop of one node, restricted to ext[begin, end): the unit
@@ -462,36 +533,48 @@ class ComponentEnumerator {
   /// identical across iterations (Include/Undo pairs), but the exclusion
   /// set grows — candidates excluded by earlier siblings (or on task
   /// entry) are skipped.
-  Status RunBranchRange(const std::vector<uint32_t>& ext, size_t begin,
+  ///
+  /// Arena discipline: the node frame owns `locally_excluded`; each branch
+  /// iteration opens its own frame for the flipped-column and child-ext
+  /// temporaries and rewinds it before `locally_excluded` grows again, so
+  /// the latter's buffer stays on top of the arena and push_back extends it
+  /// in place (no dead copies pile up across siblings).
+  Status RunBranchRange(const uint32_t* ext, size_t ext_size, size_t begin,
                         size_t end) {
-    end = std::min(end, ext.size());
+    end = std::min(end, ext_size);
     const bool track_ordinals =
         split_ != nullptr && members_.size() < split_->max_depth;
-    std::vector<uint32_t> locally_excluded;
+    ArenaAllocator* a = arena();
+    ArenaFrame node_frame(a);
+    ArenaVector<uint32_t> locally_excluded(a);
+    Status st = Status::OK();
     for (size_t i = begin; i < end; ++i) {
       const uint32_t v = ext[i];
       if (s_.excluded[v]) continue;
       if (track_ordinals) ordinals_.push_back(static_cast<uint32_t>(i));
-      std::vector<size_t> flipped = Include(v);
-      std::vector<uint32_t> child = members_.size() == 1
-                                        ? SeedExtensions(v)
-                                        : ChildExtensions(ext, v, flipped);
-      Status st = Extend(child);
-      Undo(v, flipped);
-      if (track_ordinals) ordinals_.pop_back();
-      if (!st.ok()) {
-        for (size_t k = locally_excluded.size(); k-- > 0;) {
-          ClearExcluded(locally_excluded[k]);
+      {
+        ArenaFrame iter_frame(a);
+        ArenaVector<uint32_t> flipped(a);
+        Include(v, &flipped);
+        ArenaVector<uint32_t> child(a);
+        if (members_.size() == 1) {
+          SeedExtensions(v, &child);
+        } else {
+          ChildExtensions(ext, ext_size, v, flipped.data(), flipped.size(),
+                          &child);
         }
-        return st;
+        st = Extend(child.data(), child.size());
+        Undo(v, flipped.data(), flipped.size());
       }
+      if (track_ordinals) ordinals_.pop_back();
+      if (!st.ok()) break;
       SetExcluded(v);
       locally_excluded.push_back(v);
     }
     for (size_t k = locally_excluded.size(); k-- > 0;) {
       ClearExcluded(locally_excluded[k]);
     }
-    return Status::OK();
+    return st;
   }
 
   const FdProblem& problem_;
@@ -512,6 +595,7 @@ class ComponentEnumerator {
   std::vector<ResultSegment> segments_;
   uint64_t nodes_used_ = 0;
   uint64_t blocks_drawn_ = 0;
+  uint64_t replay_ns_ = 0;
 };
 
 /// Work queue + worker loops behind RunComponentCodesParallel. Tasks spawn
@@ -532,18 +616,33 @@ class IntraComponentRunner {
     split_template_.max_depth = std::max<size_t>(1, options.intra_split_depth);
     split_template_.min_ext = 2;
     split_template_.workers = workers;
-    split_template_.queue_low_water = workers * 4;
+    // With the adaptive gate measuring grain, the queue only needs enough
+    // slack to keep workers fed; the wider 4× buffer is the legacy static
+    // policy's only defense against starvation, so it stays when the gate
+    // is disabled.
+    split_template_.queue_low_water =
+        options.intra_split_overhead_multiple > 0.0 ? workers * 2
+                                                    : workers * 4;
     split_template_.queued = &queued_;
     split_template_.spawned = &spawned_;
     // Hard cap on total tasks: descriptor bookkeeping must stay a rounding
     // error next to enumeration even on adversarial fan-out.
     split_template_.spawn_cap = std::max<uint64_t>(4096, workers * 1024);
+    split_template_.overhead_multiple = options.intra_split_overhead_multiple;
+    // One round per worker plus one settles the measurement before the gate
+    // starts trusting it.
+    split_template_.calibration_tasks =
+        std::max<uint64_t>(4, static_cast<uint64_t>(workers) * 2);
+    split_template_.done_tasks = &done_tasks_;
+    split_template_.done_busy_ns = &done_busy_ns_;
+    split_template_.done_replay_ns = &done_replay_ns_;
   }
 
   Result<std::vector<FdCodeTuple>> Run(ThreadPool* pool,
                                        std::vector<FdScratch>* scratches,
                                        uint64_t* nodes_used,
-                                       uint64_t* tasks_spawned) {
+                                       uint64_t* tasks_spawned,
+                                       FdTaskProfile* profile) {
     Enqueue(SubtreeTask{});
     if (pool == nullptr || workers_ <= 1) {
       WorkerLoop(&(*scratches)[0]);
@@ -562,22 +661,31 @@ class IntraComponentRunner {
     if (tasks_spawned != nullptr) {
       *tasks_spawned += spawned_.load(std::memory_order_relaxed);
     }
-    if (!first_error_.ok()) return first_error_;
+    if (!first_error_.ok()) {
+      if (profile != nullptr) profile->Merge(profile_);
+      return first_error_;
+    }
 
     // Deterministic merge: segments sorted by their bounded ordinal path
     // reproduce the sequential DFS emission order (ties are impossible —
-    // each bounded path is owned by exactly one task).
-    std::sort(segments_.begin(), segments_.end(),
-              [](const ResultSegment& a, const ResultSegment& b) {
-                return a.path < b.path;
-              });
+    // each bounded path is owned by exactly one task). Only a compact index
+    // array is sorted and only tuple ownership moves; no tuple bytes are
+    // copied.
+    const uint64_t merge_start = ThreadPool::NowNs();
+    std::vector<uint32_t> order(segments_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      return segments_[a].path < segments_[b].path;
+    });
     std::vector<FdCodeTuple> out;
     size_t total = 0;
     for (const auto& seg : segments_) total += seg.tuples.size();
     out.reserve(total);
-    for (auto& seg : segments_) {
-      for (auto& t : seg.tuples) out.push_back(std::move(t));
+    for (uint32_t idx : order) {
+      for (auto& t : segments_[idx].tuples) out.push_back(std::move(t));
     }
+    profile_.merge_ns += ThreadPool::NowNs() - merge_start;
+    if (profile != nullptr) profile->Merge(profile_);
     return out;
   }
 
@@ -606,12 +714,18 @@ class IntraComponentRunner {
   void WorkerLoop(FdScratch* scratch) {
     SplitContext split = split_template_;
     split.spawn = [this](SubtreeTask&& t) { Enqueue(std::move(t)); };
+    uint64_t wait_ns = 0;
     while (true) {
       SubtreeTask task;
       {
+        const uint64_t wait_start = ThreadPool::NowNs();
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return !queue_.empty() || unfinished_ == 0; });
-        if (queue_.empty()) return;  // unfinished_ == 0: all work done
+        wait_ns += ThreadPool::NowNs() - wait_start;
+        if (queue_.empty()) {  // unfinished_ == 0: all work done
+          profile_.wait_ns += wait_ns;
+          return;
+        }
         task = std::move(queue_.front());
         queue_.pop_front();
       }
@@ -629,19 +743,33 @@ class IntraComponentRunner {
             "full disjunction search budget exhausted "
             "(max_search_nodes); component too entangled");
       } else if (first_error_ok()) {
+        // Tasks unwind every arena frame they open, but a Reset here makes
+        // reuse unconditional: a task never inherits live bytes from a
+        // predecessor on the same scratch.
+        if (scratch->arena_enabled) scratch->arena.Reset();
+        const uint64_t task_start = ThreadPool::NowNs();
         ComponentEnumerator enumerator(problem_, component_, budget_, scratch,
                                        cancel_, &split);
         auto result = enumerator.EnumerateTask(task);
-        total_nodes_.fetch_add(enumerator.nodes_used(),
-                               std::memory_order_relaxed);
-        if (result.ok()) {
+        const uint64_t busy = ThreadPool::NowNs() - task_start;
+        const uint64_t nodes = enumerator.nodes_used();
+        total_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+        // The grain gate reads these lock-free from inside enumerations;
+        // exactness doesn't matter there, ordering even less.
+        done_busy_ns_.fetch_add(busy, std::memory_order_relaxed);
+        done_replay_ns_.fetch_add(enumerator.replay_ns(),
+                                  std::memory_order_relaxed);
+        done_tasks_.fetch_add(1, std::memory_order_relaxed);
+        {
           std::lock_guard<std::mutex> lock(mu_);
-          for (auto& seg : *result) {
-            if (!seg.tuples.empty()) segments_.push_back(std::move(seg));
+          profile_.AddTask(nodes, busy, enumerator.replay_ns());
+          if (result.ok()) {
+            for (auto& seg : *result) {
+              if (!seg.tuples.empty()) segments_.push_back(std::move(seg));
+            }
           }
-        } else {
-          st = result.status();
         }
+        if (!result.ok()) st = result.status();
       }
       if (!st.ok()) RecordError(st);
 
@@ -672,9 +800,13 @@ class IntraComponentRunner {
   size_t unfinished_ = 0;
   Status first_error_ = Status::OK();
   std::vector<ResultSegment> segments_;
+  FdTaskProfile profile_;  ///< guarded by mu_
   std::atomic<size_t> queued_{0};
   std::atomic<uint64_t> spawned_{0};
   std::atomic<uint64_t> total_nodes_{0};
+  std::atomic<uint64_t> done_tasks_{0};
+  std::atomic<uint64_t> done_busy_ns_{0};
+  std::atomic<uint64_t> done_replay_ns_{0};
 };
 
 }  // namespace
@@ -693,11 +825,12 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodesParallel(
     const FdProblem& problem, const std::vector<uint32_t>& component,
     const FdOptions& options, ThreadPool* pool, size_t workers,
     std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
-    uint64_t* nodes_used, uint64_t* tasks_spawned, const CancelToken* cancel) {
+    uint64_t* nodes_used, uint64_t* tasks_spawned, const CancelToken* cancel,
+    FdTaskProfile* profile) {
   workers = std::max<size_t>(1, std::min(workers, scratches->size()));
   IntraComponentRunner runner(problem, component, options, workers, budget,
                               cancel);
-  return runner.Run(pool, scratches, nodes_used, tasks_spawned);
+  return runner.Run(pool, scratches, nodes_used, tasks_spawned, profile);
 }
 
 Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
@@ -731,6 +864,7 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
   std::atomic<int64_t> budget{
       static_cast<int64_t>(options_.max_search_nodes)};
   FdScratch scratch(*problem);
+  scratch.arena_enabled = options_.scratch_arena;
   std::vector<FdCodeTuple> code_tuples;
   for (const auto& comp : problem->Components()) {
     if (cancel.cancelled()) {
@@ -747,6 +881,8 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
     for (auto& t : tuples) code_tuples.push_back(std::move(t));
   }
   stats->enumeration_seconds = enum_watch.ElapsedSeconds();
+  stats->arena_bytes_reserved = scratch.arena.bytes_reserved();
+  stats->arena_peak_bytes = scratch.arena.peak_bytes();
   stats->results_before_subsumption = code_tuples.size();
   ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
 

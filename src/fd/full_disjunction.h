@@ -34,6 +34,7 @@
 #include "fd/fd_tuple.h"
 #include "fd/problem.h"
 #include "fd/subsumption.h"
+#include "util/arena.h"
 #include "util/cancellation.h"
 #include "util/result.h"
 
@@ -59,6 +60,58 @@ struct FdOptions {
   /// Subtree tasks re-split while their root depth is below this bound, so
   /// one dominant branch fans out again instead of serializing a worker.
   size_t intra_split_depth = 3;
+  /// Adaptive intra-split gate: after a calibration round of tasks, a node
+  /// re-splits only while the observed per-task grain (mean task execution
+  /// time, from the stats of already-finished splits) exceeds this multiple
+  /// of the measured per-task split overhead (include-path replay + queue
+  /// bookkeeping). Small problems therefore stop fanning out once the first
+  /// round proves tasks are overhead-bound, while giant components keep
+  /// splitting deep. 0 restores the static PR 4 gate (queue low-water
+  /// only). Output is byte-identical at every setting.
+  double intra_split_overhead_multiple = 8.0;
+  /// Back each worker's enumeration temporaries (extension sets, flipped-
+  /// column lists) with a per-scratch bump arena instead of heap
+  /// malloc/free per search node. Purely an allocator swap: output is
+  /// byte-identical on or off (tests/fd_intra_test.cc asserts it).
+  bool scratch_arena = true;
+};
+
+/// Aggregated execution profile of the intra-component subtree tasks of one
+/// parallel FD run — the task-grain evidence the bench artifacts record so
+/// "the parallel path doesn't pay" is diagnosable from committed JSON
+/// instead of guessed at. All counters cover split-path tasks only.
+struct FdTaskProfile {
+  uint64_t tasks = 0;         ///< subtree tasks executed
+  uint64_t nodes_min = 0;     ///< fewest enumeration nodes in one task
+  uint64_t nodes_max = 0;     ///< most enumeration nodes in one task
+  uint64_t nodes_sum = 0;     ///< Σ nodes across tasks
+  uint64_t busy_ns = 0;       ///< Σ task execution time (replay + search)
+  uint64_t replay_ns = 0;     ///< Σ include-path replay time (split cost)
+  uint64_t wait_ns = 0;       ///< Σ worker dequeue-wait time
+  uint64_t merge_ns = 0;      ///< deterministic segment-merge time
+
+  void AddTask(uint64_t nodes, uint64_t busy, uint64_t replay) {
+    if (tasks == 0 || nodes < nodes_min) nodes_min = nodes;
+    if (nodes > nodes_max) nodes_max = nodes;
+    nodes_sum += nodes;
+    busy_ns += busy;
+    replay_ns += replay;
+    ++tasks;
+  }
+
+  /// Folds another profile in (per-component profiles → run totals).
+  void Merge(const FdTaskProfile& o) {
+    if (o.tasks > 0) {
+      if (tasks == 0 || o.nodes_min < nodes_min) nodes_min = o.nodes_min;
+      if (o.nodes_max > nodes_max) nodes_max = o.nodes_max;
+    }
+    tasks += o.tasks;
+    nodes_sum += o.nodes_sum;
+    busy_ns += o.busy_ns;
+    replay_ns += o.replay_ns;
+    wait_ns += o.wait_ns;
+    merge_ns += o.merge_ns;
+  }
 };
 
 /// Run diagnostics (reported by benchmarks).
@@ -84,6 +137,23 @@ struct FdStats {
   double index_seconds = 0.0;
   double enumeration_seconds = 0.0;
   double subsumption_seconds = 0.0;
+  /// Time flattening per-component / per-segment results into the final
+  /// tuple order (the deterministic merge). Part of enumeration_seconds.
+  double merge_seconds = 0.0;
+  /// Intra-component task-grain profile (see FdTaskProfile; all zero when
+  /// no component took the split path).
+  FdTaskProfile task_profile;
+  /// Pool-level execution deltas over this run (parallel executor only).
+  /// On a shared session pool these include any concurrent work the pool
+  /// ran in the window. busy ≪ workers × wall time with queued work is the
+  /// core-starved signature.
+  uint64_t pool_tasks = 0;
+  double pool_busy_seconds = 0.0;
+  double pool_wait_seconds = 0.0;
+  /// Scratch-arena footprint across all worker lanes (0 when
+  /// FdOptions::scratch_arena is off).
+  size_t arena_bytes_reserved = 0;
+  size_t arena_peak_bytes = 0;
 };
 
 struct FdResult {
@@ -110,6 +180,13 @@ struct FdScratch {
   std::vector<uint64_t> seen_stamp;
   std::vector<char> table_used;
   uint64_t epoch = 0;
+  /// Per-worker bump arena for the enumerator's per-node temporaries
+  /// (extension sets, flipped-column lists): scope-framed alloc/rewind
+  /// instead of one malloc/free pair per search node. Executors set
+  /// `arena_enabled` from FdOptions::scratch_arena before enumerating;
+  /// off = identical code path on heap allocations.
+  ArenaAllocator arena;
+  bool arena_enabled = true;
 };
 
 /// Sequential Full Disjunction executor.
@@ -160,13 +237,14 @@ class FullDisjunction {
   /// and schedule. `scratches` supplies one FdScratch per worker (size >=
   /// workers, same problem). When `pool` is null the whole tree runs inline
   /// on scratches[0]. Node totals are added to *nodes_used, spawned-task
-  /// counts to *tasks_spawned.
+  /// counts to *tasks_spawned, and when `profile` is non-null the per-task
+  /// grain/timing counters are accumulated into it.
   static Result<std::vector<FdCodeTuple>> RunComponentCodesParallel(
       const FdProblem& problem, const std::vector<uint32_t>& component,
       const FdOptions& options, ThreadPool* pool, size_t workers,
       std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
       uint64_t* nodes_used, uint64_t* tasks_spawned,
-      const CancelToken* cancel = nullptr);
+      const CancelToken* cancel = nullptr, FdTaskProfile* profile = nullptr);
 
   /// Decoded convenience wrapper around RunComponentCodes (tests).
   static Result<std::vector<FdResultTuple>> RunComponent(

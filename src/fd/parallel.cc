@@ -31,6 +31,7 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
     const ProgressFn& progress) const {
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = ResolvePool(options_, &owned_pool);
+  const PoolStats pool_before = pool->stats();
 
   Stopwatch index_watch;
   problem->BuildIndex(pool);
@@ -87,7 +88,10 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
                   pool->num_threads()));
   std::vector<FdScratch> scratches;
   scratches.reserve(lanes);
-  for (size_t i = 0; i < lanes; ++i) scratches.emplace_back(*problem);
+  for (size_t i = 0; i < lanes; ++i) {
+    scratches.emplace_back(*problem);
+    scratches.back().arena_enabled = options_.fd.scratch_arena;
+  }
 
   // A component is "giant" when it is both absolutely large and a big
   // enough share of the total that component-level parallelism would starve
@@ -107,6 +111,7 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
     }
   }
   uint64_t intra_tasks = 0;
+  FdTaskProfile task_profile;
   for (size_t i = 0; i < num_intra; ++i) {
     if (cancel.cancelled()) {
       return Status::Cancelled("full disjunction cancelled");
@@ -114,12 +119,13 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
     uint64_t nodes = 0;
     auto res = FullDisjunction::RunComponentCodesParallel(
         *problem, *comps[i], options_.fd, pool, intra_workers, &scratches,
-        &budget, &nodes, &intra_tasks, &cancel);
+        &budget, &nodes, &intra_tasks, &cancel, &task_profile);
     total_nodes.fetch_add(nodes, std::memory_order_relaxed);
     if (!res.ok()) return res.status();
     per_comp[i] = std::move(res).value();
   }
   stats->intra_tasks = intra_tasks;
+  stats->task_profile = task_profile;
 
   pool->ParallelForWithLane(comps.size() - num_intra, [&](size_t lane,
                                                           size_t idx) {
@@ -147,13 +153,26 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   });
   if (!first_error.ok()) return first_error;
   stats->search_nodes = total_nodes.load();
-  stats->enumeration_seconds = enum_watch.ElapsedSeconds();
-  ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
+  for (const FdScratch& s : scratches) {
+    stats->arena_bytes_reserved += s.arena.bytes_reserved();
+    stats->arena_peak_bytes += s.arena.peak_bytes();
+  }
 
+  // Zero-copy flatten into final component order: one exact reservation,
+  // then pure moves.
+  const uint64_t merge_start = ThreadPool::NowNs();
   std::vector<FdCodeTuple> code_tuples;
+  size_t total_tuples = 0;
+  for (const auto& tuples : per_comp) total_tuples += tuples.size();
+  code_tuples.reserve(total_tuples);
   for (auto& tuples : per_comp) {
     for (auto& t : tuples) code_tuples.push_back(std::move(t));
   }
+  stats->task_profile.merge_ns += ThreadPool::NowNs() - merge_start;
+  stats->merge_seconds =
+      static_cast<double>(stats->task_profile.merge_ns) * 1e-9;
+  stats->enumeration_seconds = enum_watch.ElapsedSeconds();
+  ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
   stats->results_before_subsumption = code_tuples.size();
 
   if (cancel.cancelled()) {
@@ -165,6 +184,11 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
   stats->results = code_tuples.size();
   ReportProgress(progress, Stage::kFdSubsume, 1, 1);
+  const PoolStats pool_delta = pool->stats() - pool_before;
+  stats->pool_tasks = pool_delta.tasks;
+  stats->pool_busy_seconds = static_cast<double>(pool_delta.busy_ns) * 1e-9;
+  stats->pool_wait_seconds =
+      static_cast<double>(pool_delta.queue_wait_ns) * 1e-9;
   return code_tuples;
 }
 

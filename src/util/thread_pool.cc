@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -31,10 +31,18 @@ void ThreadPool::WorkerLoop() {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // Two clock reads per task bound the instrumentation cost; tasks here
+    // are coarse (a ParallelFor lane's whole loop, an FD subtree batch), so
+    // the reads are noise next to the work they bracket.
+    const uint64_t start = NowNs();
+    queue_wait_ns_.fetch_add(start - item.enqueue_ns,
+                             std::memory_order_relaxed);
+    item.fn();
+    busy_ns_.fetch_add(NowNs() - start, std::memory_order_relaxed);
+    tasks_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

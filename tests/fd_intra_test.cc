@@ -97,6 +97,88 @@ TEST(IntraComponentTest, SingleGiantComponentByteIdenticalAcrossThreads) {
   }
 }
 
+TEST(IntraComponentTest, ArenaOnOffByteIdenticalAcrossThreads) {
+  // FdOptions::scratch_arena must be a pure allocation knob: identical
+  // tuples AND identical search_nodes with the arena on or off, at every
+  // thread count (ArenaVector's heap fallback keeps one code path).
+  auto tables = GiantComponentTables(4, 24, 2);
+  auto problem = BuildGiant(tables);
+  ASSERT_TRUE(problem.ok());
+
+  FdProblem ref_problem = *problem;
+  FdStats ref_stats;
+  auto reference = FullDisjunction().RunCodes(&ref_problem, &ref_stats);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_GT(ref_stats.arena_peak_bytes, 0u);  // default: arena on
+
+  for (bool arena_on : {false, true}) {
+    for (size_t threads : {1u, 2u, 8u}) {
+      FdProblem p = *problem;
+      ParallelFdOptions opts;
+      opts.num_threads = threads;
+      opts.fd.intra_component_min_size = 2;
+      opts.fd.scratch_arena = arena_on;
+      FdStats stats;
+      auto result = ParallelFullDisjunction(opts).RunCodes(&p, &stats);
+      ASSERT_TRUE(result.ok()) << arena_on << " " << threads;
+      ASSERT_EQ(result->size(), reference->size())
+          << arena_on << " " << threads;
+      for (size_t i = 0; i < reference->size(); ++i) {
+        ASSERT_EQ((*result)[i].codes, (*reference)[i].codes)
+            << "arena " << arena_on << " threads " << threads;
+        ASSERT_EQ((*result)[i].tids, (*reference)[i].tids)
+            << "arena " << arena_on << " threads " << threads;
+      }
+      EXPECT_EQ(stats.search_nodes, ref_stats.search_nodes)
+          << arena_on << " " << threads;
+      if (!arena_on) EXPECT_EQ(stats.arena_peak_bytes, 0u);
+    }
+  }
+}
+
+TEST(IntraComponentTest, AdaptiveGateOnOffByteIdenticalAcrossThreads) {
+  // The adaptive split gate only changes WHICH tasks split, never what any
+  // task computes, so output and search_nodes must match the serial
+  // reference whether the gate is adaptive (default multiple) or disabled
+  // (0 restores the static low-water heuristic).
+  auto tables = GiantComponentTables(4, 24, 2);
+  auto problem = BuildGiant(tables);
+  ASSERT_TRUE(problem.ok());
+
+  FdProblem ref_problem = *problem;
+  FdStats ref_stats;
+  auto reference = FullDisjunction().RunCodes(&ref_problem, &ref_stats);
+  ASSERT_TRUE(reference.ok());
+
+  for (double multiple : {0.0, 8.0}) {
+    for (size_t threads : {2u, 8u}) {
+      FdProblem p = *problem;
+      ParallelFdOptions opts;
+      opts.num_threads = threads;
+      opts.fd.intra_component_min_size = 2;
+      opts.fd.intra_split_overhead_multiple = multiple;
+      FdStats stats;
+      auto result = ParallelFullDisjunction(opts).RunCodes(&p, &stats);
+      ASSERT_TRUE(result.ok()) << multiple << " " << threads;
+      ASSERT_EQ(result->size(), reference->size())
+          << multiple << " " << threads;
+      for (size_t i = 0; i < reference->size(); ++i) {
+        ASSERT_EQ((*result)[i].codes, (*reference)[i].codes)
+            << "multiple " << multiple << " threads " << threads;
+        ASSERT_EQ((*result)[i].tids, (*reference)[i].tids)
+            << "multiple " << multiple << " threads " << threads;
+      }
+      EXPECT_EQ(stats.search_nodes, ref_stats.search_nodes)
+          << multiple << " " << threads;
+      EXPECT_GT(stats.intra_tasks, 0u) << multiple << " " << threads;
+      // Every executed task is profiled: the spawned subtree tasks plus
+      // the component's root task.
+      EXPECT_EQ(stats.task_profile.tasks, stats.intra_tasks + 1);
+      EXPECT_GT(stats.task_profile.busy_ns, 0u);
+    }
+  }
+}
+
 TEST(IntraComponentTest, ManyComponentsWithIntraStillMatchSerial) {
   // Mixed shape: one giant component (hub) plus many small per-key
   // components — the giant runs through the intra path, the tail through
