@@ -12,9 +12,20 @@
 //      names a query file — register it, discover its top-k partners, and
 //      stream the integrated result (DiscoverAndIntegrate).
 //
+//   7. Lifecycle hardening: run the same request under a wall-clock
+//      deadline and an FD node budget (--deadline_ms / --budget_nodes,
+//      kTruncate policy → partial results with a truncation report), and
+//      — with --max_concurrent — overload the admission gate from
+//      concurrent threads and read the admitted/queued/rejected counters.
+//
 //   ./engine_service [--tuples=3000] [--calls=3] [--threads=2]
 //                    [--discover=query.csv] [--discover_k=3]
+//                    [--deadline_ms=0] [--budget_nodes=0]
+//                    [--max_concurrent=0]
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "datagen/imdb.h"
@@ -50,11 +61,20 @@ int main(int argc, char** argv) {
   gen.target_tuples = static_cast<size_t>(flags.GetInt("tuples", 3000));
   const int calls = flags.GetInt("calls", 3);
   const size_t threads = static_cast<size_t>(flags.GetInt("threads", 2));
+  const int deadline_ms = flags.GetInt("deadline_ms", 0);
+  const int budget_nodes = flags.GetInt("budget_nodes", 0);
+  const size_t max_concurrent =
+      static_cast<size_t>(flags.GetInt("max_concurrent", 0));
 
   // 1. The session: constructed once, reused for every request below.
+  //    --max_concurrent bounds in-flight integrate requests (one queued
+  //    slot; further arrivals are rejected with kResourceExhausted).
   auto engine = LakeEngine::Create(EngineOptions()
                                        .SetModel(ModelKind::kMistral)
-                                       .SetNumThreads(threads));
+                                       .SetNumThreads(threads)
+                                       .SetMaxConcurrentRequests(max_concurrent)
+                                       .SetMaxQueuedRequests(
+                                           max_concurrent > 0 ? 1 : 0));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine setup failed: %s\n",
                  engine.status().ToString().c_str());
@@ -174,6 +194,85 @@ int main(int argc, char** argv) {
         "batches\n",
         discover_csv.c_str(), discover_k, discovered.size(),
         discover_sink.rows(), discover_sink.batches());
+  }
+
+  // 7. Lifecycle hardening. A deadline and/or FD node budget under the
+  //    kTruncate policy degrades gracefully: the request stays ok() and the
+  //    truncation report says what was cut.
+  size_t truncated_requests = 0;
+  if (deadline_ms > 0 || budget_nodes > 0) {
+    RequestOptions bounded = req;
+    bounded.budget_policy = BudgetPolicy::kTruncate;
+    if (deadline_ms > 0) {
+      bounded.deadline = Deadline::AfterMillis(deadline_ms);
+    }
+    if (budget_nodes > 0) {
+      bounded.budget.max_fd_nodes = static_cast<size_t>(budget_nodes);
+    }
+    auto bounded_result = (*engine)->Integrate(names, bounded);
+    if (!bounded_result.ok()) {
+      // Under kTruncate only kCancelled (not used here) or a genuine error
+      // escapes; report and keep going — the engine must stay serviceable.
+      std::printf("  bounded request failed: %s\n",
+                  bounded_result.status().ToString().c_str());
+    } else {
+      const Truncation& cut = bounded_result->report.truncation;
+      if (cut.truncated) ++truncated_requests;
+      const std::string detail =
+          cut.truncated
+              ? StrFormat("TRUNCATED (%s; %zu components kept, %zu skipped)",
+                          cut.reason.c_str(), cut.components_completed,
+                          cut.components_skipped)
+              : "complete";
+      std::printf(
+          "  bounded request (deadline %d ms, budget %d nodes): %zu rows, "
+          "%s\n",
+          deadline_ms, budget_nodes, bounded_result->integrated.NumRows(),
+          detail.c_str());
+    }
+  }
+
+  // Overload the admission gate: more concurrent requests than slots +
+  // queue. The surplus must be rejected fast, and the engine must keep
+  // serving afterwards.
+  size_t rejected_requests = 0;
+  if (max_concurrent > 0) {
+    const size_t storm = 2 * max_concurrent + 2;
+    std::atomic<size_t> ok_count{0}, rejected{0}, other{0};
+    std::vector<std::thread> workers;
+    workers.reserve(storm);
+    for (size_t i = 0; i < storm; ++i) {
+      workers.emplace_back([&] {
+        auto r = (*engine)->Integrate(names, req);
+        if (r.ok()) {
+          ok_count.fetch_add(1);
+        } else if (r.code() == ErrorCode::kResourceExhausted) {
+          rejected.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    rejected_requests = rejected.load();
+    const AdmissionStats stats = (*engine)->admission_stats();
+    std::printf(
+        "  admission storm of %zu (max %zu in flight, 1 queued): %zu ok, "
+        "%zu rejected, %zu other; session counters admitted=%llu queued=%llu "
+        "rejected=%llu\n",
+        storm, max_concurrent, ok_count.load(), rejected.load(), other.load(),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.queued),
+        static_cast<unsigned long long>(stats.rejected));
+    if (other.load() != 0) {
+      std::fprintf(stderr, "unexpected non-admission failure under storm\n");
+      return 1;
+    }
+  }
+
+  if (deadline_ms > 0 || budget_nodes > 0 || max_concurrent > 0) {
+    std::printf("  lifecycle counters: truncated=%zu rejected=%zu\n",
+                truncated_requests, rejected_requests);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "assignment/parallel_cost.h"
@@ -15,6 +16,16 @@ namespace {
 constexpr size_t kMaxEngineThreads = 4096;
 /// Ceiling on cache shard counts (each shard is a mutex + map).
 constexpr size_t kMaxCacheShards = size_t{1} << 20;
+
+/// The request's lifecycle fields bundled for the pipeline layers.
+RequestContext MakeContext(const RequestOptions& request) {
+  RequestContext ctx;
+  ctx.cancel = request.cancel;
+  ctx.deadline = request.deadline;
+  ctx.budget = request.budget;
+  ctx.policy = request.budget_policy;
+  return ctx;
+}
 
 }  // namespace
 
@@ -117,49 +128,83 @@ Status LakeEngine::Unregister(const std::string& name) {
   return Status::OK();
 }
 
-Status LakeEngine::EnsureDiscoverySynced(const CancelToken& cancel) const {
+Status LakeEngine::EnsureDiscoverySynced(const RequestContext& ctx) const {
   // Cheap fast path: versions match means the index reflects exactly the
   // current name → snapshot mapping (TableRegistry::version() invariant).
   if (discovery_->version() == registry_.version()) return Status::OK();
   uint64_t version = 0;
   auto snapshot = registry_.Snapshot(&version);
-  return discovery_->Resync(snapshot, version, cancel);
+  return discovery_->Resync(snapshot, version, ctx);
 }
 
 Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
-    const std::string& name, size_t k, const CancelToken& cancel) const {
+    const std::string& name, size_t k, const RequestContext& ctx,
+    Truncation* truncation) const {
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
-  if (cancel.cancelled()) {
-    return Status::Cancelled("discovery cancelled before it started");
+  // Truncation-aware pre-check: under kTruncate an already-expired
+  // deadline still yields a best-so-far (possibly empty) ranking with
+  // the cut recorded downstream, instead of a hard error.
+  Status pre = ctx.CheckStop("discovery");
+  if (!pre.ok() && !ctx.ShouldTruncate(pre.code())) return pre;
+  Status synced = EnsureDiscoverySynced(ctx);
+  if (!synced.ok()) {
+    if (!ctx.ShouldTruncate(synced.code())) return synced;
+    // Best-effort under kTruncate: search whatever the index already holds
+    // (possibly a stale lake view) and record the cut.
+    if (truncation != nullptr && !truncation->truncated) {
+      truncation->truncated = true;
+      truncation->stage = Stage::kDiscover;
+      truncation->reason = synced.message();
+    }
   }
-  LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(cancel));
-  return discovery_->TopKByName(name, k, cancel);
+  // Once degraded, the query itself is cleanup: cancel still aborts it, the
+  // already-expired deadline does not re-fire.
+  const RequestContext query_ctx = synced.ok() ? ctx : ctx.CancelOnly();
+  return discovery_->TopKByName(name, k, query_ctx, truncation);
 }
 
 Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
-    const Table& query, size_t k, const CancelToken& cancel) const {
+    const Table& query, size_t k, const RequestContext& ctx,
+    Truncation* truncation) const {
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
-  if (cancel.cancelled()) {
-    return Status::Cancelled("discovery cancelled before it started");
+  // Truncation-aware pre-check: under kTruncate an already-expired
+  // deadline still yields a best-so-far (possibly empty) ranking with
+  // the cut recorded downstream, instead of a hard error.
+  Status pre = ctx.CheckStop("discovery");
+  if (!pre.ok() && !ctx.ShouldTruncate(pre.code())) return pre;
+  Status synced = EnsureDiscoverySynced(ctx);
+  if (!synced.ok()) {
+    if (!ctx.ShouldTruncate(synced.code())) return synced;
+    if (truncation != nullptr && !truncation->truncated) {
+      truncation->truncated = true;
+      truncation->stage = Stage::kDiscover;
+      truncation->reason = synced.message();
+    }
   }
-  LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(cancel));
+  const RequestContext query_ctx = synced.ok() ? ctx : ctx.CancelOnly();
   // SketchQuery hashes the cells directly — an ad-hoc query never grows
   // the session dictionary.
   std::vector<ColumnSketch> sketches = discovery_->SketchQuery(query);
-  return discovery_->TopK(sketches, k, cancel);
+  return discovery_->TopK(sketches, k, query_ctx, truncation);
 }
 
 Result<FuzzyFdReport> LakeEngine::DiscoverAndIntegrate(
     const std::string& query_name, size_t k, RowSink* sink,
     const RequestOptions& request,
     std::vector<DiscoveryCandidate>* discovered) const {
+  const RequestContext ctx = MakeContext(request);
+  // One admission slot covers the whole discover → integrate span.
+  LAKEFUZZ_RETURN_IF_ERROR(Admit(ctx));
+  AdmissionSlot slot(this);
   ReportProgress(request.progress, Stage::kDiscover, 0, 1);
-  LAKEFUZZ_ASSIGN_OR_RETURN(std::vector<DiscoveryCandidate> candidates,
-                            DiscoverUnionable(query_name, k, request.cancel));
+  Truncation discover_cut;
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      std::vector<DiscoveryCandidate> candidates,
+      DiscoverUnionable(query_name, k, ctx, &discover_cut));
   ReportProgress(request.progress, Stage::kDiscover, 1, 1);
   // Query first, then candidates in rank order: the name list defines TID
   // numbering, so the discovered integration is reproducible from the
@@ -169,13 +214,67 @@ Result<FuzzyFdReport> LakeEngine::DiscoverAndIntegrate(
   names.push_back(query_name);
   for (const DiscoveryCandidate& c : candidates) names.push_back(c.name);
   if (discovered != nullptr) *discovered = std::move(candidates);
-  return IntegrateToSink(names, sink, request);
+  Result<FuzzyFdReport> report = IntegrateToSinkImpl(names, sink, request);
+  if (report.ok() && discover_cut.truncated) {
+    // Discovery was cut first; keep its stage/reason as the report's
+    // primary cut and fold in whatever the pipeline added.
+    discover_cut.Merge(report->truncation);
+    report->truncation = discover_cut;
+  }
+  return report;
 }
 
 uint64_t LakeEngine::schema_cache_hits() const {
   std::lock_guard<std::mutex> lock(schema_mu_);
   return schema_cache_hits_;
 }
+
+AdmissionStats LakeEngine::admission_stats() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admission_stats_;
+}
+
+Status LakeEngine::Admit(const RequestContext& ctx) const {
+  const size_t max = options_.max_concurrent_requests;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (max != 0 && active_requests_ >= max) {
+    if (waiting_requests_ >= options_.max_queued_requests) {
+      ++admission_stats_.rejected;
+      return Status::ResourceExhausted(StrFormat(
+          "engine overloaded: %zu requests in flight and %zu queued "
+          "(max_concurrent_requests=%zu, max_queued_requests=%zu)",
+          active_requests_, waiting_requests_,
+          options_.max_concurrent_requests, options_.max_queued_requests));
+    }
+    ++waiting_requests_;
+    ++admission_stats_.queued;
+    while (active_requests_ >= max) {
+      // Bounded waits so a queued request still honors its own token and
+      // deadline (a queue-wait stop has no partial result — it fails hard
+      // regardless of BudgetPolicy).
+      admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      Status stop = ctx.CheckStop("admission wait");
+      if (!stop.ok()) {
+        --waiting_requests_;
+        return stop;
+      }
+    }
+    --waiting_requests_;
+  }
+  ++admission_stats_.admitted;
+  ++active_requests_;
+  return Status::OK();
+}
+
+void LakeEngine::ReleaseAdmission() const {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --active_requests_;
+  }
+  admission_cv_.notify_one();
+}
+
+LakeEngine::AdmissionSlot::~AdmissionSlot() { engine_->ReleaseAdmission(); }
 
 std::vector<std::string> LakeEngine::TableNames() const {
   return registry_.Names();
@@ -189,9 +288,8 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
   if (names.empty()) {
     return Status::InvalidArgument("integration set is empty");
   }
-  if (request.cancel.cancelled()) {
-    return Status::Cancelled("request cancelled before it started");
-  }
+  const RequestContext ctx = MakeContext(request);
+  LAKEFUZZ_RETURN_IF_ERROR(ctx.CheckStop("request"));
   PreparedRequest prep;
   uint64_t registry_version = 0;
   LAKEFUZZ_ASSIGN_OR_RETURN(prep.pinned,
@@ -255,7 +353,7 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
   eff.matcher.shared_cache = cache_;
   eff.session_dict = session_dict_.get();
   eff.include_provenance = request.include_provenance;
-  eff.cancel = request.cancel;
+  eff.context = ctx;
   eff.progress = request.progress;
   if (pool_ != nullptr) {
     eff.pool = pool_.get();
@@ -274,6 +372,8 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
 Result<PipelineResult> LakeEngine::Integrate(
     const std::vector<std::string>& names,
     const RequestOptions& request) const {
+  LAKEFUZZ_RETURN_IF_ERROR(Admit(MakeContext(request)));
+  AdmissionSlot slot(this);
   LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep, Prepare(names, request));
   FuzzyFdReport report;
   Result<FdResult> fd = Status::Internal("unreachable");
@@ -284,7 +384,7 @@ Result<PipelineResult> LakeEngine::Integrate(
     fd = RegularFdBaseline(prep.tables, prep.aligned, prep.effective.fd,
                            prep.effective.parallel,
                            prep.effective.num_threads, &report,
-                           prep.effective.pool, prep.effective.cancel,
+                           prep.effective.pool, prep.effective.context,
                            prep.effective.progress,
                            prep.effective.session_dict);
   }
@@ -302,6 +402,14 @@ Result<PipelineResult> LakeEngine::Integrate(
 }
 
 Result<FuzzyFdReport> LakeEngine::IntegrateToSink(
+    const std::vector<std::string>& names, RowSink* sink,
+    const RequestOptions& request) const {
+  LAKEFUZZ_RETURN_IF_ERROR(Admit(MakeContext(request)));
+  AdmissionSlot slot(this);
+  return IntegrateToSinkImpl(names, sink, request);
+}
+
+Result<FuzzyFdReport> LakeEngine::IntegrateToSinkImpl(
     const std::vector<std::string>& names, RowSink* sink,
     const RequestOptions& request) const {
   if (sink == nullptr) {
@@ -326,7 +434,7 @@ Result<FuzzyFdReport> LakeEngine::IntegrateToSink(
     emitted = RegularFdToBatches(
         prep.tables, prep.aligned, prep.effective.fd,
         prep.effective.parallel, prep.effective.num_threads,
-        prep.effective.pool, prep.effective.cancel, prep.effective.progress,
+        prep.effective.pool, prep.effective.context, prep.effective.progress,
         request.batch_rows, emit, &report, prep.effective.session_dict);
   }
   if (!emitted.ok()) return emitted.status();

@@ -27,6 +27,7 @@
 #ifndef LAKEFUZZ_CORE_ENGINE_H_
 #define LAKEFUZZ_CORE_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,7 +42,7 @@
 #include "embedding/model_zoo.h"
 #include "fd/session_dict.h"
 #include "table/csv.h"
-#include "util/cancellation.h"
+#include "util/request_context.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -68,6 +69,16 @@ struct EngineOptions {
   /// Discovery-index knobs (signature size, LSH banding, score weights,
   /// eager vs bulk build — see discovery/discovery.h).
   DiscoveryOptions discovery;
+  /// Admission control: at most this many integrate-class requests
+  /// (Integrate / IntegrateToSink / DiscoverAndIntegrate) run at once;
+  /// 0 = unlimited (the default — admission only counts). Overload beyond
+  /// the wait queue rejects fast with ErrorCode::kResourceExhausted.
+  size_t max_concurrent_requests = 0;
+  /// Bounded wait queue in front of the concurrency gate: requests arriving
+  /// while `max_concurrent_requests` are in flight wait here (still honoring
+  /// their cancel token and deadline); once `max_queued_requests` are
+  /// already waiting, further arrivals are rejected immediately.
+  size_t max_queued_requests = 0;
 
   EngineOptions& SetModel(ModelKind kind) {
     model = kind;
@@ -83,6 +94,14 @@ struct EngineOptions {
   }
   EngineOptions& SetDiscovery(DiscoveryOptions options) {
     discovery = std::move(options);
+    return *this;
+  }
+  EngineOptions& SetMaxConcurrentRequests(size_t n) {
+    max_concurrent_requests = n;
+    return *this;
+  }
+  EngineOptions& SetMaxQueuedRequests(size_t n) {
+    max_queued_requests = n;
     return *this;
   }
 
@@ -114,10 +133,32 @@ struct RequestOptions {
   /// Cooperative cancellation (CancelToken::Create(); fire from any
   /// thread). A cancelled request returns ErrorCode::kCancelled.
   CancelToken cancel;
+  /// Request deadline (Deadline::AfterMillis(...)), polled at the same
+  /// checkpoints as `cancel`. Expiry returns ErrorCode::kDeadlineExceeded —
+  /// or, under BudgetPolicy::kTruncate, a partial result with
+  /// FuzzyFdReport::truncation populated.
+  Deadline deadline;
+  /// Per-request resource ceilings (FD search nodes, result tuples, FD
+  /// scratch bytes); zero fields are unlimited.
+  ResourceBudget budget;
+  /// What budget/deadline exhaustion does: kFail (default) surfaces the
+  /// typed error, kTruncate degrades to the best partial result computed
+  /// so far. Cancellation always fails regardless of policy.
+  BudgetPolicy budget_policy = BudgetPolicy::kFail;
   /// Stage progress, invoked on the request thread.
   ProgressFn progress;
   /// Sink mode: decoded tuples per OnBatch call (bounds peak memory).
   size_t batch_rows = 1024;
+};
+
+/// Engine-lifetime admission counters (see EngineOptions::
+/// max_concurrent_requests). admitted counts requests that got a slot
+/// (including after queueing), queued counts those that had to wait first,
+/// rejected counts fast-fail overload rejections.
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t queued = 0;
 };
 
 /// Streaming consumer for IntegrateToSink. Methods are invoked on the
@@ -207,19 +248,25 @@ class LakeEngine {
   /// Top-k tables unionable with the registered table `name` (itself
   /// excluded), ranked by sketch-estimated column overlap + schema
   /// compatibility with deterministic (score desc, name asc) order.
-  /// ErrorCode::kNotFound for unknown names, kCancelled when `cancel`
-  /// fires mid-search. The discovery index is brought up to date with the
-  /// registry (TableRegistry::version()) before the search.
+  /// ErrorCode::kNotFound for unknown names, kCancelled when the context's
+  /// token fires mid-search, kDeadlineExceeded when its deadline expires.
+  /// Under BudgetPolicy::kTruncate a deadline stop instead returns the
+  /// best-so-far candidates (scored over whatever the index held) and
+  /// records the cut in `truncation` when given. The discovery index is
+  /// brought up to date with the registry (TableRegistry::version())
+  /// before the search. A bare CancelToken still converts implicitly.
   Result<std::vector<DiscoveryCandidate>> DiscoverUnionable(
       const std::string& name, size_t k,
-      const CancelToken& cancel = CancelToken()) const;
+      const RequestContext& ctx = RequestContext(),
+      Truncation* truncation = nullptr) const;
 
   /// Ad-hoc form: sketches `query` in place (not registered; the session
   /// dictionary is untouched — sketches hash cell content directly) and
   /// searches the lake with it.
   Result<std::vector<DiscoveryCandidate>> DiscoverUnionable(
       const Table& query, size_t k,
-      const CancelToken& cancel = CancelToken()) const;
+      const RequestContext& ctx = RequestContext(),
+      Truncation* truncation = nullptr) const;
 
   /// Discovery feeding integration: finds the top-k unionable partners of
   /// registered table `query_name`, then streams the integration of
@@ -247,6 +294,9 @@ class LakeEngine {
   /// AlignedSchema cache traffic: requests that skipped re-alignment
   /// because the same name set was aligned at the same registry version.
   uint64_t schema_cache_hits() const;
+  /// Admission-control traffic (admitted / rejected / queued) across the
+  /// engine's lifetime.
+  AdmissionStats admission_stats() const;
   /// The discovery index (sketch + LSH state; num_tables/num_columns for
   /// observability). Kept in sync with the registry by Register/Unregister
   /// when discovery.build_at_register is set, and by the version-mismatch
@@ -274,6 +324,19 @@ class LakeEngine {
              std::shared_ptr<EmbeddingCache> cache,
              std::unique_ptr<ThreadPool> pool);
 
+  /// RAII admission slot: releases the concurrency gate (and wakes one
+  /// queued waiter) on destruction. Constructed only after Admit succeeds.
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(const LakeEngine* engine) : engine_(engine) {}
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+   private:
+    const LakeEngine* engine_;
+  };
+
   /// Resolves names, aligns, and merges session resources into the
   /// request's FuzzyFdOptions — the shared front half of both request
   /// forms.
@@ -282,8 +345,22 @@ class LakeEngine {
 
   /// Brings the discovery index to the current registry version (resync on
   /// mismatch) — the invalidation contract every discovery query runs
-  /// behind. The bulk sketch honors `cancel` (ErrorCode::kCancelled).
-  Status EnsureDiscoverySynced(const CancelToken& cancel) const;
+  /// behind. The bulk sketch honors the context's token and deadline.
+  Status EnsureDiscoverySynced(const RequestContext& ctx) const;
+
+  /// Concurrency gate (EngineOptions::max_concurrent_requests). Blocks in
+  /// the bounded wait queue until a slot frees, polling the context's token
+  /// and deadline; overload past the queue bound rejects immediately with
+  /// kResourceExhausted. On OK the caller owns one slot (pair with an
+  /// AdmissionSlot).
+  Status Admit(const RequestContext& ctx) const;
+  void ReleaseAdmission() const;
+
+  /// IntegrateToSink minus the admission gate, so DiscoverAndIntegrate
+  /// admits exactly once for its whole discover → integrate span.
+  Result<FuzzyFdReport> IntegrateToSinkImpl(
+      const std::vector<std::string>& names, RowSink* sink,
+      const RequestOptions& request) const;
 
   EngineOptions options_;
   std::shared_ptr<const EmbeddingModel> model_;
@@ -298,6 +375,13 @@ class LakeEngine {
   mutable std::mutex schema_mu_;
   mutable std::unordered_map<std::string, CachedSchema> schema_cache_;
   mutable uint64_t schema_cache_hits_ = 0;
+
+  /// Admission gate state (see Admit).
+  mutable std::mutex admission_mu_;
+  mutable std::condition_variable admission_cv_;
+  mutable size_t active_requests_ = 0;
+  mutable size_t waiting_requests_ = 0;
+  mutable AdmissionStats admission_stats_;
 };
 
 }  // namespace lakefuzz

@@ -6,6 +6,7 @@
 #include "assignment/parallel_cost.h"
 #include "fd/session_dict.h"
 #include "fd/value_dict.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -45,10 +46,11 @@ Result<FdStage> RunFdStage(const TableList& tables,
                            const FdOptions& fd_options, bool parallel,
                            size_t num_threads, ThreadPool* pool,
                            SessionDict* session_dict,
-                           const CancelToken& cancel,
+                           const RequestContext& ctx,
                            const ProgressFn& progress,
                            FuzzyFdReport* report) {
   ReportProgress(progress, Stage::kFdBuild, 0, 1);
+  LAKEFUZZ_FAULT_POINT("fd/build");
   Stopwatch build_watch;
   Result<FdProblem> built =
       session_dict != nullptr
@@ -58,8 +60,13 @@ Result<FdStage> RunFdStage(const TableList& tables,
   FdProblem problem = std::move(built).value();
   const double build_seconds = build_watch.ElapsedSeconds();
   ReportProgress(progress, Stage::kFdBuild, 1, 1);
-  if (cancel.cancelled()) {
-    return Status::Cancelled("full disjunction cancelled");
+  // Post-build stop: under kTruncate a deadline that expired during the
+  // build falls through to the executor, whose first per-component
+  // checkpoint records the truncation (0 components completed) — the
+  // graceful-degradation path, not a hard error.
+  Status post_build = ctx.CheckStop("full disjunction");
+  if (!post_build.ok() && !ctx.ShouldTruncate(post_build.code())) {
+    return post_build;
   }
 
   std::unique_ptr<ThreadPool> owned_pool;
@@ -78,19 +85,39 @@ Result<FdStage> RunFdStage(const TableList& tables,
     popts.fd = fd_options;
     popts.num_threads = num_threads;
     popts.pool = stage_pool;
-    codes = ParallelFullDisjunction(popts).RunCodes(&problem, &stats, cancel,
+    codes = ParallelFullDisjunction(popts).RunCodes(&problem, &stats, ctx,
                                                     progress);
   } else {
-    codes = FullDisjunction(fd_options).RunCodes(&problem, &stats, cancel,
+    codes = FullDisjunction(fd_options).RunCodes(&problem, &stats, ctx,
                                                  progress);
   }
   if (!codes.ok()) return codes.status();
+  std::vector<FdCodeTuple> code_vec = std::move(codes).value();
+
+  // Result-tuple budget, enforced once here post-subsumption so both the
+  // materializing and the streaming consumers see the same cut.
+  if (ctx.budget.max_result_tuples > 0 &&
+      code_vec.size() > ctx.budget.max_result_tuples) {
+    if (ctx.policy != BudgetPolicy::kTruncate) {
+      return Status::ResourceExhausted(
+          "result budget exhausted (ResourceBudget::max_result_tuples)");
+    }
+    code_vec.resize(ctx.budget.max_result_tuples);
+    if (!stats.truncation.truncated) {
+      stats.truncation.truncated = true;
+      stats.truncation.stage = Stage::kEmit;
+      stats.truncation.reason =
+          "result budget exhausted (ResourceBudget::max_result_tuples)";
+    }
+    stats.truncation.tuples_emitted = code_vec.size();
+  }
 
   if (report != nullptr) {
     report->fd_build_seconds = build_seconds;
     report->fd_stats = stats;
+    report->truncation.Merge(stats.truncation);
   }
-  return FdStage{std::move(problem), std::move(codes).value(), stats,
+  return FdStage{std::move(problem), std::move(code_vec), stats,
                  std::move(owned_pool), stage_pool};
 }
 
@@ -125,24 +152,39 @@ Result<size_t> StreamFdStage(const TableList& tables,
                              const FdOptions& fd_options, bool parallel,
                              size_t num_threads, ThreadPool* pool,
                              SessionDict* session_dict,
-                             const CancelToken& cancel,
+                             const RequestContext& ctx,
                              const ProgressFn& progress, size_t batch_rows,
                              const FdBatchFn& emit, FuzzyFdReport* report);
 
 /// Decodes `codes` in windows of `batch_rows` and hands each window to
 /// `emit` (reusing one batch buffer). Returns the number of tuples emitted.
+/// A stop between batches aborts the stream — except a deadline/budget stop
+/// under kTruncate, which ends it cleanly after the batches already
+/// delivered and records the cut in `truncation` (when given).
 Result<size_t> EmitCodeBatches(const FdProblem& problem,
                                const std::vector<FdCodeTuple>& codes,
                                size_t batch_rows, const FdBatchFn& emit,
-                               const CancelToken& cancel,
-                               const ProgressFn& progress) {
+                               const RequestContext& ctx,
+                               const ProgressFn& progress,
+                               Truncation* truncation) {
   std::vector<FdResultTuple> batch;
   batch.reserve(std::min(batch_rows, codes.size()));
   size_t emitted = 0;
   for (size_t start = 0; start < codes.size(); start += batch_rows) {
-    if (cancel.cancelled()) {
-      return Status::Cancelled("result emission cancelled");
+    Status stop = ctx.CheckStop("result emission");
+    if (!stop.ok()) {
+      if (!ctx.ShouldTruncate(stop.code())) return stop;
+      if (truncation != nullptr) {
+        if (!truncation->truncated) {
+          truncation->truncated = true;
+          truncation->stage = Stage::kEmit;
+          truncation->reason = stop.message();
+        }
+        truncation->tuples_emitted = emitted;
+      }
+      break;
     }
+    LAKEFUZZ_FAULT_POINT("sink/write");
     const size_t end = std::min(codes.size(), start + batch_rows);
     batch.clear();
     for (size_t i = start; i < end; ++i) {
@@ -161,16 +203,21 @@ Result<size_t> StreamFdStage(const TableList& tables,
                              const FdOptions& fd_options, bool parallel,
                              size_t num_threads, ThreadPool* pool,
                              SessionDict* session_dict,
-                             const CancelToken& cancel,
+                             const RequestContext& ctx,
                              const ProgressFn& progress, size_t batch_rows,
                              const FdBatchFn& emit, FuzzyFdReport* report) {
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
       RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
-                 session_dict, cancel, progress, report));
-  Result<size_t> emitted = EmitCodeBatches(stage.problem, stage.codes,
-                                           batch_rows, emit, cancel, progress);
+                 session_dict, ctx, progress, report));
+  // Emitting an already-truncated partial is cleanup: it still honors
+  // cancellation but is not re-aborted by the expired deadline.
+  const RequestContext emit_ctx =
+      stage.stats.truncation.truncated ? ctx.CancelOnly() : ctx;
+  Result<size_t> emitted = EmitCodeBatches(
+      stage.problem, stage.codes, batch_rows, emit, emit_ctx, progress,
+      report != nullptr ? &report->truncation : nullptr);
   // fd_seconds covers batch decode + sink emission, mirroring the
   // materializing path where decode sits inside the fd watch.
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
@@ -195,10 +242,13 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
   Stopwatch match_watch;
   ValueMatcherOptions matcher_options = options.matcher;
-  // Session plumbing: the request's token and pool reach the matcher
-  // unless the caller already set matcher-specific ones.
+  // Session plumbing: the request's token, deadline, and pool reach the
+  // matcher unless the caller already set matcher-specific ones.
   if (!matcher_options.cancel.can_cancel()) {
-    matcher_options.cancel = options.cancel;
+    matcher_options.cancel = options.context.cancel;
+  }
+  if (!matcher_options.deadline.set()) {
+    matcher_options.deadline = options.context.deadline;
   }
   if (matcher_options.pool == nullptr) {
     matcher_options.pool = options.pool;
@@ -216,11 +266,26 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
   size_t sets_matched = 0;
   ValueMatchStats agg_stats;
 
+  // Under kTruncate, a deadline (or matcher-internal budget) stop here
+  // degrades instead of failing: matching stops at the current universal
+  // column and integration proceeds over the groups found so far — the FD
+  // stage then truncates in turn at its own first checkpoint.
+  auto degrade = [&](const Status& stop) {
+    if (report != nullptr && !report->truncation.truncated) {
+      report->truncation.truncated = true;
+      report->truncation.stage = Stage::kMatch;
+      report->truncation.reason = stop.message();
+    }
+  };
+
   const size_t num_universal = aligned.NumUniversal();
   for (size_t u = 0; u < num_universal; ++u) {
     ReportProgress(options.progress, Stage::kMatch, u, num_universal);
-    if (options.cancel.cancelled()) {
-      return Status::Cancelled("fuzzy value matching cancelled");
+    Status stop = options.context.CheckStop("fuzzy value matching");
+    if (!stop.ok()) {
+      if (!options.context.ShouldTruncate(stop.code())) return stop;
+      degrade(stop);
+      break;
     }
     auto sources = aligned.SourcesOf(u);
     if (sources.size() < 2) continue;  // nothing to make consistent
@@ -238,8 +303,15 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
       }
     }
 
-    LAKEFUZZ_ASSIGN_OR_RETURN(ValueMatchResult matched,
-                              matcher.MatchColumns(columns));
+    Result<ValueMatchResult> matched_result = matcher.MatchColumns(columns);
+    if (!matched_result.ok()) {
+      if (!options.context.ShouldTruncate(matched_result.code())) {
+        return matched_result.status();
+      }
+      degrade(matched_result.status());
+      break;
+    }
+    ValueMatchResult matched = std::move(matched_result).value();
     ++sets_matched;
     agg_stats.exact_matches += matched.stats.exact_matches;
     agg_stats.assignment_matches += matched.stats.assignment_matches;
@@ -373,7 +445,7 @@ Result<FdResult> FuzzyFullDisjunction::RunToTuples(
       FdStage stage,
       RunFdStage(set.list, aligned, options_.fd, options_.parallel,
                  options_.num_threads, options_.pool, options_.session_dict,
-                 options_.cancel, options_.progress, report));
+                 options_.context, options_.progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
   return result;
@@ -409,7 +481,7 @@ Result<size_t> FuzzyFullDisjunction::RunToBatches(
                             RewriteCore(options_, tables, aligned, report));
   return StreamFdStage(set.list, aligned, options_.fd, options_.parallel,
                        options_.num_threads, options_.pool,
-                       options_.session_dict, options_.cancel,
+                       options_.session_dict, options_.context,
                        options_.progress, batch_rows, emit, report);
 }
 
@@ -418,14 +490,14 @@ Result<FdResult> RegularFdBaseline(const TableList& tables,
                                    const FdOptions& fd_options, bool parallel,
                                    size_t num_threads, FuzzyFdReport* report,
                                    ThreadPool* pool,
-                                   const CancelToken& cancel,
+                                   const RequestContext& ctx,
                                    const ProgressFn& progress,
                                    SessionDict* session_dict) {
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
       RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
-                 session_dict, cancel, progress, report));
+                 session_dict, ctx, progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
   return result;
@@ -443,14 +515,14 @@ Result<size_t> RegularFdToBatches(const TableList& tables,
                                   const AlignedSchema& aligned,
                                   const FdOptions& fd_options, bool parallel,
                                   size_t num_threads, ThreadPool* pool,
-                                  const CancelToken& cancel,
+                                  const RequestContext& ctx,
                                   const ProgressFn& progress,
                                   size_t batch_rows, const FdBatchFn& emit,
                                   FuzzyFdReport* report,
                                   SessionDict* session_dict) {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateStreamArgs(batch_rows, emit));
   return StreamFdStage(tables, aligned, fd_options, parallel, num_threads,
-                       pool, session_dict, cancel, progress, batch_rows, emit,
+                       pool, session_dict, ctx, progress, batch_rows, emit,
                        report);
 }
 

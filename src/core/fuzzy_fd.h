@@ -10,8 +10,9 @@
 // Session integration: every entry point has a TableList (borrowed
 // pointers) form so a LakeEngine can serve requests over registry-owned
 // tables without copying; options carry an optional session ThreadPool,
-// a CancelToken (honored at matcher merge rounds, per FD component, and
-// inside the enumerator), and a ProgressFn fired at stage boundaries.
+// a RequestContext (cancel + deadline + resource budget, honored at matcher
+// merge rounds, per FD component, and inside the enumerator), and a
+// ProgressFn fired at stage boundaries.
 #ifndef LAKEFUZZ_CORE_FUZZY_FD_H_
 #define LAKEFUZZ_CORE_FUZZY_FD_H_
 
@@ -20,7 +21,7 @@
 #include "core/value_matcher.h"
 #include "fd/full_disjunction.h"
 #include "fd/parallel.h"
-#include "util/cancellation.h"
+#include "util/request_context.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -47,10 +48,14 @@ struct FuzzyFdOptions {
   /// the invalidation contract). Not owned; must outlive every result
   /// decoded against it.
   SessionDict* session_dict = nullptr;
-  /// Request cancellation; also threaded into `matcher.cancel` when that
-  /// one is inert. A fired token surfaces as Status::Cancelled from the
-  /// nearest checkpoint.
-  CancelToken cancel;
+  /// Request lifecycle: cancel token, deadline, resource budget, and the
+  /// truncate-vs-fail policy. The cancel token is also threaded into
+  /// `matcher.cancel` (and the deadline into `matcher.deadline`) when those
+  /// are unset. A fired token surfaces as Status::Cancelled, an expired
+  /// deadline as Status::DeadlineExceeded, from the nearest checkpoint —
+  /// unless BudgetPolicy::kTruncate turns the latter into a partial result
+  /// with a populated FuzzyFdReport::truncation.
+  RequestContext context;
   /// Stage-boundary progress (see util/cancellation.h). Invoked on the
   /// calling thread: kMatch counts universal columns, the FD stages report
   /// (0,1) on entry and (1,1) on completion.
@@ -75,6 +80,10 @@ struct FuzzyFdReport {
   size_t values_rewritten = 0;
   ValueMatchStats match_stats;
   FdStats fd_stats;
+  /// Request-level degradation report (BudgetPolicy::kTruncate): folds the
+  /// FD executor's fd_stats.truncation together with match-stage and
+  /// emit-stage cuts. truncated == false means the result is complete.
+  Truncation truncation;
 
   /// End-to-end wall time across all stages (align + match + rewrite + FD).
   double total_seconds() const {
@@ -138,15 +147,13 @@ class FuzzyFullDisjunction {
 /// `session_dict`, when set, builds the problem with BuildInterned and
 /// treats every input table as a session-cached snapshot (the engine only
 /// passes registry-owned tables here).
-Result<FdResult> RegularFdBaseline(const TableList& tables,
-                                   const AlignedSchema& aligned,
-                                   const FdOptions& fd_options,
-                                   bool parallel, size_t num_threads,
-                                   FuzzyFdReport* report,
-                                   ThreadPool* pool = nullptr,
-                                   const CancelToken& cancel = CancelToken(),
-                                   const ProgressFn& progress = ProgressFn(),
-                                   SessionDict* session_dict = nullptr);
+Result<FdResult> RegularFdBaseline(
+    const TableList& tables, const AlignedSchema& aligned,
+    const FdOptions& fd_options, bool parallel, size_t num_threads,
+    FuzzyFdReport* report, ThreadPool* pool = nullptr,
+    const RequestContext& ctx = RequestContext(),
+    const ProgressFn& progress = ProgressFn(),
+    SessionDict* session_dict = nullptr);
 Result<FdResult> RegularFdBaseline(const std::vector<Table>& tables,
                                    const AlignedSchema& aligned,
                                    const FdOptions& fd_options,
@@ -159,7 +166,7 @@ Result<size_t> RegularFdToBatches(const TableList& tables,
                                   const AlignedSchema& aligned,
                                   const FdOptions& fd_options, bool parallel,
                                   size_t num_threads, ThreadPool* pool,
-                                  const CancelToken& cancel,
+                                  const RequestContext& ctx,
                                   const ProgressFn& progress,
                                   size_t batch_rows, const FdBatchFn& emit,
                                   FuzzyFdReport* report,

@@ -174,10 +174,13 @@ Result<ValueMatchResult> ValueMatcher::MatchColumns(
   JvDuals probe_duals;
 
   for (size_t c = 1; c < columns.size(); ++c) {
-    // Cooperative cancellation between merge rounds — the unit after which
-    // no partial state escapes.
+    // Cooperative cancellation / deadline between merge rounds — the unit
+    // after which no partial state escapes.
     if (options_.cancel.cancelled()) {
       return Status::Cancelled("value matching cancelled");
+    }
+    if (options_.deadline.expired()) {
+      return Status::DeadlineExceeded("value matching deadline exceeded");
     }
     const auto& values = columns[c];
     std::vector<char> value_matched(values.size(), 0);

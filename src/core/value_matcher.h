@@ -34,7 +34,7 @@
 #include "embedding/embedding_cache.h"
 #include "embedding/model.h"
 #include "text/distance.h"
-#include "util/cancellation.h"
+#include "util/request_context.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -100,6 +100,10 @@ struct ValueMatcherOptions {
   /// Cooperative cancellation, polled between merge rounds (once per
   /// aligning column). A fired token returns Status::Cancelled.
   CancelToken cancel;
+  /// Request deadline, polled at the same merge-round checkpoints. Once
+  /// expired, MatchColumns returns Status::DeadlineExceeded (the pipeline
+  /// layer may degrade that into a partial match under kTruncate).
+  Deadline deadline;
 };
 
 /// One disjoint set of matched values.

@@ -1,6 +1,7 @@
 #include "discovery/discovery.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "util/str.h"
@@ -155,7 +156,7 @@ void DiscoveryIndex::RemoveTable(const std::string& name, uint64_t version) {
 Status DiscoveryIndex::Resync(
     const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>&
         snapshot,
-    uint64_t version, const CancelToken& cancel) {
+    uint64_t version, const RequestContext& ctx) {
   // One resync at a time: a second stale query waits here, then finds the
   // version already advanced and diffs to a no-op.
   std::lock_guard<std::mutex> sync_lock(resync_mu_);
@@ -195,10 +196,16 @@ Status DiscoveryIndex::Resync(
     }
   }
   std::vector<SketchScratch> scratches(MaxLanes(pool_, tasks.size()));
+  std::atomic<bool> stop_flag{false};
   MaybeParallelForWithLane(pool_, tasks.size(), [&](size_t lane, size_t i) {
-    // Cooperative cancel checkpoint per sketch task: remaining tasks
-    // degrade to no-ops so a fired token drains the bulk build quickly.
-    if (cancel.cancelled()) return;
+    // Cooperative stop checkpoint per sketch task: remaining tasks degrade
+    // to no-ops so a fired token / expired deadline drains the bulk build
+    // quickly (the typed status is re-derived on the driving thread below).
+    if (stop_flag.load(std::memory_order_relaxed)) return;
+    if (!ctx.CheckStop("discovery index resync").ok()) {
+      stop_flag.store(true, std::memory_order_relaxed);
+      return;
+    }
     const auto [t, c] = tasks[i];
     const Table& table = *to_add[t].second;
     auto codes = dict_->ColumnCodes(table, c);
@@ -206,10 +213,13 @@ Status DiscoveryIndex::Resync(
                                     dict_->dict(), sketch_options_,
                                     &scratches[lane]);
   });
-  if (cancel.cancelled()) {
-    // Nothing is inserted and the version stays behind: the index remains
-    // observably stale and the next discovery call resyncs from scratch.
-    return Status::Cancelled("discovery index resync cancelled");
+  // Nothing is inserted on a stop and the version stays behind: the index
+  // remains observably stale and the next discovery call resyncs from
+  // scratch. A resync has no partial result, so kTruncate does not apply —
+  // the stop is always the request's error.
+  LAKEFUZZ_RETURN_IF_ERROR(ctx.CheckStop("discovery index resync"));
+  if (stop_flag.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("discovery index resync deadline exceeded");
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -277,7 +287,7 @@ DiscoveryIndex::CandidateSnapshotLocked(
 Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::ScoreCandidates(
     const std::vector<const ColumnSketch*>& query,
     const std::vector<CandidateRef>& candidates, size_t k,
-    const CancelToken& cancel) const {
+    const RequestContext& ctx, Truncation* truncation) const {
   std::vector<DiscoveryCandidate> out;
   const double denom = static_cast<double>(query.size());
   // Normalizing by the weight sum keeps score in [0, 1] for ANY valid
@@ -285,8 +295,19 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::ScoreCandidates(
   const double weight_sum = options_.overlap_weight + options_.schema_weight;
   out.reserve(candidates.size());
   for (const CandidateRef& ref : candidates) {
-    if (cancel.cancelled()) {
-      return Status::Cancelled("discovery cancelled mid-search");
+    Status stop = ctx.CheckStop("discovery");
+    if (!stop.ok()) {
+      // Best-so-far degradation: under kTruncate a deadline stop ranks the
+      // candidates scored so far instead of failing the search.
+      if (!ctx.ShouldTruncate(stop.code())) return stop;
+      if (truncation != nullptr && !truncation->truncated) {
+        truncation->truncated = true;
+        truncation->stage = Stage::kDiscover;
+        truncation->reason = stop.message();
+        truncation->components_completed = out.size();
+        truncation->components_skipped = candidates.size() - out.size();
+      }
+      break;
     }
     DiscoveryCandidate cand;
     cand.name = ref.name;
@@ -326,7 +347,7 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::ScoreCandidates(
 
 Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::TopK(
     const std::vector<ColumnSketch>& query, size_t k,
-    const CancelToken& cancel) const {
+    const RequestContext& ctx, Truncation* truncation) const {
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
@@ -344,11 +365,12 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::TopK(
   }
   // Scoring runs on the snapshot only — concurrent Register/Unregister and
   // other queries proceed in parallel.
-  return ScoreCandidates(qcols, candidates, k, cancel);
+  return ScoreCandidates(qcols, candidates, k, ctx, truncation);
 }
 
 Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::TopKByName(
-    const std::string& name, size_t k, const CancelToken& cancel) const {
+    const std::string& name, size_t k, const RequestContext& ctx,
+    Truncation* truncation) const {
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
@@ -370,7 +392,7 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::TopKByName(
     if (qcols.empty()) return std::vector<DiscoveryCandidate>();
     candidates = CandidateSnapshotLocked(qcols, k, it->second);
   }
-  return ScoreCandidates(qcols, candidates, k, cancel);
+  return ScoreCandidates(qcols, candidates, k, ctx, truncation);
 }
 
 }  // namespace lakefuzz

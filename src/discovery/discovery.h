@@ -38,7 +38,7 @@
 #include "discovery/lsh_index.h"
 #include "fd/session_dict.h"
 #include "table/table.h"
-#include "util/cancellation.h"
+#include "util/request_context.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -139,14 +139,15 @@ class DiscoveryIndex {
   /// name → table pairs from TableRegistry::Snapshot): stale entries are
   /// removed, replaced tables re-sketched, missing tables added — sketching
   /// parallelized over (table, column) tasks. Idempotent; concurrent
-  /// resyncs serialize. A fired `cancel` aborts the bulk sketch with
-  /// ErrorCode::kCancelled and leaves the index stale (the next call
-  /// resyncs from scratch) — this is the dominant cost of a lazy-mode
-  /// discovery call, so it must honor the request's token.
+  /// resyncs serialize. A fired token / expired deadline in `ctx` aborts
+  /// the bulk sketch with kCancelled / kDeadlineExceeded and leaves the
+  /// index stale (the next call resyncs from scratch) — this is the
+  /// dominant cost of a lazy-mode discovery call, so it must honor the
+  /// request's lifecycle.
   Status Resync(
       const std::vector<std::pair<std::string, std::shared_ptr<const Table>>>&
           snapshot,
-      uint64_t version, const CancelToken& cancel = CancelToken());
+      uint64_t version, const RequestContext& ctx = RequestContext());
 
   /// The registry version the index last reconciled with. A caller holding
   /// TableRegistry::version() != this must Resync before trusting queries.
@@ -169,17 +170,23 @@ class DiscoveryIndex {
 
   /// Top-k candidates for an ad-hoc query sketch set, ranked by score with
   /// deterministic (score desc, name asc) order; fewer than k when the lake
-  /// is small. Honors `cancel` between candidate scorings
-  /// (ErrorCode::kCancelled).
+  /// is small. `ctx` is polled between candidate scorings: a fired token
+  /// surfaces as kCancelled, an expired deadline as kDeadlineExceeded —
+  /// unless ctx.policy is kTruncate, in which case the candidates scored so
+  /// far are ranked and returned with `truncation` (when given) recording
+  /// the best-so-far cut at Stage::kDiscover.
   Result<std::vector<DiscoveryCandidate>> TopK(
       const std::vector<ColumnSketch>& query, size_t k,
-      const CancelToken& cancel = CancelToken()) const;
+      const RequestContext& ctx = RequestContext(),
+      Truncation* truncation = nullptr) const;
 
   /// Top-k candidates for an indexed table, excluding itself.
-  /// ErrorCode::kNotFound when `name` is not indexed.
+  /// ErrorCode::kNotFound when `name` is not indexed. Same lifecycle and
+  /// truncation contract as TopK.
   Result<std::vector<DiscoveryCandidate>> TopKByName(
       const std::string& name, size_t k,
-      const CancelToken& cancel = CancelToken()) const;
+      const RequestContext& ctx = RequestContext(),
+      Truncation* truncation = nullptr) const;
 
  private:
   struct TableEntry {
@@ -213,7 +220,7 @@ class DiscoveryIndex {
   Result<std::vector<DiscoveryCandidate>> ScoreCandidates(
       const std::vector<const ColumnSketch*>& query,
       const std::vector<CandidateRef>& candidates, size_t k,
-      const CancelToken& cancel) const;
+      const RequestContext& ctx, Truncation* truncation) const;
 
   DiscoveryOptions options_;
   SketchOptions sketch_options_;

@@ -9,12 +9,29 @@
 #include <numeric>
 
 #include "util/arena.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
 
 namespace lakefuzz {
 namespace {
+
+/// The node budget runs out under two different contracts: the library-wide
+/// FdOptions::max_search_nodes safety valve (a caller-tunable precondition,
+/// legacy kFailedPrecondition) and a request-scoped
+/// ResourceBudget::max_fd_nodes (an overload signal, kResourceExhausted —
+/// retryable with a larger budget, truncatable under kTruncate).
+Status BudgetExhaustedError(const RequestContext* ctx) {
+  if (ctx != nullptr && ctx->budget.max_fd_nodes > 0) {
+    return Status::ResourceExhausted(
+        "full disjunction node budget exhausted "
+        "(ResourceBudget::max_fd_nodes)");
+  }
+  return Status::FailedPrecondition(
+      "full disjunction search budget exhausted "
+      "(max_search_nodes); component too entangled");
+}
 
 /// One independent subtree of the branch-and-exclude tree, fully described
 /// by data (no live enumerator state): the ordinal path identifying the
@@ -90,12 +107,12 @@ class ComponentEnumerator {
   ComponentEnumerator(const FdProblem& problem,
                       const std::vector<uint32_t>& component,
                       std::atomic<int64_t>* budget, FdScratch* scratch,
-                      const CancelToken* cancel,
+                      const RequestContext* ctx,
                       SplitContext* split = nullptr)
       : problem_(problem),
         component_(component),
         budget_(budget),
-        cancel_(cancel),
+        ctx_(ctx),
         split_(split),
         s_(*scratch),
         num_cols_(problem.num_columns()) {}
@@ -488,19 +505,16 @@ class ComponentEnumerator {
   Status Extend(const uint32_t* ext, size_t ext_size) {
     ++nodes_used_;
     if ((nodes_used_ & 0x3ff) == 0 || members_.empty()) {
-      // Amortized budget check: draw down in blocks. The cancellation
-      // checkpoint shares the amortization so a live token costs one atomic
-      // load per 1024 search nodes, not per node.
-      if (cancel_ != nullptr && cancel_->cancelled()) {
-        return Status::Cancelled(
-            "full disjunction cancelled mid-enumeration");
+      // Amortized budget check: draw down in blocks. The cancellation and
+      // deadline checkpoints share the amortization so a live token (or a
+      // set deadline) costs one poll per 1024 search nodes, not per node.
+      if (ctx_ != nullptr) {
+        LAKEFUZZ_RETURN_IF_ERROR(ctx_->CheckStop("full disjunction"));
       }
       if (budget_ != nullptr) {
         ++blocks_drawn_;
         if (budget_->fetch_sub(1024, std::memory_order_relaxed) <= 0) {
-          return Status::FailedPrecondition(
-              "full disjunction search budget exhausted "
-              "(max_search_nodes); component too entangled");
+          return BudgetExhaustedError(ctx_);
         }
       }
     }
@@ -580,7 +594,7 @@ class ComponentEnumerator {
   const FdProblem& problem_;
   const std::vector<uint32_t>& component_;
   std::atomic<int64_t>* budget_;
-  const CancelToken* cancel_;
+  const RequestContext* ctx_;
   SplitContext* split_;
   FdScratch& s_;
   const size_t num_cols_;
@@ -607,11 +621,11 @@ class IntraComponentRunner {
                        const std::vector<uint32_t>& component,
                        const FdOptions& options, size_t workers,
                        std::atomic<int64_t>* budget,
-                       const CancelToken* cancel)
+                       const RequestContext* ctx)
       : problem_(problem),
         component_(component),
         budget_(budget),
-        cancel_(cancel),
+        ctx_(ctx),
         workers_(workers) {
     split_template_.max_depth = std::max<size_t>(1, options.intra_split_depth);
     split_template_.min_ext = 2;
@@ -731,25 +745,29 @@ class IntraComponentRunner {
       }
       queued_.fetch_sub(1, std::memory_order_relaxed);
 
-      Status st = Status::OK();
-      if (cancel_ != nullptr && cancel_->cancelled()) {
-        st = Status::Cancelled("full disjunction cancelled mid-subtree");
-      } else if (budget_ != nullptr &&
-                 budget_->load(std::memory_order_relaxed) <= 0) {
+      Status st =
+          ctx_ != nullptr ? ctx_->CheckStop("full disjunction") : Status::OK();
+      if (st.ok() && budget_ != nullptr &&
+          budget_->load(std::memory_order_relaxed) <= 0) {
         // Per-task budget gate: small subtrees rarely reach the in-tree
         // amortized check, so exhaustion is also enforced at task
         // granularity against the settled shared counter.
-        st = Status::FailedPrecondition(
-            "full disjunction search budget exhausted "
-            "(max_search_nodes); component too entangled");
-      } else if (first_error_ok()) {
+        st = BudgetExhaustedError(ctx_);
+      }
+#ifdef LAKEFUZZ_FAULT_POINTS
+      // Task-spawn seam: a chaos-armed "fd/task" fault fails this task as a
+      // real mid-enumeration error would (WorkerLoop returns void, so the
+      // macro's return-propagation form cannot be used here).
+      if (st.ok()) st = FaultInjector::Instance().Poke("fd/task");
+#endif
+      if (st.ok() && first_error_ok()) {
         // Tasks unwind every arena frame they open, but a Reset here makes
         // reuse unconditional: a task never inherits live bytes from a
         // predecessor on the same scratch.
         if (scratch->arena_enabled) scratch->arena.Reset();
         const uint64_t task_start = ThreadPool::NowNs();
         ComponentEnumerator enumerator(problem_, component_, budget_, scratch,
-                                       cancel_, &split);
+                                       ctx_, &split);
         auto result = enumerator.EnumerateTask(task);
         const uint64_t busy = ThreadPool::NowNs() - task_start;
         const uint64_t nodes = enumerator.nodes_used();
@@ -790,7 +808,7 @@ class IntraComponentRunner {
   const FdProblem& problem_;
   const std::vector<uint32_t>& component_;
   std::atomic<int64_t>* budget_;
-  const CancelToken* cancel_;
+  const RequestContext* ctx_;
   const size_t workers_;
   SplitContext split_template_;
 
@@ -814,8 +832,8 @@ class IntraComponentRunner {
 Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodes(
     const FdProblem& problem, const std::vector<uint32_t>& component,
     std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch,
-    const CancelToken* cancel) {
-  ComponentEnumerator enumerator(problem, component, budget, scratch, cancel);
+    const RequestContext* ctx) {
+  ComponentEnumerator enumerator(problem, component, budget, scratch, ctx);
   auto result = enumerator.Enumerate();
   if (nodes_used != nullptr) *nodes_used = enumerator.nodes_used();
   return result;
@@ -825,11 +843,11 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunComponentCodesParallel(
     const FdProblem& problem, const std::vector<uint32_t>& component,
     const FdOptions& options, ThreadPool* pool, size_t workers,
     std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
-    uint64_t* nodes_used, uint64_t* tasks_spawned, const CancelToken* cancel,
+    uint64_t* nodes_used, uint64_t* tasks_spawned, const RequestContext* ctx,
     FdTaskProfile* profile) {
   workers = std::max<size_t>(1, std::min(workers, scratches->size()));
   IntraComponentRunner runner(problem, component, options, workers, budget,
-                              cancel);
+                              ctx);
   return runner.Run(pool, scratches, nodes_used, tasks_spawned, profile);
 }
 
@@ -847,7 +865,7 @@ Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
 }
 
 Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
-    FdProblem* problem, FdStats* stats, const CancelToken& cancel,
+    FdProblem* problem, FdStats* stats, const RequestContext& ctx,
     const ProgressFn& progress) const {
   Stopwatch index_watch;
   problem->BuildIndex();
@@ -861,39 +879,73 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
 
   ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
   Stopwatch enum_watch;
-  std::atomic<int64_t> budget{
-      static_cast<int64_t>(options_.max_search_nodes)};
+  int64_t node_cap = static_cast<int64_t>(options_.max_search_nodes);
+  if (ctx.budget.max_fd_nodes > 0) {
+    node_cap =
+        std::min(node_cap, static_cast<int64_t>(ctx.budget.max_fd_nodes));
+  }
+  std::atomic<int64_t> budget{node_cap};
   FdScratch scratch(*problem);
   scratch.arena_enabled = options_.scratch_arena;
   std::vector<FdCodeTuple> code_tuples;
-  for (const auto& comp : problem->Components()) {
-    if (cancel.cancelled()) {
-      return Status::Cancelled("full disjunction cancelled");
+  const auto& components = problem->Components();
+  Status stop = Status::OK();
+  size_t completed = 0;
+  for (const auto& comp : components) {
+    stop = ctx.CheckStop("full disjunction");
+    if (stop.ok() && ctx.budget.max_scratch_bytes > 0 &&
+        scratch.arena.bytes_reserved() > ctx.budget.max_scratch_bytes) {
+      stop = Status::ResourceExhausted(
+          "full disjunction scratch budget exhausted "
+          "(ResourceBudget::max_scratch_bytes)");
     }
+    if (!stop.ok()) break;
     stats->largest_component =
         std::max(stats->largest_component, comp.size());
     uint64_t nodes = 0;
-    LAKEFUZZ_ASSIGN_OR_RETURN(
-        std::vector<FdCodeTuple> tuples,
-        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch,
-                          &cancel));
+    auto tuples =
+        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch, &ctx);
     stats->search_nodes += nodes;
-    for (auto& t : tuples) code_tuples.push_back(std::move(t));
+    if (!tuples.ok()) {
+      stop = tuples.status();
+      break;
+    }
+    for (auto& t : *tuples) code_tuples.push_back(std::move(t));
+    ++completed;
   }
   stats->enumeration_seconds = enum_watch.ElapsedSeconds();
   stats->arena_bytes_reserved = scratch.arena.bytes_reserved();
   stats->arena_peak_bytes = scratch.arena.peak_bytes();
+  if (!stop.ok()) {
+    // Under kTruncate a deadline/budget stop keeps the components that
+    // completed (mid-component partials are discarded; an FD component is
+    // all-or-nothing). Cancellation always fails the request.
+    if (!ctx.ShouldTruncate(stop.code())) return stop;
+    stats->truncation.truncated = true;
+    stats->truncation.stage = Stage::kFdEnumerate;
+    stats->truncation.reason = stop.message();
+    stats->truncation.components_completed = completed;
+    stats->truncation.components_skipped = components.size() - completed;
+  }
   stats->results_before_subsumption = code_tuples.size();
   ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
 
-  if (cancel.cancelled()) {
-    return Status::Cancelled("full disjunction cancelled");
-  }
+  // Subsuming an already-truncated partial result is cleanup: it must keep
+  // honoring cancellation but not be re-aborted by the expired deadline
+  // that caused the truncation.
+  const RequestContext subsume_ctx =
+      stats->truncation.truncated ? ctx.CancelOnly() : ctx;
+  LAKEFUZZ_RETURN_IF_ERROR(subsume_ctx.CheckStop("full disjunction"));
   ReportProgress(progress, Stage::kFdSubsume, 0, 1);
   Stopwatch subsume_watch;
-  code_tuples = EliminateSubsumedCodes(std::move(code_tuples));
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      code_tuples,
+      EliminateSubsumedCodes(std::move(code_tuples), nullptr, &subsume_ctx));
   stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
   stats->results = code_tuples.size();
+  if (stats->truncation.truncated) {
+    stats->truncation.tuples_emitted = code_tuples.size();
+  }
   ReportProgress(progress, Stage::kFdSubsume, 1, 1);
   return code_tuples;
 }

@@ -35,7 +35,7 @@
 #include "fd/problem.h"
 #include "fd/subsumption.h"
 #include "util/arena.h"
-#include "util/cancellation.h"
+#include "util/request_context.h"
 #include "util/result.h"
 
 namespace lakefuzz {
@@ -44,7 +44,9 @@ class ThreadPool;
 
 struct FdOptions {
   /// Upper bound on enumeration nodes across the whole run; exceeded →
-  /// FailedPrecondition (the instance is adversarially entangled).
+  /// FailedPrecondition (the instance is adversarially entangled). A
+  /// request-scoped ResourceBudget::max_fd_nodes tightens this per request
+  /// and surfaces kResourceExhausted instead.
   uint64_t max_search_nodes = 200'000'000;
   /// Worker cap for *intra*-component parallelism (parallel executor only):
   /// a component of at least `intra_component_min_size` tuples has its
@@ -154,6 +156,10 @@ struct FdStats {
   /// FdOptions::scratch_arena is off).
   size_t arena_bytes_reserved = 0;
   size_t arena_peak_bytes = 0;
+  /// Degradation report: set when a deadline/budget stop under
+  /// BudgetPolicy::kTruncate cut the run short (completed components were
+  /// kept, the rest skipped). truncated == false means a complete result.
+  Truncation truncation;
 };
 
 struct FdResult {
@@ -200,15 +206,19 @@ class FullDisjunction {
 
   /// The decode-free core of Run: post-subsumption interned result rows in
   /// final (TID-sorted) order. Fills `stats` (results counts the surviving
-  /// code tuples; decode wall time is the caller's). `cancel` is polled per
-  /// component and inside the enumerator's amortized budget check; a fired
-  /// token returns Status::Cancelled. `progress` receives
+  /// code tuples; decode wall time is the caller's). `ctx` is polled per
+  /// component and inside the enumerator's amortized budget check: a fired
+  /// token returns Status::Cancelled, an expired deadline
+  /// Status::DeadlineExceeded, an exhausted ResourceBudget
+  /// Status::ResourceExhausted — or, under BudgetPolicy::kTruncate, the
+  /// deadline/budget stop keeps the components completed so far and records
+  /// the cut in stats->truncation. `progress` receives
   /// kFdEnumerate/kFdSubsume boundary events ((0,1) entry, (1,1)
   /// completion). Streaming consumers (LakeEngine row sinks) decode these
   /// in batches instead of materializing the full FdResult.
   Result<std::vector<FdCodeTuple>> RunCodes(
       FdProblem* problem, FdStats* stats,
-      const CancelToken& cancel = CancelToken(),
+      const RequestContext& ctx = RequestContext(),
       const ProgressFn& progress = ProgressFn()) const;
 
   /// Convenience: outer-union + FD + table materialization.
@@ -219,14 +229,16 @@ class FullDisjunction {
   /// Enumerates the joins of maximal connected consistent sets within one
   /// component (no subsumption), as interned code tuples. `budget` is
   /// decremented per search node; reaching zero aborts with
-  /// FailedPrecondition. `scratch` must come from the same problem and is
-  /// reused across calls — the executors keep one per worker. When `cancel`
+  /// FailedPrecondition (or kResourceExhausted when the bound came from
+  /// `ctx`'s ResourceBudget). `scratch` must come from the same problem and
+  /// is reused across calls — the executors keep one per worker. When `ctx`
   /// is non-null it is polled alongside the budget; a fired token aborts
-  /// with Status::Cancelled.
+  /// with Status::Cancelled, an expired deadline with
+  /// Status::DeadlineExceeded.
   static Result<std::vector<FdCodeTuple>> RunComponentCodes(
       const FdProblem& problem, const std::vector<uint32_t>& component,
       std::atomic<int64_t>* budget, uint64_t* nodes_used, FdScratch* scratch,
-      const CancelToken* cancel = nullptr);
+      const RequestContext* ctx = nullptr);
 
   /// Intra-component parallel twin of RunComponentCodes: the component's
   /// branch-and-exclude tree is split into independent subtree tasks (one
@@ -244,7 +256,7 @@ class FullDisjunction {
       const FdOptions& options, ThreadPool* pool, size_t workers,
       std::vector<FdScratch>* scratches, std::atomic<int64_t>* budget,
       uint64_t* nodes_used, uint64_t* tasks_spawned,
-      const CancelToken* cancel = nullptr, FdTaskProfile* profile = nullptr);
+      const RequestContext* ctx = nullptr, FdTaskProfile* profile = nullptr);
 
   /// Decoded convenience wrapper around RunComponentCodes (tests).
   static Result<std::vector<FdResultTuple>> RunComponent(

@@ -27,7 +27,7 @@ ThreadPool* ResolvePool(const ParallelFdOptions& options,
 }  // namespace
 
 Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
-    FdProblem* problem, FdStats* stats, const CancelToken& cancel,
+    FdProblem* problem, FdStats* stats, const RequestContext& ctx,
     const ProgressFn& progress) const {
   std::unique_ptr<ThreadPool> owned_pool;
   ThreadPool* pool = ResolvePool(options_, &owned_pool);
@@ -59,11 +59,16 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
 
   ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
   Stopwatch enum_watch;
-  std::atomic<int64_t> budget{
-      static_cast<int64_t>(options_.fd.max_search_nodes)};
+  int64_t node_cap = static_cast<int64_t>(options_.fd.max_search_nodes);
+  if (ctx.budget.max_fd_nodes > 0) {
+    node_cap =
+        std::min(node_cap, static_cast<int64_t>(ctx.budget.max_fd_nodes));
+  }
+  std::atomic<int64_t> budget{node_cap};
   std::vector<std::vector<FdCodeTuple>> per_comp(comps.size());
   std::mutex err_mu;
-  Status first_error = Status::OK();
+  Status first_error = Status::OK();   // guarded by err_mu
+  Status trunc_stop = Status::OK();    // guarded by err_mu (kTruncate stops)
   std::atomic<uint64_t> total_nodes{0};
 
   // Intra-component parallelism: with a multi-worker pool, the biggest
@@ -112,46 +117,83 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   }
   uint64_t intra_tasks = 0;
   FdTaskProfile task_profile;
+  std::atomic<size_t> completed{0};
+  Status stop = Status::OK();
+  size_t intra_done = 0;
   for (size_t i = 0; i < num_intra; ++i) {
-    if (cancel.cancelled()) {
-      return Status::Cancelled("full disjunction cancelled");
+    stop = ctx.CheckStop("full disjunction");
+    if (stop.ok() && ctx.budget.max_scratch_bytes > 0) {
+      size_t reserved = 0;
+      for (const FdScratch& s : scratches) {
+        reserved += s.arena.bytes_reserved();
+      }
+      if (reserved > ctx.budget.max_scratch_bytes) {
+        stop = Status::ResourceExhausted(
+            "full disjunction scratch budget exhausted "
+            "(ResourceBudget::max_scratch_bytes)");
+      }
     }
+    if (!stop.ok()) break;
     uint64_t nodes = 0;
     auto res = FullDisjunction::RunComponentCodesParallel(
         *problem, *comps[i], options_.fd, pool, intra_workers, &scratches,
-        &budget, &nodes, &intra_tasks, &cancel, &task_profile);
+        &budget, &nodes, &intra_tasks, &ctx, &task_profile);
     total_nodes.fetch_add(nodes, std::memory_order_relaxed);
-    if (!res.ok()) return res.status();
+    if (!res.ok()) {
+      stop = res.status();
+      break;
+    }
     per_comp[i] = std::move(res).value();
+    ++intra_done;
   }
   stats->intra_tasks = intra_tasks;
   stats->task_profile = task_profile;
+  completed.fetch_add(intra_done, std::memory_order_relaxed);
+  if (!stop.ok() && !ctx.ShouldTruncate(stop.code())) return stop;
 
-  pool->ParallelForWithLane(comps.size() - num_intra, [&](size_t lane,
-                                                          size_t idx) {
-    const size_t i = num_intra + idx;
-    // Per-component cancellation checkpoint: once the token fires, the
-    // remaining scheduled components become no-ops instead of enumerating.
-    if (cancel.cancelled()) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) {
-        first_error = Status::Cancelled("full disjunction cancelled");
+  if (stop.ok()) {
+    pool->ParallelForWithLane(comps.size() - num_intra, [&](size_t lane,
+                                                            size_t idx) {
+      const size_t i = num_intra + idx;
+      // Per-component checkpoint: once the token fires or the deadline
+      // passes, the remaining scheduled components become no-ops instead of
+      // enumerating. Under kTruncate they count as skipped; otherwise the
+      // stop is the request's error.
+      Status cs = ctx.CheckStop("full disjunction");
+      uint64_t nodes = 0;
+      if (cs.ok()) {
+        auto res = FullDisjunction::RunComponentCodes(
+            *problem, *comps[i], &budget, &nodes, &scratches[lane], &ctx);
+        total_nodes.fetch_add(nodes, std::memory_order_relaxed);
+        if (res.ok()) {
+          per_comp[i] = std::move(res).value();
+          completed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        cs = res.status();  // mid-component stop: the partial is discarded
       }
-      return;
-    }
-    uint64_t nodes = 0;
-    auto res = FullDisjunction::RunComponentCodes(*problem, *comps[i], &budget,
-                                                 &nodes, &scratches[lane],
-                                                 &cancel);
-    total_nodes.fetch_add(nodes, std::memory_order_relaxed);
-    if (!res.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) first_error = res.status();
-      return;
+      if (ctx.ShouldTruncate(cs.code())) {
+        if (trunc_stop.ok()) trunc_stop = cs;
+      } else if (first_error.ok()) {
+        first_error = cs;
+      }
+    });
+    if (!first_error.ok()) return first_error;
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!trunc_stop.ok()) stop = trunc_stop;
     }
-    per_comp[i] = std::move(res).value();
-  });
-  if (!first_error.ok()) return first_error;
+  }
+  if (!stop.ok()) {
+    stats->truncation.truncated = true;
+    stats->truncation.stage = Stage::kFdEnumerate;
+    stats->truncation.reason = stop.message();
+    stats->truncation.components_completed =
+        completed.load(std::memory_order_relaxed);
+    stats->truncation.components_skipped =
+        comps.size() - stats->truncation.components_completed;
+  }
   stats->search_nodes = total_nodes.load();
   for (const FdScratch& s : scratches) {
     stats->arena_bytes_reserved += s.arena.bytes_reserved();
@@ -175,14 +217,21 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
   stats->results_before_subsumption = code_tuples.size();
 
-  if (cancel.cancelled()) {
-    return Status::Cancelled("full disjunction cancelled");
-  }
+  // Subsuming an already-truncated partial result is cleanup: it still
+  // honors cancellation but is not re-aborted by the expired deadline.
+  const RequestContext subsume_ctx =
+      stats->truncation.truncated ? ctx.CancelOnly() : ctx;
+  LAKEFUZZ_RETURN_IF_ERROR(subsume_ctx.CheckStop("full disjunction"));
   ReportProgress(progress, Stage::kFdSubsume, 0, 1);
   Stopwatch subsume_watch;
-  code_tuples = EliminateSubsumedCodes(std::move(code_tuples), pool);
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      code_tuples,
+      EliminateSubsumedCodes(std::move(code_tuples), pool, &subsume_ctx));
   stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
   stats->results = code_tuples.size();
+  if (stats->truncation.truncated) {
+    stats->truncation.tuples_emitted = code_tuples.size();
+  }
   ReportProgress(progress, Stage::kFdSubsume, 1, 1);
   const PoolStats pool_delta = pool->stats() - pool_before;
   stats->pool_tasks = pool_delta.tasks;

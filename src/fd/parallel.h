@@ -37,12 +37,14 @@ class ParallelFullDisjunction {
   Result<FdResult> Run(FdProblem* problem) const;
 
   /// Post-subsumption interned result rows (see FullDisjunction::RunCodes).
-  /// `cancel` is polled per scheduled component and inside the enumerator;
-  /// `progress` events fire from the coordinating thread only (never from
-  /// pool workers).
+  /// `ctx` (cancel + deadline + budget) is polled per scheduled component
+  /// and inside the enumerator; under BudgetPolicy::kTruncate a
+  /// deadline/budget stop returns the components completed so far and
+  /// records the cut in stats->truncation. `progress` events fire from the
+  /// coordinating thread only (never from pool workers).
   Result<std::vector<FdCodeTuple>> RunCodes(
       FdProblem* problem, FdStats* stats,
-      const CancelToken& cancel = CancelToken(),
+      const RequestContext& ctx = RequestContext(),
       const ProgressFn& progress = ProgressFn()) const;
 
  private:

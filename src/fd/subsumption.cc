@@ -1,6 +1,7 @@
 #include "fd/subsumption.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <unordered_map>
 
@@ -201,15 +202,32 @@ bool SubsumesCodes(const FdCodeTuple& b, const FdCodeTuple& a) {
 
 }  // namespace
 
-std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
-                                                ThreadPool* pool) {
+Result<std::vector<FdCodeTuple>> EliminateSubsumedCodes(
+    std::vector<FdCodeTuple> tuples, ThreadPool* pool,
+    const RequestContext* ctx) {
   const size_t n = tuples.size();
   if (n == 0) return tuples;
+
+  // Cancel/deadline checkpoints: parallel passes flag a stop at amortized
+  // intervals and drain as no-ops (a lambda cannot early-return the loop);
+  // the typed status is re-derived between passes on the driving thread.
+  std::atomic<bool> stop_flag{false};
+  auto stopped = [&](size_t i) {
+    if (ctx == nullptr) return false;
+    if ((i & 0xfff) == 0 && !ctx->CheckStop("subsumption").ok()) {
+      stop_flag.store(true, std::memory_order_relaxed);
+    }
+    return stop_flag.load(std::memory_order_relaxed);
+  };
+  auto check_stop = [&]() {
+    return ctx == nullptr ? Status::OK() : ctx->CheckStop("subsumption");
+  };
 
   // Signatures and non-null counts are pure per tuple → parallel.
   std::vector<uint64_t> sig(n);
   std::vector<uint32_t> nn(n);
   MaybeParallelFor(pool, n, [&](size_t i) {
+    if (stopped(i)) return;
     sig[i] = CodesSignature(tuples[i]);
     uint32_t count = 0;
     for (uint32_t code : tuples[i].codes) {
@@ -217,6 +235,7 @@ std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
     }
     nn[i] = count;
   });
+  LAKEFUZZ_RETURN_IF_ERROR(check_stop());
 
   // Pass 1 (serial): collapse exact duplicates (same codes). The survivor —
   // most complete provenance, then lexicographically smallest TIDs — is a
@@ -232,6 +251,7 @@ std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
   by_sig.reserve(n);
   std::vector<char> dead(n, 0);
   for (uint32_t i = 0; i < n; ++i) {
+    if ((i & 0xfff) == 0) LAKEFUZZ_RETURN_IF_ERROR(check_stop());
     auto& bucket = by_sig[sig[i]];
     bool merged = false;
     for (uint32_t j : bucket) {
@@ -254,6 +274,7 @@ std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
         return dead[i] ? nullptr : tuples[i].codes.data();
       });
   const size_t shards = shard.size();
+  LAKEFUZZ_RETURN_IF_ERROR(check_stop());
 
   // Pass 3: each tuple checks only the tuples sharing its rarest non-null
   // (column, code). Runs against the pass-1 snapshot of `dead`, which gives
@@ -265,7 +286,7 @@ std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
   for (size_t i = 0; i < n; ++i) live_count += !dead[i];
   std::vector<char> dead_out = dead;
   MaybeParallelFor(pool, n, [&](size_t i) {
-    if (dead[i]) return;
+    if (stopped(i) || dead[i]) return;
     const uint32_t nn_i = nn[i];
     if (nn_i == 0) {
       // All-null tuple: subsumed by any *other* tuple (vacuously); survives
@@ -292,6 +313,8 @@ std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
       }
     }
   });
+
+  LAKEFUZZ_RETURN_IF_ERROR(check_stop());
 
   // Surviving FD tuples never share a TID set (values are a function of the
   // member set, and identical code rows were collapsed in pass 1), so TID

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "fd/fd_tuple.h"
+#include "util/request_context.h"
+#include "util/result.h"
 
 namespace lakefuzz {
 
@@ -30,8 +32,14 @@ std::vector<FdResultTuple> EliminateSubsumed(
 /// (results are independent of the thread count). Output is sorted by TID
 /// list, which is a total order here: distinct surviving FD tuples never
 /// share a TID set.
-std::vector<FdCodeTuple> EliminateSubsumedCodes(std::vector<FdCodeTuple> tuples,
-                                                ThreadPool* pool = nullptr);
+///
+/// When `ctx` is non-null its cancel token and deadline are polled at
+/// amortized checkpoints inside every pass; a stop surfaces as
+/// kCancelled / kDeadlineExceeded (subsumption has no partial output — the
+/// caller decides whether that truncates the request).
+Result<std::vector<FdCodeTuple>> EliminateSubsumedCodes(
+    std::vector<FdCodeTuple> tuples, ThreadPool* pool = nullptr,
+    const RequestContext* ctx = nullptr);
 
 }  // namespace lakefuzz
 

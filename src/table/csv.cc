@@ -1,9 +1,12 @@
 #include "table/csv.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.h"
 #include "util/str.h"
 
 namespace lakefuzz {
@@ -19,8 +22,8 @@ struct RawRecord {
 /// Streaming RFC-4180 tokenizer.
 class CsvParser {
  public:
-  CsvParser(std::string_view text, char delimiter)
-      : text_(text), delim_(delimiter) {}
+  CsvParser(std::string_view text, char delimiter, size_t max_cell_bytes)
+      : text_(text), delim_(delimiter), max_cell_(max_cell_bytes) {}
 
   /// Reads the next record into `out`. Returns false at end of input.
   /// A trailing newline does not produce an empty final record.
@@ -56,6 +59,9 @@ class CsvParser {
           field.push_back(c);
           ++pos_;
         }
+        if (max_cell_ != 0 && field.size() > max_cell_) {
+          return CellLimitError();
+        }
         any_char = true;
         continue;
       }
@@ -85,6 +91,9 @@ class CsvParser {
         return true;
       }
       field.push_back(c);
+      if (max_cell_ != 0 && field.size() > max_cell_) {
+        return CellLimitError();
+      }
       any_char = true;
       ++pos_;
     }
@@ -100,8 +109,14 @@ class CsvParser {
   }
 
  private:
+  Status CellLimitError() const {
+    return Status::InvalidArgument(StrFormat(
+        "CSV cell exceeds CsvOptions::max_cell_bytes=%zu", max_cell_));
+  }
+
   std::string_view text_;
   char delim_;
+  size_t max_cell_;
   size_t pos_ = 0;
 };
 
@@ -143,7 +158,7 @@ void AppendCsvField(const Value& v, char delimiter, std::string* out) {
 
 Result<Table> ReadCsv(std::string_view text, std::string table_name,
                       const CsvOptions& options) {
-  CsvParser parser(text, options.delimiter);
+  CsvParser parser(text, options.delimiter, options.max_cell_bytes);
   RawRecord record;
 
   // Header (or synthesized names from the first record's width).
@@ -192,10 +207,22 @@ Result<Table> ReadCsv(std::string_view text, std::string table_name,
 }
 
 Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  LAKEFUZZ_FAULT_POINT("csv/read");
+  // stat first: an ifstream failbit cannot distinguish "missing" from
+  // "directory" from "empty file", and opening a directory for read may
+  // even succeed on some platforms.
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError("cannot open " + path + ": no such file");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::IoError("cannot open " + path + ": not a regular file");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
   // Table name = file stem.
   size_t slash = path.find_last_of('/');
   std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);

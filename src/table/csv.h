@@ -22,6 +22,11 @@ struct CsvOptions {
   bool infer_types = true;
   /// Trim ASCII whitespace around unquoted fields before parsing.
   bool trim_unquoted = true;
+  /// Ceiling on one cell's byte length — a guard against a malformed file
+  /// (e.g. a runaway unterminated quote) ballooning a single field to the
+  /// size of the whole input. Exceeding it fails the parse with
+  /// kInvalidArgument. 0 disables the check.
+  size_t max_cell_bytes = size_t{64} << 20;
 };
 
 /// Parses CSV text into a table named `table_name`.
@@ -31,6 +36,8 @@ Result<Table> ReadCsv(std::string_view text, std::string table_name,
                       const CsvOptions& options = CsvOptions());
 
 /// Reads and parses a CSV file; the table is named after the file stem.
+/// A missing or unreadable path (or a non-regular file such as a
+/// directory) fails with ErrorCode::kIoError naming the path.
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = CsvOptions());
 

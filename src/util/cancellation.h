@@ -7,7 +7,10 @@
 // component, inside the enumerator's amortized budget check), and
 // ProgressFn is invoked at stage boundaries. Neither interrupts a running
 // kernel; a fired token surfaces as Status::Cancelled (ErrorCode::kCancelled)
-// from the nearest checkpoint, with all partial work discarded.
+// from the nearest checkpoint, with all partial work discarded. Deadlines
+// and resource budgets ride the same checkpoints via RequestContext
+// (util/request_context.h), which can instead degrade to a partial result
+// under BudgetPolicy::kTruncate.
 #ifndef LAKEFUZZ_UTIL_CANCELLATION_H_
 #define LAKEFUZZ_UTIL_CANCELLATION_H_
 

@@ -1,0 +1,56 @@
+#include "util/fault_injection.h"
+
+namespace lakefuzz {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::ArmAll(uint64_t seed, double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_all_ = true;
+  probability_ = probability;
+  rng_.seed(seed);
+  countdowns_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmPoint(std::string_view point, uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_all_ = false;
+  countdowns_[std::string(point)] = countdown;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_all_ = false;
+  countdowns_.clear();
+  enabled_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Poke(std::string_view point) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (arm_all_) {
+    std::bernoulli_distribution fire(probability_);
+    if (fire(rng_)) {
+      return Status::Internal("injected fault at " + std::string(point));
+    }
+    return Status::OK();
+  }
+  auto it = countdowns_.find(std::string(point));
+  if (it == countdowns_.end()) return Status::OK();
+  if (it->second == 0) {
+    countdowns_.erase(it);
+    if (countdowns_.empty()) {
+      enabled_.store(false, std::memory_order_release);
+    }
+    return Status::Internal("injected fault at " + std::string(point));
+  }
+  --it->second;
+  return Status::OK();
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,88 @@
+// Fault injection for chaos testing the request pipeline.
+//
+// A FaultInjector is a process-wide registry of named injection points
+// compiled into the library at seams where real deployments fail:
+// allocation-heavy stages, task spawn, CSV IO, sink writes. Tests arm it —
+// deterministically (ArmPoint: fire once after N pokes) or stochastically
+// (ArmAll: seeded Bernoulli per poke) — and every armed poke surfaces
+// Status::Internal("injected fault at <point>") from that seam, exactly as
+// a real failure would.
+//
+// The call sites are macro-gated: LAKEFUZZ_FAULT_POINT(name) expands to a
+// poke-and-propagate only when the build defines LAKEFUZZ_FAULT_POINTS
+// (CMake option of the same name, OFF by default), and to nothing in
+// production builds — zero cost when disabled, not merely cheap.
+#ifndef LAKEFUZZ_UTIL_FAULT_INJECTION_H_
+#define LAKEFUZZ_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace lakefuzz {
+
+class FaultInjector {
+ public:
+  /// The process-wide instance all injection points poke.
+  static FaultInjector& Instance();
+
+  /// Arms every point stochastically: each poke fires independently with
+  /// `probability`, drawn from a generator seeded with `seed` (so a chaos
+  /// run is reproducible from its seed alone).
+  void ArmAll(uint64_t seed, double probability);
+
+  /// Arms one named point deterministically: it fires exactly once, on the
+  /// (countdown+1)-th poke. Leaves other points disarmed (clears ArmAll).
+  void ArmPoint(std::string_view point, uint64_t countdown);
+
+  /// Disarms everything; pokes become a single relaxed atomic load again.
+  void Disarm();
+
+  /// Called by LAKEFUZZ_FAULT_POINT at each seam. Returns OK when the point
+  /// does not fire; when armed and firing, returns
+  /// Status::Internal("injected fault at <point>").
+  Status Poke(std::string_view point);
+
+  /// Fast-path gate: false ⇒ Poke would trivially return OK.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  // ArmAll state.
+  bool arm_all_ = false;
+  double probability_ = 0.0;
+  std::mt19937_64 rng_;
+  // ArmPoint state: remaining pokes before the point fires; fired points
+  // are erased (one-shot).
+  std::unordered_map<std::string, uint64_t> countdowns_;
+};
+
+}  // namespace lakefuzz
+
+#ifdef LAKEFUZZ_FAULT_POINTS
+/// Poke the named point and propagate the injected fault. Usable in any
+/// function returning Status or Result<T> (Result converts from Status).
+#define LAKEFUZZ_FAULT_POINT(name)                                     \
+  do {                                                                 \
+    if (::lakefuzz::FaultInjector::Instance().enabled()) {             \
+      ::lakefuzz::Status _fault =                                      \
+          ::lakefuzz::FaultInjector::Instance().Poke(name);            \
+      if (!_fault.ok()) return _fault;                                 \
+    }                                                                  \
+  } while (0)
+#else
+#define LAKEFUZZ_FAULT_POINT(name) \
+  do {                             \
+  } while (0)
+#endif
+
+#endif  // LAKEFUZZ_UTIL_FAULT_INJECTION_H_

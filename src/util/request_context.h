@@ -1,0 +1,174 @@
+// Request lifecycle context: cancellation + deadline + resource budget.
+//
+// A RequestContext travels *down* the pipeline as one option field,
+// generalizing the bare CancelToken the engine used to carry. Every
+// cooperative checkpoint (matcher merge rounds, per-FD-component, the
+// enumerator's amortized node check, discovery scoring, sink batches) calls
+// CheckStop(), which surfaces ErrorCode::kCancelled for a fired token and
+// ErrorCode::kDeadlineExceeded for an expired Deadline — distinct codes, so
+// a server can tell "client went away" from "request was too slow".
+//
+// A ResourceBudget bounds the request's resource appetite (FD search nodes,
+// result tuples, scratch arena bytes). What happens at exhaustion is the
+// BudgetPolicy's call: kFail surfaces kResourceExhausted / kDeadlineExceeded
+// as hard errors; kTruncate stops cleanly at the checkpoint and returns a
+// *partial* result with a populated Truncation report instead of throwing
+// completed work away.
+#ifndef LAKEFUZZ_UTIL_REQUEST_CONTEXT_H_
+#define LAKEFUZZ_UTIL_REQUEST_CONTEXT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace lakefuzz {
+
+/// A wall-clock bound on one request, measured on the steady clock (immune
+/// to system-time jumps). A default-constructed Deadline is *unset*:
+/// expired() is false forever and costs one branch to poll — the natural
+/// "no deadline requested" value.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// A deadline `d` from now (e.g. Deadline::After(std::chrono::
+  /// milliseconds(50))).
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> d) {
+    Deadline deadline;
+    deadline.set_ = true;
+    deadline.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(d);
+    return deadline;
+  }
+
+  /// Convenience: a deadline `ms` milliseconds from now.
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  bool set() const { return set_; }
+
+  /// True once the deadline passed. False-fast for unset deadlines (no
+  /// clock read).
+  bool expired() const { return set_ && Clock::now() >= at_; }
+
+ private:
+  bool set_ = false;
+  Clock::time_point at_{};
+};
+
+/// What to do when a deadline or resource budget runs out mid-request.
+enum class BudgetPolicy {
+  /// Surface kDeadlineExceeded / kResourceExhausted as a hard error; all
+  /// partial work is discarded. The default — matches CancelToken semantics.
+  kFail,
+  /// Stop cleanly at the checkpoint and return the partial result built so
+  /// far, with a populated Truncation report. Cancellation still fails hard
+  /// (a cancelled caller does not want a partial answer).
+  kTruncate,
+};
+
+/// Per-request resource ceilings. Zero means unlimited (the default), so a
+/// default-constructed budget changes nothing.
+struct ResourceBudget {
+  /// Max FD search nodes across the whole request (tightens
+  /// FdOptions::max_search_nodes; exhaustion is kResourceExhausted, not the
+  /// legacy kFailedPrecondition).
+  uint64_t max_fd_nodes = 0;
+  /// Max result tuples surviving subsumption; under kTruncate the result is
+  /// cut to the first `max_result_tuples` in deterministic output order.
+  uint64_t max_result_tuples = 0;
+  /// Max bytes of FD scratch-arena reservation (accounted via
+  /// FdStats::arena_bytes_reserved between components).
+  uint64_t max_scratch_bytes = 0;
+
+  bool any_set() const {
+    return max_fd_nodes > 0 || max_result_tuples > 0 || max_scratch_bytes > 0;
+  }
+};
+
+/// Degradation report for a request that stopped early under
+/// BudgetPolicy::kTruncate: which stage was cut, why, and how much of the
+/// work completed. truncated == false means the result is complete.
+struct Truncation {
+  bool truncated = false;
+  Stage stage = Stage::kFdEnumerate;  ///< stage that was cut short
+  std::string reason;                 ///< e.g. "deadline exceeded"
+  size_t components_completed = 0;    ///< FD components fully enumerated
+  size_t components_skipped = 0;      ///< FD components dropped
+  size_t tuples_emitted = 0;          ///< result tuples kept/streamed
+
+  /// Folds another stage's truncation into this one. The first truncation
+  /// wins the stage/reason slot; counters accumulate.
+  void Merge(const Truncation& other) {
+    if (!other.truncated) return;
+    if (!truncated) {
+      *this = other;
+      return;
+    }
+    components_completed += other.components_completed;
+    components_skipped += other.components_skipped;
+    tuples_emitted += other.tuples_emitted;
+  }
+};
+
+/// Everything a pipeline stage needs to decide "should I keep going, and
+/// what do I do if not": cancel token, deadline, budget, policy. Cheap to
+/// copy (the token is a shared_ptr, the rest PODs); carried by value in
+/// option structs exactly like CancelToken was.
+class RequestContext {
+ public:
+  RequestContext() = default;
+
+  /// Implicit from a bare CancelToken: pre-RequestContext call sites that
+  /// passed a token keep compiling, with no deadline and no budget.
+  RequestContext(CancelToken cancel)  // NOLINT(runtime/explicit)
+      : cancel(std::move(cancel)) {}
+
+  CancelToken cancel;
+  Deadline deadline;
+  ResourceBudget budget;
+  BudgetPolicy policy = BudgetPolicy::kFail;
+
+  /// The checkpoint poll: kCancelled for a fired token, kDeadlineExceeded
+  /// for an expired deadline, OK otherwise. `what` names the stage for the
+  /// error message ("full disjunction", "value matching", ...).
+  Status CheckStop(const char* what) const {
+    if (cancel.cancelled()) {
+      return Status::Cancelled(std::string(what) + " cancelled");
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// True when a stop with this code should degrade to a partial result
+  /// instead of failing the request. Cancellation never truncates.
+  bool ShouldTruncate(ErrorCode code) const {
+    return policy == BudgetPolicy::kTruncate &&
+           (code == ErrorCode::kDeadlineExceeded ||
+            code == ErrorCode::kResourceExhausted);
+  }
+
+  /// A copy with the deadline and budget stripped: used for cleanup work
+  /// (e.g. subsuming an already-truncated partial result) that must still
+  /// honor cancellation but must not be aborted by the already-expired
+  /// deadline it is cleaning up after.
+  RequestContext CancelOnly() const {
+    RequestContext ctx;
+    ctx.cancel = cancel;
+    return ctx;
+  }
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_REQUEST_CONTEXT_H_

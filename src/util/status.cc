@@ -24,6 +24,10 @@ std::string_view ErrorCodeToString(ErrorCode code) {
       return "Cancelled";
     case ErrorCode::kAlreadyExists:
       return "AlreadyExists";
+    case ErrorCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

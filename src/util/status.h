@@ -31,6 +31,14 @@ enum class ErrorCode {
   /// A unique-name constraint was violated (e.g. duplicate table name in a
   /// LakeEngine registry).
   kAlreadyExists,
+  /// The request's Deadline passed; the operation stopped at a cooperative
+  /// checkpoint. Retryable with a larger deadline (or recoverable as a
+  /// partial result under BudgetPolicy::kTruncate).
+  kDeadlineExceeded,
+  /// A resource limit was hit: a ResourceBudget ran out mid-request, or the
+  /// engine's admission control rejected the request under overload.
+  /// Retryable later or with a larger budget.
+  kResourceExhausted,
 };
 
 /// Historical name of the taxonomy, kept for existing call sites.
@@ -79,6 +87,12 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

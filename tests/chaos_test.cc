@@ -1,0 +1,260 @@
+// Seeded chaos harness for the request lifecycle (robustness tentpole).
+//
+// Runs hundreds of full discover → integrate pipelines against one engine
+// while randomly firing deadlines, cancellations, resource budgets, both
+// budget policies, and — in LAKEFUZZ_FAULT_POINTS builds — injected faults
+// at the fd/build, fd/task, sink/write seams. The engine must stay
+// consistent throughout: every request returns one of the accepted
+// lifecycle codes, the registry never changes shape, and a clean request
+// after any amount of chaos is byte-identical to a fresh engine's answer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/engine.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+Value S(const std::string& s) { return Value::String(s); }
+
+/// A small lake with overlapping schemas and a few fuzzy twins, cheap
+/// enough to integrate hundreds of times under sanitizers.
+std::vector<Table> ChaosLake() {
+  std::vector<Table> tables;
+  auto t0 = Table::FromRows("c0", {"City", "Country"},
+                            {{S("Berlinn"), S("Germany")},
+                             {S("Toronto"), S("Canada")},
+                             {S("Lima"), S("Peru")}});
+  auto t1 = Table::FromRows("c1", {"City", "VacRate"},
+                            {{S("Berlin"), S("63%")},
+                             {S("Lima"), S("71%")},
+                             {S("Quito"), S("55%")}});
+  auto t2 = Table::FromRows("c2", {"City", "Mayor"},
+                            {{S("Toronto"), S("Olivia")},
+                             {S("Quito"), S("Pabel")}});
+  EXPECT_TRUE(t0.ok() && t1.ok() && t2.ok());
+  tables.push_back(std::move(t0).value());
+  tables.push_back(std::move(t1).value());
+  tables.push_back(std::move(t2).value());
+  return tables;
+}
+
+const std::vector<std::string>& LakeNames() {
+  static const std::vector<std::string> names = {"c0", "c1", "c2"};
+  return names;
+}
+
+Result<std::unique_ptr<LakeEngine>> MakeChaosEngine() {
+  auto engine = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+  if (!engine.ok()) return engine;
+  for (auto& t : ChaosLake()) {
+    LAKEFUZZ_RETURN_IF_ERROR((*engine)->RegisterTable(t.name(), t));
+  }
+  return engine;
+}
+
+/// The clean-request answer used for byte-identity checks.
+RequestOptions CleanRequest() {
+  RequestOptions req;
+  req.holistic_alignment = false;
+  return req;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (size_t c = 0; c < a.NumColumns(); ++c) {
+      ASSERT_TRUE(a.At(r, c) == b.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// Sink that swallows everything (chaos requests don't inspect output).
+class NullSink : public RowSink {
+ public:
+  Status OnBatch(const std::vector<FdResultTuple>&) override {
+    return Status::OK();
+  }
+};
+
+bool AcceptedLifecycleCode(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+    case ErrorCode::kCancelled:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kResourceExhausted:
+    case ErrorCode::kInternal:  // injected faults surface as kInternal
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(ChaosTest, EngineStaysConsistentUnderRandomizedLifecycleStress) {
+  constexpr int kIterations = 250;
+  constexpr uint64_t kMasterSeed = 0xC4A05;
+
+  auto engine = MakeChaosEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // Warm the discovery index once so chaos queries never race a cold build
+  // into kNotFound (the registry is never mutated below).
+  ASSERT_TRUE((*engine)->DiscoverUnionable("c0", 2).ok());
+
+  // Fresh-engine reference for the byte-identity invariant.
+  auto reference_engine = MakeChaosEngine();
+  ASSERT_TRUE(reference_engine.ok());
+  auto reference = (*reference_engine)->Integrate(LakeNames(), CleanRequest());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Rng rng(kMasterSeed);
+  int ok_count = 0, stopped_count = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+#ifdef LAKEFUZZ_FAULT_POINTS
+    if (rng.Bernoulli(0.5)) {
+      FaultInjector::Instance().ArmAll(kMasterSeed ^ static_cast<uint64_t>(iter),
+                                       rng.UniformReal(0.02, 0.3));
+    } else {
+      FaultInjector::Instance().Disarm();
+    }
+#endif
+
+    RequestOptions req;
+    req.holistic_alignment = false;
+    req.fuzzy = rng.Bernoulli(0.8);
+    req.budget_policy =
+        rng.Bernoulli(0.5) ? BudgetPolicy::kTruncate : BudgetPolicy::kFail;
+    if (rng.Bernoulli(0.35)) {
+      // Microsecond-scale deadlines land at every stage of the pipeline.
+      req.deadline = Deadline::After(
+          std::chrono::microseconds(rng.UniformInt(1, 3000)));
+    }
+    if (rng.Bernoulli(0.25)) req.budget.max_fd_nodes = rng.UniformInt(1, 64);
+    if (rng.Bernoulli(0.25)) {
+      req.budget.max_result_tuples = rng.UniformInt(1, 8);
+    }
+    if (rng.Bernoulli(0.1)) {
+      req.budget.max_scratch_bytes = rng.UniformInt(1, 1 << 20);
+    }
+    const uint64_t cancel_mode = rng.Uniform(3);
+    if (cancel_mode > 0) {
+      req.cancel = CancelToken::Create();
+      if (cancel_mode == 1) {
+        req.cancel.Cancel();  // pre-fired
+      } else {
+        // Fired from the progress callback at a random stage boundary.
+        static const Stage kStages[] = {
+            Stage::kDiscover, Stage::kAlign,       Stage::kMatch,
+            Stage::kFdBuild,  Stage::kFdEnumerate, Stage::kFdSubsume,
+            Stage::kEmit};
+        const Stage trigger = kStages[rng.Uniform(7)];
+        CancelToken token = req.cancel;
+        req.progress = [token, trigger](const ProgressEvent& e) mutable {
+          if (e.stage == trigger) token.Cancel();
+        };
+      }
+    }
+
+    Status outcome = Status::OK();
+    NullSink sink;
+    switch (rng.Uniform(4)) {
+      case 0:
+        outcome = (*engine)->Integrate(LakeNames(), req).status();
+        break;
+      case 1:
+        req.batch_rows = static_cast<size_t>(rng.UniformInt(1, 4));
+        outcome = (*engine)->IntegrateToSink(LakeNames(), &sink, req).status();
+        break;
+      case 2:
+        outcome = (*engine)
+                      ->DiscoverAndIntegrate(
+                          "c0", static_cast<size_t>(rng.UniformInt(1, 2)),
+                          &sink, req)
+                      .status();
+        break;
+      default: {
+        RequestContext dctx;
+        dctx.cancel = req.cancel;
+        dctx.deadline = req.deadline;
+        dctx.policy = req.budget_policy;
+        outcome =
+            (*engine)
+                ->DiscoverUnionable(
+                    "c1", static_cast<size_t>(rng.UniformInt(1, 2)), dctx)
+                .status();
+        break;
+      }
+    }
+    ASSERT_TRUE(AcceptedLifecycleCode(outcome.code()))
+        << "iteration " << iter << ": " << outcome.ToString();
+    outcome.ok() ? ++ok_count : ++stopped_count;
+
+    // Consistency checkpoint: chaos must never corrupt the session. A clean
+    // request right after any failure mode answers exactly like a fresh
+    // engine, and the registry keeps its shape.
+    if ((iter + 1) % 50 == 0 || iter + 1 == kIterations) {
+      FaultInjector::Instance().Disarm();
+      ASSERT_EQ((*engine)->NumTables(), LakeNames().size());
+      auto clean = (*engine)->Integrate(LakeNames(), CleanRequest());
+      ASSERT_TRUE(clean.ok())
+          << "iteration " << iter << ": " << clean.status().ToString();
+      ExpectTablesIdentical(clean->integrated, reference->integrated);
+    }
+  }
+  FaultInjector::Instance().Disarm();
+  // The mix must actually exercise both halves of the lifecycle.
+  EXPECT_GT(ok_count, 0);
+  EXPECT_GT(stopped_count, 0);
+
+  // Admission accounting never leaks slots: after the storm the engine
+  // still serves an unbounded stream of clean requests.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*engine)->Integrate(LakeNames(), CleanRequest()).ok());
+  }
+}
+
+#ifdef LAKEFUZZ_FAULT_POINTS
+TEST(ChaosTest, DeterministicFaultPointsFireOnce) {
+  auto engine = MakeChaosEngine();
+  ASSERT_TRUE(engine.ok());
+
+  FaultInjector::Instance().ArmPoint("fd/build", 0);
+  auto faulted = (*engine)->Integrate(LakeNames(), CleanRequest());
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.code(), ErrorCode::kInternal);
+  EXPECT_NE(faulted.status().message().find("fd/build"), std::string::npos);
+
+  // One-shot: the next request sails through without disarming.
+  auto after = (*engine)->Integrate(LakeNames(), CleanRequest());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  FaultInjector::Instance().Disarm();
+}
+
+TEST(ChaosTest, SinkWriteFaultAbortsStreamNotEngine) {
+  auto engine = MakeChaosEngine();
+  ASSERT_TRUE(engine.ok());
+  NullSink sink;
+  FaultInjector::Instance().ArmPoint("sink/write", 0);
+  auto faulted = (*engine)->IntegrateToSink(LakeNames(), &sink, CleanRequest());
+  FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.code(), ErrorCode::kInternal);
+
+  auto reference_engine = MakeChaosEngine();
+  ASSERT_TRUE(reference_engine.ok());
+  auto reference =
+      (*reference_engine)->Integrate(LakeNames(), CleanRequest());
+  auto clean = (*engine)->Integrate(LakeNames(), CleanRequest());
+  ASSERT_TRUE(reference.ok() && clean.ok());
+  ExpectTablesIdentical(clean->integrated, reference->integrated);
+}
+#endif  // LAKEFUZZ_FAULT_POINTS
+
+}  // namespace
+}  // namespace lakefuzz

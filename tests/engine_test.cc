@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "core/engine.h"
 #include "core/pipeline.h"
 #include "table/csv.h"
+#include "util/fault_injection.h"
 
 namespace lakefuzz {
 namespace {
@@ -93,6 +96,13 @@ TEST(ErrorCodeTest, NewTaxonomyEntries) {
   EXPECT_EQ(Status::AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
   EXPECT_EQ(Status::Cancelled("x").ToString(), "Cancelled: x");
   EXPECT_EQ(Status::AlreadyExists("x").ToString(), "AlreadyExists: x");
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(), "DeadlineExceeded: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "ResourceExhausted: x");
   Result<int> r = Status::Cancelled("stop");
   EXPECT_EQ(r.code(), ErrorCode::kCancelled);
   Result<int> ok = 3;
@@ -472,11 +482,87 @@ TEST(LakeEngineTest, CancelTokenFiredMidFdReturnsCancelled) {
   EXPECT_EQ(result.code(), ErrorCode::kCancelled);
 
   // The session survives a cancelled request: the same call succeeds next
-  // time without the trigger-happy callback.
+  // time without the trigger-happy callback — and answers byte-identically
+  // to an engine that never saw the failure.
   RequestOptions clean;
   clean.holistic_alignment = false;
-  EXPECT_TRUE(engine->Integrate({"a", "b"}, clean).ok());
+  auto after = engine->Integrate({"a", "b"}, clean);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  auto fresh = MakeEngineWithSmallSet()->Integrate({"a", "b"}, clean);
+  ASSERT_TRUE(fresh.ok());
+  ExpectTablesIdentical(after->integrated, fresh->integrated);
 }
+
+// ----------------------------------------------- reuse after failure
+//
+// The engine-reuse contract for every lifecycle failure mode: after a
+// request dies of X, the next clean request on the SAME engine must be
+// byte-identical to a fresh engine's answer (no leaked admission slots, no
+// poisoned caches, no half-rewritten registry snapshots).
+
+void ExpectCleanRequestMatchesFreshEngine(LakeEngine* survivor) {
+  RequestOptions clean;
+  clean.holistic_alignment = false;
+  auto after = survivor->Integrate({"a", "b"}, clean);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  auto fresh = MakeEngineWithSmallSet()->Integrate({"a", "b"}, clean);
+  ASSERT_TRUE(fresh.ok());
+  ExpectTablesIdentical(after->integrated, fresh->integrated);
+}
+
+TEST(EngineReuseTest, AfterDeadlineExceeded) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.deadline = Deadline::AfterMillis(50);
+  req.progress = [](const ProgressEvent& e) {
+    if (e.stage == Stage::kFdBuild && e.done == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    }
+  };
+  EXPECT_EQ(engine->Integrate({"a", "b"}, req).code(),
+            ErrorCode::kDeadlineExceeded);
+  ExpectCleanRequestMatchesFreshEngine(engine.get());
+}
+
+TEST(EngineReuseTest, AfterResourceExhausted) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;
+  // A one-tuple cap on the 4-row result trips the budget post-subsumption.
+  req.budget.max_result_tuples = 1;
+  EXPECT_EQ(engine->Integrate({"a", "b"}, req).code(),
+            ErrorCode::kResourceExhausted);
+  ExpectCleanRequestMatchesFreshEngine(engine.get());
+}
+
+TEST(EngineReuseTest, AfterTruncatedRequest) {
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;
+  req.budget.max_result_tuples = 1;
+  req.budget_policy = BudgetPolicy::kTruncate;
+  auto partial = engine->Integrate({"a", "b"}, req);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(partial->report.truncation.truncated);
+  ExpectCleanRequestMatchesFreshEngine(engine.get());
+}
+
+#ifdef LAKEFUZZ_FAULT_POINTS
+TEST(EngineReuseTest, AfterInjectedMidFdFault) {
+  auto engine = MakeEngineWithSmallSet();
+  FaultInjector::Instance().ArmPoint("fd/build", 0);
+  RequestOptions req;
+  req.holistic_alignment = false;
+  auto faulted = engine->Integrate({"a", "b"}, req);
+  FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.code(), ErrorCode::kInternal);
+  ExpectCleanRequestMatchesFreshEngine(engine.get());
+}
+#endif  // LAKEFUZZ_FAULT_POINTS
 
 TEST(LakeEngineTest, PreCancelledTokenShortCircuits) {
   auto engine = MakeEngineWithSmallSet();
@@ -566,6 +652,35 @@ TEST(IntegrateToSinkTest, StreamsSameTuplesAsIntegrate) {
           << "cell (" << r << "," << c << ")";
     }
   }
+}
+
+TEST(IntegrateToSinkTest, CancelFiredFromSinkStopsStreamPromptly) {
+  // A sink that fires the request's token from OnBatch: the decode-emit
+  // loop's per-batch checkpoint must surface kCancelled before the next
+  // batch, and End() must never run.
+  class CancellingSink : public CollectingSink {
+   public:
+    explicit CancellingSink(CancelToken token) : token_(std::move(token)) {}
+    Status OnBatch(const std::vector<FdResultTuple>& batch) override {
+      token_.Cancel();
+      return CollectingSink::OnBatch(batch);
+    }
+
+   private:
+    CancelToken token_;
+  };
+
+  auto engine = MakeEngineWithSmallSet();
+  RequestOptions req;
+  req.holistic_alignment = false;
+  req.fuzzy = false;  // 4 result tuples
+  req.batch_rows = 1;
+  req.cancel = CancelToken::Create();
+  CancellingSink sink(req.cancel);
+  auto report = engine->IntegrateToSink({"a", "b"}, &sink, req);
+  EXPECT_EQ(report.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(sink.tuples_.size(), 1u);  // first batch only
+  EXPECT_FALSE(sink.ended_);
 }
 
 TEST(IntegrateToSinkTest, SinkErrorAbortsRequest) {

@@ -267,13 +267,15 @@ TEST(CsrIndexShardedTest, LargeSubsumptionShardedMatchesSerial) {
     tuples[i].tids = {i};
   }
   auto serial = EliminateSubsumedCodes(tuples);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
   ThreadPool pool(8);
   auto parallel = EliminateSubsumedCodes(tuples, &pool);
-  ASSERT_GT(serial.size(), 0u);
-  ASSERT_LT(serial.size(), static_cast<size_t>(kTuples));  // some eliminated
-  ASSERT_EQ(serial.size(), parallel.size());
-  for (size_t i = 0; i < serial.size(); ++i) {
-    ASSERT_EQ(serial[i], parallel[i]) << i;
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_GT(serial->size(), 0u);
+  ASSERT_LT(serial->size(), static_cast<size_t>(kTuples));  // some eliminated
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    ASSERT_EQ((*serial)[i], (*parallel)[i]) << i;
   }
 }
 
@@ -288,10 +290,12 @@ TEST(CsrIndexShardedTest, EliminateSubsumedCodesAllNullTuples) {
   };
   auto only_nulls =
       EliminateSubsumedCodes({make({0, 0}, 0), make({0, 0}, 1)});
-  ASSERT_EQ(only_nulls.size(), 1u);
+  ASSERT_TRUE(only_nulls.ok());
+  ASSERT_EQ(only_nulls->size(), 1u);
   auto mixed = EliminateSubsumedCodes({make({0, 0}, 0), make({5, 0}, 1)});
-  ASSERT_EQ(mixed.size(), 1u);
-  EXPECT_EQ(mixed[0].codes[0], 5u);
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_EQ(mixed->size(), 1u);
+  EXPECT_EQ((*mixed)[0].codes[0], 5u);
 }
 
 // ------------------------------------------------------ non-quadratic index
