@@ -1,0 +1,1017 @@
+#include "catalog/catalog.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#define LAKEFUZZ_CATALOG_POSIX 1
+#endif
+
+#include "catalog/mapped_file.h"
+#include "discovery/lsh_index.h"
+#include "util/fault_injection.h"
+#include "util/hash.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+namespace {
+
+// ------------------------------------------------------------ byte codecs
+// All integers are written in host byte order; the manifest's endianness
+// probe (kCatalogEndianCheck) rejects a catalog written on a different
+// architecture with a typed error instead of silently mis-decoding.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void Raw(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte span. Any overrun sets a sticky
+/// failure flag (checked by the caller at block granularity) and returns
+/// zeros — corrupt input can never read out of bounds or loop unbounded.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : p_(data), size_(size) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return p_[off_++];
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    if (!Require(sizeof(v))) return 0;
+    std::memcpy(&v, p_ + off_, sizeof(v));
+    off_ += sizeof(v);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    if (!Require(sizeof(v))) return 0;
+    std::memcpy(&v, p_ + off_, sizeof(v));
+    off_ += sizeof(v);
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    if (!Require(sizeof(v))) return 0;
+    std::memcpy(&v, p_ + off_, sizeof(v));
+    off_ += sizeof(v);
+    return v;
+  }
+  bool Str(std::string* out) {
+    const uint32_t n = U32();
+    if (!Require(n)) return false;
+    out->assign(reinterpret_cast<const char*>(p_ + off_), n);
+    off_ += n;
+    return true;
+  }
+  bool U64Span(size_t count, std::vector<uint64_t>* out) {
+    if (count > (size_ - off_) / sizeof(uint64_t)) {
+      failed_ = true;
+      return false;
+    }
+    out->resize(count);
+    std::memcpy(out->data(), p_ + off_, count * sizeof(uint64_t));
+    off_ += count * sizeof(uint64_t);
+    return true;
+  }
+  bool U32Span(size_t count, std::vector<uint32_t>* out) {
+    if (count > (size_ - off_) / sizeof(uint32_t)) {
+      failed_ = true;
+      return false;
+    }
+    out->resize(count);
+    std::memcpy(out->data(), p_ + off_, count * sizeof(uint32_t));
+    off_ += count * sizeof(uint32_t);
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  size_t offset() const { return off_; }
+  size_t remaining() const { return size_ - off_; }
+
+ private:
+  bool Require(size_t n) {
+    if (failed_ || size_ - off_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* p_;
+  size_t size_;
+  size_t off_ = 0;
+  bool failed_ = false;
+};
+
+// --------------------------------------------------------------- file I/O
+
+std::string JoinPath(const std::string& dir, const char* name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+Status EnsureDir(const std::string& dir) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  if (mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IoError(
+      StrFormat("cannot create catalog directory '%s'", dir.c_str()));
+#else
+  (void)dir;
+  return Status::Unimplemented("catalog requires a POSIX filesystem");
+#endif
+}
+
+/// Size of `path`, or -1 when it does not exist / cannot be stat'ed.
+int64_t FileSizeOf(const std::string& path) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_size);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  long len = std::ftell(f);
+  std::fclose(f);
+  return len;
+#endif
+}
+
+Status SyncAndClose(std::FILE* f, const std::string& path) {
+  bool ok = std::fflush(f) == 0;
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  ok = ok && fsync(fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    return Status::IoError(StrFormat("cannot sync '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+void SyncDir(const std::string& dir) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  // Durability of the rename itself; failure here is not actionable.
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  LAKEFUZZ_FAULT_POINT("catalog/read");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open catalog file '%s'", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::IoError(StrFormat("cannot size '%s'", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(len));
+  const size_t got =
+      out->empty() ? 0 : std::fread(&(*out)[0], 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) {
+    return Status::IoError(StrFormat("short read on '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+/// Temp file + fsync + rename + directory fsync: readers observe either the
+/// old bytes or the new bytes, never a torn write.
+Status WriteFileAtomic(const std::string& dir, const char* name,
+                       const std::string& bytes) {
+  LAKEFUZZ_FAULT_POINT("catalog/write");
+  const std::string final_path = JoinPath(dir, name);
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot create catalog file '%s'", tmp_path.c_str()));
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp_path.c_str());
+    return Status::IoError(
+        StrFormat("short write to '%s'", tmp_path.c_str()));
+  }
+  Status synced = SyncAndClose(f, tmp_path);
+  if (!synced.ok()) {
+    std::remove(tmp_path.c_str());
+    return synced;
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError(StrFormat("cannot commit catalog file '%s'",
+                                     final_path.c_str()));
+  }
+  SyncDir(dir);
+  return Status::OK();
+}
+
+/// Appends past the committed prefix. A crash mid-append leaves trailing
+/// garbage beyond the manifest's logical size, which the prefix checksums
+/// ignore — the previous catalog stays openable.
+Status AppendToFile(const std::string& path, const std::string& bytes) {
+  if (bytes.empty()) return Status::OK();
+  LAKEFUZZ_FAULT_POINT("catalog/write");
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot append to catalog file '%s'", path.c_str()));
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size()) {
+    std::fclose(f);
+    return Status::IoError(StrFormat("short append to '%s'", path.c_str()));
+  }
+  return SyncAndClose(f, path);
+}
+
+// ------------------------------------------------------ value (de)coding
+
+void WriteValue(ByteWriter* w, const Value& v) {
+  w->U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;  // never stored: dict codes are non-null by construction
+    case ValueType::kString:
+      w->Str(v.AsString());
+      break;
+    case ValueType::kInt64: {
+      uint64_t bits;
+      int64_t i = v.AsInt();
+      std::memcpy(&bits, &i, sizeof(bits));
+      w->U64(bits);
+      break;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      w->U64(bits);
+      break;
+    }
+    case ValueType::kBool:
+      w->U8(v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+Status ReadValue(ByteReader* r, Value* out) {
+  const uint8_t type = r->U8();
+  switch (static_cast<ValueType>(type)) {
+    case ValueType::kString: {
+      std::string s;
+      if (!r->Str(&s)) break;
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+    case ValueType::kInt64: {
+      const uint64_t bits = r->U64();
+      if (r->failed()) break;
+      int64_t i;
+      std::memcpy(&i, &bits, sizeof(i));
+      *out = Value::Int(i);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      const uint64_t bits = r->U64();
+      if (r->failed()) break;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return Status::OK();
+    }
+    case ValueType::kBool: {
+      const uint8_t b = r->U8();
+      if (r->failed()) break;
+      *out = Value::Bool(b != 0);
+      return Status::OK();
+    }
+    default:
+      return Status::IoError(StrFormat(
+          "catalog value segment holds unknown type tag %u", unsigned{type}));
+  }
+  return Status::IoError("catalog value segment truncated");
+}
+
+// --------------------------------------------------------- table payloads
+
+/// Everything SaveCatalog needs about one registered table, gathered from
+/// the live session before any byte is written.
+struct TablePayload {
+  std::string name;
+  std::shared_ptr<const Table> table;
+  std::vector<std::shared_ptr<const std::vector<uint32_t>>> codes;
+  std::shared_ptr<const std::vector<ColumnSketch>> sketches;
+  uint64_t fingerprint = 0;
+};
+
+uint64_t FingerprintFromCodes(
+    const Table& table,
+    const std::vector<std::shared_ptr<const std::vector<uint32_t>>>& codes,
+    const ValueDict& dict) {
+  uint64_t fp = Fnv1a64("lakefuzz.catalog.table.v1");
+  fp = HashCombine(fp, table.NumRows());
+  fp = HashCombine(fp, table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Field& f = table.schema().field(c);
+    fp = HashCombine(fp, Fnv1a64(f.name));
+    fp = HashCombine(fp, static_cast<uint64_t>(f.type));
+  }
+  for (const auto& col : codes) {
+    for (uint32_t code : *col) {
+      fp = HashCombine(fp,
+                       code == ValueDict::kNullCode ? 0 : dict.HashOf(code));
+    }
+  }
+  return fp;
+}
+
+void SerializeTableBlock(ByteWriter* w, const TablePayload& p) {
+  const Table& t = *p.table;
+  w->U32(static_cast<uint32_t>(t.NumColumns()));
+  w->U64(t.NumRows());
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    const Field& f = t.schema().field(c);
+    w->Str(f.name);
+    w->U8(static_cast<uint8_t>(f.type));
+  }
+  for (const auto& col : p.codes) {
+    w->Raw(col->data(), col->size() * sizeof(uint32_t));
+  }
+}
+
+void SerializeSketchBlock(ByteWriter* w,
+                          const std::vector<ColumnSketch>& sketches,
+                          const LshIndex& keyer) {
+  w->U32(static_cast<uint32_t>(sketches.size()));
+  std::vector<uint64_t> keys;
+  for (const ColumnSketch& s : sketches) {
+    w->Str(s.name);
+    w->U64(s.profile.rows);
+    w->U64(s.profile.nulls);
+    w->U64(s.profile.distinct);
+    w->F64(s.profile.frac_string);
+    w->F64(s.profile.frac_int);
+    w->F64(s.profile.frac_double);
+    w->F64(s.profile.frac_bool);
+    w->F64(s.profile.avg_len);
+    // Empty columns carry no signature or band keys (they are never
+    // LSH-indexed); non-empty ones persist both, so a warm load re-buckets
+    // the LSH index without recomputing a single MinHash or band key.
+    if (s.empty()) {
+      w->U32(0);
+      w->U32(0);
+      continue;
+    }
+    w->U32(static_cast<uint32_t>(s.signature.size()));
+    w->Raw(s.signature.data(), s.signature.size() * sizeof(uint64_t));
+    keyer.ComputeBandKeys(s.signature, &keys);
+    w->U32(static_cast<uint32_t>(keys.size()));
+    w->Raw(keys.data(), keys.size() * sizeof(uint64_t));
+  }
+}
+
+// --------------------------------------------------------------- manifest
+
+struct ManifestEntry {
+  std::string name;
+  CatalogState::TableState state;
+};
+
+struct Manifest {
+  uint64_t signature_size = 0, bands = 0, rows_per_band = 0, seed = 0;
+  uint64_t value_count = 0;
+  CatalogState::Segment values, hashes, tables, sketches;
+  std::vector<ManifestEntry> entries;
+};
+
+std::string SerializeManifest(const Manifest& m) {
+  ByteWriter w;
+  w.Raw(kCatalogMagic, sizeof(kCatalogMagic));
+  w.U32(kCatalogFormatVersion);
+  w.U32(kCatalogEndianCheck);
+  w.U64(m.signature_size);
+  w.U64(m.bands);
+  w.U64(m.rows_per_band);
+  w.U64(m.seed);
+  w.U64(m.value_count);
+  for (const CatalogState::Segment* seg :
+       {&m.values, &m.hashes, &m.tables, &m.sketches}) {
+    w.U64(seg->size);
+    w.U64(seg->checksum);
+  }
+  w.U64(m.entries.size());
+  for (const ManifestEntry& e : m.entries) {
+    w.Str(e.name);
+    w.U64(e.state.fingerprint);
+    w.U64(e.state.rows);
+    w.U32(e.state.cols);
+    w.U64(e.state.table_off);
+    w.U64(e.state.table_size);
+    w.U64(e.state.sketch_off);
+    w.U64(e.state.sketch_size);
+  }
+  ByteWriter out;
+  out.Raw(w.bytes().data(), w.size());
+  out.U64(Fnv1a64(w.bytes().data(), w.size()));
+  return out.bytes();
+}
+
+/// Cap on manifest table entries — a corrupt count must not drive a
+/// multi-gigabyte allocation before the bounds checks catch it.
+constexpr uint64_t kMaxManifestTables = 16u << 20;
+
+Status ParseManifest(const std::string& bytes,
+                     const DiscoveryOptions& discovery_options,
+                     Manifest* out) {
+  if (bytes.size() < sizeof(kCatalogMagic) + 2 * sizeof(uint32_t) +
+                         sizeof(uint64_t)) {
+    return Status::IoError("catalog manifest truncated");
+  }
+  if (std::memcmp(bytes.data(), kCatalogMagic, sizeof(kCatalogMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not a lakefuzz catalog manifest (bad magic)");
+  }
+  ByteReader r(reinterpret_cast<const uint8_t*>(bytes.data()),
+               bytes.size() - sizeof(uint64_t));
+  r.U64();  // magic, already checked
+  const uint32_t format_version = r.U32();
+  if (format_version != kCatalogFormatVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "catalog format version %u is not supported (this build reads %u)",
+        format_version, kCatalogFormatVersion));
+  }
+  const uint32_t endian = r.U32();
+  if (endian != kCatalogEndianCheck) {
+    return Status::InvalidArgument(
+        "catalog was written with a different byte order");
+  }
+  // Integrity before content: the trailing checksum covers every preceding
+  // byte, so any flip in the body below surfaces here as kIoError.
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum,
+              bytes.data() + bytes.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fnv1a64(bytes.data(), bytes.size() - sizeof(uint64_t)) !=
+      stored_checksum) {
+    return Status::IoError("catalog manifest checksum mismatch");
+  }
+  out->signature_size = r.U64();
+  out->bands = r.U64();
+  out->rows_per_band = r.U64();
+  out->seed = r.U64();
+  out->value_count = r.U64();
+  for (CatalogState::Segment* seg :
+       {&out->values, &out->hashes, &out->tables, &out->sketches}) {
+    seg->size = r.U64();
+    seg->checksum = r.U64();
+  }
+  const uint64_t num_tables = r.U64();
+  if (r.failed() || num_tables > kMaxManifestTables ||
+      out->value_count >= UINT32_MAX) {
+    return Status::IoError("catalog manifest truncated");
+  }
+  out->entries.resize(static_cast<size_t>(num_tables));
+  for (ManifestEntry& e : out->entries) {
+    if (!r.Str(&e.name)) break;
+    e.state.fingerprint = r.U64();
+    e.state.rows = r.U64();
+    e.state.cols = r.U32();
+    e.state.table_off = r.U64();
+    e.state.table_size = r.U64();
+    e.state.sketch_off = r.U64();
+    e.state.sketch_size = r.U64();
+  }
+  if (r.failed()) return Status::IoError("catalog manifest truncated");
+  if (out->signature_size != discovery_options.signature_size ||
+      out->bands != discovery_options.bands ||
+      out->rows_per_band != discovery_options.rows_per_band ||
+      out->seed != discovery_options.seed) {
+    return Status::InvalidArgument(StrFormat(
+        "catalog sketch parameters (k=%llu, %llux%llu, seed=%llu) do not "
+        "match this engine's discovery options — rebuild required",
+        static_cast<unsigned long long>(out->signature_size),
+        static_cast<unsigned long long>(out->bands),
+        static_cast<unsigned long long>(out->rows_per_band),
+        static_cast<unsigned long long>(out->seed)));
+  }
+  return Status::OK();
+}
+
+Status VerifySegment(const MappedFile& file, const CatalogState::Segment& seg,
+                     const char* name) {
+  if (file.size() < seg.size) {
+    return Status::IoError(
+        StrFormat("catalog segment '%s' truncated (%zu < committed %llu)",
+                  name, file.size(),
+                  static_cast<unsigned long long>(seg.size)));
+  }
+  // Only the committed prefix participates: bytes past it are an aborted
+  // append, not corruption.
+  if (Fnv1a64(file.data(), static_cast<size_t>(seg.size)) != seg.checksum) {
+    return Status::IoError(
+        StrFormat("catalog segment '%s' checksum mismatch", name));
+  }
+  return Status::OK();
+}
+
+Status GatherPayloads(TableRegistry* registry, SessionDict* dict,
+                      DiscoveryIndex* discovery,
+                      std::vector<TablePayload>* payloads,
+                      size_t* columns_resketched) {
+  auto snapshot = registry->Snapshot();
+  payloads->reserve(snapshot.size());
+  for (auto& [name, table] : snapshot) {
+    TablePayload p;
+    p.name = name;
+    p.table = table;
+    p.codes.reserve(table->NumColumns());
+    for (size_t c = 0; c < table->NumColumns(); ++c) {
+      // Memoized for pinned (registered) tables; this also forces every
+      // cell into the dictionary before the persisted code range is fixed.
+      p.codes.push_back(dict->ColumnCodes(*table, c));
+    }
+    p.sketches = discovery->TableSketches(name, table.get());
+    if (p.sketches == nullptr || p.sketches->size() != table->NumColumns()) {
+      // Index was never built (lazy mode, unsynced) — sketch here so the
+      // catalog is complete either way.
+      p.sketches = std::make_shared<const std::vector<ColumnSketch>>(
+          discovery->SketchTable(*table));
+      *columns_resketched += table->NumColumns();
+    }
+    p.fingerprint = FingerprintFromCodes(*table, p.codes, dict->dict());
+    payloads->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t CatalogTableFingerprint(const Table& table, SessionDict* dict) {
+  std::vector<std::shared_ptr<const std::vector<uint32_t>>> codes;
+  codes.reserve(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    codes.push_back(dict->ColumnCodes(table, c));
+  }
+  return FingerprintFromCodes(table, codes, dict->dict());
+}
+
+// ---------------------------------------------------------------- save
+
+Result<CatalogSaveReport> SaveCatalogFrom(
+    const std::string& dir, TableRegistry* registry, SessionDict* dict,
+    DiscoveryIndex* discovery, const DiscoveryOptions& discovery_options,
+    CatalogState* state) {
+  Stopwatch watch;
+  CatalogSaveReport report;
+  LAKEFUZZ_RETURN_IF_ERROR(EnsureDir(dir));
+
+  std::vector<TablePayload> payloads;
+  LAKEFUZZ_RETURN_IF_ERROR(GatherPayloads(registry, dict, discovery,
+                                          &payloads,
+                                          &report.columns_resketched));
+  // Captured AFTER gathering: every code referenced by a payload is
+  // <= value_count, and codes appended by concurrent requests past it are
+  // simply left for the next checkpoint (the dict is append-only).
+  const uint64_t value_count = dict->NumDistinct();
+
+  const bool incremental =
+      state->valid() && state->dir == dir && state->codes_identical &&
+      value_count >= state->values_persisted &&
+      FileSizeOf(JoinPath(dir, kCatalogValuesFile)) ==
+          static_cast<int64_t>(state->values.size) &&
+      FileSizeOf(JoinPath(dir, kCatalogHashesFile)) ==
+          static_cast<int64_t>(state->hashes.size) &&
+      FileSizeOf(JoinPath(dir, kCatalogTablesFile)) ==
+          static_cast<int64_t>(state->tables.size) &&
+      FileSizeOf(JoinPath(dir, kCatalogSketchesFile)) ==
+          static_cast<int64_t>(state->sketches.size);
+
+  // Band keys are recomputed once per signature at save time (cheap FNV
+  // folds); persisting them makes the warm open's LSH rebuild a pure copy.
+  const LshIndex keyer(discovery_options.bands,
+                       discovery_options.rows_per_band);
+
+  Manifest m;
+  m.signature_size = discovery_options.signature_size;
+  m.bands = discovery_options.bands;
+  m.rows_per_band = discovery_options.rows_per_band;
+  m.seed = discovery_options.seed;
+  m.value_count = value_count;
+
+  std::map<std::string, CatalogState::TableState> table_states;
+
+  if (incremental) {
+    report.incremental = true;
+    // Dict delta: entries [values_persisted+1, value_count] append; the
+    // prefix checksum streams forward (FNV seeded with the old checksum).
+    ByteWriter vbuf, hbuf;
+    for (uint64_t code = state->values_persisted + 1; code <= value_count;
+         ++code) {
+      WriteValue(&vbuf, dict->dict().Decode(static_cast<uint32_t>(code)));
+      hbuf.U64(dict->dict().HashOf(static_cast<uint32_t>(code)));
+    }
+    m.values.size = state->values.size + vbuf.size();
+    m.values.checksum =
+        vbuf.size() == 0
+            ? state->values.checksum
+            : Fnv1a64(vbuf.bytes().data(), vbuf.size(), state->values.checksum);
+    m.hashes.size = state->hashes.size + hbuf.size();
+    m.hashes.checksum =
+        hbuf.size() == 0
+            ? state->hashes.checksum
+            : Fnv1a64(hbuf.bytes().data(), hbuf.size(), state->hashes.checksum);
+
+    ByteWriter tbuf, sbuf;
+    for (const TablePayload& p : payloads) {
+      auto it = state->tables_by_name.find(p.name);
+      if (it != state->tables_by_name.end() &&
+          it->second.fingerprint == p.fingerprint) {
+        table_states[p.name] = it->second;
+        ++report.tables_reused;
+        continue;
+      }
+      CatalogState::TableState ts;
+      ts.fingerprint = p.fingerprint;
+      ts.rows = p.table->NumRows();
+      ts.cols = static_cast<uint32_t>(p.table->NumColumns());
+      ts.table_off = state->tables.size + tbuf.size();
+      SerializeTableBlock(&tbuf, p);
+      ts.table_size = state->tables.size + tbuf.size() - ts.table_off;
+      ts.sketch_off = state->sketches.size + sbuf.size();
+      SerializeSketchBlock(&sbuf, *p.sketches, keyer);
+      ts.sketch_size = state->sketches.size + sbuf.size() - ts.sketch_off;
+      table_states[p.name] = ts;
+      ++report.tables_written;
+    }
+    m.tables.size = state->tables.size + tbuf.size();
+    m.tables.checksum =
+        tbuf.size() == 0
+            ? state->tables.checksum
+            : Fnv1a64(tbuf.bytes().data(), tbuf.size(), state->tables.checksum);
+    m.sketches.size = state->sketches.size + sbuf.size();
+    m.sketches.checksum =
+        sbuf.size() == 0 ? state->sketches.checksum
+                         : Fnv1a64(sbuf.bytes().data(), sbuf.size(),
+                                   state->sketches.checksum);
+
+    LAKEFUZZ_RETURN_IF_ERROR(
+        AppendToFile(JoinPath(dir, kCatalogValuesFile), vbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        AppendToFile(JoinPath(dir, kCatalogHashesFile), hbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        AppendToFile(JoinPath(dir, kCatalogTablesFile), tbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        AppendToFile(JoinPath(dir, kCatalogSketchesFile), sbuf.bytes()));
+    report.values_appended = value_count - state->values_persisted;
+    report.bytes_written +=
+        vbuf.size() + hbuf.size() + tbuf.size() + sbuf.size();
+  } else {
+    // Full rewrite: everything is serialized into fresh buffers and every
+    // segment goes through the temp-file commit, so a crash at any point
+    // leaves the previous catalog (if any) fully intact.
+    ByteWriter vbuf, hbuf;
+    for (uint64_t code = 1; code <= value_count; ++code) {
+      WriteValue(&vbuf, dict->dict().Decode(static_cast<uint32_t>(code)));
+      hbuf.U64(dict->dict().HashOf(static_cast<uint32_t>(code)));
+    }
+    ByteWriter tbuf, sbuf;
+    for (const TablePayload& p : payloads) {
+      CatalogState::TableState ts;
+      ts.fingerprint = p.fingerprint;
+      ts.rows = p.table->NumRows();
+      ts.cols = static_cast<uint32_t>(p.table->NumColumns());
+      ts.table_off = tbuf.size();
+      SerializeTableBlock(&tbuf, p);
+      ts.table_size = tbuf.size() - ts.table_off;
+      ts.sketch_off = sbuf.size();
+      SerializeSketchBlock(&sbuf, *p.sketches, keyer);
+      ts.sketch_size = sbuf.size() - ts.sketch_off;
+      table_states[p.name] = ts;
+      ++report.tables_written;
+    }
+    m.values = {vbuf.size(), Fnv1a64(vbuf.bytes().data(), vbuf.size())};
+    m.hashes = {hbuf.size(), Fnv1a64(hbuf.bytes().data(), hbuf.size())};
+    m.tables = {tbuf.size(), Fnv1a64(tbuf.bytes().data(), tbuf.size())};
+    m.sketches = {sbuf.size(), Fnv1a64(sbuf.bytes().data(), sbuf.size())};
+    LAKEFUZZ_RETURN_IF_ERROR(
+        WriteFileAtomic(dir, kCatalogValuesFile, vbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        WriteFileAtomic(dir, kCatalogHashesFile, hbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        WriteFileAtomic(dir, kCatalogTablesFile, tbuf.bytes()));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        WriteFileAtomic(dir, kCatalogSketchesFile, sbuf.bytes()));
+    report.values_appended = value_count;
+    report.bytes_written +=
+        vbuf.size() + hbuf.size() + tbuf.size() + sbuf.size();
+  }
+
+  m.entries.reserve(table_states.size());
+  for (auto& [name, ts] : table_states) {
+    m.entries.push_back(ManifestEntry{name, ts});
+  }
+  const std::string manifest = SerializeManifest(m);
+  LAKEFUZZ_RETURN_IF_ERROR(
+      WriteFileAtomic(dir, kCatalogManifestFile, manifest));
+  report.bytes_written += manifest.size();
+
+  state->dir = dir;
+  state->codes_identical = true;  // file codes 1..value_count == session codes
+  state->values_persisted = value_count;
+  state->values = m.values;
+  state->hashes = m.hashes;
+  state->tables = m.tables;
+  state->sketches = m.sketches;
+  state->tables_by_name = std::move(table_states);
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+// ---------------------------------------------------------------- open
+
+namespace {
+
+/// One fully parsed, not-yet-registered catalog table.
+struct StagedTable {
+  std::string name;
+  std::shared_ptr<const Table> table;
+  std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns;
+  std::vector<ColumnSketch> sketches;
+  std::vector<std::vector<uint64_t>> band_keys;
+};
+
+Status ParseTableBlock(const MappedFile& seg, const ManifestEntry& e,
+                       uint64_t value_count,
+                       const std::vector<uint32_t>& remap,
+                       const ValueDict& dict, StagedTable* out) {
+  if (e.state.table_off > seg.size() ||
+      e.state.table_size > seg.size() - e.state.table_off) {
+    return Status::IoError(StrFormat(
+        "catalog table block for '%s' out of bounds", e.name.c_str()));
+  }
+  ByteReader r(seg.data() + e.state.table_off,
+               static_cast<size_t>(e.state.table_size));
+  const uint32_t cols = r.U32();
+  const uint64_t rows = r.U64();
+  if (r.failed() || cols != e.state.cols || rows != e.state.rows) {
+    return Status::IoError(StrFormat(
+        "catalog table block for '%s' does not match its manifest entry",
+        e.name.c_str()));
+  }
+  std::vector<Field> fields(cols);
+  for (Field& f : fields) {
+    if (!r.Str(&f.name)) break;
+    f.type = static_cast<ValueType>(r.U8());
+  }
+  if (r.failed()) {
+    return Status::IoError(
+        StrFormat("catalog table block for '%s' truncated", e.name.c_str()));
+  }
+  out->columns.reserve(cols);
+  std::vector<uint32_t> file_codes;
+  for (uint32_t c = 0; c < cols; ++c) {
+    if (!r.U32Span(static_cast<size_t>(rows), &file_codes)) {
+      return Status::IoError(StrFormat(
+          "catalog table block for '%s' truncated", e.name.c_str()));
+    }
+    auto session_codes = std::make_shared<std::vector<uint32_t>>();
+    session_codes->reserve(file_codes.size());
+    for (uint32_t code : file_codes) {
+      if (code > value_count) {
+        return Status::IoError(StrFormat(
+            "catalog table block for '%s' references code %u beyond the "
+            "dictionary (%llu entries)",
+            e.name.c_str(), code,
+            static_cast<unsigned long long>(value_count)));
+      }
+      session_codes->push_back(remap[code]);
+    }
+    out->columns.push_back(std::move(session_codes));
+  }
+  // Materialize the Table row-wise from the remapped codes: cells decode to
+  // exactly the writer's values, so results downstream are byte-identical.
+  Table table(e.name, Schema(std::move(fields)));
+  std::vector<Value> row(cols);
+  for (uint64_t rr = 0; rr < rows; ++rr) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      row[c] = dict.Decode((*out->columns[c])[static_cast<size_t>(rr)]);
+    }
+    Status appended = table.AppendRow(row);
+    if (!appended.ok()) return appended;
+  }
+  out->name = e.name;
+  out->table = std::make_shared<const Table>(std::move(table));
+  return Status::OK();
+}
+
+Status ParseSketchBlock(const MappedFile& seg, const ManifestEntry& e,
+                        const DiscoveryOptions& options, StagedTable* out) {
+  if (e.state.sketch_off > seg.size() ||
+      e.state.sketch_size > seg.size() - e.state.sketch_off) {
+    return Status::IoError(StrFormat(
+        "catalog sketch block for '%s' out of bounds", e.name.c_str()));
+  }
+  ByteReader r(seg.data() + e.state.sketch_off,
+               static_cast<size_t>(e.state.sketch_size));
+  const uint32_t cols = r.U32();
+  if (r.failed() || cols != e.state.cols) {
+    return Status::IoError(StrFormat(
+        "catalog sketch block for '%s' does not match its manifest entry",
+        e.name.c_str()));
+  }
+  out->sketches.resize(cols);
+  out->band_keys.resize(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    ColumnSketch& s = out->sketches[c];
+    if (!r.Str(&s.name)) break;
+    s.profile.rows = r.U64();
+    s.profile.nulls = r.U64();
+    s.profile.distinct = r.U64();
+    s.profile.frac_string = r.F64();
+    s.profile.frac_int = r.F64();
+    s.profile.frac_double = r.F64();
+    s.profile.frac_bool = r.F64();
+    s.profile.avg_len = r.F64();
+    const uint32_t sig_count = r.U32();
+    if (sig_count != 0 && sig_count != options.signature_size) {
+      return Status::IoError(StrFormat(
+          "catalog sketch for '%s' has signature size %u (expected %zu)",
+          e.name.c_str(), sig_count, options.signature_size));
+    }
+    if (!r.U64Span(sig_count, &s.signature)) break;
+    const uint32_t band_count = r.U32();
+    if (band_count != 0 && band_count != options.bands) {
+      return Status::IoError(StrFormat(
+          "catalog sketch for '%s' has %u band keys (expected %zu)",
+          e.name.c_str(), band_count, options.bands));
+    }
+    if (!r.U64Span(band_count, &out->band_keys[c])) break;
+    // A column with values must carry a signature (and vice versa) or the
+    // LSH rebuild would silently drop it from the index.
+    if (s.empty() != (sig_count == 0)) {
+      return Status::IoError(StrFormat(
+          "catalog sketch for '%s' is inconsistent (distinct=%llu, "
+          "signature=%u)",
+          e.name.c_str(),
+          static_cast<unsigned long long>(s.profile.distinct), sig_count));
+    }
+  }
+  if (r.failed()) {
+    return Status::IoError(StrFormat(
+        "catalog sketch block for '%s' truncated", e.name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CatalogOpenReport> OpenCatalogInto(
+    const std::string& dir, TableRegistry* registry, SessionDict* dict,
+    DiscoveryIndex* discovery, const DiscoveryOptions& discovery_options,
+    CatalogState* state) {
+  Stopwatch watch;
+  CatalogOpenReport report;
+
+  std::string manifest_bytes;
+  LAKEFUZZ_RETURN_IF_ERROR(
+      ReadFileBytes(JoinPath(dir, kCatalogManifestFile), &manifest_bytes));
+  Manifest m;
+  LAKEFUZZ_RETURN_IF_ERROR(
+      ParseManifest(manifest_bytes, discovery_options, &m));
+
+  // Map and verify every segment BEFORE touching any engine structure: a
+  // corrupt catalog degrades to a cold rebuild with a typed error; it never
+  // half-loads.
+  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile values_seg,
+                            MappedFile::Open(JoinPath(dir, kCatalogValuesFile)));
+  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile hashes_seg,
+                            MappedFile::Open(JoinPath(dir, kCatalogHashesFile)));
+  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile tables_seg,
+                            MappedFile::Open(JoinPath(dir, kCatalogTablesFile)));
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      MappedFile sketches_seg,
+      MappedFile::Open(JoinPath(dir, kCatalogSketchesFile)));
+  LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(values_seg, m.values, "values"));
+  LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(hashes_seg, m.hashes, "hashes"));
+  LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(tables_seg, m.tables, "tables"));
+  LAKEFUZZ_RETURN_IF_ERROR(
+      VerifySegment(sketches_seg, m.sketches, "sketches"));
+  if (m.hashes.size != m.value_count * sizeof(uint64_t)) {
+    return Status::IoError(
+        "catalog hash segment size does not match the dictionary count");
+  }
+  for (const MappedFile* f :
+       {&values_seg, &hashes_seg, &tables_seg, &sketches_seg}) {
+    if (f->mapped()) report.mapped_bytes += f->size();
+  }
+
+  // Dict replay in file-code order. The persisted hash side table is the
+  // point: values re-enter the session dictionary without a single
+  // re-hash (the hashes are read straight out of the mapping), and the
+  // file→session code remap is identity on a fresh engine.
+  LAKEFUZZ_FAULT_POINT("catalog/read");
+  ByteReader vr(values_seg.data(), static_cast<size_t>(m.values.size));
+  std::vector<uint32_t> remap(static_cast<size_t>(m.value_count) + 1, 0);
+  bool identical = true;
+  for (uint64_t i = 1; i <= m.value_count; ++i) {
+    Value v;
+    LAKEFUZZ_RETURN_IF_ERROR(ReadValue(&vr, &v));
+    uint64_t hash;
+    std::memcpy(&hash, hashes_seg.data() + (i - 1) * sizeof(uint64_t),
+                sizeof(hash));
+    const uint32_t code = dict->RestoreValue(std::move(v), hash);
+    remap[static_cast<size_t>(i)] = code;
+    identical = identical && code == i;
+  }
+  report.values_loaded = m.value_count;
+
+  // Stage every table (parse + validate + rebuild) before committing any:
+  // a corrupt block aborts the whole open with the registry untouched.
+  std::vector<StagedTable> staged;
+  staged.reserve(m.entries.size());
+  for (const ManifestEntry& e : m.entries) {
+    if (registry->Get(e.name).ok()) {
+      ++report.tables_kept;  // live table wins over the persisted snapshot
+      continue;
+    }
+    LAKEFUZZ_FAULT_POINT("catalog/read");
+    StagedTable st;
+    LAKEFUZZ_RETURN_IF_ERROR(ParseTableBlock(tables_seg, e, m.value_count,
+                                             remap, dict->dict(), &st));
+    LAKEFUZZ_RETURN_IF_ERROR(
+        ParseSketchBlock(sketches_seg, e, discovery_options, &st));
+    staged.push_back(std::move(st));
+  }
+
+  // Commit: register, seed the column-code memo, and insert the pre-built
+  // sketches + band keys — zero columns re-sketched for an unchanged lake.
+  for (StagedTable& st : staged) {
+    uint64_t version = 0;
+    Status registered = registry->Register(st.name, st.table, &version);
+    if (!registered.ok()) {
+      ++report.tables_kept;  // raced by a concurrent registration
+      continue;
+    }
+    dict->PinTableWithCodes(st.table, std::move(st.columns));
+    discovery->LoadTable(st.name, st.table, std::move(st.sketches),
+                         st.band_keys, version);
+    ++report.tables_loaded;
+  }
+
+  state->dir = dir;
+  state->codes_identical = identical;
+  state->values_persisted = m.value_count;
+  state->values = m.values;
+  state->hashes = m.hashes;
+  state->tables = m.tables;
+  state->sketches = m.sketches;
+  state->tables_by_name.clear();
+  for (ManifestEntry& e : m.entries) {
+    state->tables_by_name[e.name] = e.state;
+  }
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace lakefuzz

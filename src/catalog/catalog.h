@@ -1,0 +1,184 @@
+// Durable lake catalog: persist session state, restart warm.
+//
+// Everything a LakeEngine session derives from its lake — the interned
+// ValueDict (values + content hashes), per-table column code spans, and the
+// discovery index's MinHash sketches, profiles, and LSH band keys — dies
+// with the process, so every restart re-reads, re-interns, and re-sketches
+// the whole lake. The catalog is that state on disk, in a directory of
+// append-only segments plus one versioned manifest:
+//
+//   values.seg    dict entries in code order (type tag + payload)
+//   hashes.seg    the 64-bit content hash per code (HashOf side table)
+//   tables.seg    per-table blocks: schema + per-column uint32 code rows
+//   sketches.seg  per-column profile + MinHash signature + LSH band keys
+//   manifest.lfc  magic, format version, discovery params, segment
+//                 sizes/checksums, and per-table entries (name, content
+//                 fingerprint, block extents)
+//
+// The manifest is the commit point: it is written to a temp file, fsynced,
+// and renamed into place, and every checksum covers exactly the logical
+// prefix it records — so a crash mid-save (full rewrite goes through temp
+// files; incremental checkpoints append past the committed prefix) always
+// leaves the previous catalog openable. A reopened engine replays the dict
+// with the persisted hashes (no value re-hashing), seeds the per-column
+// code memo, and inserts pre-built sketches — re-sketching 0 columns for
+// an unchanged lake. SaveCatalog checkpoints incrementally when the engine
+// last opened/saved the same directory: only dict entries and tables whose
+// content fingerprint changed are appended; unchanged tables reuse their
+// recorded extents, and dropped tables simply leave the manifest (their
+// stale bytes are unreachable, so they can never resurrect).
+//
+// Corruption never crashes: a truncated, bit-flipped, or version-skewed
+// file fails OpenCatalogInto with a typed kIoError / kInvalidArgument
+// before any engine structure is touched, and the caller rebuilds cold.
+// LAKEFUZZ_FAULT_POINT seams "catalog/read", "catalog/write", and
+// "catalog/mmap" wire the IO paths into the chaos harness.
+#ifndef LAKEFUZZ_CATALOG_CATALOG_H_
+#define LAKEFUZZ_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/engine_registry.h"
+#include "discovery/discovery.h"
+#include "fd/session_dict.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+
+// ------------------------------------------------------------- file format
+// Public so tests can craft precise corruption (bad magic with a fixed-up
+// checksum, version skew, truncation at exact boundaries).
+
+inline constexpr const char* kCatalogManifestFile = "manifest.lfc";
+inline constexpr const char* kCatalogValuesFile = "values.seg";
+inline constexpr const char* kCatalogHashesFile = "hashes.seg";
+inline constexpr const char* kCatalogTablesFile = "tables.seg";
+inline constexpr const char* kCatalogSketchesFile = "sketches.seg";
+
+/// First 8 manifest bytes. Followed by format version (u32) and an
+/// endianness probe (u32 = kCatalogEndianCheck as written by the producer).
+inline constexpr char kCatalogMagic[8] = {'L', 'F', 'C', 'A',
+                                          'T', 'L', 'G', '1'};
+inline constexpr uint32_t kCatalogFormatVersion = 1;
+inline constexpr uint32_t kCatalogEndianCheck = 0x01020304u;
+
+// ------------------------------------------------------------ engine state
+
+/// What the engine remembers about the directory it last opened or saved,
+/// enabling incremental checkpoints. Invalidated (full rewrite on next
+/// save) whenever the session's code assignment diverged from the file's.
+struct CatalogState {
+  struct Segment {
+    uint64_t size = 0;      ///< committed logical size (files may be longer)
+    uint64_t checksum = 0;  ///< streaming FNV-1a over the logical prefix
+  };
+  struct TableState {
+    uint64_t fingerprint = 0;  ///< content hash (schema + cell hashes)
+    uint64_t rows = 0;
+    uint32_t cols = 0;
+    uint64_t table_off = 0, table_size = 0;    ///< extent in tables.seg
+    uint64_t sketch_off = 0, sketch_size = 0;  ///< extent in sketches.seg
+  };
+
+  std::string dir;  ///< empty = no catalog association yet
+  /// File code i == session code i for all persisted codes. Required for
+  /// appending dict entries and reusing table blocks (their code rows are
+  /// file codes). False after opening into a non-fresh dictionary.
+  bool codes_identical = false;
+  /// Dict codes 1..values_persisted are on disk.
+  uint64_t values_persisted = 0;
+  Segment values, hashes, tables, sketches;
+  /// Ordered by name — the manifest serialization order, so manifests are
+  /// byte-deterministic for a given lake.
+  std::map<std::string, TableState> tables_by_name;
+
+  bool valid() const { return !dir.empty(); }
+};
+
+/// One OpenCatalog outcome (also accumulated into CatalogStats).
+struct CatalogOpenReport {
+  size_t tables_loaded = 0;  ///< reconstructed + registered from the catalog
+  size_t tables_kept = 0;    ///< names already live in the engine (skipped)
+  uint64_t values_loaded = 0;
+  /// Columns that had to be re-sketched. 0 for an unchanged lake — the
+  /// round-trip acceptance gate.
+  size_t columns_resketched = 0;
+  /// Bytes of segment data served via mmap during the load.
+  uint64_t mapped_bytes = 0;
+  double seconds = 0.0;
+};
+
+/// One SaveCatalog outcome.
+struct CatalogSaveReport {
+  bool incremental = false;
+  size_t tables_written = 0;
+  size_t tables_reused = 0;  ///< unchanged fingerprint, extents reused
+  uint64_t values_appended = 0;
+  uint64_t bytes_written = 0;
+  /// Columns sketched during the save because the discovery index had no
+  /// current sketch for them (engine was never synced, e.g. lazy mode).
+  size_t columns_resketched = 0;
+  double seconds = 0.0;
+};
+
+/// Engine-lifetime catalog counters (LakeEngine::catalog_stats()).
+struct CatalogStats {
+  uint64_t opens = 0;
+  uint64_t open_failures = 0;  ///< typed failures that degraded to rebuild
+  uint64_t saves = 0;
+  uint64_t tables_loaded = 0;
+  uint64_t tables_written = 0;
+  uint64_t tables_reused = 0;
+  uint64_t values_loaded = 0;
+  uint64_t values_appended = 0;
+  uint64_t columns_resketched = 0;
+  uint64_t mmap_bytes = 0;  ///< segment bytes mapped by the last open
+  uint64_t bytes_written = 0;
+};
+
+// -------------------------------------------------------------- operations
+
+/// Content fingerprint of a registered table: schema (field names + types),
+/// row count, and the per-cell content hash sequence (ValueDict::HashOf of
+/// the interned codes — order-sensitive, null = 0). Independent of code
+/// numbering, so writer and reader agree across sessions. This is what
+/// keys "rebuild only tables whose content changed".
+uint64_t CatalogTableFingerprint(const Table& table, SessionDict* dict);
+
+/// Loads the catalog at `dir` into the engine structures. The entire
+/// directory is validated (header, version, discovery params, per-segment
+/// checksums, block bounds) and parsed into staging buffers BEFORE any
+/// table is registered, so a corrupt catalog returns its typed error with
+/// the registry, memo, and discovery index untouched (the dictionary may
+/// have interned the catalog's values — harmless, it only grows). Tables
+/// whose name is already registered are kept as-is and counted in
+/// tables_kept. On success `state` records the directory association for
+/// incremental saves. `discovery_options` must match the persisted sketch
+/// parameters (signature size, banding, seed) or the open fails with
+/// kInvalidArgument — signatures from a different family are garbage.
+Result<CatalogOpenReport> OpenCatalogInto(const std::string& dir,
+                                          TableRegistry* registry,
+                                          SessionDict* dict,
+                                          DiscoveryIndex* discovery,
+                                          const DiscoveryOptions& discovery_options,
+                                          CatalogState* state);
+
+/// Persists the engine's current lake to `dir` (created if missing).
+/// Incremental when `state` matches `dir` and the on-disk segments still
+/// have the committed sizes: new dict entries and changed tables append,
+/// unchanged tables reuse their extents, and the manifest rewrite commits
+/// the checkpoint. Otherwise a full rewrite (through temp files). The
+/// caller must have the discovery index synced to the registry if it wants
+/// sketches persisted without re-sketching (LakeEngine::SaveCatalog does).
+Result<CatalogSaveReport> SaveCatalogFrom(const std::string& dir,
+                                          TableRegistry* registry,
+                                          SessionDict* dict,
+                                          DiscoveryIndex* discovery,
+                                          const DiscoveryOptions& discovery_options,
+                                          CatalogState* state);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CATALOG_CATALOG_H_

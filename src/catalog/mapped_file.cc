@@ -1,0 +1,115 @@
+#include "catalog/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define LAKEFUZZ_HAVE_MMAP 1
+#endif
+
+#include "util/fault_injection.h"
+#include "util/str.h"
+
+namespace lakefuzz {
+
+MappedFile::~MappedFile() { Release(); }
+
+void MappedFile::Release() {
+#ifdef LAKEFUZZ_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  fallback_ = std::move(other.fallback_);
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  LAKEFUZZ_FAULT_POINT("catalog/mmap");
+  MappedFile out;
+#ifdef LAKEFUZZ_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("cannot open catalog file '%s'", path.c_str()));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("cannot stat catalog file '%s'", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap of length 0 is undefined; an empty view needs no mapping.
+    ::close(fd);
+    return out;
+  }
+  void* addr = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr != MAP_FAILED) {
+    out.data_ = static_cast<const uint8_t*>(addr);
+    out.size_ = size;
+    out.mapped_ = true;
+    return out;
+  }
+#endif
+  // Fallback: plain buffered read (also the non-POSIX path).
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open catalog file '%s'", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::IoError(
+        StrFormat("cannot size catalog file '%s'", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out.fallback_.resize(static_cast<size_t>(len));
+  const size_t got =
+      len == 0 ? 0 : std::fread(out.fallback_.data(), 1, out.fallback_.size(), f);
+  std::fclose(f);
+  if (got != out.fallback_.size()) {
+    return Status::IoError(
+        StrFormat("short read on catalog file '%s'", path.c_str()));
+  }
+  out.data_ = out.fallback_.empty() ? nullptr : out.fallback_.data();
+  out.size_ = out.fallback_.size();
+  return out;
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,51 @@
+// MappedFile: RAII read-only memory mapping for catalog segments.
+//
+// Catalog segments are append-only byte streams validated by prefix
+// checksums; mapping them read-only lets the loader walk POD regions (hash
+// side tables, code rows, MinHash signatures, LSH band keys) without a
+// bulk read into heap buffers. When mmap is unavailable or fails (some
+// filesystems, 0-byte files), Open falls back to a plain read — callers
+// see the same data()/size() view either way and can report mapped() bytes
+// separately from copied ones.
+#ifndef LAKEFUZZ_CATALOG_MAPPED_FILE_H_
+#define LAKEFUZZ_CATALOG_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace lakefuzz {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only (LAKEFUZZ_FAULT_POINT "catalog/mmap").
+  /// ErrorCode::kIoError when the file cannot be opened or read.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the view is an actual mmap (false on the read fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_CATALOG_MAPPED_FILE_H_

@@ -128,6 +128,46 @@ Status LakeEngine::Unregister(const std::string& name) {
   return Status::OK();
 }
 
+Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  Result<CatalogOpenReport> report =
+      OpenCatalogInto(dir, &registry_, session_dict_.get(), discovery_.get(),
+                      options_.discovery, &catalog_state_);
+  ++catalog_stats_.opens;
+  if (!report.ok()) {
+    ++catalog_stats_.open_failures;
+    return report;
+  }
+  catalog_stats_.tables_loaded += report->tables_loaded;
+  catalog_stats_.values_loaded += report->values_loaded;
+  catalog_stats_.columns_resketched += report->columns_resketched;
+  catalog_stats_.mmap_bytes = report->mapped_bytes;
+  return report;
+}
+
+Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir) {
+  // Sync first so the discovery index holds a sketch for every registered
+  // table — the save then persists them as-is instead of re-sketching.
+  LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(RequestContext()));
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  Result<CatalogSaveReport> report =
+      SaveCatalogFrom(dir, &registry_, session_dict_.get(), discovery_.get(),
+                      options_.discovery, &catalog_state_);
+  if (!report.ok()) return report;
+  ++catalog_stats_.saves;
+  catalog_stats_.tables_written += report->tables_written;
+  catalog_stats_.tables_reused += report->tables_reused;
+  catalog_stats_.values_appended += report->values_appended;
+  catalog_stats_.columns_resketched += report->columns_resketched;
+  catalog_stats_.bytes_written += report->bytes_written;
+  return report;
+}
+
+CatalogStats LakeEngine::catalog_stats() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_stats_;
+}
+
 Status LakeEngine::EnsureDiscoverySynced(const RequestContext& ctx) const {
   // Cheap fast path: versions match means the index reflects exactly the
   // current name → snapshot mapping (TableRegistry::version() invariant).

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "core/engine_registry.h"
 #include "core/fuzzy_fd.h"
 #include "discovery/discovery.h"
@@ -230,6 +231,30 @@ class LakeEngine {
   std::vector<std::string> TableNames() const;
   size_t NumTables() const;
 
+  // ------------------------------------------------------------- catalog
+  /// Loads the durable catalog at `dir` (see catalog/catalog.h): replays
+  /// the persisted dictionary (no value re-hashing), registers every
+  /// cataloged table whose name is not already live, seeds their column
+  /// code memos, and inserts pre-built discovery sketches — a warm restart
+  /// re-sketches zero columns for an unchanged lake. A corrupt, truncated,
+  /// or version-skewed catalog fails with kIoError / kInvalidArgument
+  /// before any table is registered; the engine stays fully usable and the
+  /// caller rebuilds cold. On success the engine remembers `dir`, so the
+  /// next SaveCatalog checkpoints incrementally.
+  Result<CatalogOpenReport> OpenCatalog(const std::string& dir);
+
+  /// Persists the current lake to `dir` (created if missing). Syncs the
+  /// discovery index first so sketches persist without re-sketching, then
+  /// checkpoints: incremental (append new dict entries + changed tables,
+  /// reuse unchanged extents, atomically rewrite the manifest) when the
+  /// engine last opened/saved the same directory, full rewrite otherwise.
+  /// Dropped tables leave the manifest and cannot resurrect; re-registered
+  /// (changed) tables refresh their content fingerprint.
+  Result<CatalogSaveReport> SaveCatalog(const std::string& dir);
+
+  /// Lifetime catalog counters (opens, saves, bytes, re-sketches).
+  CatalogStats catalog_stats() const;
+
   // ------------------------------------------------------------ requests
   /// Integrates the named tables (registry lookup order = `names` order,
   /// which defines TID numbering) into one table, with stage report.
@@ -375,6 +400,13 @@ class LakeEngine {
   mutable std::mutex schema_mu_;
   mutable std::unordered_map<std::string, CachedSchema> schema_cache_;
   mutable uint64_t schema_cache_hits_ = 0;
+
+  /// Catalog association + counters. catalog_mu_ serializes OpenCatalog /
+  /// SaveCatalog against each other (registry/dict/discovery mutations from
+  /// other threads stay safe — those structures have their own locks).
+  mutable std::mutex catalog_mu_;
+  CatalogState catalog_state_;
+  mutable CatalogStats catalog_stats_;
 
   /// Admission gate state (see Admit).
   mutable std::mutex admission_mu_;

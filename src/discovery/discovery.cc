@@ -77,9 +77,10 @@ std::vector<ColumnSketch> DiscoveryIndex::SketchQuery(
   return sketches;
 }
 
-void DiscoveryIndex::AddTableLocked(const std::string& name,
-                                    std::shared_ptr<const Table> table,
-                                    std::vector<ColumnSketch> sketches) {
+void DiscoveryIndex::AddTableLocked(
+    const std::string& name, std::shared_ptr<const Table> table,
+    std::vector<ColumnSketch> sketches,
+    const std::vector<std::vector<uint64_t>>* band_keys) {
   auto it = by_name_.find(name);
   if (it != by_name_.end()) RemoveSlotLocked(it->second);
 
@@ -112,7 +113,12 @@ void DiscoveryIndex::AddTableLocked(const std::string& name,
                              static_cast<uint32_t>(c));
     }
     entry.col_ids[c] = id;
-    lsh_.Add(id, columns[c].signature);
+    if (band_keys != nullptr && c < band_keys->size() &&
+        !(*band_keys)[c].empty()) {
+      lsh_.AddWithKeys(id, (*band_keys)[c]);
+    } else {
+      lsh_.Add(id, columns[c].signature);
+    }
   }
   by_name_[name] = slot;
 }
@@ -142,6 +148,30 @@ void DiscoveryIndex::AddTable(const std::string& name,
   // mode, or one that missed a concurrent mutation) claim freshness — the
   // next query's version check still triggers the reconciling Resync.
   if (version_ + 1 == version) version_ = version;
+}
+
+void DiscoveryIndex::LoadTable(
+    const std::string& name, std::shared_ptr<const Table> table,
+    std::vector<ColumnSketch> sketches,
+    const std::vector<std::vector<uint64_t>>& band_keys, uint64_t version) {
+  if (table == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  AddTableLocked(name, std::move(table), std::move(sketches), &band_keys);
+  // Predecessor-only advance, as in AddTable: loading into a fresh engine
+  // (registry versions 1, 2, 3, ...) keeps the index current step by step;
+  // loading into a session that was already stale leaves it observably
+  // stale, and the next query's Resync finds the loaded pins in place.
+  if (version_ + 1 == version) version_ = version;
+}
+
+std::shared_ptr<const std::vector<ColumnSketch>> DiscoveryIndex::TableSketches(
+    const std::string& name, const Table* pin) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  const TableEntry& entry = entries_[it->second];
+  if (!entry.live || entry.pin.get() != pin) return nullptr;
+  return entry.columns;
 }
 
 void DiscoveryIndex::RemoveTable(const std::string& name, uint64_t version) {

@@ -135,6 +135,25 @@ class DiscoveryIndex {
   /// rule as AddTable.
   void RemoveTable(const std::string& name, uint64_t version);
 
+  /// Catalog-load form of AddTable: indexes `name` with pre-built sketches
+  /// and pre-computed LSH band keys (band_keys[c] as produced by
+  /// LshIndex::ComputeBandKeys; empty for unindexed columns) — no sketching
+  /// and no band hashing happens here, which is what makes a warm catalog
+  /// open re-sketch zero columns. The sketches must have been built with
+  /// this index's options (the catalog manifest enforces that). Same
+  /// version-advance rule as AddTable.
+  void LoadTable(const std::string& name, std::shared_ptr<const Table> table,
+                 std::vector<ColumnSketch> sketches,
+                 const std::vector<std::vector<uint64_t>>& band_keys,
+                 uint64_t version);
+
+  /// The indexed sketches of `name`, or nullptr when the name is absent or
+  /// its entry pins a different snapshot than `pin` (pointer identity, the
+  /// same staleness check Resync uses). Lets the catalog writer persist
+  /// already-built sketches instead of re-sketching.
+  std::shared_ptr<const std::vector<ColumnSketch>> TableSketches(
+      const std::string& name, const Table* pin) const;
+
   /// Reconciles the index against a full registry snapshot (sorted
   /// name → table pairs from TableRegistry::Snapshot): stale entries are
   /// removed, replaced tables re-sketched, missing tables added — sketching
@@ -207,9 +226,12 @@ class DiscoveryIndex {
   };
   static constexpr uint32_t kNoColId = UINT32_MAX;
 
-  void AddTableLocked(const std::string& name,
-                      std::shared_ptr<const Table> table,
-                      std::vector<ColumnSketch> sketches);
+  /// When `band_keys` is non-null, column c is LSH-inserted via its
+  /// precomputed keys instead of hashing its signature (the catalog path).
+  void AddTableLocked(
+      const std::string& name, std::shared_ptr<const Table> table,
+      std::vector<ColumnSketch> sketches,
+      const std::vector<std::vector<uint64_t>>* band_keys = nullptr);
   void RemoveSlotLocked(size_t slot);
   /// LSH candidate generation + snapshot (called with mu_ held): the
   /// candidate tables' names and sketch vectors, in slot order.

@@ -44,6 +44,22 @@ void LshIndex::Remove(uint32_t id, const std::vector<uint64_t>& signature) {
   if (num_entries_ > 0) --num_entries_;
 }
 
+void LshIndex::ComputeBandKeys(const std::vector<uint64_t>& signature,
+                               std::vector<uint64_t>* keys) const {
+  keys->resize(bands_);
+  for (size_t band = 0; band < bands_; ++band) {
+    (*keys)[band] = BandKey(band, signature);
+  }
+}
+
+void LshIndex::AddWithKeys(uint32_t id, const std::vector<uint64_t>& keys) {
+  assert(keys.size() == bands_);
+  for (size_t band = 0; band < bands_; ++band) {
+    tables_[band][keys[band]].push_back(id);
+  }
+  ++num_entries_;
+}
+
 std::vector<uint32_t> LshIndex::Query(
     const std::vector<uint64_t>& signature) const {
   std::vector<uint32_t> out;

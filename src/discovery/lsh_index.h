@@ -45,6 +45,17 @@ class LshIndex {
   /// therefore of index-build thread count).
   std::vector<uint32_t> Query(const std::vector<uint64_t>& signature) const;
 
+  /// The bucket key per band for `signature` (keys[band] == the key Add
+  /// would hash into). Pure function of (banding, signature) — the durable
+  /// catalog persists these so a warm open re-buckets without recomputing.
+  void ComputeBandKeys(const std::vector<uint64_t>& signature,
+                       std::vector<uint64_t>* keys) const;
+
+  /// Add from precomputed band keys (one per band, as produced by
+  /// ComputeBandKeys). Remove still takes the signature: keys are a pure
+  /// function of it, so the recomputed keys find the same buckets.
+  void AddWithKeys(uint32_t id, const std::vector<uint64_t>& keys);
+
  private:
   uint64_t BandKey(size_t band, const std::vector<uint64_t>& signature) const;
 

@@ -10,6 +10,7 @@
 
 #include "util/arena.h"
 #include "util/fault_injection.h"
+#include "util/rss.h"
 #include "util/stopwatch.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
@@ -916,6 +917,7 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
   stats->enumeration_seconds = enum_watch.ElapsedSeconds();
   stats->arena_bytes_reserved = scratch.arena.bytes_reserved();
   stats->arena_peak_bytes = scratch.arena.peak_bytes();
+  stats->peak_rss_bytes = PeakRssBytes();
   if (!stop.ok()) {
     // Under kTruncate a deadline/budget stop keeps the components that
     // completed (mid-component partials are discarded; an FD component is

@@ -156,6 +156,10 @@ struct FdStats {
   /// FdOptions::scratch_arena is off).
   size_t arena_bytes_reserved = 0;
   size_t arena_peak_bytes = 0;
+  /// Process-wide peak RSS (getrusage high-water mark) sampled when this
+  /// run finalized. Monotonic across a process: comparing it before/after a
+  /// workload bounds that workload's true memory cost, arena or not.
+  size_t peak_rss_bytes = 0;
   /// Degradation report: set when a deadline/budget stop under
   /// BudgetPolicy::kTruncate cut the run short (completed components were
   /// kept, the rest skipped). truncated == false means a complete result.

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "util/stopwatch.h"
+#include "util/rss.h"
 #include "util/thread_pool.h"
 
 namespace lakefuzz {
@@ -199,6 +200,7 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
     stats->arena_bytes_reserved += s.arena.bytes_reserved();
     stats->arena_peak_bytes += s.arena.peak_bytes();
   }
+  stats->peak_rss_bytes = PeakRssBytes();
 
   // Zero-copy flatten into final component order: one exact reservation,
   // then pure moves.

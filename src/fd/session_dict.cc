@@ -24,6 +24,29 @@ void SessionDict::PinTable(std::shared_ptr<const Table> table) {
   if (entry.pin == nullptr) entry.pin = std::move(table);
 }
 
+void SessionDict::PinTableWithCodes(
+    std::shared_ptr<const Table> table,
+    std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns) {
+  if (table == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TableEntry& entry = cache_[table.get()];
+  if (entry.pin == nullptr) entry.pin = std::move(table);
+  if (entry.columns.size() < columns.size()) {
+    entry.columns.resize(columns.size());
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (entry.columns[c] == nullptr) entry.columns[c] = std::move(columns[c]);
+  }
+}
+
+uint32_t SessionDict::RestoreValue(Value v, uint64_t hash) {
+  if (v.is_null()) return ValueDict::kNullCode;
+  bool inserted = false;
+  const uint32_t code = dict_.InternHashed(std::move(v), hash, &inserted);
+  if (inserted) values_interned_.fetch_add(1, std::memory_order_relaxed);
+  return code;
+}
+
 std::shared_ptr<const std::vector<uint32_t>> SessionDict::ColumnCodes(
     const Table& table, size_t col) {
   column_requests_.fetch_add(1, std::memory_order_relaxed);

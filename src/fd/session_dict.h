@@ -64,6 +64,15 @@ class SessionDict {
   /// may be memoized, pinning it alive for as long as the entry exists.
   void PinTable(std::shared_ptr<const Table> table);
 
+  /// PinTable plus a pre-computed code memo: `columns[c]` must hold the
+  /// interned codes of column c (length table.NumRows()). The catalog
+  /// loader uses this to seed the memo from persisted code spans, so the
+  /// first Integrate over a warm-loaded table interns nothing. First store
+  /// wins per column; a table already pinned keeps any codes it has.
+  void PinTableWithCodes(
+      std::shared_ptr<const Table> table,
+      std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns);
+
   /// Interned codes for column `col` of `table`, length table.NumRows()
   /// (kNullCode for nulls). Memoized iff the table is pinned; otherwise
   /// computed per call (the dictionary still deduplicates values).
@@ -73,6 +82,13 @@ class SessionDict {
 
   /// Interns one value (thread-safe; nulls map to kNullCode).
   uint32_t InternValue(const Value& v);
+
+  /// Catalog-load form of InternValue: interns `v` under its persisted
+  /// content `hash` (must equal v.Hash(); the catalog's golden hash test
+  /// locks the function so persisted hashes stay valid across builds)
+  /// without re-hashing the payload. Returns the session code — equal to
+  /// the file code when loading into a fresh dictionary.
+  uint32_t RestoreValue(Value v, uint64_t hash);
 
   /// Unpins `table` and drops its cached column codes. Codes already handed
   /// out stay valid (shared ownership); the dictionary never shrinks.

@@ -127,6 +127,42 @@ uint32_t ValueDict::Append(const Value& v, uint64_t hash) {
   return code;
 }
 
+uint32_t ValueDict::Append(Value&& v, uint64_t hash) {
+  const uint32_t code = size_.fetch_add(1, std::memory_order_acq_rel);
+  assert(code != UINT32_MAX && "ValueDict code space exhausted");
+  const size_t b = BucketOf(code);
+  EnsureBucket(b);
+  const size_t off = code - BucketBase(b);
+  buckets_[b].load(std::memory_order_relaxed)[off] = std::move(v);
+  hash_buckets_[b].load(std::memory_order_relaxed)[off] = hash;
+  return code;
+}
+
+uint32_t ValueDict::InternHashed(Value&& v, uint64_t hash, bool* inserted) {
+  assert(!v.is_null());
+  Shard& sh = shards_[ShardOf(hash)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const size_t mask = sh.slots.size() - 1;
+  size_t s = static_cast<size_t>(hash) & mask;
+  while (true) {
+    uint32_t code = sh.slots[s];
+    if (code == kNullCode) break;
+    if (HashOf(code) == hash && Decode(code) == v) {
+      if (inserted != nullptr) *inserted = false;
+      return code;
+    }
+    s = (s + 1) & mask;
+  }
+  const uint32_t code = Append(std::move(v), hash);
+  sh.slots[s] = code;
+  ++sh.used;
+  if (sh.used * 10 >= sh.slots.size() * 7) {
+    RehashShard(sh, sh.slots.size() * 2);
+  }
+  if (inserted != nullptr) *inserted = true;
+  return code;
+}
+
 uint32_t ValueDict::InternHashed(const Value& v, uint64_t hash,
                                  bool* inserted) {
   assert(!v.is_null());

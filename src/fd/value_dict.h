@@ -69,6 +69,11 @@ class ValueDict {
   uint32_t InternHashed(const Value& v, uint64_t hash,
                         bool* inserted = nullptr);
 
+  /// Move form: `v` is consumed only when a new entry is appended (repeat
+  /// values leave it valid-but-unspecified). The catalog loader restores
+  /// persisted values through this without re-copying string payloads.
+  uint32_t InternHashed(Value&& v, uint64_t hash, bool* inserted = nullptr);
+
   /// Code of `v`: kNullCode when null or never interned.
   uint32_t Find(const Value& v) const;
 
@@ -132,6 +137,7 @@ class ValueDict {
   /// against appends to other codes; the caller publishes the code through
   /// its shard table (or another happens-before edge) before readers use it.
   uint32_t Append(const Value& v, uint64_t hash);
+  uint32_t Append(Value&& v, uint64_t hash);
   /// Ensures the storage bucket holding `code` exists (double-checked
   /// against alloc_mu_).
   void EnsureBucket(size_t b);

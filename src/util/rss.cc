@@ -1,0 +1,50 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace lakefuzz {
+
+size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<size_t>(usage.ru_maxrss);
+#else
+  // Linux (and the BSDs) report kibibytes.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+size_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t rss = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      unsigned long long kib = 0;
+      if (std::sscanf(line + 6, "%llu", &kib) == 1) {
+        rss = static_cast<size_t>(kib) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace lakefuzz

@@ -1,0 +1,24 @@
+// Process resident-set-size probes for memory observability.
+//
+// Two complementary readings: the kernel's high-water mark (getrusage
+// ru_maxrss — monotonic over the process lifetime, the honest "how much did
+// this run ever cost" number FdStats reports) and the instantaneous RSS
+// (/proc/self/status VmRSS — resettable by comparison, so benchmarks can
+// attribute a delta to one phase even after an earlier phase peaked higher).
+#ifndef LAKEFUZZ_UTIL_RSS_H_
+#define LAKEFUZZ_UTIL_RSS_H_
+
+#include <cstddef>
+
+namespace lakefuzz {
+
+/// Peak resident set size of this process in bytes (monotonic high-water
+/// mark). 0 when the platform offers no reading.
+size_t PeakRssBytes();
+
+/// Current resident set size in bytes. 0 when unavailable (non-Linux).
+size_t CurrentRssBytes();
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_UTIL_RSS_H_

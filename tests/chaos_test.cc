@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "core/engine.h"
@@ -234,6 +236,108 @@ TEST(ChaosTest, DeterministicFaultPointsFireOnce) {
   auto after = (*engine)->Integrate(LakeNames(), CleanRequest());
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   FaultInjector::Instance().Disarm();
+}
+
+TEST(ChaosTest, CatalogWriteFaultLeavesOldCatalogIntact) {
+  const std::string dir = testing::TempDir() + "/lakefuzz_chaos_cat_write";
+  std::filesystem::remove_all(dir);
+  auto engine = MakeChaosEngine();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+
+  // Mutate the lake, then fail the re-save at the first write. The commit
+  // point is the manifest rename, so the catalog on disk must still be the
+  // first save, loadable in full.
+  ASSERT_TRUE((*engine)->Unregister("c2").ok());
+  FaultInjector::Instance().ArmPoint("catalog/write", 0);
+  auto resave = (*engine)->SaveCatalog(dir);
+  FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(resave.ok());
+  EXPECT_EQ(resave.code(), ErrorCode::kInternal);
+  EXPECT_EQ((*engine)->catalog_stats().saves, 1u);
+
+  auto reader = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+  ASSERT_TRUE(reader.ok());
+  auto opened = (*reader)->OpenCatalog(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->tables_loaded, 3u);  // pre-fault snapshot, c2 included
+
+  // The writer engine is not poisoned: a clean save now succeeds and
+  // reflects the post-unregister lake.
+  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+  auto reader2 = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+  ASSERT_TRUE(reader2.ok());
+  auto reopened = (*reader2)->OpenCatalog(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->tables_loaded, 2u);
+}
+
+TEST(ChaosTest, CatalogReadAndMmapFaultsFailTypedThenRecover) {
+  const std::string dir = testing::TempDir() + "/lakefuzz_chaos_cat_read";
+  std::filesystem::remove_all(dir);
+  {
+    auto writer = MakeChaosEngine();
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->SaveCatalog(dir).ok());
+  }
+  for (const char* point : {"catalog/read", "catalog/mmap"}) {
+    SCOPED_TRACE(point);
+    auto engine = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+    ASSERT_TRUE(engine.ok());
+    FaultInjector::Instance().ArmPoint(point, 0);
+    auto faulted = (*engine)->OpenCatalog(dir);
+    FaultInjector::Instance().Disarm();
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_EQ(faulted.code(), ErrorCode::kInternal);
+    EXPECT_EQ((*engine)->catalog_stats().open_failures, 1u);
+    // Nothing half-loaded; the same engine opens cleanly once disarmed.
+    EXPECT_EQ((*engine)->NumTables(), 0u);
+    auto opened = (*engine)->OpenCatalog(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(opened->tables_loaded, 3u);
+    ASSERT_TRUE((*engine)->Integrate(LakeNames(), CleanRequest()).ok());
+  }
+}
+
+TEST(ChaosTest, CatalogSurvivesSeededFaultStorm) {
+  constexpr uint64_t kSeed = 0xCA7A106;
+  const std::string dir = testing::TempDir() + "/lakefuzz_chaos_cat_storm";
+  std::filesystem::remove_all(dir);
+  auto engine = MakeChaosEngine();
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+
+  Rng rng(kSeed);
+  int failures = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    FaultInjector::Instance().ArmAll(kSeed ^ static_cast<uint64_t>(iter),
+                                     rng.UniformReal(0.05, 0.5));
+    Status outcome = rng.Bernoulli(0.5)
+                         ? (*engine)->SaveCatalog(dir).status()
+                         : LakeEngine::Create(EngineOptions().SetNumThreads(2))
+                               .value()
+                               ->OpenCatalog(dir)
+                               .status();
+    FaultInjector::Instance().Disarm();
+    ASSERT_TRUE(outcome.ok() || outcome.code() == ErrorCode::kInternal ||
+                outcome.code() == ErrorCode::kIoError)
+        << "iteration " << iter << ": " << outcome.ToString();
+    if (!outcome.ok()) ++failures;
+  }
+  EXPECT_GT(failures, 0);  // the storm must actually bite
+
+  // After any storm, a clean save + open round-trips the lake exactly.
+  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+  auto reader = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+  ASSERT_TRUE(reader.ok());
+  auto opened = (*reader)->OpenCatalog(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->tables_loaded, 3u);
+  EXPECT_EQ(opened->columns_resketched, 0u);
+  auto a = (*engine)->Integrate(LakeNames(), CleanRequest());
+  auto b = (*reader)->Integrate(LakeNames(), CleanRequest());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectTablesIdentical(a->integrated, b->integrated);
 }
 
 TEST(ChaosTest, SinkWriteFaultAbortsStreamNotEngine) {
