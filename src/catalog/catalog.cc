@@ -1,13 +1,19 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -131,7 +137,7 @@ class ByteReader {
 
 // --------------------------------------------------------------- file I/O
 
-std::string JoinPath(const std::string& dir, const char* name) {
+std::string JoinPath(const std::string& dir, const std::string& name) {
   if (dir.empty()) return name;
   return dir.back() == '/' ? dir + name : dir + "/" + name;
 }
@@ -163,29 +169,75 @@ int64_t FileSizeOf(const std::string& path) {
 #endif
 }
 
+/// Flush + fsync + close, each surfacing its own typed kIoError naming the
+/// path — a failed close after a clean write is still a lost write. The
+/// fclose always runs (even when flush/fsync failed or the "catalog/fsync"
+/// fault fired), so no FILE* leaks on any error path. The fault is poked
+/// directly instead of via LAKEFUZZ_FAULT_POINT because the macro returns
+/// from the enclosing function, which would skip the close.
 Status SyncAndClose(std::FILE* f, const std::string& path) {
-  bool ok = std::fflush(f) == 0;
-#ifdef LAKEFUZZ_CATALOG_POSIX
-  ok = ok && fsync(fileno(f)) == 0;
-#endif
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) {
-    return Status::IoError(StrFormat("cannot sync '%s'", path.c_str()));
+  Status injected = Status::OK();
+#ifdef LAKEFUZZ_FAULT_POINTS
+  if (FaultInjector::Instance().enabled()) {
+    injected = FaultInjector::Instance().Poke("catalog/fsync");
   }
-  return Status::OK();
+#endif
+  Status st = Status::OK();
+  if (std::fflush(f) != 0) {
+    st = Status::IoError(StrFormat("cannot flush '%s'", path.c_str()));
+  }
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  if (st.ok() && injected.ok() && fsync(fileno(f)) != 0) {
+    st = Status::IoError(StrFormat("cannot fsync '%s'", path.c_str()));
+  }
+#endif
+  if (std::fclose(f) != 0 && st.ok()) {
+    st = Status::IoError(StrFormat("cannot close '%s'", path.c_str()));
+  }
+  return injected.ok() ? st : injected;
 }
 
-void SyncDir(const std::string& dir) {
+/// fsync on the directory, making a rename inside it durable. Failure is
+/// surfaced: an un-fsynced rename can vanish on power loss, which for the
+/// CURRENT commit would silently roll back a checkpoint the caller was
+/// told succeeded.
+Status SyncDirDurable(const std::string& dir) {
 #ifdef LAKEFUZZ_CATALOG_POSIX
-  // Durability of the rename itself; failure here is not actionable.
+  LAKEFUZZ_FAULT_POINT("catalog/fsync");
   const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    fsync(fd);
-    ::close(fd);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("cannot open directory '%s' for fsync", dir.c_str()));
+  }
+  const bool ok = fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Status::IoError(
+        StrFormat("cannot fsync directory '%s'", dir.c_str()));
   }
 #else
   (void)dir;
 #endif
+  return Status::OK();
+}
+
+/// rename with its own fault point; the temp file is removed on failure.
+Status RenameFile(const std::string& from, const std::string& to) {
+#ifdef LAKEFUZZ_FAULT_POINTS
+  if (FaultInjector::Instance().enabled()) {
+    Status injected = FaultInjector::Instance().Poke("catalog/rename");
+    if (!injected.ok()) {
+      std::remove(from.c_str());
+      return injected;
+    }
+  }
+#endif
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    std::remove(from.c_str());
+    return Status::IoError(
+        StrFormat("cannot rename '%s' to '%s'", from.c_str(), to.c_str()));
+  }
+  return Status::OK();
 }
 
 Status ReadFileBytes(const std::string& path, std::string* out) {
@@ -214,7 +266,7 @@ Status ReadFileBytes(const std::string& path, std::string* out) {
 
 /// Temp file + fsync + rename + directory fsync: readers observe either the
 /// old bytes or the new bytes, never a torn write.
-Status WriteFileAtomic(const std::string& dir, const char* name,
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
                        const std::string& bytes) {
   LAKEFUZZ_FAULT_POINT("catalog/write");
   const std::string final_path = JoinPath(dir, name);
@@ -237,13 +289,8 @@ Status WriteFileAtomic(const std::string& dir, const char* name,
     std::remove(tmp_path.c_str());
     return synced;
   }
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError(StrFormat("cannot commit catalog file '%s'",
-                                     final_path.c_str()));
-  }
-  SyncDir(dir);
-  return Status::OK();
+  LAKEFUZZ_RETURN_IF_ERROR(RenameFile(tmp_path, final_path));
+  return SyncDirDurable(dir);
 }
 
 /// Appends past the committed prefix. A crash mid-append leaves trailing
@@ -264,6 +311,227 @@ Status AppendToFile(const std::string& path, const std::string& bytes) {
   }
   return SyncAndClose(f, path);
 }
+
+// --------------------------------------------------- fencing + generations
+
+/// Advisory lock fencing CURRENT commits, CURRENT reads + pin creation, and
+/// generation GC. Held on kCatalogLockFile (stable inode), never on CURRENT
+/// itself — CURRENT is replaced by rename every commit and flock binds to
+/// the inode, so a lock on it would fence nothing after the first commit.
+/// flock is released by the kernel when the holder dies, so a killed writer
+/// never wedges the directory.
+class CatalogLock {
+ public:
+  CatalogLock() = default;
+  CatalogLock(CatalogLock&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  CatalogLock& operator=(CatalogLock&& other) noexcept {
+    if (this != &other) {
+      Release();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  CatalogLock(const CatalogLock&) = delete;
+  CatalogLock& operator=(const CatalogLock&) = delete;
+  ~CatalogLock() { Release(); }
+
+  /// Writer side: commits and GC.
+  static Result<CatalogLock> Exclusive(const std::string& dir) {
+    return Acquire(dir, true);
+  }
+  /// Reader side: CURRENT read + pin creation (held briefly).
+  static Result<CatalogLock> Shared(const std::string& dir) {
+    return Acquire(dir, false);
+  }
+
+ private:
+  static Result<CatalogLock> Acquire(const std::string& dir, bool exclusive) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+    const std::string path = JoinPath(dir, kCatalogLockFile);
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::IoError(
+          StrFormat("cannot open catalog lock '%s'", path.c_str()));
+    }
+    while (flock(fd, exclusive ? LOCK_EX : LOCK_SH) != 0) {
+      if (errno != EINTR) {
+        ::close(fd);
+        return Status::IoError(
+            StrFormat("cannot lock catalog lock '%s'", path.c_str()));
+      }
+    }
+    CatalogLock lock;
+    lock.fd_ = fd;
+    return lock;
+#else
+    (void)dir;
+    (void)exclusive;
+    return CatalogLock();
+#endif
+  }
+
+  void Release() {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+    if (fd_ >= 0) {
+      ::close(fd_);  // closing the descriptor drops the flock
+      fd_ = -1;
+    }
+#endif
+  }
+
+  int fd_ = -1;
+};
+
+/// CURRENT body: "LFCUR1 <decimal generation>\n". Committed whole via
+/// temp + fsync + rename, so readers see the old pointer or the new one.
+std::string SerializeCurrent(uint64_t gen) {
+  return StrFormat("LFCUR1 %llu\n", static_cast<unsigned long long>(gen));
+}
+
+Status ParseCurrent(const std::string& bytes, uint64_t* gen) {
+  static constexpr char kPrefix[] = "LFCUR1 ";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  Status torn = Status::IoError("catalog CURRENT pointer is torn or invalid");
+  if (bytes.size() < prefix_len + 2 ||
+      bytes.compare(0, prefix_len, kPrefix) != 0 || bytes.back() != '\n') {
+    return torn;
+  }
+  uint64_t g = 0;
+  for (size_t i = prefix_len; i + 1 < bytes.size(); ++i) {
+    const char c = bytes[i];
+    if (c < '0' || c > '9') return torn;
+    g = g * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (g == 0) return torn;
+  *gen = g;
+  return Status::OK();
+}
+
+/// The committed generation, or a typed error when the directory holds no
+/// committed catalog / a torn pointer. Caller must hold the lock.
+Status ReadCurrent(const std::string& dir, uint64_t* gen) {
+  std::string bytes;
+  LAKEFUZZ_RETURN_IF_ERROR(
+      ReadFileBytes(JoinPath(dir, kCatalogCurrentFile), &bytes));
+  return ParseCurrent(bytes, gen);
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+uint64_t DigitsToU64(const std::string& s) {
+  uint64_t v = 0;
+  for (char c : s) v = v * 10 + static_cast<uint64_t>(c - '0');
+  return v;
+}
+
+std::vector<std::string> SplitDots(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '.') {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool ParseManifestFileName(const std::string& name, uint64_t* gen) {
+  const auto parts = SplitDots(name);
+  if (parts.size() != 3 || parts[0] != "manifest" || parts[2] != "lfc" ||
+      !AllDigits(parts[1])) {
+    return false;
+  }
+  *gen = DigitsToU64(parts[1]);
+  return true;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* base) {
+  const auto parts = SplitDots(name);
+  if (parts.size() != 3 || parts[2] != "seg" || !AllDigits(parts[1])) {
+    return false;
+  }
+  if (parts[0] != kCatalogValuesStem && parts[0] != kCatalogHashesStem &&
+      parts[0] != kCatalogTablesStem && parts[0] != kCatalogSketchesStem) {
+    return false;
+  }
+  *base = DigitsToU64(parts[1]);
+  return true;
+}
+
+bool ParsePinFileName(const std::string& name, uint64_t* gen, int64_t* pid) {
+  const auto parts = SplitDots(name);
+  if (parts.size() != 4 || parts[0] != "pin" || !AllDigits(parts[1]) ||
+      !AllDigits(parts[2]) || !AllDigits(parts[3])) {
+    return false;
+  }
+  *gen = DigitsToU64(parts[1]);
+  *pid = static_cast<int64_t>(DigitsToU64(parts[2]));
+  return true;
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* names) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot list catalog directory '%s'", dir.c_str()));
+  }
+  while (struct dirent* e = readdir(d)) {
+    names->emplace_back(e->d_name);
+  }
+  closedir(d);
+  return Status::OK();
+#else
+  (void)dir;
+  (void)names;
+  return Status::Unimplemented("catalog requires a POSIX filesystem");
+#endif
+}
+
+/// Creates the reader's retention claim on `gen`. Must be called while
+/// holding at least the shared lock, so the writer's GC (exclusive lock)
+/// can never observe CURRENT-read-done-but-pin-not-yet-created.
+Result<std::string> CreatePinFile(const std::string& dir, uint64_t gen) {
+  static std::atomic<uint64_t> seq{0};
+#ifdef LAKEFUZZ_CATALOG_POSIX
+  const int64_t pid = static_cast<int64_t>(::getpid());
+#else
+  const int64_t pid = 0;
+#endif
+  const std::string path = JoinPath(
+      dir, CatalogPinFileName(gen, pid, seq.fetch_add(1)));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot create catalog pin '%s'", path.c_str()));
+  }
+  std::fclose(f);
+  return path;
+}
+
+/// Removes the pin on destruction unless released — keeps a failed open
+/// from leaking a retention claim that would pin generations forever.
+class PinGuard {
+ public:
+  explicit PinGuard(std::string path) : path_(std::move(path)) {}
+  ~PinGuard() {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  void Release() { path_.clear(); }
+
+ private:
+  std::string path_;
+};
 
 // ------------------------------------------------------ value (de)coding
 
@@ -419,6 +687,8 @@ struct ManifestEntry {
 };
 
 struct Manifest {
+  uint64_t generation = 0;  ///< the generation this manifest commits
+  uint64_t base = 0;        ///< segment base its extents reference
   uint64_t signature_size = 0, bands = 0, rows_per_band = 0, seed = 0;
   uint64_t value_count = 0;
   CatalogState::Segment values, hashes, tables, sketches;
@@ -430,6 +700,8 @@ std::string SerializeManifest(const Manifest& m) {
   w.Raw(kCatalogMagic, sizeof(kCatalogMagic));
   w.U32(kCatalogFormatVersion);
   w.U32(kCatalogEndianCheck);
+  w.U64(m.generation);
+  w.U64(m.base);
   w.U64(m.signature_size);
   w.U64(m.bands);
   w.U64(m.rows_per_band);
@@ -461,8 +733,10 @@ std::string SerializeManifest(const Manifest& m) {
 /// multi-gigabyte allocation before the bounds checks catch it.
 constexpr uint64_t kMaxManifestTables = 16u << 20;
 
+/// `discovery_options` may be null (GC parses manifests only for their
+/// base; it has no discovery context and skips the parameter check).
 Status ParseManifest(const std::string& bytes,
-                     const DiscoveryOptions& discovery_options,
+                     const DiscoveryOptions* discovery_options,
                      Manifest* out) {
   if (bytes.size() < sizeof(kCatalogMagic) + 2 * sizeof(uint32_t) +
                          sizeof(uint64_t)) {
@@ -496,6 +770,8 @@ Status ParseManifest(const std::string& bytes,
       stored_checksum) {
     return Status::IoError("catalog manifest checksum mismatch");
   }
+  out->generation = r.U64();
+  out->base = r.U64();
   out->signature_size = r.U64();
   out->bands = r.U64();
   out->rows_per_band = r.U64();
@@ -508,7 +784,8 @@ Status ParseManifest(const std::string& bytes,
   }
   const uint64_t num_tables = r.U64();
   if (r.failed() || num_tables > kMaxManifestTables ||
-      out->value_count >= UINT32_MAX) {
+      out->value_count >= UINT32_MAX || out->generation == 0 ||
+      out->base == 0 || out->base > out->generation) {
     return Status::IoError("catalog manifest truncated");
   }
   out->entries.resize(static_cast<size_t>(num_tables));
@@ -523,10 +800,11 @@ Status ParseManifest(const std::string& bytes,
     e.state.sketch_size = r.U64();
   }
   if (r.failed()) return Status::IoError("catalog manifest truncated");
-  if (out->signature_size != discovery_options.signature_size ||
-      out->bands != discovery_options.bands ||
-      out->rows_per_band != discovery_options.rows_per_band ||
-      out->seed != discovery_options.seed) {
+  if (discovery_options != nullptr &&
+      (out->signature_size != discovery_options->signature_size ||
+       out->bands != discovery_options->bands ||
+       out->rows_per_band != discovery_options->rows_per_band ||
+       out->seed != discovery_options->seed)) {
     return Status::InvalidArgument(StrFormat(
         "catalog sketch parameters (k=%llu, %llux%llu, seed=%llu) do not "
         "match this engine's discovery options — rebuild required",
@@ -585,7 +863,116 @@ Status GatherPayloads(TableRegistry* registry, SessionDict* dict,
   return Status::OK();
 }
 
+// -------------------------------------------------------------- retention
+
+/// Garbage-collects retired generations under the exclusive lock, after a
+/// commit. Keeps: the newest `retain` committed generations (always
+/// including `current_gen`), every generation a live process has pinned,
+/// and the segment bases any kept manifest references. Removes: retired
+/// manifests, orphan manifests above `current_gen` (uncommitted partials
+/// from a crashed writer), segment files whose base no kept manifest uses,
+/// stale pins of dead processes, and leftover *.tmp files. Best-effort —
+/// a failure here can only leave extra files, never break a reader.
+size_t CollectGarbage(const std::string& dir, uint64_t current_gen,
+                      size_t retain) {
+  if (retain == 0) retain = 1;
+  std::vector<std::string> names;
+  if (!ListDir(dir, &names).ok()) return 0;
+
+  std::vector<uint64_t> manifest_gens;
+  std::vector<std::pair<std::string, uint64_t>> segment_files;
+  std::set<uint64_t> pinned;
+  std::vector<std::string> tmp_files;
+  for (const std::string& name : names) {
+    uint64_t gen = 0, base = 0;
+    int64_t pid = 0;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      tmp_files.push_back(name);
+    } else if (ParseManifestFileName(name, &gen)) {
+      manifest_gens.push_back(gen);
+    } else if (ParseSegmentFileName(name, &base)) {
+      segment_files.emplace_back(name, base);
+    } else if (ParsePinFileName(name, &gen, &pid)) {
+#ifdef LAKEFUZZ_CATALOG_POSIX
+      if (kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+        // The pinning process is gone; its claim dies with it.
+        std::remove(JoinPath(dir, name).c_str());
+        continue;
+      }
+#endif
+      pinned.insert(gen);
+    }
+  }
+
+  std::sort(manifest_gens.begin(), manifest_gens.end(),
+            std::greater<uint64_t>());
+  std::set<uint64_t> keep;
+  for (uint64_t gen : manifest_gens) {
+    if (gen > current_gen) continue;  // uncommitted partial — garbage
+    if (gen == current_gen || keep.size() < retain ||
+        pinned.count(gen) != 0) {
+      keep.insert(gen);
+    }
+  }
+
+  // Bases the kept manifests reference. If any kept manifest fails to parse
+  // we cannot know which segments are live — skip segment GC this round.
+  std::set<uint64_t> keep_bases;
+  bool bases_known = true;
+  for (uint64_t gen : keep) {
+    std::string bytes;
+    Manifest m;
+    if (!ReadFileBytes(JoinPath(dir, CatalogManifestFileName(gen)), &bytes)
+             .ok() ||
+        !ParseManifest(bytes, nullptr, &m).ok()) {
+      bases_known = false;
+      break;
+    }
+    keep_bases.insert(m.base);
+  }
+
+  size_t removed = 0;
+  for (uint64_t gen : manifest_gens) {
+    if (keep.count(gen) != 0) continue;
+    if (std::remove(JoinPath(dir, CatalogManifestFileName(gen)).c_str()) ==
+        0) {
+      ++removed;
+    }
+  }
+  if (bases_known) {
+    for (const auto& [name, base] : segment_files) {
+      if (keep_bases.count(base) == 0) {
+        std::remove(JoinPath(dir, name).c_str());
+      }
+    }
+  }
+  for (const std::string& name : tmp_files) {
+    std::remove(JoinPath(dir, name).c_str());
+  }
+  return removed;
+}
+
 }  // namespace
+
+// ----------------------------------------------------------- public names
+
+std::string CatalogManifestFileName(uint64_t generation) {
+  return StrFormat("manifest.%llu.lfc",
+                   static_cast<unsigned long long>(generation));
+}
+
+std::string CatalogSegmentFileName(const char* stem, uint64_t base) {
+  return StrFormat("%s.%llu.seg", stem,
+                   static_cast<unsigned long long>(base));
+}
+
+std::string CatalogPinFileName(uint64_t generation, int64_t pid,
+                               uint64_t seq) {
+  return StrFormat("pin.%llu.%lld.%llu",
+                   static_cast<unsigned long long>(generation),
+                   static_cast<long long>(pid),
+                   static_cast<unsigned long long>(seq));
+}
 
 uint64_t CatalogTableFingerprint(const Table& table, SessionDict* dict) {
   std::vector<std::shared_ptr<const std::vector<uint32_t>>> codes;
@@ -596,15 +983,51 @@ uint64_t CatalogTableFingerprint(const Table& table, SessionDict* dict) {
   return FingerprintFromCodes(table, codes, dict->dict());
 }
 
+Result<uint64_t> CatalogCurrentGeneration(const std::string& dir) {
+  LAKEFUZZ_ASSIGN_OR_RETURN(CatalogLock lock, CatalogLock::Shared(dir));
+  uint64_t gen = 0;
+  LAKEFUZZ_RETURN_IF_ERROR(ReadCurrent(dir, &gen));
+  return gen;
+}
+
 // ---------------------------------------------------------------- save
 
 Result<CatalogSaveReport> SaveCatalogFrom(
     const std::string& dir, TableRegistry* registry, SessionDict* dict,
     DiscoveryIndex* discovery, const DiscoveryOptions& discovery_options,
-    CatalogState* state) {
+    CatalogState* state, size_t retain_generations) {
   Stopwatch watch;
   CatalogSaveReport report;
   LAKEFUZZ_RETURN_IF_ERROR(EnsureDir(dir));
+  // Exclusive for the whole save: serializes concurrent writers and fences
+  // readers' CURRENT-read + pin-creation against the commit and the GC.
+  LAKEFUZZ_ASSIGN_OR_RETURN(CatalogLock lock, CatalogLock::Exclusive(dir));
+
+  // Committed generation on disk. A missing or torn CURRENT reads as 0; the
+  // new generation is still allocated past every manifest present, so
+  // observers never see the sequence go backwards even when recovering
+  // from a corrupt pointer.
+  uint64_t committed = 0;
+  {
+    Status current = ReadCurrent(dir, &committed);
+    if (!current.ok()) committed = 0;
+  }
+  uint64_t max_gen = committed;
+  if (state->valid() && state->dir == dir) {
+    max_gen = std::max(max_gen, state->generation);
+  }
+  {
+    std::vector<std::string> names;
+    if (ListDir(dir, &names).ok()) {
+      for (const std::string& name : names) {
+        uint64_t gen = 0;
+        if (ParseManifestFileName(name, &gen)) {
+          max_gen = std::max(max_gen, gen);
+        }
+      }
+    }
+  }
+  const uint64_t gen = max_gen + 1;
 
   std::vector<TablePayload> payloads;
   LAKEFUZZ_RETURN_IF_ERROR(GatherPayloads(registry, dict, discovery,
@@ -615,17 +1038,28 @@ Result<CatalogSaveReport> SaveCatalogFrom(
   // simply left for the next checkpoint (the dict is append-only).
   const uint64_t value_count = dict->NumDistinct();
 
+  // Incremental only when this engine's state mirrors the committed
+  // generation (another writer advancing the directory invalidates our
+  // extents) and the base segments still end exactly at the committed
+  // sizes. Appends go to the same base; a full rewrite allocates base=gen
+  // so files older generations reference are never touched.
   const bool incremental =
-      state->valid() && state->dir == dir && state->codes_identical &&
+      state->valid() && state->dir == dir && committed != 0 &&
+      state->generation == committed && state->codes_identical &&
       value_count >= state->values_persisted &&
-      FileSizeOf(JoinPath(dir, kCatalogValuesFile)) ==
+      FileSizeOf(JoinPath(dir, CatalogSegmentFileName(kCatalogValuesStem,
+                                                      state->base))) ==
           static_cast<int64_t>(state->values.size) &&
-      FileSizeOf(JoinPath(dir, kCatalogHashesFile)) ==
+      FileSizeOf(JoinPath(dir, CatalogSegmentFileName(kCatalogHashesStem,
+                                                      state->base))) ==
           static_cast<int64_t>(state->hashes.size) &&
-      FileSizeOf(JoinPath(dir, kCatalogTablesFile)) ==
+      FileSizeOf(JoinPath(dir, CatalogSegmentFileName(kCatalogTablesStem,
+                                                      state->base))) ==
           static_cast<int64_t>(state->tables.size) &&
-      FileSizeOf(JoinPath(dir, kCatalogSketchesFile)) ==
+      FileSizeOf(JoinPath(dir, CatalogSegmentFileName(kCatalogSketchesStem,
+                                                      state->base))) ==
           static_cast<int64_t>(state->sketches.size);
+  const uint64_t base = incremental ? state->base : gen;
 
   // Band keys are recomputed once per signature at save time (cheap FNV
   // folds); persisting them makes the warm open's LSH rebuild a pure copy.
@@ -633,6 +1067,8 @@ Result<CatalogSaveReport> SaveCatalogFrom(
                        discovery_options.rows_per_band);
 
   Manifest m;
+  m.generation = gen;
+  m.base = base;
   m.signature_size = discovery_options.signature_size;
   m.bands = discovery_options.bands;
   m.rows_per_band = discovery_options.rows_per_band;
@@ -640,6 +1076,12 @@ Result<CatalogSaveReport> SaveCatalogFrom(
   m.value_count = value_count;
 
   std::map<std::string, CatalogState::TableState> table_states;
+
+  const std::string values_file = CatalogSegmentFileName(kCatalogValuesStem, base);
+  const std::string hashes_file = CatalogSegmentFileName(kCatalogHashesStem, base);
+  const std::string tables_file = CatalogSegmentFileName(kCatalogTablesStem, base);
+  const std::string sketches_file =
+      CatalogSegmentFileName(kCatalogSketchesStem, base);
 
   if (incremental) {
     report.incremental = true;
@@ -696,20 +1138,21 @@ Result<CatalogSaveReport> SaveCatalogFrom(
                                    state->sketches.checksum);
 
     LAKEFUZZ_RETURN_IF_ERROR(
-        AppendToFile(JoinPath(dir, kCatalogValuesFile), vbuf.bytes()));
+        AppendToFile(JoinPath(dir, values_file), vbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        AppendToFile(JoinPath(dir, kCatalogHashesFile), hbuf.bytes()));
+        AppendToFile(JoinPath(dir, hashes_file), hbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        AppendToFile(JoinPath(dir, kCatalogTablesFile), tbuf.bytes()));
+        AppendToFile(JoinPath(dir, tables_file), tbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        AppendToFile(JoinPath(dir, kCatalogSketchesFile), sbuf.bytes()));
+        AppendToFile(JoinPath(dir, sketches_file), sbuf.bytes()));
     report.values_appended = value_count - state->values_persisted;
     report.bytes_written +=
         vbuf.size() + hbuf.size() + tbuf.size() + sbuf.size();
   } else {
-    // Full rewrite: everything is serialized into fresh buffers and every
-    // segment goes through the temp-file commit, so a crash at any point
-    // leaves the previous catalog (if any) fully intact.
+    // Full rewrite under a fresh base: everything is serialized into new
+    // segment files via the temp-file commit. Segments of prior generations
+    // are left untouched (retention GC retires them later), so a crash at
+    // any point leaves every committed generation fully intact.
     ByteWriter vbuf, hbuf;
     for (uint64_t code = 1; code <= value_count; ++code) {
       WriteValue(&vbuf, dict->dict().Decode(static_cast<uint32_t>(code)));
@@ -735,13 +1178,13 @@ Result<CatalogSaveReport> SaveCatalogFrom(
     m.tables = {tbuf.size(), Fnv1a64(tbuf.bytes().data(), tbuf.size())};
     m.sketches = {sbuf.size(), Fnv1a64(sbuf.bytes().data(), sbuf.size())};
     LAKEFUZZ_RETURN_IF_ERROR(
-        WriteFileAtomic(dir, kCatalogValuesFile, vbuf.bytes()));
+        WriteFileAtomic(dir, values_file, vbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        WriteFileAtomic(dir, kCatalogHashesFile, hbuf.bytes()));
+        WriteFileAtomic(dir, hashes_file, hbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        WriteFileAtomic(dir, kCatalogTablesFile, tbuf.bytes()));
+        WriteFileAtomic(dir, tables_file, tbuf.bytes()));
     LAKEFUZZ_RETURN_IF_ERROR(
-        WriteFileAtomic(dir, kCatalogSketchesFile, sbuf.bytes()));
+        WriteFileAtomic(dir, sketches_file, sbuf.bytes()));
     report.values_appended = value_count;
     report.bytes_written +=
         vbuf.size() + hbuf.size() + tbuf.size() + sbuf.size();
@@ -753,10 +1196,20 @@ Result<CatalogSaveReport> SaveCatalogFrom(
   }
   const std::string manifest = SerializeManifest(m);
   LAKEFUZZ_RETURN_IF_ERROR(
-      WriteFileAtomic(dir, kCatalogManifestFile, manifest));
+      WriteFileAtomic(dir, CatalogManifestFileName(gen), manifest));
   report.bytes_written += manifest.size();
 
+  // THE commit point: readers follow CURRENT, so until this rename lands
+  // the new generation does not exist for them — and after it, the old one
+  // is still complete (only GC below may retire it).
+  LAKEFUZZ_RETURN_IF_ERROR(
+      WriteFileAtomic(dir, kCatalogCurrentFile, SerializeCurrent(gen)));
+
+  report.generations_removed = CollectGarbage(dir, gen, retain_generations);
+
   state->dir = dir;
+  state->generation = gen;
+  state->base = base;
   state->codes_identical = true;  // file codes 1..value_count == session codes
   state->values_persisted = value_count;
   state->values = m.values;
@@ -764,6 +1217,8 @@ Result<CatalogSaveReport> SaveCatalogFrom(
   state->tables = m.tables;
   state->sketches = m.sketches;
   state->tables_by_name = std::move(table_states);
+  report.generation = gen;
+  report.base = base;
   report.seconds = watch.ElapsedSeconds();
   return report;
 }
@@ -779,6 +1234,7 @@ struct StagedTable {
   std::vector<std::shared_ptr<const std::vector<uint32_t>>> columns;
   std::vector<ColumnSketch> sketches;
   std::vector<std::vector<uint64_t>> band_keys;
+  bool replaces_live = false;  ///< refresh: a stale live table must go first
 };
 
 Status ParseTableBlock(const MappedFile& seg, const ManifestEntry& e,
@@ -904,34 +1360,85 @@ Status ParseSketchBlock(const MappedFile& seg, const ManifestEntry& e,
   return Status::OK();
 }
 
+/// The engine's Unregister sequence, replicated for refresh: take the table
+/// out of the registry, drop its code memo, remove it from discovery.
+void DropLiveTable(const std::string& name, TableRegistry* registry,
+                   SessionDict* dict, DiscoveryIndex* discovery) {
+  uint64_t version = 0;
+  std::shared_ptr<const Table> removed = registry->Take(name, &version);
+  if (removed == nullptr) return;
+  dict->DropTable(removed.get());
+  discovery->RemoveTable(name, version);
+}
+
 }  // namespace
 
 Result<CatalogOpenReport> OpenCatalogInto(
     const std::string& dir, TableRegistry* registry, SessionDict* dict,
     DiscoveryIndex* discovery, const DiscoveryOptions& discovery_options,
-    CatalogState* state) {
+    CatalogState* state, const CatalogOpenRequest& request) {
   Stopwatch watch;
   CatalogOpenReport report;
+  const bool refresh = request.mode == CatalogOpenMode::kRefresh;
+
+  // Read CURRENT and (for replicas) pin its generation under the shared
+  // lock: the writer's GC takes the exclusive lock, so it can never retire
+  // a generation between our CURRENT read and the pin landing.
+  uint64_t gen = 0;
+  std::string pin_path;
+  {
+    LAKEFUZZ_ASSIGN_OR_RETURN(CatalogLock lock, CatalogLock::Shared(dir));
+    LAKEFUZZ_RETURN_IF_ERROR(ReadCurrent(dir, &gen));
+    if (request.pin_path != nullptr) {
+      LAKEFUZZ_ASSIGN_OR_RETURN(pin_path, CreatePinFile(dir, gen));
+    }
+  }
+  PinGuard pin_guard(pin_path);
+  report.generation = gen;
+
+  // Refresh fast path: the engine already mirrors this generation.
+  if (refresh && state->valid() && state->dir == dir &&
+      state->generation == gen) {
+    report.tables_kept = state->tables_by_name.size();
+    if (request.pin_path != nullptr) *request.pin_path = pin_path;
+    pin_guard.Release();
+    report.seconds = watch.ElapsedSeconds();
+    return report;
+  }
 
   std::string manifest_bytes;
-  LAKEFUZZ_RETURN_IF_ERROR(
-      ReadFileBytes(JoinPath(dir, kCatalogManifestFile), &manifest_bytes));
+  LAKEFUZZ_RETURN_IF_ERROR(ReadFileBytes(
+      JoinPath(dir, CatalogManifestFileName(gen)), &manifest_bytes));
   Manifest m;
   LAKEFUZZ_RETURN_IF_ERROR(
-      ParseManifest(manifest_bytes, discovery_options, &m));
+      ParseManifest(manifest_bytes, &discovery_options, &m));
+  if (m.generation != gen) {
+    return Status::IoError(StrFormat(
+        "catalog manifest records generation %llu but CURRENT points at "
+        "%llu",
+        static_cast<unsigned long long>(m.generation),
+        static_cast<unsigned long long>(gen)));
+  }
 
   // Map and verify every segment BEFORE touching any engine structure: a
   // corrupt catalog degrades to a cold rebuild with a typed error; it never
   // half-loads.
-  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile values_seg,
-                            MappedFile::Open(JoinPath(dir, kCatalogValuesFile)));
-  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile hashes_seg,
-                            MappedFile::Open(JoinPath(dir, kCatalogHashesFile)));
-  LAKEFUZZ_ASSIGN_OR_RETURN(MappedFile tables_seg,
-                            MappedFile::Open(JoinPath(dir, kCatalogTablesFile)));
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      MappedFile values_seg,
+      MappedFile::Open(JoinPath(
+          dir, CatalogSegmentFileName(kCatalogValuesStem, m.base))));
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      MappedFile hashes_seg,
+      MappedFile::Open(JoinPath(
+          dir, CatalogSegmentFileName(kCatalogHashesStem, m.base))));
+  LAKEFUZZ_ASSIGN_OR_RETURN(
+      MappedFile tables_seg,
+      MappedFile::Open(JoinPath(
+          dir, CatalogSegmentFileName(kCatalogTablesStem, m.base))));
   LAKEFUZZ_ASSIGN_OR_RETURN(
       MappedFile sketches_seg,
-      MappedFile::Open(JoinPath(dir, kCatalogSketchesFile)));
+      MappedFile::Open(JoinPath(
+          dir, CatalogSegmentFileName(kCatalogSketchesStem, m.base))));
   LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(values_seg, m.values, "values"));
   LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(hashes_seg, m.hashes, "hashes"));
   LAKEFUZZ_RETURN_IF_ERROR(VerifySegment(tables_seg, m.tables, "tables"));
@@ -949,12 +1456,29 @@ Result<CatalogOpenReport> OpenCatalogInto(
   // Dict replay in file-code order. The persisted hash side table is the
   // point: values re-enter the session dictionary without a single
   // re-hash (the hashes are read straight out of the mapping), and the
-  // file→session code remap is identity on a fresh engine.
+  // file→session code remap is identity on a fresh engine. A refreshing
+  // replica whose dict already mirrors the committed prefix of the same
+  // segment base replays only the delta — O(new values), not O(values).
   LAKEFUZZ_FAULT_POINT("catalog/read");
-  ByteReader vr(values_seg.data(), static_cast<size_t>(m.values.size));
+  const bool delta_replay =
+      refresh && state->valid() && state->dir == dir &&
+      state->base == m.base && state->codes_identical &&
+      m.value_count >= state->values_persisted &&
+      dict->NumDistinct() == state->values_persisted;
   std::vector<uint32_t> remap(static_cast<size_t>(m.value_count) + 1, 0);
   bool identical = true;
-  for (uint64_t i = 1; i <= m.value_count; ++i) {
+  uint64_t first = 1;
+  uint64_t values_off = 0;
+  if (delta_replay) {
+    for (uint64_t i = 1; i <= state->values_persisted; ++i) {
+      remap[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+    }
+    first = state->values_persisted + 1;
+    values_off = state->values.size;
+  }
+  ByteReader vr(values_seg.data() + values_off,
+                static_cast<size_t>(m.values.size - values_off));
+  for (uint64_t i = first; i <= m.value_count; ++i) {
     Value v;
     LAKEFUZZ_RETURN_IF_ERROR(ReadValue(&vr, &v));
     uint64_t hash;
@@ -964,29 +1488,59 @@ Result<CatalogOpenReport> OpenCatalogInto(
     remap[static_cast<size_t>(i)] = code;
     identical = identical && code == i;
   }
-  report.values_loaded = m.value_count;
+  report.values_loaded = m.value_count - (first - 1);
 
-  // Stage every table (parse + validate + rebuild) before committing any:
-  // a corrupt block aborts the whole open with the registry untouched.
+  // Stage every table that needs (re)loading before committing any: a
+  // corrupt block aborts the whole open with the registry untouched.
+  // kOpen: live tables win over the persisted snapshot. kRefresh: the
+  // catalog wins — unchanged fingerprints keep the live table, changed
+  // ones are staged for replacement.
   std::vector<StagedTable> staged;
   staged.reserve(m.entries.size());
+  std::set<std::string> manifest_names;
   for (const ManifestEntry& e : m.entries) {
-    if (registry->Get(e.name).ok()) {
-      ++report.tables_kept;  // live table wins over the persisted snapshot
-      continue;
+    manifest_names.insert(e.name);
+    const bool live = registry->Get(e.name).ok();
+    if (live) {
+      if (!refresh) {
+        ++report.tables_kept;
+        continue;
+      }
+      auto it = state->tables_by_name.find(e.name);
+      if (it != state->tables_by_name.end() &&
+          it->second.fingerprint == e.state.fingerprint) {
+        ++report.tables_kept;
+        continue;
+      }
     }
     LAKEFUZZ_FAULT_POINT("catalog/read");
     StagedTable st;
+    st.replaces_live = live;
     LAKEFUZZ_RETURN_IF_ERROR(ParseTableBlock(tables_seg, e, m.value_count,
                                              remap, dict->dict(), &st));
     LAKEFUZZ_RETURN_IF_ERROR(
         ParseSketchBlock(sketches_seg, e, discovery_options, &st));
     staged.push_back(std::move(st));
   }
+  // Refresh: live tables the new manifest no longer lists are dropped at
+  // commit — the replica must mirror the generation, not accrete history.
+  std::vector<std::string> vanished;
+  if (refresh) {
+    for (const auto& [name, ts] : state->tables_by_name) {
+      if (manifest_names.count(name) == 0 && registry->Get(name).ok()) {
+        vanished.push_back(name);
+      }
+    }
+  }
 
-  // Commit: register, seed the column-code memo, and insert the pre-built
-  // sketches + band keys — zero columns re-sketched for an unchanged lake.
+  // Commit: replace/register, seed the column-code memo, and insert the
+  // pre-built sketches + band keys — zero columns re-sketched for an
+  // unchanged lake.
   for (StagedTable& st : staged) {
+    if (st.replaces_live) {
+      DropLiveTable(st.name, registry, dict, discovery);
+      ++report.tables_replaced;
+    }
     uint64_t version = 0;
     Status registered = registry->Register(st.name, st.table, &version);
     if (!registered.ok()) {
@@ -998,9 +1552,15 @@ Result<CatalogOpenReport> OpenCatalogInto(
                          st.band_keys, version);
     ++report.tables_loaded;
   }
+  for (const std::string& name : vanished) {
+    DropLiveTable(name, registry, dict, discovery);
+    ++report.tables_dropped;
+  }
 
   state->dir = dir;
-  state->codes_identical = identical;
+  state->generation = gen;
+  state->base = m.base;
+  state->codes_identical = delta_replay ? true : identical;
   state->values_persisted = m.value_count;
   state->values = m.values;
   state->hashes = m.hashes;
@@ -1010,6 +1570,8 @@ Result<CatalogOpenReport> OpenCatalogInto(
   for (ManifestEntry& e : m.entries) {
     state->tables_by_name[e.name] = e.state;
   }
+  if (request.pin_path != nullptr) *request.pin_path = pin_path;
+  pin_guard.Release();
   report.seconds = watch.ElapsedSeconds();
   return report;
 }

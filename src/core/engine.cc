@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "assignment/parallel_cost.h"
@@ -27,6 +28,12 @@ RequestContext MakeContext(const RequestOptions& request) {
   return ctx;
 }
 
+/// Every mutating entry point on a replica fails the same way.
+Status ReplicaForbidden(const char* op) {
+  return Status::FailedPrecondition(StrFormat(
+      "%s is not available on a read-only replica engine", op));
+}
+
 }  // namespace
 
 Status EngineOptions::Validate() const {
@@ -44,11 +51,20 @@ Status EngineOptions::Validate() const {
         StrFormat("embedding_cache.shards=%zu exceeds the ceiling of %zu",
                   embedding_cache.shards, kMaxCacheShards));
   }
+  if (catalog_retain_generations == 0) {
+    return Status::InvalidArgument(
+        "catalog_retain_generations must be at least 1 (the current "
+        "generation always survives)");
+  }
   LAKEFUZZ_RETURN_IF_ERROR(discovery.Validate());
   return Status::OK();
 }
 
-LakeEngine::~LakeEngine() = default;
+LakeEngine::~LakeEngine() {
+  // Release the replica's retention claim; a crashed replica leaves the pin
+  // behind and the writer's GC sweeps it once the pid is gone.
+  if (!replica_pin_.empty()) std::remove(replica_pin_.c_str());
+}
 
 LakeEngine::LakeEngine(EngineOptions options,
                        std::shared_ptr<const EmbeddingModel> model,
@@ -85,6 +101,7 @@ Status LakeEngine::RegisterTable(std::string name, Table table) {
 
 Status LakeEngine::RegisterTable(std::string name,
                                  std::shared_ptr<const Table> table) {
+  if (replica_) return ReplicaForbidden("RegisterTable");
   uint64_t version = 0;
   LAKEFUZZ_RETURN_IF_ERROR(registry_.Register(name, table, &version));
   // Pin the snapshot in the session dictionary so its interned column codes
@@ -104,6 +121,7 @@ Status LakeEngine::RegisterTable(std::string name,
 
 Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
                                const CsvOptions& csv) {
+  if (replica_) return ReplicaForbidden("RegisterCsv");
   Result<Table> table = ReadCsvFile(path, csv);
   if (!table.ok()) return table.status();
   table->set_name(name);
@@ -111,6 +129,7 @@ Status LakeEngine::RegisterCsv(std::string name, const std::string& path,
 }
 
 Status LakeEngine::Unregister(const std::string& name) {
+  if (replica_) return ReplicaForbidden("Unregister");
   // Atomically take exactly the snapshot being removed, THEN unpin it from
   // the session dictionary. A non-atomic get/drop/remove could race a
   // concurrent unregister + re-register of the same name and drop (or
@@ -128,7 +147,30 @@ Status LakeEngine::Unregister(const std::string& name) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<LakeEngine>> LakeEngine::OpenReplica(
+    const std::string& dir, EngineOptions options) {
+  LAKEFUZZ_ASSIGN_OR_RETURN(std::unique_ptr<LakeEngine> engine,
+                            Create(std::move(options)));
+  engine->replica_ = true;
+  std::lock_guard<std::mutex> lock(engine->catalog_mu_);
+  CatalogOpenRequest request;
+  request.mode = CatalogOpenMode::kOpen;
+  request.pin_path = &engine->replica_pin_;
+  Result<CatalogOpenReport> report = OpenCatalogInto(
+      dir, &engine->registry_, engine->session_dict_.get(),
+      engine->discovery_.get(), engine->options_.discovery,
+      &engine->catalog_state_, request);
+  ++engine->catalog_stats_.opens;
+  if (!report.ok()) {
+    ++engine->catalog_stats_.open_failures;
+    return report.status();
+  }
+  engine->AccumulateOpen(*report);
+  return engine;
+}
+
 Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir) {
+  if (replica_) return ReplicaForbidden("OpenCatalog");
   std::lock_guard<std::mutex> lock(catalog_mu_);
   Result<CatalogOpenReport> report =
       OpenCatalogInto(dir, &registry_, session_dict_.get(), discovery_.get(),
@@ -138,21 +180,75 @@ Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir) {
     ++catalog_stats_.open_failures;
     return report;
   }
-  catalog_stats_.tables_loaded += report->tables_loaded;
-  catalog_stats_.values_loaded += report->values_loaded;
-  catalog_stats_.columns_resketched += report->columns_resketched;
-  catalog_stats_.mmap_bytes = report->mapped_bytes;
+  AccumulateOpen(*report);
   return report;
 }
 
+Result<CatalogOpenReport> LakeEngine::RefreshReplica() {
+  if (!replica_) {
+    return Status::FailedPrecondition(
+        "RefreshReplica requires a replica engine (use OpenReplica)");
+  }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  // Fast path: CURRENT has not advanced — one locked read, no manifest
+  // parse, no staging. The existing pin stays.
+  Result<uint64_t> current = CatalogCurrentGeneration(catalog_state_.dir);
+  if (current.ok() && *current == catalog_state_.generation) {
+    CatalogOpenReport report;
+    report.generation = catalog_state_.generation;
+    report.tables_kept = catalog_state_.tables_by_name.size();
+    return report;
+  }
+  const uint64_t prev_generation = catalog_state_.generation;
+  std::string new_pin;
+  CatalogOpenRequest request;
+  request.mode = CatalogOpenMode::kRefresh;
+  request.pin_path = &new_pin;
+  Result<CatalogOpenReport> report = OpenCatalogInto(
+      catalog_state_.dir, &registry_, session_dict_.get(), discovery_.get(),
+      options_.discovery, &catalog_state_, request);
+  ++catalog_stats_.opens;
+  if (!report.ok()) {
+    // The old pin still stands and the old generation still serves — a
+    // failed refresh degrades to staleness, never to a torn lake view.
+    ++catalog_stats_.open_failures;
+    return report;
+  }
+  // Hand-over-hand pin move: the new generation was claimed (under the
+  // shared lock, inside OpenCatalogInto) before the old claim is dropped,
+  // so the writer's GC never sees this replica unpinned.
+  if (!replica_pin_.empty() && replica_pin_ != new_pin) {
+    std::remove(replica_pin_.c_str());
+  }
+  replica_pin_ = std::move(new_pin);
+  if (report->generation != prev_generation) ++catalog_stats_.refreshes;
+  AccumulateOpen(*report);
+  return report;
+}
+
+uint64_t LakeEngine::catalog_generation() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_state_.generation;
+}
+
+void LakeEngine::AccumulateOpen(const CatalogOpenReport& report) const {
+  catalog_stats_.tables_loaded += report.tables_loaded;
+  catalog_stats_.values_loaded += report.values_loaded;
+  catalog_stats_.columns_resketched += report.columns_resketched;
+  catalog_stats_.mmap_bytes = report.mapped_bytes;
+  catalog_stats_.generation = report.generation;
+}
+
 Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir) {
+  if (replica_) return ReplicaForbidden("SaveCatalog");
   // Sync first so the discovery index holds a sketch for every registered
   // table — the save then persists them as-is instead of re-sketching.
   LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(RequestContext()));
   std::lock_guard<std::mutex> lock(catalog_mu_);
-  Result<CatalogSaveReport> report =
-      SaveCatalogFrom(dir, &registry_, session_dict_.get(), discovery_.get(),
-                      options_.discovery, &catalog_state_);
+  Result<CatalogSaveReport> report = SaveCatalogFrom(
+      dir, &registry_, session_dict_.get(), discovery_.get(),
+      options_.discovery, &catalog_state_,
+      options_.catalog_retain_generations);
   if (!report.ok()) return report;
   ++catalog_stats_.saves;
   catalog_stats_.tables_written += report->tables_written;
@@ -160,6 +256,8 @@ Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir) {
   catalog_stats_.values_appended += report->values_appended;
   catalog_stats_.columns_resketched += report->columns_resketched;
   catalog_stats_.bytes_written += report->bytes_written;
+  catalog_stats_.generation = report->generation;
+  catalog_stats_.generations_removed += report->generations_removed;
   return report;
 }
 

@@ -80,6 +80,11 @@ struct EngineOptions {
   /// their cancel token and deadline); once `max_queued_requests` are
   /// already waiting, further arrivals are rejected immediately.
   size_t max_queued_requests = 0;
+  /// Durable-catalog retention: how many committed generations SaveCatalog
+  /// keeps on disk. Older generations are garbage-collected after each
+  /// commit unless a live reader has them pinned. Minimum 1 — the current
+  /// generation always survives.
+  size_t catalog_retain_generations = kCatalogDefaultRetainGenerations;
 
   EngineOptions& SetModel(ModelKind kind) {
     model = kind;
@@ -103,6 +108,10 @@ struct EngineOptions {
   }
   EngineOptions& SetMaxQueuedRequests(size_t n) {
     max_queued_requests = n;
+    return *this;
+  }
+  EngineOptions& SetCatalogRetainGenerations(size_t n) {
+    catalog_retain_generations = n;
     return *this;
   }
 
@@ -207,6 +216,19 @@ class LakeEngine {
   static Result<std::unique_ptr<LakeEngine>> Create(
       EngineOptions options = EngineOptions());
 
+  /// Opens a read-only replica over the committed catalog at `dir`: the
+  /// latest generation is loaded (segments served via mmap, zero columns
+  /// re-sketched) and pinned against the writer's retention GC, so the
+  /// writer can keep checkpointing the same directory while this engine
+  /// serves queries. The replica answers DiscoverUnionable / Integrate
+  /// byte-identically to the writer at that generation; every mutation
+  /// (RegisterTable, RegisterCsv, Unregister, SaveCatalog, OpenCatalog)
+  /// fails with kFailedPrecondition. Follow the writer's newer checkpoints
+  /// with RefreshReplica(). The pin is released when the engine is
+  /// destroyed (or swept as stale if the process dies).
+  static Result<std::unique_ptr<LakeEngine>> OpenReplica(
+      const std::string& dir, EngineOptions options = EngineOptions());
+
   ~LakeEngine();  // out of line: ThreadPool is incomplete here
 
   // ------------------------------------------------------------ registry
@@ -252,7 +274,26 @@ class LakeEngine {
   /// (changed) tables refresh their content fingerprint.
   Result<CatalogSaveReport> SaveCatalog(const std::string& dir);
 
-  /// Lifetime catalog counters (opens, saves, bytes, re-sketches).
+  /// Replica only: follows the writer to the latest committed generation.
+  /// When CURRENT is unchanged this is a cheap no-op (one locked read, no
+  /// manifest parse). When it advanced, the new generation loads with the
+  /// same stage-then-commit discipline as an open: tables whose content
+  /// fingerprint changed are replaced, tables gone from the manifest are
+  /// dropped, unchanged tables are kept untouched — and the retention pin
+  /// moves to the new generation only after the load succeeds, so a failed
+  /// refresh leaves the replica serving its old generation consistently.
+  /// kFailedPrecondition on a writer engine.
+  Result<CatalogOpenReport> RefreshReplica();
+
+  /// True for engines constructed by OpenReplica.
+  bool is_replica() const { return replica_; }
+
+  /// The committed generation this engine last saved (writer) or loaded
+  /// (replica); 0 before any catalog interaction.
+  uint64_t catalog_generation() const;
+
+  /// Lifetime catalog counters (opens, saves, refreshes, bytes,
+  /// re-sketches, generations).
   CatalogStats catalog_stats() const;
 
   // ------------------------------------------------------------ requests
@@ -404,9 +445,18 @@ class LakeEngine {
   /// Catalog association + counters. catalog_mu_ serializes OpenCatalog /
   /// SaveCatalog against each other (registry/dict/discovery mutations from
   /// other threads stay safe — those structures have their own locks).
+  /// Folds a successful open/refresh report into catalog_stats_ (caller
+  /// holds catalog_mu_).
+  void AccumulateOpen(const CatalogOpenReport& report) const;
+
   mutable std::mutex catalog_mu_;
   CatalogState catalog_state_;
   mutable CatalogStats catalog_stats_;
+  /// Read-only replica mode (set once by OpenReplica before any request).
+  bool replica_ = false;
+  /// The replica's generation pin file (guarded by catalog_mu_); removed on
+  /// refresh-to-newer-generation and on destruction.
+  std::string replica_pin_;
 
   /// Admission gate state (see Admit).
   mutable std::mutex admission_mu_;

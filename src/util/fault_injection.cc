@@ -1,9 +1,35 @@
 #include "util/fault_injection.h"
 
+#include <cstdlib>
+
 namespace lakefuzz {
+namespace {
+
+/// Parses "<prefix>:<countdown>" from LAKEFUZZ_CRASH_POINT. A malformed
+/// value is ignored (the harness would then see a clean child exit and
+/// fail loudly) rather than aborting an innocent process.
+void ArmCrashFromEnv(FaultInjector* injector) {
+  const char* spec = std::getenv("LAKEFUZZ_CRASH_POINT");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string_view s(spec);
+  const size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return;
+  uint64_t countdown = 0;
+  for (size_t i = colon + 1; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return;
+    countdown = countdown * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  injector->ArmCrash(s.substr(0, colon), countdown);
+}
+
+}  // namespace
 
 FaultInjector& FaultInjector::Instance() {
-  static FaultInjector* instance = new FaultInjector();
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    ArmCrashFromEnv(injector);
+    return injector;
+  }();
   return *instance;
 }
 
@@ -23,16 +49,34 @@ void FaultInjector::ArmPoint(std::string_view point, uint64_t countdown) {
   enabled_.store(true, std::memory_order_release);
 }
 
+void FaultInjector::ArmCrash(std::string_view point_prefix,
+                             uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_prefix_ = std::string(point_prefix);
+  crash_countdown_ = countdown;
+  enabled_.store(true, std::memory_order_release);
+}
+
 void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   arm_all_ = false;
   countdowns_.clear();
-  enabled_.store(false, std::memory_order_release);
+  enabled_.store(crash_armed_, std::memory_order_release);
 }
 
 Status FaultInjector::Poke(std::string_view point) {
   if (!enabled()) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
+  if (crash_armed_ && point.size() >= crash_prefix_.size() &&
+      point.substr(0, crash_prefix_.size()) == crash_prefix_) {
+    if (crash_countdown_ == 0) {
+      // Die without unwinding: no destructors, no stream flushes — the same
+      // torn on-disk state a power cut at this instruction would leave.
+      std::_Exit(kCrashExitCode);
+    }
+    --crash_countdown_;
+  }
   if (arm_all_) {
     std::bernoulli_distribution fire(probability_);
     if (fire(rng_)) {
@@ -44,7 +88,7 @@ Status FaultInjector::Poke(std::string_view point) {
   if (it == countdowns_.end()) return Status::OK();
   if (it->second == 0) {
     countdowns_.erase(it);
-    if (countdowns_.empty()) {
+    if (countdowns_.empty() && !crash_armed_) {
       enabled_.store(false, std::memory_order_release);
     }
     return Status::Internal("injected fault at " + std::string(point));

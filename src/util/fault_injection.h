@@ -2,11 +2,20 @@
 //
 // A FaultInjector is a process-wide registry of named injection points
 // compiled into the library at seams where real deployments fail:
-// allocation-heavy stages, task spawn, CSV IO, sink writes. Tests arm it —
-// deterministically (ArmPoint: fire once after N pokes) or stochastically
-// (ArmAll: seeded Bernoulli per poke) — and every armed poke surfaces
-// Status::Internal("injected fault at <point>") from that seam, exactly as
-// a real failure would.
+// allocation-heavy stages, task spawn, CSV IO, sink writes, catalog
+// write/fsync/rename. Tests arm it — deterministically (ArmPoint: fire once
+// after N pokes) or stochastically (ArmAll: seeded Bernoulli per poke) —
+// and every armed poke surfaces Status::Internal("injected fault at
+// <point>") from that seam, exactly as a real failure would.
+//
+// A second, harsher mode arms a *crash*: ArmCrash (or the
+// LAKEFUZZ_CRASH_POINT environment variable, parsed once at first use with
+// the form "<prefix>:<countdown>") kills the process with
+// std::_Exit(kCrashExitCode) on the (countdown+1)-th poke of any point whose
+// name starts with the prefix — no unwinding, no buffer flushing, exactly
+// like SIGKILL landing between two IO operations. The catalog crash-recovery
+// harness (tests/crash_harness.cc) sweeps the countdown to die at every
+// armed write/fsync/rename site in sequence.
 //
 // The call sites are macro-gated: LAKEFUZZ_FAULT_POINT(name) expands to a
 // poke-and-propagate only when the build defines LAKEFUZZ_FAULT_POINTS
@@ -29,7 +38,14 @@ namespace lakefuzz {
 
 class FaultInjector {
  public:
-  /// The process-wide instance all injection points poke.
+  /// Exit code of an armed crash — 128+9, the shell's code for SIGKILL, so
+  /// a harness parent cannot confuse a deliberate kill with a clean exit or
+  /// an assertion failure.
+  static constexpr int kCrashExitCode = 137;
+
+  /// The process-wide instance all injection points poke. First use parses
+  /// the LAKEFUZZ_CRASH_POINT environment variable ("<prefix>:<countdown>")
+  /// into an armed crash, so a freshly exec'd child needs no test code.
   static FaultInjector& Instance();
 
   /// Arms every point stochastically: each poke fires independently with
@@ -41,12 +57,19 @@ class FaultInjector {
   /// (countdown+1)-th poke. Leaves other points disarmed (clears ArmAll).
   void ArmPoint(std::string_view point, uint64_t countdown);
 
-  /// Disarms everything; pokes become a single relaxed atomic load again.
+  /// Arms the process kill: the (countdown+1)-th poke of any point whose
+  /// name starts with `point_prefix` calls std::_Exit(kCrashExitCode).
+  void ArmCrash(std::string_view point_prefix, uint64_t countdown);
+
+  /// Disarms fault injection (ArmAll / ArmPoint); pokes become a single
+  /// relaxed atomic load again. An armed crash is NOT cleared — it models
+  /// the environment, not a test fixture, and stays live for process life.
   void Disarm();
 
   /// Called by LAKEFUZZ_FAULT_POINT at each seam. Returns OK when the point
   /// does not fire; when armed and firing, returns
-  /// Status::Internal("injected fault at <point>").
+  /// Status::Internal("injected fault at <point>"). Does not return at all
+  /// when an armed crash reaches zero.
   Status Poke(std::string_view point);
 
   /// Fast-path gate: false ⇒ Poke would trivially return OK.
@@ -64,6 +87,10 @@ class FaultInjector {
   // ArmPoint state: remaining pokes before the point fires; fired points
   // are erased (one-shot).
   std::unordered_map<std::string, uint64_t> countdowns_;
+  // ArmCrash state.
+  bool crash_armed_ = false;
+  std::string crash_prefix_;
+  uint64_t crash_countdown_ = 0;
 };
 
 }  // namespace lakefuzz

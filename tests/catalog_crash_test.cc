@@ -1,0 +1,218 @@
+// Process-kill recovery harness for the generation catalog. The parent (this
+// test) forks tests/crash_harness.cc with LAKEFUZZ_CRASH_POINT="catalog/:N"
+// and sweeps N upward, so the child dies via std::_Exit(137) at EVERY
+// catalog IO seam in sequence — each write, fsync, rename, read, and mmap of
+// both a full save (generation 1) and an incremental save (generation 2).
+// After each kill the parent re-opens the directory in-process and asserts
+// the crash-consistency contract: the last committed generation is intact
+// and answers Integrate / DiscoverUnionable byte-identically to an engine
+// that never touched disk, later partial writes are invisible, and a writer
+// can keep checkpointing over the wreckage.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/engine.h"
+#include "crash_lake.h"
+#include "util/fault_injection.h"
+
+#if !defined(LAKEFUZZ_FAULT_POINTS) || !defined(__unix__)
+
+TEST(CatalogCrashTest, KillAtEveryCatalogSeam) {
+  GTEST_SKIP() << "needs -DLAKEFUZZ_FAULT_POINTS=ON and fork/exec";
+}
+
+#else  // LAKEFUZZ_FAULT_POINTS && __unix__
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lakefuzz {
+namespace {
+
+/// The sweep must terminate: two saves of this small lake poke far fewer
+/// catalog seams than this.
+constexpr uint64_t kMaxCountdown = 500;
+/// And it must actually have killed the child at a healthy number of
+/// distinct seams — segments + manifest + CURRENT across two saves.
+constexpr uint64_t kMinCrashes = 10;
+
+std::string HarnessPath() {
+  if (const char* env = std::getenv("LAKEFUZZ_CRASH_HARNESS")) return env;
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "crash_harness";
+  buf[n] = '\0';
+  return std::filesystem::path(buf).parent_path() / "crash_harness";
+}
+
+/// Forks + execs the harness against `dir` with the crash armed at
+/// `countdown`. Returns the child's exit code (-1 on abnormal death).
+int RunChild(const std::string& harness, const std::string& dir,
+             uint64_t countdown) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const std::string spec = "catalog/:" + std::to_string(countdown);
+    setenv("LAKEFUZZ_CRASH_POINT", spec.c_str(), 1);
+    execl(harness.c_str(), harness.c_str(), dir.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.schema().field(c).name, b.schema().field(c).name);
+  }
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (size_t c = 0; c < a.NumColumns(); ++c) {
+      EXPECT_TRUE(a.At(r, c) == b.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// One committed lake version the recovery must be indistinguishable from:
+/// an engine built straight from memory, plus its precomputed answers.
+struct ReferenceVersion {
+  std::unique_ptr<LakeEngine> engine;
+  std::vector<std::string> names;  // sorted — the Integrate argument
+  Table integrated;
+  std::vector<DiscoveryCandidate> discovered;
+};
+
+ReferenceVersion MakeReference(
+    std::vector<std::pair<std::string, Table>> lake) {
+  ReferenceVersion ref;
+  auto engine = crashlake::MakeEngine();
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  ref.engine = std::move(engine).value();
+  for (auto& entry : lake) {
+    EXPECT_TRUE(
+        ref.engine->RegisterTable(entry.first, std::move(entry.second)).ok());
+    ref.names.push_back(entry.first);
+  }
+  std::sort(ref.names.begin(), ref.names.end());
+  auto integrated = ref.engine->Integrate(ref.names);
+  EXPECT_TRUE(integrated.ok()) << integrated.status().ToString();
+  ref.integrated = std::move(integrated->integrated);
+  auto top = ref.engine->DiscoverUnionable("cities_eu", 4);
+  EXPECT_TRUE(top.ok()) << top.status().ToString();
+  ref.discovered = std::move(top).value();
+  return ref;
+}
+
+/// The recovered engine must be indistinguishable from the reference at the
+/// generation it recovered to.
+void ExpectMatchesReference(LakeEngine* recovered,
+                            const ReferenceVersion& ref) {
+  std::vector<std::string> names = recovered->TableNames();
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names, ref.names);
+  auto integrated = recovered->Integrate(ref.names);
+  ASSERT_TRUE(integrated.ok()) << integrated.status().ToString();
+  ExpectTablesIdentical(integrated->integrated, ref.integrated);
+  auto top = recovered->DiscoverUnionable("cities_eu", 4);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), ref.discovered.size());
+  for (size_t i = 0; i < top->size(); ++i) {
+    EXPECT_EQ((*top)[i].name, ref.discovered[i].name);
+    EXPECT_EQ((*top)[i].score, ref.discovered[i].score) << (*top)[i].name;
+  }
+}
+
+TEST(CatalogCrashTest, KillAtEveryCatalogSeam) {
+  const std::string harness = HarnessPath();
+  ASSERT_TRUE(std::filesystem::exists(harness))
+      << harness << " not built next to this test binary "
+      << "(set LAKEFUZZ_CRASH_HARNESS to override)";
+
+  const ReferenceVersion v1 = MakeReference(crashlake::V1Tables());
+  const ReferenceVersion v2 = MakeReference(crashlake::V2Tables());
+
+  uint64_t crashes = 0;
+  bool clean_exit = false;
+  for (uint64_t countdown = 0; countdown <= kMaxCountdown; ++countdown) {
+    const std::string dir = testing::TempDir() + "/lakefuzz_crash_" +
+                            std::to_string(countdown);
+    std::filesystem::remove_all(dir);
+
+    const int code = RunChild(harness, dir, countdown);
+    if (code == 0) {
+      // Countdown outlived every poke of both saves: the sweep covered
+      // every seam. The fully committed directory must be at V2.
+      clean_exit = true;
+      auto recovered = crashlake::MakeEngine();
+      ASSERT_TRUE(recovered.ok());
+      ASSERT_TRUE((*recovered)->OpenCatalog(dir).ok());
+      ExpectMatchesReference(recovered->get(), v2);
+      std::filesystem::remove_all(dir);
+      break;
+    }
+    ASSERT_EQ(code, FaultInjector::kCrashExitCode)
+        << "child failed (not crashed) at countdown " << countdown;
+    ++crashes;
+
+    // --- Recovery: re-open after the kill. ---
+    auto recovered = crashlake::MakeEngine();
+    ASSERT_TRUE(recovered.ok());
+    auto open = (*recovered)->OpenCatalog(dir);
+    const bool committed =
+        std::filesystem::exists(dir + "/" + kCatalogCurrentFile);
+    if (!committed) {
+      // Death before the first CURRENT rename: nothing was ever published,
+      // and the open must say so with a typed error, not a crash or a
+      // half-lake.
+      ASSERT_FALSE(open.ok()) << "open succeeded without a CURRENT pointer";
+      EXPECT_EQ((*recovered)->NumTables(), 0u);
+    } else {
+      ASSERT_TRUE(open.ok())
+          << "countdown " << countdown << ": " << open.status().ToString();
+      const uint64_t gen = open->generation;
+      ASSERT_TRUE(gen == 1 || gen == 2)
+          << "recovered unexpected generation " << gen;
+      EXPECT_EQ((*recovered)->catalog_generation(), gen);
+      // Last committed generation intact, later partial writes invisible:
+      // the lake content IS the committed version's, nothing else.
+      ExpectMatchesReference(recovered->get(), gen == 1 ? v1 : v2);
+
+      // The wreckage (orphan manifests, stale tmp files, half-written
+      // segments past the committed extents) must not stop the writer from
+      // checkpointing again — and the new commit lands strictly after.
+      ASSERT_TRUE(
+          (*recovered)
+              ->RegisterTable("post_crash", crashlake::TableD())
+              .ok());
+      auto resave = (*recovered)->SaveCatalog(dir);
+      ASSERT_TRUE(resave.ok())
+          << "countdown " << countdown << ": " << resave.status().ToString();
+      EXPECT_GT(resave->generation, gen);
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  EXPECT_TRUE(clean_exit)
+      << "sweep never reached a clean child exit within " << kMaxCountdown
+      << " countdowns";
+  EXPECT_GE(crashes, kMinCrashes)
+      << "too few catalog seams fired — is fault injection armed?";
+}
+
+}  // namespace
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_FAULT_POINTS && __unix__

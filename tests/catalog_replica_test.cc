@@ -1,0 +1,406 @@
+// Tests for read-only replica engines over the generation catalog:
+// OpenReplica identity with the writer, RefreshReplica following commits
+// (adds, changes, drops), the read-only guard on every mutating entry
+// point, seeded writer/replica interleavings where every observed
+// generation must be internally consistent and monotonically increasing,
+// a live concurrent writer-vs-refresher run, and the retention pin that
+// keeps a replica's generation alive past the writer's GC horizon.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/engine.h"
+#include "crash_lake.h"
+#include "util/rng.h"
+
+#if defined(__unix__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace lakefuzz {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/lakefuzz_replica_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.schema().field(c).name, b.schema().field(c).name);
+  }
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (size_t c = 0; c < a.NumColumns(); ++c) {
+      EXPECT_TRUE(a.At(r, c) == b.At(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+/// The replica must answer exactly like `writer` does right now.
+void ExpectReplicaMatchesWriter(LakeEngine* replica, LakeEngine* writer) {
+  std::vector<std::string> names = writer->TableNames();
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> replica_names = replica->TableNames();
+  std::sort(replica_names.begin(), replica_names.end());
+  ASSERT_EQ(replica_names, names);
+  auto from_writer = writer->Integrate(names);
+  auto from_replica = replica->Integrate(names);
+  ASSERT_TRUE(from_writer.ok()) << from_writer.status().ToString();
+  ASSERT_TRUE(from_replica.ok()) << from_replica.status().ToString();
+  ExpectTablesIdentical(from_replica->integrated, from_writer->integrated);
+  auto writer_top = writer->DiscoverUnionable(names[0], 4);
+  auto replica_top = replica->DiscoverUnionable(names[0], 4);
+  ASSERT_TRUE(writer_top.ok() && replica_top.ok());
+  ASSERT_EQ(replica_top->size(), writer_top->size());
+  for (size_t i = 0; i < writer_top->size(); ++i) {
+    EXPECT_EQ((*replica_top)[i].name, (*writer_top)[i].name);
+    EXPECT_EQ((*replica_top)[i].score, (*writer_top)[i].score);
+  }
+}
+
+std::unique_ptr<LakeEngine> MakeWriterWithV1(const std::string& dir) {
+  auto engine = crashlake::MakeEngine();
+  EXPECT_TRUE(engine.ok());
+  for (auto& entry : crashlake::V1Tables()) {
+    EXPECT_TRUE(
+        (*engine)->RegisterTable(entry.first, std::move(entry.second)).ok());
+  }
+  EXPECT_TRUE((*engine)->SaveCatalog(dir).ok());
+  return std::move(engine).value();
+}
+
+// ------------------------------------------------------------ basic modes
+
+TEST(ReplicaTest, OpensLatestGenerationAndMatchesWriter) {
+  const std::string dir = FreshDir("basic");
+  auto writer = MakeWriterWithV1(dir);
+
+  auto replica = LakeEngine::OpenReplica(dir);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  EXPECT_TRUE((*replica)->is_replica());
+  EXPECT_FALSE(writer->is_replica());
+  EXPECT_EQ((*replica)->catalog_generation(), 1u);
+  ExpectReplicaMatchesWriter(replica->get(), writer.get());
+  // Loading from segments, not re-sketching.
+  EXPECT_EQ((*replica)->catalog_stats().columns_resketched, 0u);
+}
+
+TEST(ReplicaTest, MutationsAreRejectedTyped) {
+  const std::string dir = FreshDir("readonly");
+  auto writer = MakeWriterWithV1(dir);
+  auto replica = LakeEngine::OpenReplica(dir);
+  ASSERT_TRUE(replica.ok());
+
+  EXPECT_EQ((*replica)->RegisterTable("x", crashlake::TableD()).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*replica)->RegisterCsv("x", "/nonexistent.csv").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*replica)->Unregister("cities_eu").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*replica)->SaveCatalog(dir).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*replica)->OpenCatalog(dir).code(),
+            ErrorCode::kFailedPrecondition);
+  // RefreshReplica is for replicas only — the writer direction is typed too.
+  EXPECT_EQ(writer->RefreshReplica().code(), ErrorCode::kFailedPrecondition);
+  // The rejected mutations left the replica fully serviceable.
+  EXPECT_EQ((*replica)->NumTables(), 3u);
+  ExpectReplicaMatchesWriter(replica->get(), writer.get());
+}
+
+TEST(ReplicaTest, OpenReplicaOnEmptyDirFailsTyped) {
+  auto replica = LakeEngine::OpenReplica(FreshDir("empty"));
+  EXPECT_EQ(replica.code(), ErrorCode::kIoError);
+}
+
+// --------------------------------------------------------------- refresh
+
+TEST(ReplicaTest, RefreshFollowsAddsChangesAndDrops) {
+  const std::string dir = FreshDir("refresh");
+  auto writer = MakeWriterWithV1(dir);
+  auto replica = LakeEngine::OpenReplica(dir);
+  ASSERT_TRUE(replica.ok());
+
+  // No new commit: refresh is a cheap no-op at the same generation.
+  auto noop = (*replica)->RefreshReplica();
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->generation, 1u);
+  EXPECT_EQ(noop->tables_kept, 3u);
+  EXPECT_EQ((*replica)->catalog_stats().refreshes, 0u);
+
+  // V1 → V2: replace cities_extra, add cities_na; drop beers on top.
+  ASSERT_TRUE(writer->Unregister("cities_extra").ok());
+  ASSERT_TRUE(
+      writer->RegisterTable("cities_extra", crashlake::TableB2()).ok());
+  ASSERT_TRUE(writer->RegisterTable("cities_na", crashlake::TableD()).ok());
+  ASSERT_TRUE(writer->Unregister("beers").ok());
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+
+  auto refreshed = (*replica)->RefreshReplica();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed->generation, 2u);
+  EXPECT_EQ(refreshed->tables_replaced, 1u);  // cities_extra changed
+  EXPECT_EQ(refreshed->tables_dropped, 1u);   // beers vanished
+  EXPECT_EQ(refreshed->tables_loaded, 2u);    // new cities_extra + cities_na
+  EXPECT_EQ(refreshed->tables_kept, 1u);      // cities_eu untouched
+  EXPECT_EQ((*replica)->catalog_stats().refreshes, 1u);
+  EXPECT_EQ((*replica)->catalog_generation(), 2u);
+  ExpectReplicaMatchesWriter(replica->get(), writer.get());
+}
+
+/// Satellite 3's core property: the writer saves N times while a replica
+/// refreshes at seeded random points. Every refresh must observe an
+/// internally consistent generation (matching a reference engine for that
+/// version) and the observed generation sequence must be monotone.
+TEST(ReplicaTest, SeededInterleavedRefreshesSeeEveryGenerationConsistently) {
+  for (uint64_t seed : {7u, 42u, 1234u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const std::string dir = FreshDir("interleave_" + std::to_string(seed));
+
+    auto writer = crashlake::MakeEngine();
+    ASSERT_TRUE(writer.ok());
+    // Reference engines, one per committed version: version v holds tables
+    // extra_0..extra_{v-1} alongside V1.
+    std::vector<std::unique_ptr<LakeEngine>> references;
+
+    auto seed_engine = [](LakeEngine* e) {
+      for (auto& entry : crashlake::V1Tables()) {
+        ASSERT_TRUE(
+            e->RegisterTable(entry.first, std::move(entry.second)).ok());
+      }
+    };
+    seed_engine(writer->get());
+
+    auto replica = std::unique_ptr<LakeEngine>();
+    std::vector<uint64_t> observed;
+    constexpr int kSaves = 6;
+    for (int v = 0; v < kSaves; ++v) {
+      if (v > 0) {
+        // Mutate: add one table per version (names are stable, content is
+        // version-specific so every generation is distinguishable).
+        auto t = Table::FromRows(
+            "extra_" + std::to_string(v), {"K", "V"},
+            {{crashlake::S("k"), crashlake::S(std::to_string(v * 1000))}});
+        ASSERT_TRUE(t.ok());
+        ASSERT_TRUE((*writer)
+                        ->RegisterTable("extra_" + std::to_string(v),
+                                        std::move(t).value())
+                        .ok());
+      }
+      ASSERT_TRUE((*writer)->SaveCatalog(dir).ok());
+
+      auto ref = crashlake::MakeEngine();
+      ASSERT_TRUE(ref.ok());
+      seed_engine(ref->get());
+      for (int w = 1; w <= v; ++w) {
+        auto t = Table::FromRows(
+            "extra_" + std::to_string(w), {"K", "V"},
+            {{crashlake::S("k"), crashlake::S(std::to_string(w * 1000))}});
+        ASSERT_TRUE((*ref)
+                        ->RegisterTable("extra_" + std::to_string(w),
+                                        std::move(t).value())
+                        .ok());
+      }
+      references.push_back(std::move(ref).value());
+
+      // Seeded interleaving: sometimes open late, sometimes refresh after
+      // this save, sometimes skip (so the next refresh jumps generations).
+      if (replica == nullptr) {
+        if (rng.UniformReal() < 0.7) {
+          auto opened = LakeEngine::OpenReplica(dir);
+          ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+          replica = std::move(opened).value();
+          observed.push_back(replica->catalog_generation());
+        }
+      } else if (rng.UniformReal() < 0.7) {
+        auto refreshed = replica->RefreshReplica();
+        ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+        observed.push_back(refreshed->generation);
+      }
+      if (replica != nullptr) {
+        // Whatever generation the replica sits at, it must match that
+        // version's reference exactly (generation g == version index g-1).
+        const uint64_t gen = replica->catalog_generation();
+        ASSERT_GE(gen, 1u);
+        ASSERT_LE(gen, references.size());
+        ExpectReplicaMatchesWriter(replica.get(),
+                                   references[gen - 1].get());
+      }
+    }
+    // Final refresh must land on the last version.
+    if (replica == nullptr) {
+      auto opened = LakeEngine::OpenReplica(dir);
+      ASSERT_TRUE(opened.ok());
+      replica = std::move(opened).value();
+    } else {
+      ASSERT_TRUE(replica->RefreshReplica().ok());
+    }
+    observed.push_back(replica->catalog_generation());
+    EXPECT_EQ(replica->catalog_generation(), uint64_t{kSaves});
+    ExpectReplicaMatchesWriter(replica.get(), references.back().get());
+    // Monotone: a replica never travels backwards in time.
+    for (size_t i = 1; i < observed.size(); ++i) {
+      EXPECT_GE(observed[i], observed[i - 1]);
+    }
+  }
+}
+
+/// Acceptance gate: a replica refreshing concurrently with three writer
+/// checkpoints never observes a torn generation — every query between
+/// refreshes runs against a complete committed lake.
+TEST(ReplicaTest, ConcurrentRefreshNeverSeesTornGeneration) {
+  const std::string dir = FreshDir("concurrent");
+  auto writer = MakeWriterWithV1(dir);
+  auto replica = LakeEngine::OpenReplica(dir);
+  ASSERT_TRUE(replica.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread refresher([&] {
+    uint64_t last_gen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto refreshed = (*replica)->RefreshReplica();
+      if (!refreshed.ok()) {
+        ++failures;
+        continue;
+      }
+      if (refreshed->generation < last_gen) ++failures;
+      last_gen = refreshed->generation;
+      // A torn generation would surface here as a missing table, a failed
+      // integrate, or a half-replaced lake.
+      auto names = (*replica)->TableNames();
+      if (names.empty()) ++failures;
+      std::sort(names.begin(), names.end());
+      auto integrated = (*replica)->Integrate(names);
+      if (!integrated.ok()) ++failures;
+    }
+  });
+
+  for (int checkpoint = 1; checkpoint <= 3; ++checkpoint) {
+    auto t = Table::FromRows(
+        "ckpt_" + std::to_string(checkpoint), {"N"},
+        {{crashlake::S("row_" + std::to_string(checkpoint))}});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(writer
+                    ->RegisterTable("ckpt_" + std::to_string(checkpoint),
+                                    std::move(t).value())
+                    .ok());
+    auto saved = writer->SaveCatalog(dir);
+    ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  }
+  done.store(true, std::memory_order_release);
+  refresher.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ASSERT_TRUE((*replica)->RefreshReplica().ok());
+  EXPECT_EQ((*replica)->catalog_generation(), 4u);
+  ExpectReplicaMatchesWriter(replica->get(), writer.get());
+}
+
+// ------------------------------------------------------- pins & retention
+
+TEST(ReplicaTest, PinKeepsGenerationAlivePastRetention) {
+  const std::string dir = FreshDir("pinned");
+  auto writer_res = LakeEngine::Create(
+      EngineOptions().SetNumThreads(1).SetCatalogRetainGenerations(1));
+  ASSERT_TRUE(writer_res.ok());
+  auto writer = std::move(writer_res).value();
+  for (auto& entry : crashlake::V1Tables()) {
+    ASSERT_TRUE(
+        writer->RegisterTable(entry.first, std::move(entry.second)).ok());
+  }
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+
+  auto replica = LakeEngine::OpenReplica(dir);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ((*replica)->catalog_generation(), 1u);
+
+  // retain=1 would normally retire generation 1 at the next commit, but the
+  // replica's pin holds it (manifest AND base segments).
+  ASSERT_TRUE(writer->RegisterTable("extra", crashlake::TableD()).ok());
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + CatalogManifestFileName(1)));
+  // The replica still serves its pinned generation faithfully.
+  EXPECT_EQ((*replica)->NumTables(), 3u);
+  ASSERT_TRUE((*replica)->Integrate({"beers", "cities_eu"}).ok());
+
+  // Refresh moves the pin; the next commit can finally retire generation 1.
+  ASSERT_TRUE((*replica)->RefreshReplica().ok());
+  EXPECT_EQ((*replica)->catalog_generation(), 2u);
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());  // commits generation 3
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/" + CatalogManifestFileName(1)));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + CatalogManifestFileName(2)));
+}
+
+TEST(ReplicaTest, DestroyedReplicaReleasesItsPin) {
+  const std::string dir = FreshDir("unpin");
+  auto writer_res = LakeEngine::Create(
+      EngineOptions().SetNumThreads(1).SetCatalogRetainGenerations(1));
+  ASSERT_TRUE(writer_res.ok());
+  auto writer = std::move(writer_res).value();
+  for (auto& entry : crashlake::V1Tables()) {
+    ASSERT_TRUE(
+        writer->RegisterTable(entry.first, std::move(entry.second)).ok());
+  }
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+  { auto replica = LakeEngine::OpenReplica(dir); ASSERT_TRUE(replica.ok()); }
+  // Pin gone with the replica: the next two commits sweep generation 1.
+  ASSERT_TRUE(writer->RegisterTable("extra", crashlake::TableD()).ok());
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/" + CatalogManifestFileName(1)));
+}
+
+#if defined(__unix__)
+/// A replica that dies without cleanup leaves its pin file behind; the
+/// writer's GC identifies the dead pid and sweeps the stale pin.
+TEST(ReplicaTest, StalePinOfDeadProcessIsSwept) {
+  const std::string dir = FreshDir("stalepin");
+  auto writer_res = LakeEngine::Create(
+      EngineOptions().SetNumThreads(1).SetCatalogRetainGenerations(1));
+  ASSERT_TRUE(writer_res.ok());
+  auto writer = std::move(writer_res).value();
+  for (auto& entry : crashlake::V1Tables()) {
+    ASSERT_TRUE(
+        writer->RegisterTable(entry.first, std::move(entry.second)).ok());
+  }
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+
+  // Simulate the crashed replica: a child claims the pin and dies raw.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) _exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  const std::string stale_pin =
+      dir + "/" + CatalogPinFileName(1, static_cast<int64_t>(pid), 0);
+  { std::ofstream out(stale_pin); out << "\n"; }
+
+  // The dead pid's pin does not hold generation 1 against retention.
+  ASSERT_TRUE(writer->RegisterTable("extra", crashlake::TableD()).ok());
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(stale_pin));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir + "/" + CatalogManifestFileName(1)));
+}
+#endif  // __unix__
+
+}  // namespace
+}  // namespace lakefuzz

@@ -37,6 +37,18 @@ std::string PathOf(const std::string& dir, const char* file) {
   return dir + "/" + file;
 }
 
+/// Path of a generation's manifest. A fresh directory's first save commits
+/// generation 1, which these tests rely on throughout.
+std::string ManifestPath(const std::string& dir, uint64_t gen = 1) {
+  return dir + "/" + CatalogManifestFileName(gen);
+}
+
+/// Path of a segment file at base `base` (1 after a fresh first save).
+std::string SegmentPath(const std::string& dir, const char* stem,
+                        uint64_t base = 1) {
+  return dir + "/" + CatalogSegmentFileName(stem, base);
+}
+
 std::string ReadAll(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << path;
@@ -283,7 +295,7 @@ TEST(CatalogIncrementalTest, ExternallyGrownSegmentForcesRewrite) {
   const std::string dir = FreshDir("extgrown");
   auto engine = MakeEngineWithSmallLake(1);
   ASSERT_TRUE(engine->SaveCatalog(dir).ok());
-  std::ofstream out(PathOf(dir, kCatalogValuesFile),
+  std::ofstream out(SegmentPath(dir, kCatalogValuesStem),
                     std::ios::binary | std::ios::app);
   out << "garbage";
   out.close();
@@ -344,6 +356,119 @@ TEST(CatalogUnregisterTest, ReRegisteredTableRefreshesFingerprint) {
   EXPECT_TRUE(got->integrated.At(0, 1) == Value::Double(0.99));
 }
 
+// ------------------------------------------------ generations & retention
+
+TEST(CatalogGenerationTest, GenerationsAdvanceAndCurrentTracksLatest) {
+  const std::string dir = FreshDir("generations");
+  auto engine = MakeEngineWithSmallLake(1);
+
+  auto first = engine->SaveCatalog(dir);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->generation, 1u);
+  EXPECT_EQ(first->base, 1u);
+  auto current = CatalogCurrentGeneration(dir);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 1u);
+
+  auto second = engine->SaveCatalog(dir);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->generation, 2u);
+  EXPECT_TRUE(second->incremental);
+  EXPECT_EQ(second->base, 1u);  // incremental keeps the base segments
+  current = CatalogCurrentGeneration(dir);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, 2u);
+  EXPECT_EQ(engine->catalog_generation(), 2u);
+
+  // Default retention keeps the newest two generations' manifests.
+  EXPECT_TRUE(std::filesystem::exists(ManifestPath(dir, 1)));
+  EXPECT_TRUE(std::filesystem::exists(ManifestPath(dir, 2)));
+
+  auto third = engine->SaveCatalog(dir);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->generation, 3u);
+  EXPECT_GE(third->generations_removed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(ManifestPath(dir, 1)));
+  EXPECT_TRUE(std::filesystem::exists(ManifestPath(dir, 2)));
+  EXPECT_TRUE(std::filesystem::exists(ManifestPath(dir, 3)));
+
+  // Every committed generation still opens to the same lake.
+  auto reader = MakeEngine(1);
+  ASSERT_TRUE(reader->OpenCatalog(dir).ok());
+  EXPECT_EQ(reader->catalog_generation(), 3u);
+  EXPECT_EQ(reader->NumTables(), 3u);
+}
+
+TEST(CatalogGenerationTest, RetentionKnobTrimsOldGenerations) {
+  const std::string dir = FreshDir("retention");
+  auto engine = LakeEngine::Create(
+      EngineOptions().SetNumThreads(1).SetCatalogRetainGenerations(1));
+  ASSERT_TRUE(engine.ok());
+  for (auto& t : SmallLake()) {
+    ASSERT_TRUE((*engine)->RegisterTable(t.name(), t).ok());
+  }
+  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+  auto second = (*engine)->SaveCatalog(dir);
+  ASSERT_TRUE(second.ok());
+  // retain=1: the moment generation 2 commits, generation 1's manifest is
+  // unreferenced and removed.
+  EXPECT_EQ(second->generations_removed, 1u);
+  EXPECT_FALSE(std::filesystem::exists(ManifestPath(dir, 1)));
+  EXPECT_TRUE(std::filesystem::exists(ManifestPath(dir, 2)));
+  EXPECT_TRUE(MakeEngine(1)->OpenCatalog(dir).ok());
+}
+
+TEST(CatalogGenerationTest, RetentionKnobRejectsZero) {
+  EXPECT_EQ(EngineOptions().SetCatalogRetainGenerations(0).Validate().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CatalogGenerationTest, FullRewriteLeavesPriorBaseSegmentsIntact) {
+  const std::string dir = FreshDir("immutableextents");
+  auto writer = MakeEngineWithSmallLake(1);
+  ASSERT_TRUE(writer->SaveCatalog(dir).ok());
+  const std::string base1_values = ReadAll(SegmentPath(dir, kCatalogValuesStem));
+
+  // A different engine saving to the same directory cannot reuse extents
+  // (its dict numbering is its own) — it must full-rewrite under a NEW
+  // base, never in place over segments generation 1 still references.
+  auto other = MakeEngineWithSmallLake(1);
+  auto resave = other->SaveCatalog(dir);
+  ASSERT_TRUE(resave.ok()) << resave.status().ToString();
+  EXPECT_FALSE(resave->incremental);
+  EXPECT_EQ(resave->generation, 2u);
+  EXPECT_EQ(resave->base, 2u);
+  EXPECT_TRUE(
+      std::filesystem::exists(SegmentPath(dir, kCatalogValuesStem, 2)));
+  // Generation 1's segments were untouched while it was retained.
+  EXPECT_EQ(ReadAll(SegmentPath(dir, kCatalogValuesStem, 1)), base1_values);
+}
+
+TEST(CatalogGenerationTest, MissingCurrentIsTypedError) {
+  const std::string dir = FreshDir("nocurrent");
+  ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
+  std::filesystem::remove(PathOf(dir, kCatalogCurrentFile));
+  auto reader = MakeEngine(1);
+  auto opened = reader->OpenCatalog(dir);
+  EXPECT_EQ(opened.code(), ErrorCode::kIoError);
+  EXPECT_EQ(reader->NumTables(), 0u);
+  EXPECT_EQ(CatalogCurrentGeneration(dir).code(), ErrorCode::kIoError);
+}
+
+TEST(CatalogGenerationTest, GarbageCurrentIsTypedError) {
+  const std::string dir = FreshDir("badcurrent");
+  ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
+  for (const char* garbage : {"", "bogus", "LFCUR1 \n", "LFCUR1 12x\n",
+                              "LFCUR1 0\n"}) {
+    SCOPED_TRACE("CURRENT=\"" + std::string(garbage) + "\"");
+    WriteAll(PathOf(dir, kCatalogCurrentFile), garbage);
+    EXPECT_EQ(MakeEngine(1)->OpenCatalog(dir).code(), ErrorCode::kIoError);
+  }
+  // A CURRENT pointing at a generation with no manifest is equally typed.
+  WriteAll(PathOf(dir, kCatalogCurrentFile), "LFCUR1 999\n");
+  EXPECT_EQ(MakeEngine(1)->OpenCatalog(dir).code(), ErrorCode::kIoError);
+}
+
 // ------------------------------------------------------ corruption matrix
 
 TEST(CatalogCorruptionTest, MissingDirectoryIsIoError) {
@@ -361,8 +486,8 @@ TEST(CatalogCorruptionTest, MissingDirectoryIsIoError) {
 TEST(CatalogCorruptionTest, TruncatedManifestIsIoError) {
   const std::string dir = FreshDir("truncmanifest");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  std::string manifest = ReadAll(PathOf(dir, kCatalogManifestFile));
-  WriteAll(PathOf(dir, kCatalogManifestFile), manifest.substr(0, 10));
+  std::string manifest = ReadAll(ManifestPath(dir));
+  WriteAll(ManifestPath(dir), manifest.substr(0, 10));
 
   auto opened = MakeEngine(1)->OpenCatalog(dir);
   EXPECT_EQ(opened.code(), ErrorCode::kIoError);
@@ -371,10 +496,10 @@ TEST(CatalogCorruptionTest, TruncatedManifestIsIoError) {
 TEST(CatalogCorruptionTest, BadMagicIsInvalidArgument) {
   const std::string dir = FreshDir("badmagic");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  std::string manifest = ReadAll(PathOf(dir, kCatalogManifestFile));
+  std::string manifest = ReadAll(ManifestPath(dir));
   manifest[0] = 'X';
   FixupManifestChecksum(&manifest);  // semantic error, not integrity error
-  WriteAll(PathOf(dir, kCatalogManifestFile), manifest);
+  WriteAll(ManifestPath(dir), manifest);
 
   auto opened = MakeEngine(1)->OpenCatalog(dir);
   EXPECT_EQ(opened.code(), ErrorCode::kInvalidArgument);
@@ -383,12 +508,12 @@ TEST(CatalogCorruptionTest, BadMagicIsInvalidArgument) {
 TEST(CatalogCorruptionTest, FormatVersionSkewIsInvalidArgument) {
   const std::string dir = FreshDir("verskew");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  std::string manifest = ReadAll(PathOf(dir, kCatalogManifestFile));
+  std::string manifest = ReadAll(ManifestPath(dir));
   const uint32_t future_version = kCatalogFormatVersion + 7;
   std::memcpy(&manifest[sizeof(kCatalogMagic)], &future_version,
               sizeof(future_version));
   FixupManifestChecksum(&manifest);
-  WriteAll(PathOf(dir, kCatalogManifestFile), manifest);
+  WriteAll(ManifestPath(dir), manifest);
 
   auto opened = MakeEngine(1)->OpenCatalog(dir);
   EXPECT_EQ(opened.code(), ErrorCode::kInvalidArgument);
@@ -398,9 +523,9 @@ TEST(CatalogCorruptionTest, FormatVersionSkewIsInvalidArgument) {
 TEST(CatalogCorruptionTest, BitFlipInManifestIsIoError) {
   const std::string dir = FreshDir("bitflip");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  std::string manifest = ReadAll(PathOf(dir, kCatalogManifestFile));
+  std::string manifest = ReadAll(ManifestPath(dir));
   manifest[manifest.size() / 2] ^= 0x40;  // body flip, checksum NOT fixed
-  WriteAll(PathOf(dir, kCatalogManifestFile), manifest);
+  WriteAll(ManifestPath(dir), manifest);
 
   auto opened = MakeEngine(1)->OpenCatalog(dir);
   EXPECT_EQ(opened.code(), ErrorCode::kIoError);
@@ -409,19 +534,20 @@ TEST(CatalogCorruptionTest, BitFlipInManifestIsIoError) {
 TEST(CatalogCorruptionTest, TruncatedSegmentIsIoError) {
   const std::string dir = FreshDir("truncseg");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  for (const char* seg : {kCatalogValuesFile, kCatalogHashesFile,
-                          kCatalogTablesFile, kCatalogSketchesFile}) {
-    SCOPED_TRACE(seg);
-    const std::string bytes = ReadAll(PathOf(dir, seg));
+  for (const char* stem : {kCatalogValuesStem, kCatalogHashesStem,
+                           kCatalogTablesStem, kCatalogSketchesStem}) {
+    SCOPED_TRACE(stem);
+    const std::string path = SegmentPath(dir, stem);
+    const std::string bytes = ReadAll(path);
     ASSERT_GT(bytes.size(), 4u);
-    WriteAll(PathOf(dir, seg), bytes.substr(0, bytes.size() / 2));
+    WriteAll(path, bytes.substr(0, bytes.size() / 2));
 
     auto reader = MakeEngine(1);
     auto opened = reader->OpenCatalog(dir);
     EXPECT_EQ(opened.code(), ErrorCode::kIoError);
     // Nothing half-loaded: the registry is untouched after the failure.
     EXPECT_EQ(reader->NumTables(), 0u);
-    WriteAll(PathOf(dir, seg), bytes);  // restore for the next round
+    WriteAll(path, bytes);  // restore for the next round
   }
   // With every segment restored, the catalog opens again.
   EXPECT_TRUE(MakeEngine(1)->OpenCatalog(dir).ok());
@@ -430,9 +556,9 @@ TEST(CatalogCorruptionTest, TruncatedSegmentIsIoError) {
 TEST(CatalogCorruptionTest, SegmentBitFlipIsIoError) {
   const std::string dir = FreshDir("segflip");
   ASSERT_TRUE(MakeEngineWithSmallLake(1)->SaveCatalog(dir).ok());
-  std::string bytes = ReadAll(PathOf(dir, kCatalogValuesFile));
+  std::string bytes = ReadAll(SegmentPath(dir, kCatalogValuesStem));
   bytes[bytes.size() / 3] ^= 0x01;
-  WriteAll(PathOf(dir, kCatalogValuesFile), bytes);
+  WriteAll(SegmentPath(dir, kCatalogValuesStem), bytes);
 
   auto opened = MakeEngine(1)->OpenCatalog(dir);
   EXPECT_EQ(opened.code(), ErrorCode::kIoError);
@@ -444,9 +570,10 @@ TEST(CatalogCorruptionTest, TrailingGarbageAfterCommittedPrefixIsIgnored) {
   const std::string dir = FreshDir("trailing");
   auto writer = MakeEngineWithSmallLake(1);
   ASSERT_TRUE(writer->SaveCatalog(dir).ok());
-  for (const char* seg : {kCatalogValuesFile, kCatalogHashesFile,
-                          kCatalogTablesFile, kCatalogSketchesFile}) {
-    std::ofstream out(PathOf(dir, seg), std::ios::binary | std::ios::app);
+  for (const char* stem : {kCatalogValuesStem, kCatalogHashesStem,
+                           kCatalogTablesStem, kCatalogSketchesStem}) {
+    std::ofstream out(SegmentPath(dir, stem),
+                      std::ios::binary | std::ios::app);
     out << "crashed-append-tail";
   }
   auto reader = MakeEngine(1);
@@ -575,6 +702,7 @@ TEST(CatalogStatsTest, EngineAccumulatesCatalogCounters) {
   EXPECT_EQ(s.tables_written, 3u);  // second save reused everything
   EXPECT_EQ(s.tables_reused, 3u);
   EXPECT_GT(s.bytes_written, 0u);
+  EXPECT_EQ(s.generation, 2u);
 
   auto reader = MakeEngine(1);
   ASSERT_TRUE(reader->OpenCatalog(dir).ok());
@@ -583,6 +711,8 @@ TEST(CatalogStatsTest, EngineAccumulatesCatalogCounters) {
   EXPECT_EQ(r.open_failures, 0u);
   EXPECT_EQ(r.tables_loaded, 3u);
   EXPECT_GT(r.mmap_bytes, 0u);
+  EXPECT_EQ(r.generation, 2u);
+  EXPECT_EQ(r.refreshes, 0u);
 }
 
 }  // namespace

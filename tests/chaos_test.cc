@@ -238,38 +238,48 @@ TEST(ChaosTest, DeterministicFaultPointsFireOnce) {
   FaultInjector::Instance().Disarm();
 }
 
-TEST(ChaosTest, CatalogWriteFaultLeavesOldCatalogIntact) {
-  const std::string dir = testing::TempDir() + "/lakefuzz_chaos_cat_write";
-  std::filesystem::remove_all(dir);
-  auto engine = MakeChaosEngine();
-  ASSERT_TRUE(engine.ok());
-  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+TEST(ChaosTest, CatalogWriteFsyncRenameFaultsLeaveOldCatalogIntact) {
+  // Every distinct save-path IO seam — buffered write, fsync/close, and the
+  // rename that would commit — fails the re-save the same way: typed error,
+  // the committed generation on disk untouched, the writer unpoisoned.
+  for (const char* point :
+       {"catalog/write", "catalog/fsync", "catalog/rename"}) {
+    SCOPED_TRACE(point);
+    const std::string dir = testing::TempDir() + "/lakefuzz_chaos_cat_" +
+                            std::string(point).substr(8);
+    std::filesystem::remove_all(dir);
+    auto engine = MakeChaosEngine();
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
 
-  // Mutate the lake, then fail the re-save at the first write. The commit
-  // point is the manifest rename, so the catalog on disk must still be the
-  // first save, loadable in full.
-  ASSERT_TRUE((*engine)->Unregister("c2").ok());
-  FaultInjector::Instance().ArmPoint("catalog/write", 0);
-  auto resave = (*engine)->SaveCatalog(dir);
-  FaultInjector::Instance().Disarm();
-  ASSERT_FALSE(resave.ok());
-  EXPECT_EQ(resave.code(), ErrorCode::kInternal);
-  EXPECT_EQ((*engine)->catalog_stats().saves, 1u);
+    // Mutate the lake, then fail the re-save at the armed seam. The commit
+    // point is the CURRENT rename, so the catalog on disk must still be
+    // the first save, loadable in full.
+    ASSERT_TRUE((*engine)->Unregister("c2").ok());
+    FaultInjector::Instance().ArmPoint(point, 0);
+    auto resave = (*engine)->SaveCatalog(dir);
+    FaultInjector::Instance().Disarm();
+    ASSERT_FALSE(resave.ok());
+    EXPECT_EQ(resave.code(), ErrorCode::kInternal);
+    EXPECT_NE(resave.status().message().find(point), std::string::npos);
+    EXPECT_EQ((*engine)->catalog_stats().saves, 1u);
 
-  auto reader = LakeEngine::Create(EngineOptions().SetNumThreads(2));
-  ASSERT_TRUE(reader.ok());
-  auto opened = (*reader)->OpenCatalog(dir);
-  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-  EXPECT_EQ(opened->tables_loaded, 3u);  // pre-fault snapshot, c2 included
+    auto reader = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+    ASSERT_TRUE(reader.ok());
+    auto opened = (*reader)->OpenCatalog(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(opened->tables_loaded, 3u);  // pre-fault snapshot, c2 included
+    EXPECT_EQ(opened->generation, 1u);
 
-  // The writer engine is not poisoned: a clean save now succeeds and
-  // reflects the post-unregister lake.
-  ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
-  auto reader2 = LakeEngine::Create(EngineOptions().SetNumThreads(2));
-  ASSERT_TRUE(reader2.ok());
-  auto reopened = (*reader2)->OpenCatalog(dir);
-  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
-  EXPECT_EQ(reopened->tables_loaded, 2u);
+    // The writer engine is not poisoned: a clean save now succeeds and
+    // reflects the post-unregister lake.
+    ASSERT_TRUE((*engine)->SaveCatalog(dir).ok());
+    auto reader2 = LakeEngine::Create(EngineOptions().SetNumThreads(2));
+    ASSERT_TRUE(reader2.ok());
+    auto reopened = (*reader2)->OpenCatalog(dir);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->tables_loaded, 2u);
+  }
 }
 
 TEST(ChaosTest, CatalogReadAndMmapFaultsFailTypedThenRecover) {

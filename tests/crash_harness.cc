@@ -1,0 +1,63 @@
+// The child half of the catalog crash-recovery harness: a standalone binary
+// (no gtest) that builds the deterministic crash lake, commits generation 1,
+// applies the V1→V2 mutation, and commits generation 2 — with the crash
+// injector armed from the LAKEFUZZ_CRASH_POINT environment variable by the
+// parent (tests/catalog_crash_test.cc). With "catalog/:N" armed, the
+// (N+1)-th catalog IO poke — any write, fsync, rename, read, or mmap seam —
+// kills the process with std::_Exit(137), no unwinding, mid-save. The
+// parent sweeps N over every seam and asserts recovery after each kill.
+//
+// Exit codes: 0 = both saves committed (countdown exceeded the run's poke
+// count, the sweep is done), 137 = armed crash fired, 2 = usage error,
+// 3 = a lake/save operation failed for a reason other than the crash.
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "core/engine.h"
+#include "crash_lake.h"
+#include "util/result.h"
+
+namespace {
+
+int Die(const char* what, const lakefuzz::Status& status) {
+  std::fprintf(stderr, "crash_harness: %s: %s\n", what,
+               status.ToString().c_str());
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lakefuzz;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: crash_harness <catalog-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  auto engine = crashlake::MakeEngine();
+  if (!engine.ok()) return Die("create", engine.status());
+  for (auto& entry : crashlake::V1Tables()) {
+    Status s = (*engine)->RegisterTable(entry.first, std::move(entry.second));
+    if (!s.ok()) return Die("register v1", s);
+  }
+  auto save1 = (*engine)->SaveCatalog(dir);
+  if (!save1.ok()) return Die("save v1", save1.status());
+
+  // V1 → V2: replace cities_extra with different content, add cities_na.
+  Status s = (*engine)->Unregister("cities_extra");
+  if (!s.ok()) return Die("unregister", s);
+  s = (*engine)->RegisterTable("cities_extra", crashlake::TableB2());
+  if (!s.ok()) return Die("register b2", s);
+  s = (*engine)->RegisterTable("cities_na", crashlake::TableD());
+  if (!s.ok()) return Die("register d", s);
+  auto save2 = (*engine)->SaveCatalog(dir);
+  if (!save2.ok()) return Die("save v2", save2.status());
+
+  std::printf("crash_harness: committed gen %llu then gen %llu\n",
+              static_cast<unsigned long long>(save1->generation),
+              static_cast<unsigned long long>(save2->generation));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The deterministic lake the crash harness builds and the recovery test
+// re-derives. tests/crash_harness.cc (the killed child) registers V1, saves,
+// applies the mutation, and saves again; tests/catalog_crash_test.cc (the
+// surviving parent) rebuilds the same tables in memory to check that every
+// recovered generation answers Integrate / DiscoverUnionable byte-for-byte
+// like an engine that never touched disk. Sharing the builders here keeps
+// the two sides from drifting.
+#ifndef LAKEFUZZ_TESTS_CRASH_LAKE_H_
+#define LAKEFUZZ_TESTS_CRASH_LAKE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace lakefuzz {
+namespace crashlake {
+
+inline Value S(const std::string& s) { return Value::String(s); }
+
+inline Table TableA() {
+  auto t = Table::FromRows("cities_eu", {"City", "Country", "Mayor"},
+                           {{S("Berlin"), S("Germany"), S("Kai W.")},
+                            {S("Paris"), S("France"), S("Anne H.")},
+                            {S("Madrid"), S("Spain"), S("Jose A.")},
+                            {S("Rome"), S("Italy"), S("Roberto G.")}});
+  return std::move(t).value();
+}
+
+inline Table TableB() {
+  auto t = Table::FromRows("cities_extra", {"City", "Population"},
+                           {{S("Berlin"), S("3.6M")},
+                            {S("Lisbon"), S("0.5M")},
+                            {S("Vienna"), S("1.9M")}});
+  return std::move(t).value();
+}
+
+/// The V2 replacement for "cities_extra": same name, different content —
+/// recovery at generation 2 must serve THESE rows, never TableB()'s.
+inline Table TableB2() {
+  auto t = Table::FromRows("cities_extra", {"City", "Population", "Area"},
+                           {{S("Berlin"), S("3.7M"), S("892km2")},
+                            {S("Lisbon"), S("0.55M"), S("100km2")},
+                            {S("Prague"), S("1.3M"), S("496km2")}});
+  return std::move(t).value();
+}
+
+inline Table TableC() {
+  auto t = Table::FromRows("beers", {"Beer", "Brewery"},
+                           {{S("Pilsner"), S("Urquell")},
+                            {S("Stout"), S("Guinness")},
+                            {S("Lager"), S("Augustiner")}});
+  return std::move(t).value();
+}
+
+/// New in V2.
+inline Table TableD() {
+  auto t = Table::FromRows("cities_na", {"City", "Country"},
+                           {{S("Toronto"), S("Canada")},
+                            {S("Chicago"), S("USA")},
+                            {S("Mexico City"), S("Mexico")}});
+  return std::move(t).value();
+}
+
+/// (name, table) pairs in registration order.
+inline std::vector<std::pair<std::string, Table>> V1Tables() {
+  std::vector<std::pair<std::string, Table>> lake;
+  lake.emplace_back("cities_eu", TableA());
+  lake.emplace_back("cities_extra", TableB());
+  lake.emplace_back("beers", TableC());
+  return lake;
+}
+
+inline std::vector<std::pair<std::string, Table>> V2Tables() {
+  std::vector<std::pair<std::string, Table>> lake;
+  lake.emplace_back("cities_eu", TableA());
+  lake.emplace_back("cities_extra", TableB2());
+  lake.emplace_back("beers", TableC());
+  lake.emplace_back("cities_na", TableD());
+  return lake;
+}
+
+/// Single-threaded engine: the byte-identity comparisons must not depend on
+/// worker scheduling.
+inline Result<std::unique_ptr<LakeEngine>> MakeEngine() {
+  return LakeEngine::Create(EngineOptions().SetNumThreads(1));
+}
+
+}  // namespace crashlake
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_TESTS_CRASH_LAKE_H_
