@@ -34,6 +34,7 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "datagen/lake.h"
+#include "obs/stats_export.h"
 #include "util/rss.h"
 
 using namespace lakefuzz;
@@ -256,8 +257,7 @@ int main(int argc, char** argv) {
              {"speedup_vs_cold", cold_ms / warm_ms},
              {"mmap_mb",
               static_cast<double>(opened->mapped_bytes) / (1 << 20)},
-             {"peak_rss_mb",
-              static_cast<double>(PeakRssBytes()) / (1 << 20)},
+             {"peak_rss_mb", PeakRssMb()},
              {"tables", static_cast<double>(opened->tables_loaded)},
              {"resketched",
               static_cast<double>(opened->columns_resketched)}});

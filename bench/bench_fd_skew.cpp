@@ -25,6 +25,7 @@
 #include "core/fuzzy_fd.h"
 #include "datagen/corruption.h"
 #include "fd/aligned_schema.h"
+#include "obs/stats_export.h"
 #include "util/rng.h"
 #include "util/str.h"
 
@@ -173,31 +174,21 @@ int main(int argc, char** argv) {
         }
       }
     }
-    // Task-grain evidence from the best rep: mean/min/max nodes per task,
-    // where the workers' time went (busy vs. dequeue wait vs. replay), and
-    // pool-level busy vs. wall — enough to tell "tasks too fine" from "not
-    // enough cores" straight from the committed artifact.
+    // Task-grain evidence from the best rep comes from the shared
+    // FdStats→extras mapping (obs/stats_export.h), so this artifact and the
+    // engine's /metrics report the same numbers from the same fields.
     const FdTaskProfile& prof = best_stats.task_profile;
     const double tasks_d = prof.tasks > 0 ? static_cast<double>(prof.tasks)
                                           : 1.0;
-    json.AddFromStats(
-        StrFormat("fd_skew_giant_t%zu", t), ResolveNumThreads(t), run,
-        {{"enum_s", best_enum},
-         {"speedup_vs_serial", serial_enum / best_enum},
-         {"intra_tasks", static_cast<double>(intra_tasks)},
-         {"output_tuples", static_cast<double>(reference.tuples.size())},
-         {"merge_s", best_stats.merge_seconds},
-         {"task_nodes_mean", static_cast<double>(prof.nodes_sum) / tasks_d},
-         {"task_nodes_min", static_cast<double>(prof.nodes_min)},
-         {"task_nodes_max", static_cast<double>(prof.nodes_max)},
-         {"task_busy_s", static_cast<double>(prof.busy_ns) * 1e-9},
-         {"task_replay_s", static_cast<double>(prof.replay_ns) * 1e-9},
-         {"worker_wait_s", static_cast<double>(prof.wait_ns) * 1e-9},
-         {"pool_tasks", static_cast<double>(best_stats.pool_tasks)},
-         {"pool_busy_s", best_stats.pool_busy_seconds},
-         {"pool_wait_s", best_stats.pool_wait_seconds},
-         {"arena_peak_bytes",
-          static_cast<double>(best_stats.arena_peak_bytes)}});
+    std::vector<std::pair<std::string, double>> extras = {
+        {"enum_s", best_enum},
+        {"speedup_vs_serial", serial_enum / best_enum},
+        {"output_tuples", static_cast<double>(reference.tuples.size())}};
+    for (auto& kv : FdExecutionExtras(best_stats)) {
+      extras.push_back(std::move(kv));
+    }
+    json.AddFromStats(StrFormat("fd_skew_giant_t%zu", t),
+                      ResolveNumThreads(t), run, std::move(extras));
     std::printf(
         "threads=%zu: enum %.3f s (%.2fx vs serial), %llu subtree tasks "
         "(mean %.0f nodes), busy %.3f s / wait %.3f s, output identical\n",

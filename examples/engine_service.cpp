@@ -31,22 +31,34 @@
 //      printed as the writer (another process on the same --catalog dir)
 //      keeps checkpointing. Mutations are rejected with a typed error.
 //
+//  10. Telemetry: every request carries a monotonically increasing id
+//      (printed as req=N on its output lines). --trace_out=<dir> attaches a
+//      Tracer per request and writes one Chrome trace_event JSON per request
+//      (<dir>/trace_<id>.json — load in chrome://tracing or Perfetto);
+//      --slow_ms=<n> arms the engine's slow-request log; --metrics_out=<path>
+//      dumps the engine's Prometheus-style metrics text at exit ("-" for
+//      stdout).
+//
 //   ./engine_service [--tuples=3000] [--calls=3] [--threads=2]
 //                    [--discover=query.csv] [--discover_k=3]
 //                    [--deadline_ms=0] [--budget_nodes=0]
 //                    [--max_concurrent=0] [--catalog=<dir>]
 //                    [--replica=<dir>] [--replica_polls=3]
 //                    [--replica_poll_ms=200]
+//                    [--trace_out=<dir>] [--slow_ms=0] [--metrics_out=<path|->]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "datagen/imdb.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/str.h"
 
@@ -70,6 +82,47 @@ class CountingSink : public RowSink {
   size_t batches_ = 0;
   size_t rows_ = 0;
 };
+
+/// One request's telemetry handle: the service-assigned monotonic id plus
+/// (under --trace_out) the Tracer whose span tree becomes the request's
+/// Chrome JSON file. Owned on the caller's stack, so the admission-storm
+/// threads need no shared tracer bookkeeping.
+struct TracedRequest {
+  uint64_t id = 0;
+  std::unique_ptr<Tracer> tracer;
+};
+
+/// Assigns the next request id and, when `trace_dir` is set, attaches a
+/// fresh Tracer to `req`.
+TracedRequest BeginRequest(std::atomic<uint64_t>* counter,
+                           const std::string& trace_dir,
+                           RequestOptions* req) {
+  TracedRequest tr;
+  tr.id = counter->fetch_add(1) + 1;
+  req->request_id = tr.id;
+  if (!trace_dir.empty()) {
+    TraceOptions topts;
+    topts.request_id = tr.id;
+    tr.tracer = std::make_unique<Tracer>(topts);
+    req->tracer = tr.tracer.get();
+  }
+  return tr;
+}
+
+/// Writes <trace_dir>/trace_<id>.json when the request was traced.
+void FinishRequest(const std::string& trace_dir, const TracedRequest& tr) {
+  if (tr.tracer == nullptr) return;
+  const std::string path =
+      trace_dir + "/trace_" + std::to_string(tr.id) + ".json";
+  const std::string json = tr.tracer->ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
 
 /// --replica=<dir>: the read-only side of the crash-consistent catalog.
 /// Opens the latest committed generation, proves mutations are fenced off,
@@ -164,6 +217,22 @@ int main(int argc, char** argv) {
   const size_t max_concurrent =
       static_cast<size_t>(flags.GetInt("max_concurrent", 0));
 
+  // 10. Telemetry knobs: per-request trace files, the slow-request log
+  //     threshold, and the metrics dump destination.
+  const std::string trace_dir = flags.GetString("trace_out", "");
+  const double slow_ms = flags.GetDouble("slow_ms", 0.0);
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --trace_out dir %s: %s\n",
+                   trace_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  std::atomic<uint64_t> request_counter{0};
+
   // 1. The session: constructed once, reused for every request below.
   //    --max_concurrent bounds in-flight integrate requests (one queued
   //    slot; further arrivals are rejected with kResourceExhausted).
@@ -172,7 +241,8 @@ int main(int argc, char** argv) {
                                        .SetNumThreads(threads)
                                        .SetMaxConcurrentRequests(max_concurrent)
                                        .SetMaxQueuedRequests(
-                                           max_concurrent > 0 ? 1 : 0));
+                                           max_concurrent > 0 ? 1 : 0)
+                                       .SetSlowRequestMs(slow_ms));
   if (!engine.ok()) {
     std::fprintf(stderr, "engine setup failed: %s\n",
                  engine.status().ToString().c_str());
@@ -221,32 +291,42 @@ int main(int argc, char** argv) {
   RequestOptions req;
   req.holistic_alignment = false;  // IMDB headers are trustworthy
   for (int call = 1; call <= calls; ++call) {
-    auto result = (*engine)->Integrate(names, req);
+    RequestOptions call_req = req;
+    TracedRequest tr = BeginRequest(&request_counter, trace_dir, &call_req);
+    auto result = (*engine)->Integrate(names, call_req);
+    FinishRequest(trace_dir, tr);
     if (!result.ok()) {
-      std::fprintf(stderr, "call %d failed: %s\n", call,
+      std::fprintf(stderr, "req=%llu call %d failed: %s\n",
+                   static_cast<unsigned long long>(tr.id), call,
                    result.status().ToString().c_str());
       return 1;
     }
     const auto& stats = result->report.match_stats;
     std::printf(
-        "  call %d: %zu rows, match %.1f ms, FD %.1f ms "
+        "  req=%llu call %d: %zu rows, match %.1f ms, FD %.1f ms "
         "(cache: %zu hits / %zu misses this call)\n",
-        call, result->integrated.NumRows(),
-        result->report.match_seconds * 1e3, result->report.fd_seconds * 1e3,
-        stats.embedding_cache_hits, stats.embedding_cache_misses);
+        static_cast<unsigned long long>(tr.id), call,
+        result->integrated.NumRows(), result->report.match_seconds * 1e3,
+        result->report.fd_seconds * 1e3, stats.embedding_cache_hits,
+        stats.embedding_cache_misses);
   }
 
   // 4. Streaming: same pipeline, constant-memory output path.
   CountingSink sink;
   RequestOptions stream_req = req;
   stream_req.batch_rows = 512;
+  TracedRequest stream_tr =
+      BeginRequest(&request_counter, trace_dir, &stream_req);
   auto streamed = (*engine)->IntegrateToSink(names, &sink, stream_req);
+  FinishRequest(trace_dir, stream_tr);
   if (!streamed.ok()) {
-    std::fprintf(stderr, "streaming failed: %s\n",
+    std::fprintf(stderr, "req=%llu streaming failed: %s\n",
+                 static_cast<unsigned long long>(stream_tr.id),
                  streamed.status().ToString().c_str());
     return 1;
   }
-  std::printf("  streamed %zu rows in %zu batches of <=%zu\n", sink.rows(),
+  std::printf("  req=%llu streamed %zu rows in %zu batches of <=%zu\n",
+              static_cast<unsigned long long>(stream_tr.id), sink.rows(),
               sink.batches(), stream_req.batch_rows);
 
   // 5. Cancellation: fire the token the moment the FD stage begins; the
@@ -259,9 +339,13 @@ int main(int argc, char** argv) {
       cancel_req.cancel.Cancel();
     }
   };
+  TracedRequest cancel_tr =
+      BeginRequest(&request_counter, trace_dir, &cancel_req);
   auto cancelled = (*engine)->Integrate(names, cancel_req);
+  FinishRequest(trace_dir, cancel_tr);
   if (cancelled.code() == ErrorCode::kCancelled) {
-    std::printf("  cancelled request surfaced as expected: %s\n",
+    std::printf("  req=%llu cancelled request surfaced as expected: %s\n",
+                static_cast<unsigned long long>(cancel_tr.id),
                 cancelled.status().ToString().c_str());
   } else {
     std::fprintf(stderr,
@@ -277,13 +361,23 @@ int main(int argc, char** argv) {
   //    only.
   const size_t discover_k =
       static_cast<size_t>(flags.GetInt("discover_k", 3));
-  auto unionable = (*engine)->DiscoverUnionable(names.front(), discover_k);
+  // Discovery queries take a bare RequestContext; the tracer rides on it.
+  RequestOptions discover_opts;
+  TracedRequest discover_tr =
+      BeginRequest(&request_counter, trace_dir, &discover_opts);
+  RequestContext discover_ctx;
+  discover_ctx.tracer = discover_opts.tracer;
+  auto unionable =
+      (*engine)->DiscoverUnionable(names.front(), discover_k, discover_ctx);
+  FinishRequest(trace_dir, discover_tr);
   if (!unionable.ok()) {
-    std::fprintf(stderr, "discovery failed: %s\n",
+    std::fprintf(stderr, "req=%llu discovery failed: %s\n",
+                 static_cast<unsigned long long>(discover_tr.id),
                  unionable.status().ToString().c_str());
     return 1;
   }
-  std::printf("  top-%zu unionable with '%s':\n", discover_k,
+  std::printf("  req=%llu top-%zu unionable with '%s':\n",
+              static_cast<unsigned long long>(discover_tr.id), discover_k,
               names.front().c_str());
   for (const auto& c : *unionable) {
     std::printf("    %-20s score %.3f (overlap %.3f, schema %.3f, %zu cols)\n",
@@ -306,18 +400,23 @@ int main(int argc, char** argv) {
     }
     CountingSink discover_sink;
     std::vector<DiscoveryCandidate> discovered;
+    RequestOptions dreq = req;
+    TracedRequest dtr = BeginRequest(&request_counter, trace_dir, &dreq);
     auto dreport = (*engine)->DiscoverAndIntegrate(
-        "query", discover_k, &discover_sink, req, &discovered);
+        "query", discover_k, &discover_sink, dreq, &discovered);
+    FinishRequest(trace_dir, dtr);
     if (!dreport.ok()) {
-      std::fprintf(stderr, "discover+integrate failed: %s\n",
+      std::fprintf(stderr, "req=%llu discover+integrate failed: %s\n",
+                   static_cast<unsigned long long>(dtr.id),
                    dreport.status().ToString().c_str());
       return 1;
     }
     std::printf(
-        "  discover '%s' k=%zu: %zu candidates, integrated %zu rows in %zu "
-        "batches\n",
-        discover_csv.c_str(), discover_k, discovered.size(),
-        discover_sink.rows(), discover_sink.batches());
+        "  req=%llu discover '%s' k=%zu: %zu candidates, integrated %zu rows "
+        "in %zu batches\n",
+        static_cast<unsigned long long>(dtr.id), discover_csv.c_str(),
+        discover_k, discovered.size(), discover_sink.rows(),
+        discover_sink.batches());
   }
 
   // 7. Lifecycle hardening. A deadline and/or FD node budget under the
@@ -333,11 +432,14 @@ int main(int argc, char** argv) {
     if (budget_nodes > 0) {
       bounded.budget.max_fd_nodes = static_cast<size_t>(budget_nodes);
     }
+    TracedRequest btr = BeginRequest(&request_counter, trace_dir, &bounded);
     auto bounded_result = (*engine)->Integrate(names, bounded);
+    FinishRequest(trace_dir, btr);
     if (!bounded_result.ok()) {
       // Under kTruncate only kCancelled (not used here) or a genuine error
       // escapes; report and keep going — the engine must stay serviceable.
-      std::printf("  bounded request failed: %s\n",
+      std::printf("  req=%llu bounded request failed: %s\n",
+                  static_cast<unsigned long long>(btr.id),
                   bounded_result.status().ToString().c_str());
     } else {
       const Truncation& cut = bounded_result->report.truncation;
@@ -349,10 +451,10 @@ int main(int argc, char** argv) {
                           cut.components_skipped)
               : "complete";
       std::printf(
-          "  bounded request (deadline %d ms, budget %d nodes): %zu rows, "
-          "%s\n",
-          deadline_ms, budget_nodes, bounded_result->integrated.NumRows(),
-          detail.c_str());
+          "  req=%llu bounded request (deadline %d ms, budget %d nodes): "
+          "%zu rows, %s\n",
+          static_cast<unsigned long long>(btr.id), deadline_ms, budget_nodes,
+          bounded_result->integrated.NumRows(), detail.c_str());
     }
   }
 
@@ -365,9 +467,14 @@ int main(int argc, char** argv) {
     std::atomic<size_t> ok_count{0}, rejected{0}, other{0};
     std::vector<std::thread> workers;
     workers.reserve(storm);
+    const uint64_t storm_first_id = request_counter.load() + 1;
     for (size_t i = 0; i < storm; ++i) {
       workers.emplace_back([&] {
-        auto r = (*engine)->Integrate(names, req);
+        RequestOptions storm_req = req;
+        TracedRequest storm_tr =
+            BeginRequest(&request_counter, trace_dir, &storm_req);
+        auto r = (*engine)->Integrate(names, storm_req);
+        FinishRequest(trace_dir, storm_tr);
         if (r.ok()) {
           ok_count.fetch_add(1);
         } else if (r.code() == ErrorCode::kResourceExhausted) {
@@ -381,10 +488,12 @@ int main(int argc, char** argv) {
     rejected_requests = rejected.load();
     const AdmissionStats stats = (*engine)->admission_stats();
     std::printf(
-        "  admission storm of %zu (max %zu in flight, 1 queued): %zu ok, "
-        "%zu rejected, %zu other; session counters admitted=%llu queued=%llu "
-        "rejected=%llu\n",
-        storm, max_concurrent, ok_count.load(), rejected.load(), other.load(),
+        "  req=%llu..%llu admission storm of %zu (max %zu in flight, "
+        "1 queued): %zu ok, %zu rejected, %zu other; session counters "
+        "admitted=%llu queued=%llu rejected=%llu\n",
+        static_cast<unsigned long long>(storm_first_id),
+        static_cast<unsigned long long>(request_counter.load()), storm,
+        max_concurrent, ok_count.load(), rejected.load(), other.load(),
         static_cast<unsigned long long>(stats.admitted),
         static_cast<unsigned long long>(stats.queued),
         static_cast<unsigned long long>(stats.rejected));
@@ -416,6 +525,25 @@ int main(int argc, char** argv) {
         saved->tables_written, saved->tables_reused, saved->values_appended,
         static_cast<double>(saved->bytes_written) / (1 << 20),
         saved->seconds * 1e3);
+  }
+
+  // 10. Metrics scrape: the same snapshot LakeEngine::MetricsSnapshot()
+  //     returns, rendered in Prometheus text exposition format.
+  if (!metrics_out.empty()) {
+    const std::string text = RenderMetricsText((*engine)->MetricsSnapshot());
+    if (metrics_out == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write --metrics_out %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("Metrics written to %s\n", metrics_out.c_str());
+    }
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "assignment/parallel_cost.h"
 #include "match/schema_matcher.h"
+#include "util/rss.h"
 #include "util/stopwatch.h"
 #include "util/str.h"
 #include "util/thread_pool.h"
@@ -25,7 +26,13 @@ RequestContext MakeContext(const RequestOptions& request) {
   ctx.deadline = request.deadline;
   ctx.budget = request.budget;
   ctx.policy = request.budget_policy;
+  ctx.tracer = request.tracer;
   return ctx;
+}
+
+/// Seconds → histogram nanoseconds (clamped at zero).
+uint64_t SecondsToNs(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
 }
 
 /// Every mutating entry point on a replica fails the same way.
@@ -76,7 +83,64 @@ LakeEngine::LakeEngine(EngineOptions options,
       pool_(std::move(pool)),
       session_dict_(std::make_unique<SessionDict>()),
       discovery_(std::make_unique<DiscoveryIndex>(
-          options_.discovery, session_dict_.get(), pool_.get())) {}
+          options_.discovery, session_dict_.get(), pool_.get())) {
+  // Resolve the metric handles once; increments then never touch the
+  // registry lock. A shared external registry whose names are already
+  // taken by a different metric kind falls back to a private registry —
+  // an engine must never run without its counters.
+  auto wire = [](MetricsRegistry* registry, EngineMetrics* em) {
+    em->requests_total = registry->GetCounter(
+        "lakefuzz_requests_total", "requests served (all request forms)");
+    em->requests_failed = registry->GetCounter(
+        "lakefuzz_requests_failed_total", "requests that returned an error");
+    em->requests_truncated = registry->GetCounter(
+        "lakefuzz_requests_truncated_total",
+        "requests degraded to a partial result (BudgetPolicy::kTruncate)");
+    em->fd_search_nodes = registry->GetCounter(
+        "lakefuzz_fd_search_nodes_total", "FD enumerator search nodes");
+    em->fd_result_tuples = registry->GetCounter(
+        "lakefuzz_fd_result_tuples_total",
+        "post-subsumption result tuples produced");
+    em->fd_intra_tasks = registry->GetCounter(
+        "lakefuzz_fd_intra_tasks_total",
+        "intra-component FD subtree tasks spawned");
+    em->fd_task_busy_ns = registry->GetCounter(
+        "lakefuzz_fd_task_busy_ns_total",
+        "FD subtree-task busy time (FdTaskProfile::busy_ns)");
+    em->values_rewritten = registry->GetCounter(
+        "lakefuzz_values_rewritten_total",
+        "cell values rewritten to fuzzy-group representatives");
+    em->discovery_queries = registry->GetCounter(
+        "lakefuzz_discovery_queries_total", "DiscoverUnionable calls");
+    em->request_ns = registry->GetHistogram(
+        "lakefuzz_request_latency_ns", "end-to-end request wall time");
+    em->align_ns = registry->GetHistogram("lakefuzz_stage_align_latency_ns",
+                                          "schema alignment wall time");
+    em->match_ns = registry->GetHistogram("lakefuzz_stage_match_latency_ns",
+                                          "value matching wall time");
+    em->rewrite_ns = registry->GetHistogram(
+        "lakefuzz_stage_rewrite_latency_ns", "value rewrite wall time");
+    em->fd_ns = registry->GetHistogram(
+        "lakefuzz_stage_fd_latency_ns",
+        "full-disjunction stage wall time (build+enumerate+subsume+decode)");
+    return em->requests_total != nullptr && em->requests_failed != nullptr &&
+           em->requests_truncated != nullptr &&
+           em->fd_search_nodes != nullptr &&
+           em->fd_result_tuples != nullptr &&
+           em->fd_intra_tasks != nullptr &&
+           em->fd_task_busy_ns != nullptr &&
+           em->values_rewritten != nullptr &&
+           em->discovery_queries != nullptr && em->request_ns != nullptr &&
+           em->align_ns != nullptr && em->match_ns != nullptr &&
+           em->rewrite_ns != nullptr && em->fd_ns != nullptr;
+  };
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr || !wire(metrics_, &em_)) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+    wire(metrics_, &em_);
+  }
+}
 
 Result<std::unique_ptr<LakeEngine>> LakeEngine::Create(
     EngineOptions options) {
@@ -169,8 +233,10 @@ Result<std::unique_ptr<LakeEngine>> LakeEngine::OpenReplica(
   return engine;
 }
 
-Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir) {
+Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir,
+                                                  Tracer* tracer) {
   if (replica_) return ReplicaForbidden("OpenCatalog");
+  ScopedSpan span(tracer, "catalog_open");
   std::lock_guard<std::mutex> lock(catalog_mu_);
   Result<CatalogOpenReport> report =
       OpenCatalogInto(dir, &registry_, session_dict_.get(), discovery_.get(),
@@ -178,8 +244,12 @@ Result<CatalogOpenReport> LakeEngine::OpenCatalog(const std::string& dir) {
   ++catalog_stats_.opens;
   if (!report.ok()) {
     ++catalog_stats_.open_failures;
+    span.AddAttr("error", std::string(ErrorCodeToString(report.code())));
     return report;
   }
+  span.AddAttr("tables_loaded", static_cast<int64_t>(report->tables_loaded));
+  span.AddAttr("values_loaded", static_cast<int64_t>(report->values_loaded));
+  span.AddAttr("generation", static_cast<int64_t>(report->generation));
   AccumulateOpen(*report);
   return report;
 }
@@ -239,8 +309,10 @@ void LakeEngine::AccumulateOpen(const CatalogOpenReport& report) const {
   catalog_stats_.generation = report.generation;
 }
 
-Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir) {
+Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir,
+                                                  Tracer* tracer) {
   if (replica_) return ReplicaForbidden("SaveCatalog");
+  ScopedSpan span(tracer, "catalog_save");
   // Sync first so the discovery index holds a sketch for every registered
   // table — the save then persists them as-is instead of re-sketching.
   LAKEFUZZ_RETURN_IF_ERROR(EnsureDiscoverySynced(RequestContext()));
@@ -258,6 +330,10 @@ Result<CatalogSaveReport> LakeEngine::SaveCatalog(const std::string& dir) {
   catalog_stats_.bytes_written += report->bytes_written;
   catalog_stats_.generation = report->generation;
   catalog_stats_.generations_removed += report->generations_removed;
+  span.AddAttr("tables_written",
+               static_cast<int64_t>(report->tables_written));
+  span.AddAttr("bytes_written", static_cast<int64_t>(report->bytes_written));
+  span.AddAttr("generation", static_cast<int64_t>(report->generation));
   return report;
 }
 
@@ -281,12 +357,16 @@ Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
+  em_.discovery_queries->Increment();
+  ScopedSpan discover_span(ctx, "discover");
+  discover_span.AddAttr("k", static_cast<int64_t>(k));
+  const RequestContext span_ctx = ctx.WithSpan(discover_span.id());
   // Truncation-aware pre-check: under kTruncate an already-expired
   // deadline still yields a best-so-far (possibly empty) ranking with
   // the cut recorded downstream, instead of a hard error.
   Status pre = ctx.CheckStop("discovery");
   if (!pre.ok() && !ctx.ShouldTruncate(pre.code())) return pre;
-  Status synced = EnsureDiscoverySynced(ctx);
+  Status synced = EnsureDiscoverySynced(span_ctx);
   if (!synced.ok()) {
     if (!ctx.ShouldTruncate(synced.code())) return synced;
     // Best-effort under kTruncate: search whatever the index already holds
@@ -299,8 +379,15 @@ Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
   }
   // Once degraded, the query itself is cleanup: cancel still aborts it, the
   // already-expired deadline does not re-fire.
-  const RequestContext query_ctx = synced.ok() ? ctx : ctx.CancelOnly();
-  return discovery_->TopKByName(name, k, query_ctx, truncation);
+  const RequestContext query_ctx =
+      synced.ok() ? span_ctx : span_ctx.CancelOnly();
+  Result<std::vector<DiscoveryCandidate>> candidates =
+      discovery_->TopKByName(name, k, query_ctx, truncation);
+  if (candidates.ok()) {
+    discover_span.AddAttr("candidates",
+                          static_cast<int64_t>(candidates->size()));
+  }
+  return candidates;
 }
 
 Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
@@ -309,12 +396,16 @@ Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
   if (k == 0) {
     return Status::InvalidArgument("discovery k must be positive");
   }
+  em_.discovery_queries->Increment();
+  ScopedSpan discover_span(ctx, "discover");
+  discover_span.AddAttr("k", static_cast<int64_t>(k));
+  const RequestContext span_ctx = ctx.WithSpan(discover_span.id());
   // Truncation-aware pre-check: under kTruncate an already-expired
   // deadline still yields a best-so-far (possibly empty) ranking with
   // the cut recorded downstream, instead of a hard error.
   Status pre = ctx.CheckStop("discovery");
   if (!pre.ok() && !ctx.ShouldTruncate(pre.code())) return pre;
-  Status synced = EnsureDiscoverySynced(ctx);
+  Status synced = EnsureDiscoverySynced(span_ctx);
   if (!synced.ok()) {
     if (!ctx.ShouldTruncate(synced.code())) return synced;
     if (truncation != nullptr && !truncation->truncated) {
@@ -323,43 +414,68 @@ Result<std::vector<DiscoveryCandidate>> LakeEngine::DiscoverUnionable(
       truncation->reason = synced.message();
     }
   }
-  const RequestContext query_ctx = synced.ok() ? ctx : ctx.CancelOnly();
+  const RequestContext query_ctx =
+      synced.ok() ? span_ctx : span_ctx.CancelOnly();
   // SketchQuery hashes the cells directly — an ad-hoc query never grows
   // the session dictionary.
   std::vector<ColumnSketch> sketches = discovery_->SketchQuery(query);
-  return discovery_->TopK(sketches, k, query_ctx, truncation);
+  Result<std::vector<DiscoveryCandidate>> candidates =
+      discovery_->TopK(sketches, k, query_ctx, truncation);
+  if (candidates.ok()) {
+    discover_span.AddAttr("candidates",
+                          static_cast<int64_t>(candidates->size()));
+  }
+  return candidates;
 }
 
 Result<FuzzyFdReport> LakeEngine::DiscoverAndIntegrate(
     const std::string& query_name, size_t k, RowSink* sink,
     const RequestOptions& request,
     std::vector<DiscoveryCandidate>* discovered) const {
-  const RequestContext ctx = MakeContext(request);
+  Stopwatch total_watch;
+  const uint64_t request_id = ResolveRequestId(request);
+  RequestContext ctx = MakeContext(request);
+  ScopedSpan root(ctx.tracer, "request");
+  root.AddAttr("mode", std::string("discover+integrate"));
+  root.AddAttr("request_id", static_cast<int64_t>(request_id));
+  ctx.trace_parent = root.id();
+  std::vector<std::string> names{query_name};
+  auto finish = [&](Result<FuzzyFdReport> report) {
+    root.End();
+    RecordRequest("discover+integrate", request_id, names, report.status(),
+                  report.ok() ? &*report : nullptr,
+                  total_watch.ElapsedSeconds(), ctx.tracer);
+    return report;
+  };
   // One admission slot covers the whole discover → integrate span.
-  LAKEFUZZ_RETURN_IF_ERROR(Admit(ctx));
+  {
+    ScopedSpan admit_span(ctx, "admission_wait");
+    Status admitted = Admit(ctx);
+    if (!admitted.ok()) return finish(admitted);
+  }
   AdmissionSlot slot(this);
   ReportProgress(request.progress, Stage::kDiscover, 0, 1);
   Truncation discover_cut;
-  LAKEFUZZ_ASSIGN_OR_RETURN(
-      std::vector<DiscoveryCandidate> candidates,
-      DiscoverUnionable(query_name, k, ctx, &discover_cut));
+  Result<std::vector<DiscoveryCandidate>> found =
+      DiscoverUnionable(query_name, k, ctx, &discover_cut);
+  if (!found.ok()) return finish(found.status());
+  std::vector<DiscoveryCandidate> candidates = std::move(found).value();
   ReportProgress(request.progress, Stage::kDiscover, 1, 1);
   // Query first, then candidates in rank order: the name list defines TID
   // numbering, so the discovered integration is reproducible from the
   // candidate list alone (and bit-identical to IntegrateToSink on it).
-  std::vector<std::string> names;
   names.reserve(candidates.size() + 1);
-  names.push_back(query_name);
   for (const DiscoveryCandidate& c : candidates) names.push_back(c.name);
   if (discovered != nullptr) *discovered = std::move(candidates);
-  Result<FuzzyFdReport> report = IntegrateToSinkImpl(names, sink, request);
+  Result<FuzzyFdReport> report =
+      IntegrateToSinkImpl(names, sink, request, ctx);
   if (report.ok() && discover_cut.truncated) {
     // Discovery was cut first; keep its stage/reason as the report's
     // primary cut and fold in whatever the pipeline added.
     discover_cut.Merge(report->truncation);
     report->truncation = discover_cut;
   }
-  return report;
+  return finish(std::move(report));
 }
 
 uint64_t LakeEngine::schema_cache_hits() const {
@@ -370,6 +486,108 @@ uint64_t LakeEngine::schema_cache_hits() const {
 AdmissionStats LakeEngine::admission_stats() const {
   std::lock_guard<std::mutex> lock(admission_mu_);
   return admission_stats_;
+}
+
+uint64_t LakeEngine::ResolveRequestId(const RequestOptions& request) const {
+  if (request.request_id != 0) return request.request_id;
+  return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void LakeEngine::RecordRequest(const char* mode, uint64_t request_id,
+                               const std::vector<std::string>& names,
+                               const Status& status,
+                               const FuzzyFdReport* report,
+                               double total_seconds, Tracer* tracer) const {
+  em_.requests_total->Increment();
+  if (!status.ok()) em_.requests_failed->Increment();
+  em_.request_ns->Observe(SecondsToNs(total_seconds));
+  if (report != nullptr) {
+    if (report->truncation.truncated) em_.requests_truncated->Increment();
+    em_.align_ns->Observe(SecondsToNs(report->align_seconds));
+    em_.match_ns->Observe(SecondsToNs(report->match_seconds));
+    em_.rewrite_ns->Observe(SecondsToNs(report->rewrite_seconds));
+    em_.fd_ns->Observe(SecondsToNs(report->fd_seconds));
+    em_.fd_search_nodes->Add(report->fd_stats.search_nodes);
+    em_.fd_result_tuples->Add(report->fd_stats.results);
+    em_.fd_intra_tasks->Add(report->fd_stats.intra_tasks);
+    em_.fd_task_busy_ns->Add(report->fd_stats.task_profile.busy_ns);
+    em_.values_rewritten->Add(report->values_rewritten);
+  }
+  const double total_ms = total_seconds * 1e3;
+  if (options_.slow_request_ms > 0.0 &&
+      total_ms >= options_.slow_request_ms) {
+    SlowLogInfo info;
+    info.request_id = request_id;
+    info.mode = mode;
+    info.tables = names;
+    info.total_ms = total_ms;
+    info.threshold_ms = options_.slow_request_ms;
+    info.error =
+        status.ok() ? "ok" : std::string(ErrorCodeToString(status.code()));
+    info.truncated = report != nullptr && report->truncation.truncated;
+    const std::string line = SlowRequestLine(info, tracer);
+    if (options_.slow_log) {
+      options_.slow_log(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+}
+
+void LakeEngine::RefreshGauges() const {
+  auto set = [&](const char* name, const char* help, uint64_t v) {
+    Gauge* g = metrics_->GetGauge(name, help);
+    if (g != nullptr) g->Set(static_cast<int64_t>(v));
+  };
+  const AdmissionStats adm = admission_stats();
+  set("lakefuzz_admission_admitted_total", "requests past the gate",
+      adm.admitted);
+  set("lakefuzz_admission_rejected_total", "overload fast-rejections",
+      adm.rejected);
+  set("lakefuzz_admission_queued_total", "requests that waited for a slot",
+      adm.queued);
+  const CatalogStats cat = catalog_stats();
+  set("lakefuzz_catalog_generation", "last committed/observed generation",
+      cat.generation);
+  set("lakefuzz_catalog_opens_total", "catalog opens attempted", cat.opens);
+  set("lakefuzz_catalog_saves_total", "catalog checkpoints committed",
+      cat.saves);
+  set("lakefuzz_catalog_refreshes_total",
+      "replica refreshes that loaded a new generation", cat.refreshes);
+  set("lakefuzz_catalog_bytes_written_total", "catalog bytes written",
+      cat.bytes_written);
+  const SessionDict::Stats dict = session_dict_->stats();
+  set("lakefuzz_dict_values_interned_total",
+      "distinct values in the session dictionary", dict.values_interned);
+  set("lakefuzz_dict_column_hits_total",
+      "column code requests answered from the memo", dict.column_hits);
+  set("lakefuzz_dict_column_requests_total", "column code requests",
+      dict.column_requests);
+  // Pool / task-grain / RSS gauges read the same single sources the bench
+  // artifacts do (PoolStats, FdTaskProfile via the request counters above,
+  // util/rss.h) — /metrics and bench JSON can never drift apart.
+  if (pool_ != nullptr) {
+    const PoolStats ps = pool_->stats();
+    set("lakefuzz_pool_tasks_total", "pool tasks executed", ps.tasks);
+    set("lakefuzz_pool_busy_ns_total", "summed task execution time",
+        ps.busy_ns);
+    set("lakefuzz_pool_wait_ns_total", "summed enqueue-to-dequeue latency",
+        ps.queue_wait_ns);
+  }
+  set("lakefuzz_schema_cache_hits_total",
+      "requests that reused a cached alignment", schema_cache_hits());
+  set("lakefuzz_registered_tables", "tables in the registry", NumTables());
+  set("lakefuzz_discovery_index_tables", "tables in the discovery index",
+      discovery_->num_tables());
+  set("lakefuzz_discovery_index_columns", "columns in the discovery index",
+      discovery_->num_columns());
+  set("lakefuzz_process_peak_rss_bytes",
+      "process peak RSS (getrusage high-water mark)", PeakRssBytes());
+}
+
+lakefuzz::MetricsSnapshot LakeEngine::MetricsSnapshot() const {
+  RefreshGauges();
+  return metrics_->Snapshot();
 }
 
 Status LakeEngine::Admit(const RequestContext& ctx) const {
@@ -421,12 +639,11 @@ std::vector<std::string> LakeEngine::TableNames() const {
 size_t LakeEngine::NumTables() const { return registry_.size(); }
 
 Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
-    const std::vector<std::string>& names,
-    const RequestOptions& request) const {
+    const std::vector<std::string>& names, const RequestOptions& request,
+    const RequestContext& ctx) const {
   if (names.empty()) {
     return Status::InvalidArgument("integration set is empty");
   }
-  const RequestContext ctx = MakeContext(request);
   LAKEFUZZ_RETURN_IF_ERROR(ctx.CheckStop("request"));
   PreparedRequest prep;
   uint64_t registry_version = 0;
@@ -436,6 +653,9 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
   for (const auto& t : prep.pinned) prep.tables.push_back(t.get());
 
   ReportProgress(request.progress, Stage::kAlign, 0, 1);
+  // The align span brackets exactly the align_watch region, so the trace
+  // tree's stage durations reconcile with FuzzyFdReport::align_seconds.
+  ScopedSpan align_span(ctx, "align");
   Stopwatch align_watch;
   // Alignment cache: keyed by (mode, ordered name set) and valid only at
   // the registry version the snapshot was resolved at — any Register /
@@ -482,6 +702,11 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
         CachedSchema{registry_version, prep.aligned};
   }
   prep.align_seconds = align_watch.ElapsedSeconds();
+  align_span.AddAttr("cached", cached ? int64_t{1} : int64_t{0});
+  align_span.AddAttr(
+      "universal_columns",
+      static_cast<int64_t>(prep.aligned.universal_names.size()));
+  align_span.End();
   ReportProgress(request.progress, Stage::kAlign, 1, 1);
 
   // Session resources override the per-request knobs they replace; the
@@ -510,9 +735,29 @@ Result<LakeEngine::PreparedRequest> LakeEngine::Prepare(
 Result<PipelineResult> LakeEngine::Integrate(
     const std::vector<std::string>& names,
     const RequestOptions& request) const {
-  LAKEFUZZ_RETURN_IF_ERROR(Admit(MakeContext(request)));
+  Stopwatch total_watch;
+  const uint64_t request_id = ResolveRequestId(request);
+  RequestContext ctx = MakeContext(request);
+  ScopedSpan root(ctx.tracer, "request");
+  root.AddAttr("mode", std::string("integrate"));
+  root.AddAttr("request_id", static_cast<int64_t>(request_id));
+  ctx.trace_parent = root.id();
+  auto finish = [&](Result<PipelineResult> result) {
+    root.End();
+    RecordRequest("integrate", request_id, names, result.status(),
+                  result.ok() ? &result->report : nullptr,
+                  total_watch.ElapsedSeconds(), ctx.tracer);
+    return result;
+  };
+  {
+    ScopedSpan admit_span(ctx, "admission_wait");
+    Status admitted = Admit(ctx);
+    if (!admitted.ok()) return finish(admitted);
+  }
   AdmissionSlot slot(this);
-  LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep, Prepare(names, request));
+  Result<PreparedRequest> prepared = Prepare(names, request, ctx);
+  if (!prepared.ok()) return finish(prepared.status());
+  PreparedRequest prep = std::move(prepared).value();
   FuzzyFdReport report;
   Result<FdResult> fd = Status::Internal("unreachable");
   if (request.fuzzy) {
@@ -526,37 +771,60 @@ Result<PipelineResult> LakeEngine::Integrate(
                            prep.effective.progress,
                            prep.effective.session_dict);
   }
-  if (!fd.ok()) return fd.status();
+  if (!fd.ok()) return finish(fd.status());
   report.align_seconds = prep.align_seconds;
 
   ReportProgress(request.progress, Stage::kEmit, 0, 1);
+  ScopedSpan emit_span(ctx, "emit");
+  emit_span.AddAttr("tuples", static_cast<int64_t>(fd->tuples.size()));
   Table integrated = FdResultsToTable(
       fd->tuples, prep.aligned.universal_names,
       request.fuzzy ? "fuzzy_full_disjunction" : "full_disjunction",
       request.include_provenance);
+  emit_span.End();
   ReportProgress(request.progress, Stage::kEmit, 1, 1);
-  return PipelineResult{std::move(integrated), std::move(prep.aligned),
-                        report, prep.align_seconds};
+  return finish(PipelineResult{std::move(integrated),
+                               std::move(prep.aligned), report,
+                               prep.align_seconds});
 }
 
 Result<FuzzyFdReport> LakeEngine::IntegrateToSink(
     const std::vector<std::string>& names, RowSink* sink,
     const RequestOptions& request) const {
-  LAKEFUZZ_RETURN_IF_ERROR(Admit(MakeContext(request)));
+  Stopwatch total_watch;
+  const uint64_t request_id = ResolveRequestId(request);
+  RequestContext ctx = MakeContext(request);
+  ScopedSpan root(ctx.tracer, "request");
+  root.AddAttr("mode", std::string("sink"));
+  root.AddAttr("request_id", static_cast<int64_t>(request_id));
+  ctx.trace_parent = root.id();
+  auto finish = [&](Result<FuzzyFdReport> report) {
+    root.End();
+    RecordRequest("sink", request_id, names, report.status(),
+                  report.ok() ? &*report : nullptr,
+                  total_watch.ElapsedSeconds(), ctx.tracer);
+    return report;
+  };
+  {
+    ScopedSpan admit_span(ctx, "admission_wait");
+    Status admitted = Admit(ctx);
+    if (!admitted.ok()) return finish(admitted);
+  }
   AdmissionSlot slot(this);
-  return IntegrateToSinkImpl(names, sink, request);
+  return finish(IntegrateToSinkImpl(names, sink, request, ctx));
 }
 
 Result<FuzzyFdReport> LakeEngine::IntegrateToSinkImpl(
     const std::vector<std::string>& names, RowSink* sink,
-    const RequestOptions& request) const {
+    const RequestOptions& request, const RequestContext& ctx) const {
   if (sink == nullptr) {
     return Status::InvalidArgument("IntegrateToSink requires a sink");
   }
   if (request.batch_rows == 0) {
     return Status::InvalidArgument("batch_rows must be positive");
   }
-  LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep, Prepare(names, request));
+  LAKEFUZZ_ASSIGN_OR_RETURN(PreparedRequest prep,
+                            Prepare(names, request, ctx));
   LAKEFUZZ_RETURN_IF_ERROR(sink->Begin(prep.aligned.universal_names));
 
   FuzzyFdReport report;

@@ -27,7 +27,9 @@
 #ifndef LAKEFUZZ_CORE_ENGINE_H_
 #define LAKEFUZZ_CORE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +44,8 @@
 #include "embedding/embedding_cache.h"
 #include "embedding/model_zoo.h"
 #include "fd/session_dict.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/csv.h"
 #include "util/request_context.h"
 #include "util/result.h"
@@ -85,6 +89,21 @@ struct EngineOptions {
   /// commit unless a live reader has them pinned. Minimum 1 — the current
   /// generation always survives.
   size_t catalog_retain_generations = kCatalogDefaultRetainGenerations;
+  /// External metrics registry (obs/metrics.h) shared across engines in
+  /// one process; null (the default) gives the engine a private registry.
+  /// Either way MetricsSnapshot() scrapes it plus the engine-level gauges.
+  /// Not owned; must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
+  /// Slow-request log threshold in milliseconds: any Integrate /
+  /// IntegrateToSink / DiscoverAndIntegrate whose end-to-end wall time
+  /// reaches it emits one structured line (see obs/trace.h
+  /// SlowRequestLine) through `slow_log`. 0 (the default) disables the
+  /// log. The per-stage breakdown comes from the request's tracer when one
+  /// was attached; untraced slow requests log with an empty stage list.
+  double slow_request_ms = 0.0;
+  /// Destination for slow-request lines; defaults to stderr when unset.
+  /// Invoked on the request thread, after the request finished.
+  std::function<void(const std::string&)> slow_log;
 
   EngineOptions& SetModel(ModelKind kind) {
     model = kind;
@@ -112,6 +131,18 @@ struct EngineOptions {
   }
   EngineOptions& SetCatalogRetainGenerations(size_t n) {
     catalog_retain_generations = n;
+    return *this;
+  }
+  EngineOptions& SetMetrics(MetricsRegistry* registry) {
+    metrics = registry;
+    return *this;
+  }
+  EngineOptions& SetSlowRequestMs(double ms) {
+    slow_request_ms = ms;
+    return *this;
+  }
+  EngineOptions& SetSlowLog(std::function<void(const std::string&)> fn) {
+    slow_log = std::move(fn);
     return *this;
   }
 
@@ -159,6 +190,17 @@ struct RequestOptions {
   ProgressFn progress;
   /// Sink mode: decoded tuples per OnBatch call (bounds peak memory).
   size_t batch_rows = 1024;
+  /// Request tracing (obs/trace.h): when set, the engine opens a root
+  /// "request" span and every stage hangs a timed child span off it —
+  /// export with Tracer::ToChromeJson() / FlameSummary() afterward.
+  /// Observation-only: results are byte-identical with or without a
+  /// tracer. Not owned; use one Tracer per request (its spans are the
+  /// request's trace tree).
+  Tracer* tracer = nullptr;
+  /// Caller-assigned id stamped on the root span and the slow-request log
+  /// line; 0 (the default) makes the engine assign one from its own
+  /// monotonic sequence.
+  uint64_t request_id = 0;
 };
 
 /// Engine-lifetime admission counters (see EngineOptions::
@@ -262,8 +304,10 @@ class LakeEngine {
   /// or version-skewed catalog fails with kIoError / kInvalidArgument
   /// before any table is registered; the engine stays fully usable and the
   /// caller rebuilds cold. On success the engine remembers `dir`, so the
-  /// next SaveCatalog checkpoints incrementally.
-  Result<CatalogOpenReport> OpenCatalog(const std::string& dir);
+  /// next SaveCatalog checkpoints incrementally. A non-null `tracer`
+  /// records the open as a "catalog_open" span.
+  Result<CatalogOpenReport> OpenCatalog(const std::string& dir,
+                                        Tracer* tracer = nullptr);
 
   /// Persists the current lake to `dir` (created if missing). Syncs the
   /// discovery index first so sketches persist without re-sketching, then
@@ -271,8 +315,10 @@ class LakeEngine {
   /// reuse unchanged extents, atomically rewrite the manifest) when the
   /// engine last opened/saved the same directory, full rewrite otherwise.
   /// Dropped tables leave the manifest and cannot resurrect; re-registered
-  /// (changed) tables refresh their content fingerprint.
-  Result<CatalogSaveReport> SaveCatalog(const std::string& dir);
+  /// (changed) tables refresh their content fingerprint. A non-null
+  /// `tracer` records the checkpoint as a "catalog_save" span.
+  Result<CatalogSaveReport> SaveCatalog(const std::string& dir,
+                                        Tracer* tracer = nullptr);
 
   /// Replica only: follows the writer to the latest committed generation.
   /// When CURRENT is unchanged this is a cheap no-op (one locked read, no
@@ -363,6 +409,17 @@ class LakeEngine {
   /// Admission-control traffic (admitted / rejected / queued) across the
   /// engine's lifetime.
   AdmissionStats admission_stats() const;
+  /// One consistent scrape of the engine's metrics registry plus the
+  /// engine-level gauges sampled from their single authoritative sources
+  /// at call time (admission/catalog/dict/pool stats, schema cache hits,
+  /// registered tables, discovery index size, process peak RSS). The text
+  /// exposition (`RenderMetricsText`) renders exactly this snapshot, so
+  /// the two can never disagree. Request counters and per-stage latency
+  /// histograms accumulate across the engine's lifetime.
+  lakefuzz::MetricsSnapshot MetricsSnapshot() const;
+  /// The registry behind MetricsSnapshot(): the engine-private one, or the
+  /// external registry passed via EngineOptions::metrics.
+  MetricsRegistry& metrics_registry() const { return *metrics_; }
   /// The discovery index (sketch + LSH state; num_tables/num_columns for
   /// observability). Kept in sync with the registry by Register/Unregister
   /// when discovery.build_at_register is set, and by the version-mismatch
@@ -405,9 +462,11 @@ class LakeEngine {
 
   /// Resolves names, aligns, and merges session resources into the
   /// request's FuzzyFdOptions — the shared front half of both request
-  /// forms.
+  /// forms. `ctx` is the request's lifecycle bundle (already carrying the
+  /// root trace span, when the request is traced).
   Result<PreparedRequest> Prepare(const std::vector<std::string>& names,
-                                  const RequestOptions& request) const;
+                                  const RequestOptions& request,
+                                  const RequestContext& ctx) const;
 
   /// Brings the discovery index to the current registry version (resync on
   /// mismatch) — the invalidation contract every discovery query runs
@@ -426,12 +485,54 @@ class LakeEngine {
   /// admits exactly once for its whole discover → integrate span.
   Result<FuzzyFdReport> IntegrateToSinkImpl(
       const std::vector<std::string>& names, RowSink* sink,
-      const RequestOptions& request) const;
+      const RequestOptions& request, const RequestContext& ctx) const;
+
+  /// Stable pointers into the metrics registry, resolved once at
+  /// construction (increments never take the registry lock).
+  struct EngineMetrics {
+    Counter* requests_total = nullptr;
+    Counter* requests_failed = nullptr;
+    Counter* requests_truncated = nullptr;
+    Counter* fd_search_nodes = nullptr;
+    Counter* fd_result_tuples = nullptr;
+    Counter* fd_intra_tasks = nullptr;
+    Counter* fd_task_busy_ns = nullptr;
+    Counter* values_rewritten = nullptr;
+    Counter* discovery_queries = nullptr;
+    Histogram* request_ns = nullptr;
+    Histogram* align_ns = nullptr;
+    Histogram* match_ns = nullptr;
+    Histogram* rewrite_ns = nullptr;
+    Histogram* fd_ns = nullptr;
+  };
+
+  /// Picks the request id: the caller's, or the engine's next sequential.
+  uint64_t ResolveRequestId(const RequestOptions& request) const;
+
+  /// Per-request epilogue shared by every request form: bumps the request
+  /// counters, observes the per-stage latency histograms (from `report`,
+  /// the single source bench JSON also reads), and emits the slow-request
+  /// line when EngineOptions::slow_request_ms is armed.
+  void RecordRequest(const char* mode, uint64_t request_id,
+                     const std::vector<std::string>& names,
+                     const Status& status, const FuzzyFdReport* report,
+                     double total_seconds, Tracer* tracer) const;
+
+  /// Engine-level gauges refreshed from their authoritative sources on
+  /// every scrape (the MetricsSnapshot() front half).
+  void RefreshGauges() const;
 
   EngineOptions options_;
   std::shared_ptr<const EmbeddingModel> model_;
   std::shared_ptr<EmbeddingCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Metrics: the external registry from EngineOptions::metrics, or the
+  /// engine-private owned_metrics_. em_ caches the metric pointers.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  EngineMetrics em_;
+  /// Engine-assigned request-id sequence (RequestOptions::request_id == 0).
+  mutable std::atomic<uint64_t> next_request_id_{0};
   std::unique_ptr<SessionDict> session_dict_;
   std::unique_ptr<DiscoveryIndex> discovery_;
   TableRegistry registry_;

@@ -6,6 +6,7 @@
 #include "assignment/parallel_cost.h"
 #include "fd/session_dict.h"
 #include "fd/value_dict.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -51,6 +52,7 @@ Result<FdStage> RunFdStage(const TableList& tables,
                            FuzzyFdReport* report) {
   ReportProgress(progress, Stage::kFdBuild, 0, 1);
   LAKEFUZZ_FAULT_POINT("fd/build");
+  ScopedSpan build_span(ctx, "fd_build");
   Stopwatch build_watch;
   Result<FdProblem> built =
       session_dict != nullptr
@@ -59,6 +61,8 @@ Result<FdStage> RunFdStage(const TableList& tables,
   if (!built.ok()) return built.status();
   FdProblem problem = std::move(built).value();
   const double build_seconds = build_watch.ElapsedSeconds();
+  build_span.AddAttr("tuples", static_cast<int64_t>(problem.num_tuples()));
+  build_span.End();
   ReportProgress(progress, Stage::kFdBuild, 1, 1);
   // Post-build stop: under kTruncate a deadline that expired during the
   // build falls through to the executor, whose first per-component
@@ -167,6 +171,7 @@ Result<size_t> EmitCodeBatches(const FdProblem& problem,
                                const RequestContext& ctx,
                                const ProgressFn& progress,
                                Truncation* truncation) {
+  ScopedSpan emit_span(ctx, "emit");
   std::vector<FdResultTuple> batch;
   batch.reserve(std::min(batch_rows, codes.size()));
   size_t emitted = 0;
@@ -195,6 +200,10 @@ Result<size_t> EmitCodeBatches(const FdProblem& problem,
     ReportProgress(progress, Stage::kEmit, emitted, codes.size());
   }
   if (codes.empty()) ReportProgress(progress, Stage::kEmit, 0, 0);
+  emit_span.AddAttr("tuples", static_cast<int64_t>(emitted));
+  emit_span.AddAttr(
+      "batches",
+      static_cast<int64_t>((emitted + batch_rows - 1) / batch_rows));
   return emitted;
 }
 
@@ -206,18 +215,29 @@ Result<size_t> StreamFdStage(const TableList& tables,
                              const RequestContext& ctx,
                              const ProgressFn& progress, size_t batch_rows,
                              const FdBatchFn& emit, FuzzyFdReport* report) {
+  // The fd span brackets exactly the fd_watch region (build + enumerate +
+  // subsume + batch decode/emit), so its duration reconciles with
+  // FuzzyFdReport::fd_seconds; the sub-stages hang off it as children.
+  ScopedSpan fd_span(ctx, "fd");
+  const RequestContext fd_ctx = ctx.WithSpan(fd_span.id());
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
       RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
-                 session_dict, ctx, progress, report));
+                 session_dict, fd_ctx, progress, report));
   // Emitting an already-truncated partial is cleanup: it still honors
   // cancellation but is not re-aborted by the expired deadline.
   const RequestContext emit_ctx =
-      stage.stats.truncation.truncated ? ctx.CancelOnly() : ctx;
+      stage.stats.truncation.truncated ? fd_ctx.CancelOnly() : fd_ctx;
   Result<size_t> emitted = EmitCodeBatches(
       stage.problem, stage.codes, batch_rows, emit, emit_ctx, progress,
       report != nullptr ? &report->truncation : nullptr);
+  fd_span.AddAttr("results", static_cast<int64_t>(stage.codes.size()));
+  fd_span.AddAttr("search_nodes",
+                  static_cast<int64_t>(stage.stats.search_nodes));
+  fd_span.AddAttr("components",
+                  static_cast<int64_t>(stage.stats.num_components));
+  fd_span.End();
   // fd_seconds covers batch decode + sink emission, mirroring the
   // materializing path where decode sits inside the fd watch.
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
@@ -240,6 +260,9 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
                                  const AlignedSchema& aligned,
                                  FuzzyFdReport* report) {
   LAKEFUZZ_RETURN_IF_ERROR(ValidateAlignedSchema(aligned, tables));
+  // match/rewrite spans bracket exactly the match_watch/rewrite_watch
+  // regions so trace durations reconcile with the report's stage seconds.
+  ScopedSpan match_span(options.context, "match");
   Stopwatch match_watch;
   ValueMatcherOptions matcher_options = options.matcher;
   // Session plumbing: the request's token, deadline, and pool reach the
@@ -340,7 +363,15 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
   ReportProgress(options.progress, Stage::kMatch, num_universal,
                  num_universal);
   match_seconds = match_watch.ElapsedSeconds();
+  match_span.AddAttr("sets_matched", static_cast<int64_t>(sets_matched));
+  match_span.AddAttr("cost_evaluations",
+                     static_cast<int64_t>(agg_stats.cost_evaluations));
+  match_span.AddAttr(
+      "embedding_cache_hits",
+      static_cast<int64_t>(agg_stats.embedding_cache_hits));
+  match_span.End();
 
+  ScopedSpan rewrite_span(options.context, "rewrite");
   Stopwatch rewrite_watch;
   ReportProgress(options.progress, Stage::kRewrite, 0, tables.size());
   RewrittenSet out;
@@ -398,6 +429,9 @@ Result<RewrittenSet> RewriteCore(const FuzzyFdOptions& options,
   }
   ReportProgress(options.progress, Stage::kRewrite, tables.size(),
                  tables.size());
+  rewrite_span.AddAttr("values_rewritten",
+                       static_cast<int64_t>(values_rewritten));
+  rewrite_span.End();
 
   if (report != nullptr) {
     report->match_seconds = match_seconds;
@@ -440,13 +474,21 @@ Result<FdResult> FuzzyFullDisjunction::RunToTuples(
     FuzzyFdReport* report) const {
   LAKEFUZZ_ASSIGN_OR_RETURN(RewrittenSet set,
                             RewriteCore(options_, tables, aligned, report));
+  ScopedSpan fd_span(options_.context, "fd");
+  const RequestContext fd_ctx = options_.context.WithSpan(fd_span.id());
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
       RunFdStage(set.list, aligned, options_.fd, options_.parallel,
                  options_.num_threads, options_.pool, options_.session_dict,
-                 options_.context, options_.progress, report));
+                 fd_ctx, options_.progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
+  fd_span.AddAttr("results", static_cast<int64_t>(result.tuples.size()));
+  fd_span.AddAttr("search_nodes",
+                  static_cast<int64_t>(stage.stats.search_nodes));
+  fd_span.AddAttr("components",
+                  static_cast<int64_t>(stage.stats.num_components));
+  fd_span.End();
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
   return result;
 }
@@ -493,12 +535,16 @@ Result<FdResult> RegularFdBaseline(const TableList& tables,
                                    const RequestContext& ctx,
                                    const ProgressFn& progress,
                                    SessionDict* session_dict) {
+  ScopedSpan fd_span(ctx, "fd");
+  const RequestContext fd_ctx = ctx.WithSpan(fd_span.id());
   Stopwatch fd_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       FdStage stage,
       RunFdStage(tables, aligned, fd_options, parallel, num_threads, pool,
-                 session_dict, ctx, progress, report));
+                 session_dict, fd_ctx, progress, report));
   FdResult result = DecodeStage(stage, stage.pool);
+  fd_span.AddAttr("results", static_cast<int64_t>(result.tuples.size()));
+  fd_span.End();
   if (report != nullptr) report->fd_seconds = fd_watch.ElapsedSeconds();
   return result;
 }

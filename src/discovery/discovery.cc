@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "obs/trace.h"
+
 #include "util/str.h"
 #include "util/thread_pool.h"
 
@@ -318,6 +320,11 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::ScoreCandidates(
     const std::vector<const ColumnSketch*>& query,
     const std::vector<CandidateRef>& candidates, size_t k,
     const RequestContext& ctx, Truncation* truncation) const {
+  // Sketch-scoring span: both TopK entry points funnel through here, so
+  // one seam traces the candidate-ranking cost of every discovery query.
+  ScopedSpan rank_span(ctx, "discover_rank");
+  rank_span.AddAttr("candidates", static_cast<int64_t>(candidates.size()));
+  rank_span.AddAttr("query_columns", static_cast<int64_t>(query.size()));
   std::vector<DiscoveryCandidate> out;
   const double denom = static_cast<double>(query.size());
   // Normalizing by the weight sum keeps score in [0, 1] for ANY valid
@@ -372,6 +379,7 @@ Result<std::vector<DiscoveryCandidate>> DiscoveryIndex::ScoreCandidates(
               return a.name < b.name;
             });
   if (out.size() > k) out.resize(k);
+  rank_span.AddAttr("ranked", static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/fault_injection.h"
 #include "util/rss.h"
@@ -23,6 +24,11 @@ namespace {
 /// legacy kFailedPrecondition) and a request-scoped
 /// ResourceBudget::max_fd_nodes (an overload signal, kResourceExhausted —
 /// retryable with a larger budget, truncatable under kTruncate).
+/// Components below this tuple count skip their per-component trace span:
+/// tiny components dominate by count but not by time, and spanning each one
+/// would flood the trace (and the span cap) with noise.
+constexpr size_t kComponentSpanMinTuples = 64;
+
 Status BudgetExhaustedError(const RequestContext* ctx) {
   if (ctx != nullptr && ctx->budget.max_fd_nodes > 0) {
     return Status::ResourceExhausted(
@@ -766,12 +772,17 @@ class IntraComponentRunner {
         // reuse unconditional: a task never inherits live bytes from a
         // predecessor on the same scratch.
         if (scratch->arena_enabled) scratch->arena.Reset();
+        ScopedSpan task_span(ctx_ != nullptr ? ctx_->tracer : nullptr,
+                             "fd_task",
+                             ctx_ != nullptr ? ctx_->trace_parent : 0);
         const uint64_t task_start = ThreadPool::NowNs();
         ComponentEnumerator enumerator(problem_, component_, budget_, scratch,
                                        ctx_, &split);
         auto result = enumerator.EnumerateTask(task);
         const uint64_t busy = ThreadPool::NowNs() - task_start;
         const uint64_t nodes = enumerator.nodes_used();
+        task_span.AddAttr("nodes", static_cast<int64_t>(nodes));
+        task_span.End();
         total_nodes_.fetch_add(nodes, std::memory_order_relaxed);
         // The grain gate reads these lock-free from inside enumerations;
         // exactness doesn't matter there, ordering even less.
@@ -868,8 +879,12 @@ Result<std::vector<FdResultTuple>> FullDisjunction::RunComponent(
 Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
     FdProblem* problem, FdStats* stats, const RequestContext& ctx,
     const ProgressFn& progress) const {
+  ScopedSpan index_span(ctx, "fd_index");
   Stopwatch index_watch;
   problem->BuildIndex();
+  index_span.AddAttr("distinct_values",
+                     static_cast<int64_t>(problem->index_stats().distinct_values));
+  index_span.End();
   stats->index_seconds = index_watch.ElapsedSeconds();
   stats->num_input_tuples = problem->num_tuples();
   stats->num_components = problem->Components().size();
@@ -879,6 +894,8 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
   stats->value_copies = problem->index_stats().value_copies;
 
   ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
+  ScopedSpan enum_span(ctx, "fd_enumerate");
+  const RequestContext enum_ctx = ctx.WithSpan(enum_span.id());
   Stopwatch enum_watch;
   int64_t node_cap = static_cast<int64_t>(options_.max_search_nodes);
   if (ctx.budget.max_fd_nodes > 0) {
@@ -903,9 +920,14 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
     if (!stop.ok()) break;
     stats->largest_component =
         std::max(stats->largest_component, comp.size());
+    ScopedSpan comp_span(
+        comp.size() >= kComponentSpanMinTuples ? enum_ctx.tracer : nullptr,
+        "fd_component", enum_ctx.trace_parent);
     uint64_t nodes = 0;
-    auto tuples =
-        RunComponentCodes(*problem, comp, &budget, &nodes, &scratch, &ctx);
+    auto tuples = RunComponentCodes(*problem, comp, &budget, &nodes, &scratch,
+                                    &enum_ctx);
+    comp_span.AddAttr("tuples", static_cast<int64_t>(comp.size()));
+    comp_span.AddAttr("nodes", static_cast<int64_t>(nodes));
     stats->search_nodes += nodes;
     if (!tuples.ok()) {
       stop = tuples.status();
@@ -914,6 +936,10 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
     for (auto& t : *tuples) code_tuples.push_back(std::move(t));
     ++completed;
   }
+  enum_span.AddAttr("components", static_cast<int64_t>(components.size()));
+  enum_span.AddAttr("search_nodes",
+                    static_cast<int64_t>(stats->search_nodes));
+  enum_span.End();
   stats->enumeration_seconds = enum_watch.ElapsedSeconds();
   stats->arena_bytes_reserved = scratch.arena.bytes_reserved();
   stats->arena_peak_bytes = scratch.arena.peak_bytes();
@@ -939,10 +965,15 @@ Result<std::vector<FdCodeTuple>> FullDisjunction::RunCodes(
       stats->truncation.truncated ? ctx.CancelOnly() : ctx;
   LAKEFUZZ_RETURN_IF_ERROR(subsume_ctx.CheckStop("full disjunction"));
   ReportProgress(progress, Stage::kFdSubsume, 0, 1);
+  ScopedSpan subsume_span(subsume_ctx, "fd_subsume");
+  subsume_span.AddAttr("input_tuples",
+                       static_cast<int64_t>(code_tuples.size()));
   Stopwatch subsume_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       code_tuples,
       EliminateSubsumedCodes(std::move(code_tuples), nullptr, &subsume_ctx));
+  subsume_span.AddAttr("results", static_cast<int64_t>(code_tuples.size()));
+  subsume_span.End();
   stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
   stats->results = code_tuples.size();
   if (stats->truncation.truncated) {

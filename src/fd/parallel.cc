@@ -5,12 +5,18 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/rss.h"
 #include "util/thread_pool.h"
 
 namespace lakefuzz {
 namespace {
+
+/// Components below this tuple count skip their per-component trace span
+/// (mirrors the serial executor's gate): the singleton tail dominates by
+/// count, not by time, and would flood the trace.
+constexpr size_t kComponentSpanMinTuples = 64;
 
 /// Session pools (LakeEngine) are reused across calls; otherwise spawn a
 /// pool for this run. The one pool-resolution rule for RunCodes and Run.
@@ -34,8 +40,12 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   ThreadPool* pool = ResolvePool(options_, &owned_pool);
   const PoolStats pool_before = pool->stats();
 
+  ScopedSpan index_span(ctx, "fd_index");
   Stopwatch index_watch;
   problem->BuildIndex(pool);
+  index_span.AddAttr("distinct_values",
+                     static_cast<int64_t>(problem->index_stats().distinct_values));
+  index_span.End();
   stats->index_seconds = index_watch.ElapsedSeconds();
   stats->num_input_tuples = problem->num_tuples();
   stats->num_components = problem->Components().size();
@@ -59,6 +69,8 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
                    });
 
   ReportProgress(progress, Stage::kFdEnumerate, 0, 1);
+  ScopedSpan enum_span(ctx, "fd_enumerate");
+  const RequestContext enum_ctx = ctx.WithSpan(enum_span.id());
   Stopwatch enum_watch;
   int64_t node_cap = static_cast<int64_t>(options_.fd.max_search_nodes);
   if (ctx.budget.max_fd_nodes > 0) {
@@ -135,10 +147,15 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
       }
     }
     if (!stop.ok()) break;
+    ScopedSpan comp_span(enum_ctx, "fd_component");
+    comp_span.AddAttr("tuples", static_cast<int64_t>(comps[i]->size()));
+    comp_span.AddAttr("intra", int64_t{1});
+    const RequestContext comp_ctx = enum_ctx.WithSpan(comp_span.id());
     uint64_t nodes = 0;
     auto res = FullDisjunction::RunComponentCodesParallel(
         *problem, *comps[i], options_.fd, pool, intra_workers, &scratches,
-        &budget, &nodes, &intra_tasks, &ctx, &task_profile);
+        &budget, &nodes, &intra_tasks, &comp_ctx, &task_profile);
+    comp_span.AddAttr("nodes", static_cast<int64_t>(nodes));
     total_nodes.fetch_add(nodes, std::memory_order_relaxed);
     if (!res.ok()) {
       stop = res.status();
@@ -163,8 +180,15 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
       Status cs = ctx.CheckStop("full disjunction");
       uint64_t nodes = 0;
       if (cs.ok()) {
+        ScopedSpan comp_span(
+            comps[i]->size() >= kComponentSpanMinTuples ? enum_ctx.tracer
+                                                        : nullptr,
+            "fd_component", enum_ctx.trace_parent);
+        comp_span.AddAttr("tuples", static_cast<int64_t>(comps[i]->size()));
         auto res = FullDisjunction::RunComponentCodes(
-            *problem, *comps[i], &budget, &nodes, &scratches[lane], &ctx);
+            *problem, *comps[i], &budget, &nodes, &scratches[lane],
+            &enum_ctx);
+        comp_span.AddAttr("nodes", static_cast<int64_t>(nodes));
         total_nodes.fetch_add(nodes, std::memory_order_relaxed);
         if (res.ok()) {
           per_comp[i] = std::move(res).value();
@@ -215,6 +239,10 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
   stats->task_profile.merge_ns += ThreadPool::NowNs() - merge_start;
   stats->merge_seconds =
       static_cast<double>(stats->task_profile.merge_ns) * 1e-9;
+  enum_span.AddAttr("components", static_cast<int64_t>(comps.size()));
+  enum_span.AddAttr("search_nodes",
+                    static_cast<int64_t>(stats->search_nodes));
+  enum_span.End();
   stats->enumeration_seconds = enum_watch.ElapsedSeconds();
   ReportProgress(progress, Stage::kFdEnumerate, 1, 1);
   stats->results_before_subsumption = code_tuples.size();
@@ -225,10 +253,15 @@ Result<std::vector<FdCodeTuple>> ParallelFullDisjunction::RunCodes(
       stats->truncation.truncated ? ctx.CancelOnly() : ctx;
   LAKEFUZZ_RETURN_IF_ERROR(subsume_ctx.CheckStop("full disjunction"));
   ReportProgress(progress, Stage::kFdSubsume, 0, 1);
+  ScopedSpan subsume_span(subsume_ctx, "fd_subsume");
+  subsume_span.AddAttr("input_tuples",
+                       static_cast<int64_t>(code_tuples.size()));
   Stopwatch subsume_watch;
   LAKEFUZZ_ASSIGN_OR_RETURN(
       code_tuples,
       EliminateSubsumedCodes(std::move(code_tuples), pool, &subsume_ctx));
+  subsume_span.AddAttr("results", static_cast<int64_t>(code_tuples.size()));
+  subsume_span.End();
   stats->subsumption_seconds = subsume_watch.ElapsedSeconds();
   stats->results = code_tuples.size();
   if (stats->truncation.truncated) {

@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace lakefuzz {
+
+size_t MetricShardIndex(size_t num_shards) {
+  static std::atomic<size_t> next{0};
+  thread_local size_t dense_id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return dense_id % num_shards;
+}
+
+// ---------------------------------------------------------------- Histogram
+
+namespace {
+
+/// Index of the highest set bit (value must be non-zero).
+size_t Msb(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - static_cast<size_t>(__builtin_clzll(v));
+#else
+  size_t msb = 0;
+  while (v >>= 1) ++msb;
+  return msb;
+#endif
+}
+
+}  // namespace
+
+Histogram::Histogram() : shards_(new Shard[kShards]) {
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      shards_[s].counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const size_t msb = Msb(value);
+  const size_t sub =
+      static_cast<size_t>(value >> (msb - kSubBits)) - kSubBuckets;
+  return (msb - kSubBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t msb = index / kSubBuckets + kSubBits - 1;
+  const size_t sub = index % kSubBuckets;
+  return (uint64_t{1} << msb) + sub * (uint64_t{1} << (msb - kSubBits));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t msb = index / kSubBuckets + kSubBits - 1;
+  return BucketLowerBound(index) + (uint64_t{1} << (msb - kSubBits)) - 1;
+}
+
+void Histogram::Observe(uint64_t value) {
+  Shard& shard = shards_[MetricShardIndex(kShards)];
+  shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.assign(kNumBuckets, 0);
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.counts[b] +=
+          shards_[s].counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shards_[s].sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.total_count += c;
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (total_count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total_count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      // Interpolate linearly inside the bucket by the rank's position.
+      const uint64_t lo = Histogram::BucketLowerBound(b);
+      const uint64_t hi = Histogram::BucketUpperBound(b);
+      const double frac = counts[b] == 1
+                              ? 0.5
+                              : static_cast<double>(rank - seen - 1) /
+                                    static_cast<double>(counts[b] - 1);
+      return lo + static_cast<uint64_t>(
+                      frac * static_cast<double>(hi - lo) + 0.5);
+    }
+    seen += counts[b];
+  }
+  return Histogram::BucketUpperBound(counts.size() - 1);
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kCounter
+               ? it->second.counter.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  Counter* out = entry.counter.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kGauge ? it->second.gauge.get()
+                                                 : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* out = entry.gauge.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == MetricKind::kHistogram
+               ? it->second.histogram.get()
+               : nullptr;
+  }
+  Entry entry;
+  entry.kind = MetricKind::kHistogram;
+  entry.help = help;
+  entry.histogram = std::make_unique<Histogram>();
+  Histogram* out = entry.histogram.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = static_cast<double>(entry.gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        sample.hist = entry.histogram->Snapshot();
+        break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------------- exposition
+
+std::string RenderMetricsText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[192];
+  for (const MetricSample& s : snapshot.samples) {
+    if (!s.help.empty()) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+    }
+    out += "# TYPE " + s.name + " ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "counter\n";
+        break;
+      case MetricKind::kGauge:
+        out += "gauge\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    if (s.kind != MetricKind::kHistogram) {
+      // Counters/gauges are integral in practice; print without exponent.
+      std::snprintf(buf, sizeof(buf), "%s %.0f\n", s.name.c_str(), s.value);
+      out += buf;
+      continue;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < s.hist.counts.size(); ++b) {
+      if (s.hist.counts[b] == 0) continue;
+      cumulative += s.hist.counts[b];
+      std::snprintf(buf, sizeof(buf),
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    s.name.c_str(), Histogram::BucketUpperBound(b),
+                    cumulative);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  s.name.c_str(), s.hist.total_count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", s.name.c_str(),
+                  s.hist.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", s.name.c_str(),
+                  s.hist.total_count);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lakefuzz

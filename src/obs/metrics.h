@@ -1,0 +1,179 @@
+// Process metrics: counters, gauges, log-scale histograms, and a registry
+// with Prometheus-style text exposition.
+//
+// Counters and histograms shard their hot path per thread: an increment is
+// one relaxed atomic add on a cache-line-padded cell picked by a
+// thread-local dense index — no lock, no contention between pipeline
+// workers — and a scrape merges the shards into one consistent-enough
+// snapshot (relaxed reads; each cell is monotonic, so a concurrent scrape
+// can only under-count in-flight increments, never corrupt).
+//
+// Histograms are log-linear ("HDR-style"): values 0..3 get exact buckets,
+// then every power-of-two octave is split into 4 sub-buckets, so the
+// relative width of any bucket is at most 25% — which bounds the quantile
+// estimation error at 25% of the true value (the obs tests assert this).
+// Bucket geometry is fixed at compile time (252 buckets covering the full
+// uint64 range), so merging shards — or snapshots from different processes
+// — is element-wise addition.
+//
+// The MetricsRegistry hands out stable Counter*/Gauge*/Histogram* by name
+// (register once at startup, increment forever) and Snapshot() renders
+// them into a MetricsSnapshot sorted by name. RenderMetricsText() formats
+// a snapshot — and only a snapshot — as Prometheus text exposition, so
+// LakeEngine::MetricsSnapshot() and `engine_service --metrics_out` can
+// never disagree: they are two views of the same object.
+#ifndef LAKEFUZZ_OBS_METRICS_H_
+#define LAKEFUZZ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lakefuzz {
+
+/// Dense per-thread shard index (stable for a thread's lifetime); shared by
+/// every sharded metric so a thread always hits the same cache line.
+size_t MetricShardIndex(size_t num_shards);
+
+/// Monotonic counter. Add() is one relaxed fetch_add on a padded
+/// thread-local shard; Value() sums the shards.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[MetricShardIndex(kShards)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Cell& cell : shards_) {
+      sum += cell.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (queue depth, RSS, table count).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t v) { v_.fetch_add(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged view of one histogram at scrape time. Fixed bucket geometry (see
+/// Histogram) means snapshots merge by element-wise addition.
+struct HistogramSnapshot {
+  std::vector<uint64_t> counts;  ///< size Histogram::kNumBuckets
+  uint64_t total_count = 0;
+  uint64_t sum = 0;  ///< exact sum of observed values
+
+  /// Estimated q-quantile (q in [0,1]) by cumulative bucket walk with
+  /// linear interpolation inside the landing bucket. Relative error is
+  /// bounded by the bucket width: at most 25% of the true value.
+  uint64_t Quantile(double q) const;
+};
+
+/// Fixed-bucket log-linear histogram of non-negative integer samples
+/// (nanoseconds, counts, bytes).
+class Histogram {
+ public:
+  /// Sub-bucket resolution: each power-of-two octave splits into
+  /// 2^kSubBits = 4 linear sub-buckets.
+  static constexpr size_t kSubBits = 2;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBits;
+  /// 0..3 exact (4 buckets), then 4 sub-buckets per octave for each of the
+  /// 62 octaves with msb 2..63 — 252 buckets covering all of uint64.
+  static constexpr size_t kNumBuckets = (64 - kSubBits + 1) * kSubBuckets;
+  static constexpr size_t kShards = 8;
+
+  Histogram();
+
+  void Observe(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket geometry, exposed for tests and the text exposition.
+  /// BucketIndex(v) is the bucket recording v; bounds are inclusive:
+  /// BucketLowerBound(i) <= v <= BucketUpperBound(i).
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> counts[kNumBuckets];
+    std::atomic<uint64_t> sum{0};
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric at scrape time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;       ///< counter / gauge
+  HistogramSnapshot hist;   ///< histogram only
+};
+
+/// All metrics at one scrape, sorted by name (deterministic exposition).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(const std::string& name) const;
+};
+
+/// Name → metric registry. Get* registers on first use and returns the
+/// same stable pointer thereafter (kind mismatches return nullptr rather
+/// than aliasing two kinds under one name). Thread-safe; pointer
+/// increments never take the registry lock.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< ordered → sorted snapshots
+};
+
+/// Prometheus-style text exposition of a snapshot: `# TYPE` comments,
+/// `name value` lines, and `_bucket{le="..."}/_sum/_count` series for
+/// histograms (only non-empty buckets are listed, plus `+Inf`).
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+
+}  // namespace lakefuzz
+
+#endif  // LAKEFUZZ_OBS_METRICS_H_

@@ -27,6 +27,8 @@
 
 namespace lakefuzz {
 
+class Tracer;  // obs/trace.h; carried here as an opaque handle
+
 /// A wall-clock bound on one request, measured on the steady clock (immune
 /// to system-time jumps). A default-constructed Deadline is *unset*:
 /// expired() is false forever and costs one branch to poll — the natural
@@ -135,6 +137,14 @@ class RequestContext {
   Deadline deadline;
   ResourceBudget budget;
   BudgetPolicy policy = BudgetPolicy::kFail;
+  /// Request tracing (obs/trace.h): stages parented under `trace_parent`
+  /// open child spans on `tracer`. Null = tracing off (the default; costs
+  /// one pointer test per stage seam). Observation-only by contract —
+  /// pipeline code must never branch on tracer state, so traced and
+  /// untraced runs produce byte-identical results. Not owned; must outlive
+  /// the request.
+  Tracer* tracer = nullptr;
+  uint64_t trace_parent = 0;
 
   /// The checkpoint poll: kCancelled for a fired token, kDeadlineExceeded
   /// for an expired deadline, OK otherwise. `what` names the stage for the
@@ -165,6 +175,18 @@ class RequestContext {
   RequestContext CancelOnly() const {
     RequestContext ctx;
     ctx.cancel = cancel;
+    // Tracing survives degradation: cleanup work still shows up in the
+    // trace tree (it changes no behavior, only visibility).
+    ctx.tracer = tracer;
+    ctx.trace_parent = trace_parent;
+    return ctx;
+  }
+
+  /// A copy re-parented under `span_id`: how a stage hands its own span to
+  /// the sub-stages it invokes.
+  RequestContext WithSpan(uint64_t span_id) const {
+    RequestContext ctx = *this;
+    ctx.trace_parent = span_id;
     return ctx;
   }
 };

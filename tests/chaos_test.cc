@@ -11,10 +11,12 @@
 
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/str.h"
@@ -144,6 +146,19 @@ TEST(ChaosTest, EngineStaysConsistentUnderRandomizedLifecycleStress) {
     if (rng.Bernoulli(0.1)) {
       req.budget.max_scratch_bytes = rng.UniformInt(1, 1 << 20);
     }
+    // Telemetry rides through the chaos: half the requests carry a tracer
+    // (occasionally one with a tiny span cap, to exercise the dropped-span
+    // path), proving spans stay balanced and TSan-clean across deadlines,
+    // cancellations, and injected faults.
+    std::unique_ptr<Tracer> tracer;
+    if (rng.Bernoulli(0.5)) {
+      TraceOptions topts;
+      topts.request_id = static_cast<uint64_t>(iter) + 1;
+      if (rng.Bernoulli(0.2)) topts.max_spans = 4;
+      tracer = std::make_unique<Tracer>(topts);
+      req.tracer = tracer.get();
+    }
+
     const uint64_t cancel_mode = rng.Uniform(3);
     if (cancel_mode > 0) {
       req.cancel = CancelToken::Create();
@@ -185,6 +200,7 @@ TEST(ChaosTest, EngineStaysConsistentUnderRandomizedLifecycleStress) {
         dctx.cancel = req.cancel;
         dctx.deadline = req.deadline;
         dctx.policy = req.budget_policy;
+        dctx.tracer = tracer.get();
         outcome =
             (*engine)
                 ->DiscoverUnionable(
@@ -196,6 +212,20 @@ TEST(ChaosTest, EngineStaysConsistentUnderRandomizedLifecycleStress) {
     ASSERT_TRUE(AcceptedLifecycleCode(outcome.code()))
         << "iteration " << iter << ": " << outcome.ToString();
     outcome.ok() ? ++ok_count : ++stopped_count;
+
+    if (tracer != nullptr) {
+      // Whatever the outcome, the trace tree must be well-formed: every
+      // span closed (RAII unwinds through error paths) and the exports
+      // renderable.
+      for (const Span& span : tracer->Spans()) {
+        ASSERT_FALSE(span.open)
+            << "iteration " << iter << ": span '" << span.name
+            << "' left open after " << outcome.ToString();
+      }
+      ASSERT_NE(tracer->ToChromeJson().find("traceEvents"),
+                std::string::npos);
+      (void)tracer->FlameSummary();
+    }
 
     // Consistency checkpoint: chaos must never corrupt the session. A clean
     // request right after any failure mode answers exactly like a fresh
